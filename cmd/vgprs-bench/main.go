@@ -1,0 +1,155 @@
+// Command vgprs-bench runs the complete experiment suite — every figure and
+// §6 comparison of the paper — and prints the measured tables that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	vgprs-bench [-seed N] [-calls N] [-only F4,C1,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vgprs/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("vgprs-bench", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	calls := fs.Int("calls", 5, "calls per setup-latency series (C1)")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(wanted) == 0 || wanted[id] }
+
+	type experiment struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	suite := []experiment{
+		{"F1", func() (fmt.Stringer, error) {
+			r, err := experiments.RunF1Attach(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.F1Table(r), nil
+		}},
+		{"F4", func() (fmt.Stringer, error) {
+			r, err := experiments.RunF4Registration(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.F4Table(r), nil
+		}},
+		{"C1", func() (fmt.Stringer, error) {
+			r, err := experiments.RunC1SetupComparison(*seed, *calls)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.C1Table(r), nil
+		}},
+		{"C2", func() (fmt.Stringer, error) {
+			points, err := experiments.RunC2ContextResidency(*seed, []int{1, 10, 50, 100})
+			if err != nil {
+				return nil, err
+			}
+			return experiments.C2Table(points), nil
+		}},
+		{"C3", func() (fmt.Stringer, error) {
+			points, err := experiments.RunC3VoiceQuality(*seed, 10*time.Second,
+				[]time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond})
+			if err != nil {
+				return nil, err
+			}
+			return experiments.C3Table(points), nil
+		}},
+		{"C5", func() (fmt.Stringer, error) {
+			results, err := experiments.RunC5SignallingLoad(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.C5Table(results), nil
+		}},
+		{"F7F8", func() (fmt.Stringer, error) {
+			entries, err := experiments.RunF7F8Tromboning(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.TromboneTable(entries), nil
+		}},
+		{"F9", func() (fmt.Stringer, error) {
+			r, err := experiments.RunF9Handoff(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.F9Table(r), nil
+		}},
+		{"A1", func() (fmt.Stringer, error) {
+			results, err := experiments.RunA1RegistrationAblation(*seed)
+			if err != nil {
+				return nil, err
+			}
+			return experiments.A1Table(results), nil
+		}},
+		{"A2", func() (fmt.Stringer, error) {
+			points, err := experiments.RunA2VocoderCost(*seed, 3*time.Second,
+				[]time.Duration{500 * time.Microsecond, time.Millisecond,
+					2 * time.Millisecond, 5 * time.Millisecond})
+			if err != nil {
+				return nil, err
+			}
+			return experiments.A2Table(points), nil
+		}},
+		{"A3", func() (fmt.Stringer, error) {
+			points, err := experiments.RunA3RadioLatencySweep(*seed,
+				[]time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
+					20 * time.Millisecond, 40 * time.Millisecond})
+			if err != nil {
+				return nil, err
+			}
+			return experiments.A3Table(points), nil
+		}},
+		{"R1", func() (fmt.Stringer, error) {
+			points, err := experiments.RunR1RegistrationStorm(*seed,
+				[]struct{ MS, TCH int }{{10, 4}, {25, 4}, {50, 8}, {100, 16}})
+			if err != nil {
+				return nil, err
+			}
+			return experiments.R1Table(points), nil
+		}},
+	}
+
+	failed := 0
+	for _, e := range suite {
+		if !want(e.id) && !(e.id == "F7F8" && (want("F7") || want("F8"))) {
+			continue
+		}
+		table, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		fmt.Println(table)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

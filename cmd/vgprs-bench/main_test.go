@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestRunAllExperiments smoke-tests the whole CLI: every experiment table
+// must build and print without error.
+func TestRunAllExperiments(t *testing.T) {
+	if code := run([]string{"-calls", "2"}); code != 0 {
+		t.Fatalf("run() = %d", code)
+	}
+}
+
+// TestRunOnlyFilter exercises the -only selector.
+func TestRunOnlyFilter(t *testing.T) {
+	if code := run([]string{"-only", "F4,A2"}); code != 0 {
+		t.Fatalf("run() = %d", code)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestEveryScenarioRuns smoke-tests each named scenario end to end.
+func TestEveryScenarioRuns(t *testing.T) {
+	scenarios := []string{
+		"registration", "mo-call", "mt-call",
+		"trombone-gsm", "trombone-vgprs", "fallback",
+		"movement", "handoff", "handback", "handoff-vmsc",
+		"tr-registration", "tr-mo-call", "tr-mt-call",
+	}
+	for _, name := range scenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rec, err := runScenario(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Len() == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+func TestUnknownScenarioErrors(t *testing.T) {
+	if _, err := runScenario("nope", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

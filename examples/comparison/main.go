@@ -1,0 +1,74 @@
+// Comparison: the paper's §6 head-to-head, interactively. Runs the same
+// call workload on a vGPRS network and on the TR 23.923 baseline and prints
+// the three quantified claims: call-setup latency, PDP-context residency,
+// and voice quality under radio contention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vgprs/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	calls := flag.Int("calls", 5, "calls per latency series")
+	flag.Parse()
+
+	fmt.Println("== vGPRS vs 3G TR 23.923 (paper §6, measured) ==")
+	fmt.Println()
+
+	c1, err := experiments.RunC1SetupComparison(*seed, *calls)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "C1 failed:", err)
+		return 1
+	}
+	fmt.Println(experiments.C1Table(c1))
+	fmt.Println("The paper's claim: with vGPRS the PDP context is already active, so the")
+	fmt.Println("call path is established quickly; TR 23.923 re-activates per call, and")
+	fmt.Println("terminating calls additionally pay the network-initiated activation.")
+	fmt.Println()
+
+	c2, err := experiments.RunC2ContextResidency(*seed, []int{1, 10, 50})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "C2 failed:", err)
+		return 1
+	}
+	fmt.Println(experiments.C2Table(c2))
+	fmt.Println("The flip side: vGPRS keeps one signalling context per registered MS at")
+	fmt.Println("the SGSN/GGSN; TR 23.923 keeps none while idle.")
+	fmt.Println()
+
+	c3, err := experiments.RunC3VoiceQuality(*seed, 10*time.Second,
+		[]time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "C3 failed:", err)
+		return 1
+	}
+	fmt.Println(experiments.C3Table(c3))
+	fmt.Println("The dedicated circuit-switched TCH keeps vGPRS jitter at zero under any")
+	fmt.Println("load; the packet-switched radio leg degrades with contention — the")
+	fmt.Println("paper's 'real-time communication' argument.")
+	fmt.Println()
+
+	a3, err := experiments.RunA3RadioLatencySweep(*seed, []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 40 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "A3:", err)
+		return 1
+	}
+	fmt.Println(experiments.A3Table(a3))
+	fmt.Println("The comparison is profile-independent: the TR baseline's setup handicap")
+	fmt.Println("is per-call PDP activation — radio round trips — so it grows with the")
+	fmt.Println("air-interface latency and never flips in its favour.")
+	return 0
+}

@@ -1,0 +1,82 @@
+// Mobility: the paper's §5 movement case. A subscriber registered through
+// VMSC-1 relocates into a second vGPRS service area: the location update
+// runs through VMSC-2 and its VLR, the HLR cancels the old VLR and SGSN,
+// the old VMSC releases the gatekeeper alias and the GPRS contexts it held
+// on the MS's behalf — and terminating calls immediately follow the
+// subscriber to the new switch.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/netsim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fmt.Println("== Inter-VMSC mobility (paper §5 movement case) ==")
+	fmt.Println()
+
+	n := netsim.BuildTwoVMSC(netsim.VGPRSOptions{Seed: 11})
+	if err := n.RegisterAll(); err != nil {
+		fmt.Fprintln(os.Stderr, "registration failed:", err)
+		return 1
+	}
+	ms := n.MSs[0]
+	sub := n.Subscribers[0]
+
+	addr1, _, _ := n.VMSC.Entry(sub.IMSI)
+	fmt.Printf("Registered in area 1: VMSC-1 holds the MS table entry,\n")
+	fmt.Printf("  gatekeeper alias %s -> %s (VMSC-1's PDP address for the MS)\n",
+		sub.MSISDN, addr1)
+	fmt.Printf("  SGSN-1 PDP contexts: %d, SGSN-2: %d\n\n",
+		n.SGSN.ActiveContexts(), n.SGSN2.ActiveContexts())
+
+	fmt.Println("MS moves into area 2 (BTS-2) and performs a location update...")
+	if err := ms.MoveTo(n.Env, "BTS-2", n.Area2LAI); err != nil {
+		fmt.Fprintln(os.Stderr, "move failed:", err)
+		return 1
+	}
+	n.Env.RunUntil(n.Env.Now() + 20*time.Second)
+	if ms.State() != gsm.MSIdle {
+		fmt.Fprintln(os.Stderr, "relocation did not complete:", ms.State())
+		return 1
+	}
+
+	addr2, _, _ := n.VMSC2.Entry(sub.IMSI)
+	reg, _ := n.GK.Lookup(sub.MSISDN)
+	fmt.Println("Relocation complete:")
+	fmt.Printf("  gatekeeper alias %s -> %s (now VMSC-2's address)\n", sub.MSISDN, reg.SignalAddr)
+	fmt.Printf("  VMSC-2 PDP address for the MS: %s\n", addr2)
+	fmt.Printf("  SGSN-1 PDP contexts: %d (old area cleaned up), SGSN-2: %d\n",
+		n.SGSN.ActiveContexts(), n.SGSN2.ActiveContexts())
+	rec, _ := n.HLR.Lookup(sub.IMSI)
+	fmt.Printf("  HLR now points at VLR=%s SGSN=%s\n\n", rec.VLR, rec.SGSN)
+
+	fmt.Println("A terminal calls the subscriber's unchanged MSISDN...")
+	if _, err := n.Terminals[0].Call(n.Env, sub.MSISDN); err != nil {
+		fmt.Fprintln(os.Stderr, "call failed:", err)
+		return 1
+	}
+	n.Env.RunUntil(n.Env.Now() + 5*time.Second)
+	if ms.State() != gsm.MSInCall {
+		fmt.Fprintln(os.Stderr, "MT call did not land:", ms.State())
+		return 1
+	}
+	fmt.Printf("  call landed through VMSC-2 (active calls: VMSC-1=%d, VMSC-2=%d)\n",
+		n.VMSC.ActiveCalls(), n.VMSC2.ActiveCalls())
+
+	if err := ms.Hangup(n.Env); err != nil {
+		fmt.Fprintln(os.Stderr, "hangup failed:", err)
+		return 1
+	}
+	n.Env.RunUntil(n.Env.Now() + 2*time.Second)
+	fmt.Println("  cleared.")
+	return 0
+}

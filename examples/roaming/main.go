@@ -1,0 +1,88 @@
+// Roaming: the tromboning scenario of paper Figs 7-8. A UK subscriber
+// roams to Hong Kong; a Hong Kong caller dials their UK number. Under
+// classic GSM the call loops through the UK and back (two international
+// trunks); under vGPRS the local gatekeeper already knows the roamer and
+// the call stays local.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"vgprs/internal/isup"
+	"vgprs/internal/netsim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fmt.Println("== Tromboning elimination (paper Figs 7-8) ==")
+	fmt.Printf("\nRoamer x: UK number %s, visiting Hong Kong.\n", netsim.RoamerMSISDN)
+	fmt.Printf("Caller y: Hong Kong fixed line %s.\n\n", netsim.CallerNumber)
+
+	// --- Fig 7: classic GSM ---
+	fmt.Println("-- Fig 7: classic GSM (x served by MSC-HK) --")
+	g := netsim.BuildRoamingGSM(1)
+	if err := g.Register(); err != nil {
+		fmt.Fprintln(os.Stderr, "GSM registration failed:", err)
+		return 1
+	}
+	connected := false
+	g.PhoneY.SetOnConnected(func(uint32) { connected = true })
+	if _, err := g.PhoneY.Call(g.Env, netsim.RoamerMSISDN); err != nil {
+		fmt.Fprintln(os.Stderr, "call failed:", err)
+		return 1
+	}
+	g.Env.RunUntil(g.Env.Now() + 10*time.Second)
+	fmt.Printf("  connected: %v\n", connected)
+	fmt.Printf("  HK -> UK international trunk seizures: %d\n", g.IntlToUK.TotalSeizures())
+	fmt.Printf("  UK -> HK international trunk seizures: %d\n", g.IntlToHK.TotalSeizures())
+	cost := g.InternationalSeizures() * isup.TrunkInternational.CostUnits()
+	fmt.Printf("  call cost: %d units (the trombone: a local call priced as TWO international calls)\n\n", cost)
+
+	// --- Fig 8: vGPRS ---
+	fmt.Println("-- Fig 8: vGPRS (x registered through VMSC-HK at the local gatekeeper) --")
+	v := netsim.BuildRoamingVGPRS(1)
+	if err := v.Register(); err != nil {
+		fmt.Fprintln(os.Stderr, "vGPRS registration failed:", err)
+		return 1
+	}
+	reg, _ := v.GK.Lookup(netsim.RoamerMSISDN)
+	fmt.Printf("  Hong Kong gatekeeper knows %s -> %s\n", reg.Alias, reg.SignalAddr)
+	connected = false
+	v.PhoneY.SetOnConnected(func(uint32) { connected = true })
+	if _, err := v.PhoneY.Call(v.Env, netsim.RoamerMSISDN); err != nil {
+		fmt.Fprintln(os.Stderr, "call failed:", err)
+		return 1
+	}
+	v.Env.RunUntil(v.Env.Now() + 10*time.Second)
+	vcost := v.InternationalSeizures()*isup.TrunkInternational.CostUnits() +
+		v.LocalTrunks.TotalSeizures()*isup.TrunkLocal.CostUnits()
+	fmt.Printf("  connected: %v\n", connected)
+	fmt.Printf("  international trunk seizures: %d\n", v.InternationalSeizures())
+	fmt.Printf("  local trunk seizures: %d (LE-HK -> H.323 gateway)\n", v.LocalTrunks.TotalSeizures())
+	fmt.Printf("  call cost: %d unit(s) — the trombone is gone\n\n", vcost)
+
+	// --- Fig 8 fallback ---
+	fmt.Println("-- Fig 8 fallback: calling a UK number the gatekeeper does not know --")
+	f := netsim.BuildRoamingVGPRS(2)
+	if err := f.Register(); err != nil {
+		fmt.Fprintln(os.Stderr, "registration failed:", err)
+		return 1
+	}
+	connected = false
+	f.PhoneY.SetOnConnected(func(uint32) { connected = true })
+	if _, err := f.PhoneY.Call(f.Env, netsim.UKFixedNumber); err != nil {
+		fmt.Fprintln(os.Stderr, "call failed:", err)
+		return 1
+	}
+	f.Env.RunUntil(f.Env.Now() + 10*time.Second)
+	_, refused := f.Gateway.Stats()
+	fmt.Printf("  gateway refusals (LRJ): %d — the exchange fell back to the PSTN\n", refused)
+	fmt.Printf("  connected: %v, via %d international trunk (a normal PSTN call)\n",
+		connected, f.InternationalSeizures())
+	return 0
+}

@@ -1,0 +1,3 @@
+module vgprs
+
+go 1.22

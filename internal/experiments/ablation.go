@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/metrics"
+	"vgprs/internal/netsim"
+	"vgprs/internal/vmsc"
+)
+
+// AblationResult holds the DESIGN.md §5 registration-phase ablation.
+type AblationResult struct {
+	Variant string
+	Total   time.Duration
+}
+
+// RunA1RegistrationAblation measures the Fig 4 registration under the
+// design ablations: full procedure, authentication/ciphering disabled, and
+// the idle-PDP-deactivation mode (which adds a post-registration
+// deactivation but should not delay the Um accept).
+func RunA1RegistrationAblation(seed int64) ([]AblationResult, error) {
+	variants := []struct {
+		name string
+		opts netsim.VGPRSOptions
+	}{
+		{"full (auth + cipher + GPRS + GK)", netsim.VGPRSOptions{Seed: seed}},
+		{"auth/cipher disabled", netsim.VGPRSOptions{Seed: seed, AuthDisabled: true}},
+		{"idle-PDP deactivation mode", netsim.VGPRSOptions{Seed: seed, DeactivateIdlePDP: true}},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		n := netsim.BuildVGPRS(v.opts)
+		if err := n.RegisterAll(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", v.name, err)
+		}
+		first, ok1 := n.Rec.First("Um_Location_Update_Request")
+		accept, ok2 := n.Rec.Last("Um_Location_Update_Accept")
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("experiments: %s: incomplete trace", v.name)
+		}
+		out = append(out, AblationResult{Variant: v.name, Total: accept.At - first.At})
+	}
+	return out, nil
+}
+
+// A1Table renders the ablation.
+func A1Table(results []AblationResult) *metrics.Table {
+	t := metrics.NewTable(
+		"A1: registration-latency ablation (DESIGN.md §5)",
+		"variant", "Um request -> Um accept")
+	for _, r := range results {
+		t.AddRow(r.Variant, metrics.FormatDuration(r.Total))
+	}
+	return t
+}
+
+// VocoderPoint is one row of the A2 transcode-cost sweep.
+type VocoderPoint struct {
+	Cost      time.Duration
+	MeanDelay time.Duration
+	P95Delay  time.Duration
+	Jitter    time.Duration
+	Frames    uint64
+}
+
+// RunA2VocoderCost sweeps the VMSC's per-frame transcoding delay and
+// measures the resulting mouth-to-ear delay at the far H.323 terminal. The
+// paper puts the vocoder inside the VMSC (§4); this ablation prices that
+// placement: each microsecond of vocoder processing lands 1:1 in one-way
+// delay (one transcode hop per direction), while jitter stays untouched
+// because the cost is deterministic.
+func RunA2VocoderCost(seed int64, talkFor time.Duration, costs []time.Duration) ([]VocoderPoint, error) {
+	var out []VocoderPoint
+	for _, cost := range costs {
+		cost := cost
+		n := netsim.BuildVGPRS(netsim.VGPRSOptions{
+			Seed: seed, Talk: true, NoTrace: true,
+			VMSCMutate: func(cfg *vmsc.Config) { cfg.TranscodeCost = cost },
+		})
+		if err := n.RegisterAll(); err != nil {
+			return nil, fmt.Errorf("experiments: A2 cost=%v: %w", cost, err)
+		}
+		if err := n.MSs[0].Dial(n.Env, netsim.TerminalAlias(0)); err != nil {
+			return nil, fmt.Errorf("experiments: A2 cost=%v: %w", cost, err)
+		}
+		n.Env.RunUntil(n.Env.Now() + 3*time.Second + talkFor)
+		term := n.Terminals[0]
+		if term.Media.Received() == 0 {
+			return nil, fmt.Errorf("experiments: A2 cost=%v: media never flowed", cost)
+		}
+		delays := metrics.NewSeries("A2")
+		for _, d := range term.Media.Delays() {
+			delays.Add(d)
+		}
+		out = append(out, VocoderPoint{
+			Cost:      cost,
+			MeanDelay: term.Media.MeanDelay(),
+			P95Delay:  delays.Percentile(95),
+			Jitter:    term.Media.Jitter(),
+			Frames:    term.Media.Received(),
+		})
+	}
+	return out, nil
+}
+
+// A2Table renders the vocoder-cost sweep.
+func A2Table(points []VocoderPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"A2: vocoder transcode-cost sweep (uplink, MS -> terminal)",
+		"per-frame cost", "mean delay", "p95 delay", "jitter", "frames")
+	for _, p := range points {
+		t.AddRow(
+			metrics.FormatDuration(p.Cost),
+			metrics.FormatDuration(p.MeanDelay),
+			metrics.FormatDuration(p.P95Delay),
+			metrics.FormatDuration(p.Jitter),
+			fmt.Sprintf("%d", p.Frames))
+	}
+	return t
+}
+
+// RadioSweepPoint is one row of the A3 radio-latency sensitivity sweep.
+type RadioSweepPoint struct {
+	Um         time.Duration
+	VGPRSSetup time.Duration
+	TRSetup    time.Duration
+}
+
+// RunA3RadioLatencySweep re-runs the C1 MO-setup comparison across air-
+// interface latencies. EXPERIMENTS.md claims the §6 comparisons are
+// profile-independent (who wins, in which direction); this sweep is the
+// evidence: vGPRS must beat the TR 23.923 baseline at every radio latency,
+// because the TR scheme pays the per-call PDP activation — radio round
+// trips — that vGPRS avoids, so its handicap *grows* with Um latency.
+func RunA3RadioLatencySweep(seed int64, ums []time.Duration) ([]RadioSweepPoint, error) {
+	var out []RadioSweepPoint
+	for _, um := range ums {
+		lat := netsim.DefaultLatencies()
+		lat.Um = um
+		v, err := measureVGPRSCallsAt(seed, 1, true, false, &lat)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A3 Um=%v vGPRS: %w", um, err)
+		}
+		tr, err := measureTRCallsAt(seed, 1, true, false, &lat)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: A3 Um=%v TR: %w", um, err)
+		}
+		out = append(out, RadioSweepPoint{Um: um, VGPRSSetup: v.Mean(), TRSetup: tr.Mean()})
+	}
+	return out, nil
+}
+
+// A3Table renders the sweep.
+func A3Table(points []RadioSweepPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"A3: MO call-setup vs air-interface latency (profile-independence of C1)",
+		"Um latency", "vGPRS setup", "TR 23.923 setup", "TR handicap")
+	for _, p := range points {
+		t.AddRow(
+			metrics.FormatDuration(p.Um),
+			metrics.FormatDuration(p.VGPRSSetup),
+			metrics.FormatDuration(p.TRSetup),
+			metrics.FormatDuration(p.TRSetup-p.VGPRSSetup))
+	}
+	return t
+}

@@ -1,0 +1,257 @@
+// Package experiments implements the reproduction harness: one function per
+// paper artifact (Figs 1-9) and per §6 comparison (C1-C5), each running the
+// relevant scenario on virtual time and returning both raw measurements and
+// a rendered table. cmd/vgprs-bench prints the tables; bench_test.go wraps
+// the same functions in testing.B benchmarks so `go test -bench` regenerates
+// every number.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/h323"
+	"vgprs/internal/metrics"
+	"vgprs/internal/netsim"
+	"vgprs/internal/tr23923"
+	"vgprs/internal/trace"
+)
+
+// RegistrationResult holds the F4 measurements.
+type RegistrationResult struct {
+	Total        time.Duration // Um request -> Um accept
+	GSMPhase     time.Duration // steps 1.1-1.2
+	GPRSPhase    time.Duration // step 1.3
+	H323Phase    time.Duration // steps 1.4-1.5
+	MessageCount int
+}
+
+// RunF4Registration measures the Fig 4 registration procedure end to end.
+func RunF4Registration(seed int64) (RegistrationResult, error) {
+	n := netsim.BuildVGPRS(netsim.VGPRSOptions{Seed: seed})
+	if err := n.RegisterAll(); err != nil {
+		return RegistrationResult{}, err
+	}
+	var res RegistrationResult
+	first, ok1 := n.Rec.First("Um_Location_Update_Request")
+	accept, ok2 := n.Rec.Last("Um_Location_Update_Accept")
+	vlrAck, ok3 := n.Rec.First("MAP_UPDATE_LOCATION_AREA_ack")
+	pdpDone, ok4 := n.Rec.First("Activate PDP Context Accept")
+	// The terminals register with the gatekeeper too; measure the RCF
+	// addressed to the VMSC.
+	rcf, ok5 := n.Rec.FirstMatch(trace.ExpectStep{Msg: "RAS RCF", To: "VMSC-1"})
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 {
+		return res, fmt.Errorf("experiments: registration trace incomplete")
+	}
+	res.Total = accept.At - first.At
+	res.GSMPhase = vlrAck.At - first.At
+	res.GPRSPhase = pdpDone.At - vlrAck.At
+	res.H323Phase = rcf.At - pdpDone.At
+	res.MessageCount = n.Rec.Len()
+	return res, nil
+}
+
+// F4Table renders the F4 result.
+func F4Table(r RegistrationResult) *metrics.Table {
+	t := metrics.NewTable(
+		"F4: vGPRS registration (paper Fig 4, steps 1.1-1.6)",
+		"phase", "paper steps", "measured")
+	t.AddRow("GSM location update + auth + cipher", "1.1-1.2", metrics.FormatDuration(r.GSMPhase))
+	t.AddRow("GPRS attach + signalling PDP", "1.3", metrics.FormatDuration(r.GPRSPhase))
+	t.AddRow("gatekeeper registration", "1.4-1.5", metrics.FormatDuration(r.H323Phase))
+	t.AddRow("total (to Um accept)", "1.1-1.6", metrics.FormatDuration(r.Total))
+	return t
+}
+
+// measureVGPRSCalls runs `calls` MO or MT calls on a fresh vGPRS network and
+// returns per-call setup latencies (dial/ARQ to conversation).
+func measureVGPRSCalls(seed int64, calls int, mobileOriginated, deactivateIdle bool) (*metrics.Series, error) {
+	return measureVGPRSCallsAt(seed, calls, mobileOriginated, deactivateIdle, nil)
+}
+
+// measureVGPRSCallsAt is measureVGPRSCalls with an optional link-latency
+// profile override (nil = defaults) — the A3 sensitivity sweep varies it.
+func measureVGPRSCallsAt(seed int64, calls int, mobileOriginated, deactivateIdle bool, lat *netsim.Latencies) (*metrics.Series, error) {
+	label := "vGPRS"
+	if deactivateIdle {
+		label = "vGPRS (idle-PDP-deactivation ablation)"
+	}
+	kind := "MT"
+	if mobileOriginated {
+		kind = "MO"
+	}
+	series := metrics.NewSeries(label + " " + kind)
+
+	// A 1 ms answer delay makes the measurement post-dial signalling
+	// delay rather than human reaction time.
+	n := netsim.BuildVGPRS(netsim.VGPRSOptions{
+		Seed: seed, DeactivateIdlePDP: deactivateIdle, NoTrace: true,
+		AutoAnswerDelay: time.Millisecond, Latencies: lat,
+	})
+	if err := n.RegisterAll(); err != nil {
+		return nil, err
+	}
+	ms := n.MSs[0]
+	term := n.Terminals[0]
+
+	for i := 0; i < calls; i++ {
+		start := n.Env.Now()
+		var established time.Duration
+		if mobileOriginated {
+			ms.SetOnConnected(func(uint32) { established = n.Env.Now() })
+			if err := ms.Dial(n.Env, netsim.TerminalAlias(0)); err != nil {
+				return nil, err
+			}
+		} else {
+			ref, err := term.Call(n.Env, n.Subscribers[0].MSISDN)
+			if err != nil {
+				return nil, err
+			}
+			_ = ref
+			ms.SetOnConnected(func(uint32) { established = n.Env.Now() })
+		}
+		n.Env.RunUntil(n.Env.Now() + 20*time.Second)
+		if established == 0 {
+			return nil, fmt.Errorf("experiments: %s call %d never connected", kind, i)
+		}
+		series.Add(established - start)
+		// Clear the call and let the network quiesce.
+		if ms.State() == gsm.MSInCall {
+			if err := ms.Hangup(n.Env); err != nil {
+				return nil, err
+			}
+		}
+		n.Env.RunUntil(n.Env.Now() + 10*time.Second)
+	}
+	return series, nil
+}
+
+// measureTRCalls runs `calls` MO or MT calls on a TR 23.923 network.
+func measureTRCalls(seed int64, calls int, mobileOriginated, keepActive bool) (*metrics.Series, error) {
+	return measureTRCallsAt(seed, calls, mobileOriginated, keepActive, nil)
+}
+
+// measureTRCallsAt is measureTRCalls with an optional latency profile.
+func measureTRCallsAt(seed int64, calls int, mobileOriginated, keepActive bool, lat *netsim.Latencies) (*metrics.Series, error) {
+	label := "TR 23.923"
+	if keepActive {
+		label = "TR 23.923 (keep-PDP-active ablation)"
+	}
+	kind := "MT"
+	if mobileOriginated {
+		kind = "MO"
+	}
+	series := metrics.NewSeries(label + " " + kind)
+
+	n := tr23923.BuildNet(tr23923.Options{
+		Seed: seed, KeepPDPActive: keepActive, NoTrace: true,
+		AutoAnswer: time.Millisecond, Latencies: lat,
+	})
+	if err := n.RegisterAll(); err != nil {
+		return nil, err
+	}
+	ms := n.MSs[0]
+	term := n.Terminals[0]
+
+	for i := 0; i < calls; i++ {
+		start := n.Env.Now()
+		var established time.Duration
+		var ref uint16
+		var err error
+		if mobileOriginated {
+			ref, err = ms.Call(n.Env, netsim.TerminalAlias(0))
+		} else {
+			ref, err = term.Call(n.Env, n.Subscribers[0].MSISDN)
+		}
+		if err != nil {
+			return nil, err
+		}
+		end := n.Env.Now() + 30*time.Second
+		for n.Env.Now() < end {
+			var st h323.CallState
+			var ok bool
+			if mobileOriginated {
+				st, ok = ms.Term.CallState(ref)
+			} else {
+				st, ok = term.CallState(ref)
+			}
+			if ok && st == h323.CallConnected {
+				established = n.Env.Now()
+				break
+			}
+			if !n.Env.Step() {
+				break
+			}
+		}
+		if established == 0 {
+			return nil, fmt.Errorf("experiments: TR %s call %d never connected", kind, i)
+		}
+		series.Add(established - start)
+		if mobileOriginated {
+			if err := ms.Hangup(n.Env, ref); err != nil {
+				return nil, err
+			}
+		} else if err := term.Hangup(n.Env, ref); err != nil {
+			return nil, err
+		}
+		// Quiesce past the TR linger + deactivation.
+		n.Env.RunUntil(n.Env.Now() + 15*time.Second)
+	}
+	return series, nil
+}
+
+// C1Result is the §6 call-setup comparison.
+type C1Result struct {
+	Series []*metrics.Series
+}
+
+// RunC1SetupComparison measures call-setup latency across the four schemes
+// the paper's §6 discusses: vGPRS (contexts pre-activated), the TR 23.923
+// baseline (per-call activation + network-initiated activation for MT), and
+// each side's ablation.
+func RunC1SetupComparison(seed int64, calls int) (C1Result, error) {
+	var out C1Result
+	runs := []struct {
+		vgprs   bool
+		mo      bool
+		variant bool // deactivateIdle for vGPRS; keepActive for TR
+	}{
+		{vgprs: true, mo: true},
+		{vgprs: true, mo: false},
+		{vgprs: true, mo: true, variant: true},
+		{vgprs: true, mo: false, variant: true},
+		{vgprs: false, mo: true},
+		{vgprs: false, mo: false},
+		{vgprs: false, mo: true, variant: true},
+	}
+	for _, r := range runs {
+		var s *metrics.Series
+		var err error
+		if r.vgprs {
+			s, err = measureVGPRSCalls(seed, calls, r.mo, r.variant)
+		} else {
+			s, err = measureTRCalls(seed, calls, r.mo, r.variant)
+		}
+		if err != nil {
+			return out, err
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// C1Table renders the comparison.
+func C1Table(r C1Result) *metrics.Table {
+	t := metrics.NewTable(
+		"C1: call-setup latency, vGPRS vs TR 23.923 (paper §6 'PDP context activation')",
+		"scheme", "calls", "mean", "p95", "max")
+	for _, s := range r.Series {
+		t.AddRow(s.Name,
+			fmt.Sprintf("%d", s.Count()),
+			metrics.FormatDuration(s.Mean()),
+			metrics.FormatDuration(s.Percentile(95)),
+			metrics.FormatDuration(s.Max()))
+	}
+	return t
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/h323"
+	"vgprs/internal/metrics"
+	"vgprs/internal/netsim"
+	"vgprs/internal/tr23923"
+)
+
+// C2Point is one population size in the context-residency trade-off.
+type C2Point struct {
+	NumMS        int
+	VGPRSIdleCtx int
+	TRIdleCtx    int
+	VGPRSMOSetup time.Duration
+	TRMOSetup    time.Duration
+}
+
+// RunC2ContextResidency sweeps MS population sizes and reports, for each,
+// the idle PDP-context count held at the SGSN (the §6 resource cost of
+// vGPRS's always-on signalling context) against the MO call-setup latency
+// (the cost TR 23.923 pays instead).
+func RunC2ContextResidency(seed int64, sizes []int) ([]C2Point, error) {
+	var out []C2Point
+	for _, size := range sizes {
+		p := C2Point{NumMS: size}
+
+		vn := netsim.BuildVGPRS(netsim.VGPRSOptions{
+			Seed: seed, NumMS: size, NoTrace: true, AutoAnswerDelay: time.Millisecond,
+		})
+		if err := vn.RegisterAll(); err != nil {
+			return nil, err
+		}
+		p.VGPRSIdleCtx = vn.SGSN.ActiveContexts()
+		d, err := oneVGPRSMOCall(vn)
+		if err != nil {
+			return nil, err
+		}
+		p.VGPRSMOSetup = d
+
+		tn := tr23923.BuildNet(tr23923.Options{
+			Seed: seed, NumMS: size, NoTrace: true, AutoAnswer: time.Millisecond,
+		})
+		if err := tn.RegisterAll(); err != nil {
+			return nil, err
+		}
+		// Let the post-registration deactivations drain.
+		tn.Env.RunUntil(tn.Env.Now() + 10*time.Second)
+		p.TRIdleCtx = tn.SGSN.ActiveContexts()
+		td, err := oneTRMOCall(tn)
+		if err != nil {
+			return nil, err
+		}
+		p.TRMOSetup = td
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func oneVGPRSMOCall(n *netsim.VGPRSNet) (time.Duration, error) {
+	ms := n.MSs[0]
+	start := n.Env.Now()
+	var established time.Duration
+	ms.SetOnConnected(func(uint32) { established = n.Env.Now() })
+	if err := ms.Dial(n.Env, netsim.TerminalAlias(0)); err != nil {
+		return 0, err
+	}
+	n.Env.RunUntil(n.Env.Now() + 20*time.Second)
+	if established == 0 {
+		return 0, fmt.Errorf("experiments: vGPRS MO call never connected")
+	}
+	if ms.State() == gsm.MSInCall {
+		if err := ms.Hangup(n.Env); err != nil {
+			return 0, err
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + 5*time.Second)
+	return established - start, nil
+}
+
+func oneTRMOCall(n *tr23923.Net) (time.Duration, error) {
+	ms := n.MSs[0]
+	start := n.Env.Now()
+	var established time.Duration
+	ref, err := ms.Call(n.Env, netsim.TerminalAlias(0))
+	if err != nil {
+		return 0, err
+	}
+	end := n.Env.Now() + 30*time.Second
+	for n.Env.Now() < end {
+		if st, ok := ms.Term.CallState(ref); ok && st == h323.CallConnected {
+			established = n.Env.Now()
+			break
+		}
+		if !n.Env.Step() {
+			break
+		}
+	}
+	if established == 0 {
+		return 0, fmt.Errorf("experiments: TR MO call never connected")
+	}
+	if err := ms.Hangup(n.Env, ref); err != nil {
+		return 0, err
+	}
+	n.Env.RunUntil(n.Env.Now() + 5*time.Second)
+	return established - start, nil
+}
+
+// C2Table renders the residency trade-off.
+func C2Table(points []C2Point) *metrics.Table {
+	t := metrics.NewTable(
+		"C2: PDP-context residency vs call-setup cost (paper §6 trade-off)",
+		"MSs", "vGPRS idle ctx", "TR idle ctx", "vGPRS MO setup", "TR MO setup")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.NumMS),
+			fmt.Sprintf("%d", p.VGPRSIdleCtx),
+			fmt.Sprintf("%d", p.TRIdleCtx),
+			metrics.FormatDuration(p.VGPRSMOSetup),
+			metrics.FormatDuration(p.TRMOSetup))
+	}
+	return t
+}
+
+// C3Point is one voice-quality measurement.
+type C3Point struct {
+	Scheme    string
+	PSJitter  time.Duration
+	MeanDelay time.Duration
+	P95Delay  time.Duration
+	Jitter    time.Duration
+	Frames    uint64
+}
+
+// RunC3VoiceQuality measures mouth-to-ear delay and interarrival jitter at
+// the H.323 terminal: vGPRS's circuit-switched air leg against the
+// TR 23.923 packet-switched leg under increasing radio contention (the §6
+// "real-time communication" argument).
+func RunC3VoiceQuality(seed int64, talkFor time.Duration, psJitters []time.Duration) ([]C3Point, error) {
+	var out []C3Point
+
+	// vGPRS: dedicated TCH — no contention jitter by construction.
+	vn := netsim.BuildVGPRS(netsim.VGPRSOptions{Seed: seed, Talk: true, NoTrace: true})
+	if err := vn.RegisterAll(); err != nil {
+		return nil, err
+	}
+	if err := vn.MSs[0].Dial(vn.Env, netsim.TerminalAlias(0)); err != nil {
+		return nil, err
+	}
+	vn.Env.RunUntil(vn.Env.Now() + 3*time.Second + talkFor)
+	term := vn.Terminals[0]
+	if term.Media.Received() == 0 {
+		return nil, fmt.Errorf("experiments: vGPRS media never flowed")
+	}
+	delays := metrics.NewSeries("vGPRS")
+	for _, d := range term.Media.Delays() {
+		delays.Add(d)
+	}
+	out = append(out, C3Point{
+		Scheme:    "vGPRS (CS air leg)",
+		MeanDelay: term.Media.MeanDelay(),
+		P95Delay:  delays.Percentile(95),
+		Jitter:    term.Media.Jitter(),
+		Frames:    term.Media.Received(),
+	})
+
+	// vGPRS with DTX: the vocoder's silence suppression gates the uplink
+	// frames (GSM DTX), roughly halving media bandwidth at identical
+	// latency/jitter.
+	dn := netsim.BuildVGPRS(netsim.VGPRSOptions{Seed: seed, Talk: true, DTX: true, NoTrace: true})
+	if err := dn.RegisterAll(); err != nil {
+		return nil, err
+	}
+	if err := dn.MSs[0].Dial(dn.Env, netsim.TerminalAlias(0)); err != nil {
+		return nil, err
+	}
+	dn.Env.RunUntil(dn.Env.Now() + 3*time.Second + talkFor)
+	dterm := dn.Terminals[0]
+	if dterm.Media.Received() == 0 {
+		return nil, fmt.Errorf("experiments: vGPRS DTX media never flowed")
+	}
+	dd := metrics.NewSeries("vGPRS DTX")
+	for _, d := range dterm.Media.Delays() {
+		dd.Add(d)
+	}
+	out = append(out, C3Point{
+		Scheme:    "vGPRS (CS air leg, DTX)",
+		MeanDelay: dterm.Media.MeanDelay(),
+		P95Delay:  dd.Percentile(95),
+		Jitter:    dterm.Media.Jitter(),
+		Frames:    dterm.Media.Received(),
+	})
+
+	// TR 23.923: packet-switched air leg under each contention level.
+	for _, pj := range psJitters {
+		tn := tr23923.BuildNet(tr23923.Options{
+			Seed: seed, Talk: true, PSJitter: pj, KeepPDPActive: true, NoTrace: true,
+		})
+		if err := tn.RegisterAll(); err != nil {
+			return nil, err
+		}
+		if _, err := tn.MSs[0].Call(tn.Env, netsim.TerminalAlias(0)); err != nil {
+			return nil, err
+		}
+		tn.Env.RunUntil(tn.Env.Now() + 3*time.Second + talkFor)
+		tterm := tn.Terminals[0]
+		if tterm.Media.Received() == 0 {
+			return nil, fmt.Errorf("experiments: TR media never flowed (jitter %v)", pj)
+		}
+		td := metrics.NewSeries("TR")
+		for _, d := range tterm.Media.Delays() {
+			td.Add(d)
+		}
+		out = append(out, C3Point{
+			Scheme:    "TR 23.923 (PS air leg)",
+			PSJitter:  pj,
+			MeanDelay: tterm.Media.MeanDelay(),
+			P95Delay:  td.Percentile(95),
+			Jitter:    tterm.Media.Jitter(),
+			Frames:    tterm.Media.Received(),
+		})
+	}
+	return out, nil
+}
+
+// C3Table renders the voice-quality comparison.
+func C3Table(points []C3Point) *metrics.Table {
+	t := metrics.NewTable(
+		"C3: uplink voice quality at the H.323 terminal (paper §6 'real-time communication')",
+		"scheme", "radio contention", "mean delay", "p95 delay", "RFC3550 jitter", "frames")
+	for _, p := range points {
+		contention := "-"
+		if p.PSJitter > 0 {
+			contention = metrics.FormatDuration(p.PSJitter)
+		}
+		t.AddRow(p.Scheme, contention,
+			metrics.FormatDuration(p.MeanDelay),
+			metrics.FormatDuration(p.P95Delay),
+			metrics.FormatDuration(p.Jitter),
+			fmt.Sprintf("%d", p.Frames))
+	}
+	return t
+}

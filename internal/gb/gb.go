@@ -1,0 +1,106 @@
+// Package gb implements the GPRS Gb interface (GSM 08.14/08.18 shape)
+// between the BSC's packet control unit and the SGSN — and, in vGPRS,
+// between the VMSC and the SGSN, which is the paper's key architectural
+// move: "unlike an MSC, the VMSC communicates with SGSN through GPRS Gb
+// interface" (Fig 2(a), link (6)).
+//
+// The BSSGP UL/DL-UNITDATA pair is modelled, carrying LLC PDUs addressed by
+// TLLI. The MS node ID rides along as the simulation's stand-in for the
+// BVCI/cell binding that real BSSGP derives from the transport.
+package gb
+
+import (
+	"errors"
+	"fmt"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/wire"
+)
+
+// ErrBadFrame is returned when a Gb frame fails to decode.
+var ErrBadFrame = errors.New("gb: malformed frame")
+
+// ULUnitdata carries an uplink LLC PDU (MS/VMSC side -> SGSN).
+type ULUnitdata struct {
+	TLLI gsmid.TLLI
+	MS   sim.NodeID
+	Cell gsmid.CGI
+	PDU  []byte
+}
+
+// Name implements sim.Message.
+func (ULUnitdata) Name() string { return "Gb_UL_UNITDATA" }
+
+// DLUnitdata carries a downlink LLC PDU (SGSN -> MS/VMSC side).
+type DLUnitdata struct {
+	TLLI gsmid.TLLI
+	MS   sim.NodeID
+	PDU  []byte
+}
+
+// Name implements sim.Message.
+func (DLUnitdata) Name() string { return "Gb_DL_UNITDATA" }
+
+// Interface-compliance assertions.
+var (
+	_ sim.Message = ULUnitdata{}
+	_ sim.Message = DLUnitdata{}
+)
+
+const (
+	ftUL uint8 = iota + 1
+	ftDL
+)
+
+// Marshal encodes a Gb frame.
+func Marshal(msg sim.Message) ([]byte, error) {
+	w := wire.NewWriter(32)
+	switch m := msg.(type) {
+	case ULUnitdata:
+		w.U8(ftUL)
+		w.U32(uint32(m.TLLI))
+		w.String8(string(m.MS))
+		gsmid.MarshalLAI(w, m.Cell.LAI)
+		w.U16(m.Cell.CI)
+		w.Bytes16(m.PDU)
+	case DLUnitdata:
+		w.U8(ftDL)
+		w.U32(uint32(m.TLLI))
+		w.String8(string(m.MS))
+		w.Bytes16(m.PDU)
+	default:
+		return nil, fmt.Errorf("gb: cannot marshal %T", msg)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a Gb frame.
+func Unmarshal(b []byte) (sim.Message, error) {
+	r := wire.NewReader(b)
+	ft := r.U8()
+	var msg sim.Message
+	switch ft {
+	case ftUL:
+		m := ULUnitdata{TLLI: gsmid.TLLI(r.U32()), MS: sim.NodeID(r.String8())}
+		m.Cell.LAI = gsmid.UnmarshalLAI(r)
+		m.Cell.CI = r.U16()
+		m.PDU = r.Bytes16()
+		msg = m
+	case ftDL:
+		msg = DLUnitdata{
+			TLLI: gsmid.TLLI(r.U32()),
+			MS:   sim.NodeID(r.String8()),
+			PDU:  r.Bytes16(),
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, ft)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, r.Remaining())
+	}
+	return msg, nil
+}

@@ -1,0 +1,82 @@
+package gb
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vgprs/internal/gsmid"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cell := gsmid.CGI{LAI: gsmid.LAI{MCC: "466", MNC: "92", LAC: 3}, CI: 7}
+	msgs := []any{
+		ULUnitdata{TLLI: 0xC0001234, MS: "MS-1", Cell: cell, PDU: []byte{1, 2, 3}},
+		DLUnitdata{TLLI: 0xC0001234, MS: "MS-1", PDU: []byte{4}},
+	}
+	for _, m := range msgs {
+		b, err := Marshal(m.(interface{ Name() string }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %#v -> %#v", m, got)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{99}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	if _, err := Unmarshal([]byte{ftDL, 0}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short err = %v", err)
+	}
+	b, err := Marshal(DLUnitdata{TLLI: 1, MS: "x", PDU: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(b, 0xFF)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing err = %v", err)
+	}
+}
+
+func TestMarshalForeign(t *testing.T) {
+	if _, err := Marshal(foreign{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestULRoundTripProperty(t *testing.T) {
+	prop := func(tlli uint32, pdu []byte) bool {
+		if len(pdu) > 0xFFFF {
+			pdu = pdu[:0xFFFF]
+		}
+		if len(pdu) == 0 {
+			pdu = nil // empty fields round-trip to nil
+		}
+		m := ULUnitdata{
+			TLLI: gsmid.TLLI(tlli), MS: "MS-9",
+			Cell: gsmid.CGI{LAI: gsmid.LAI{MCC: "466", MNC: "92", LAC: 1}, CI: 2},
+			PDU:  pdu,
+		}
+		b, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		return err == nil && reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type foreign struct{}
+
+func (foreign) Name() string { return "X" }

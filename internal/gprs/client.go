@@ -1,0 +1,294 @@
+package gprs
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sim"
+)
+
+// SendFunc transmits an uplink LLC PDU for the client. A radio-attached
+// GPRS MS sends it over Um (the BSC's PCU relays it onto Gb); the VMSC sends
+// it straight onto its own Gb interface — the paper's point that the VMSC
+// "activates a new PDP context just like a GPRS MS does" is literally this
+// shared state machine.
+type SendFunc func(env *sim.Env, tlli gsmid.TLLI, pdu []byte)
+
+// Client is the GPRS protocol client: GPRS attach, PDP context
+// activation/deactivation, and IP send/receive over SNDCP. One Client
+// instance represents one subscriber; the VMSC hosts one per registered MS.
+type Client struct {
+	IMSI gsmid.IMSI
+
+	// Timeout bounds each attach/activation/deactivation transaction;
+	// an unanswered request fires its callback with failure. Zero
+	// disables expiry (useful for single-procedure tests).
+	Timeout time.Duration
+
+	send SendFunc
+
+	attached bool
+	ptmsi    gsmid.PTMSI
+	tlli     gsmid.TLLI
+
+	contexts map[uint8]*ClientPDP
+
+	pendingAttach     func(ok bool)
+	pendingDetach     func()
+	pendingRAU        func()
+	pendingActivate   map[uint8]func(addr netip.Addr, ok bool)
+	pendingDeactivate map[uint8]func()
+
+	// OnPacket delivers downlink IP packets per NSAPI.
+	OnPacket func(env *sim.Env, nsapi uint8, pkt ipnet.Packet)
+	// OnActivationRequest fires for a network-requested PDP activation
+	// (TR 23.923 MT path); the handler decides whether to activate.
+	OnActivationRequest func(env *sim.Env, address string)
+}
+
+// ClientPDP is the client-side view of one PDP context.
+type ClientPDP struct {
+	NSAPI   uint8
+	Address netip.Addr
+	QoS     gtp.QoSProfile
+}
+
+// NewClient returns a detached client.
+func NewClient(imsi gsmid.IMSI, send SendFunc) *Client {
+	return &Client{
+		IMSI:              imsi,
+		send:              send,
+		contexts:          make(map[uint8]*ClientPDP),
+		pendingActivate:   make(map[uint8]func(netip.Addr, bool)),
+		pendingDeactivate: make(map[uint8]func()),
+	}
+}
+
+// Attached reports whether GPRS attach has completed.
+func (c *Client) Attached() bool { return c.attached }
+
+// TLLI returns the client's current logical link identity. Before attach
+// completes this is a "random" TLLI derived from the IMSI; afterwards the
+// local TLLI derived from the assigned P-TMSI (GSM 04.64).
+func (c *Client) TLLI() gsmid.TLLI {
+	if c.attached {
+		return gsmid.LocalTLLI(c.ptmsi)
+	}
+	return c.foreignTLLI()
+}
+
+func (c *Client) foreignTLLI() gsmid.TLLI {
+	var v uint32
+	for i := 0; i < len(c.IMSI); i++ {
+		v = v*31 + uint32(c.IMSI[i])
+	}
+	return gsmid.TLLI(v &^ 0xC0000000) // clear the "local" marker bits
+}
+
+// Context returns the active PDP context on an NSAPI.
+func (c *Client) Context(nsapi uint8) (ClientPDP, bool) {
+	ctx, ok := c.contexts[nsapi]
+	if !ok {
+		return ClientPDP{}, false
+	}
+	return *ctx, true
+}
+
+// ActiveContexts returns the number of active PDP contexts.
+func (c *Client) ActiveContexts() int { return len(c.contexts) }
+
+// Attach starts GPRS attach; done fires with the outcome.
+func (c *Client) Attach(env *sim.Env, done func(ok bool)) error {
+	if c.attached {
+		return fmt.Errorf("gprs: client %s already attached", c.IMSI)
+	}
+	if c.pendingAttach != nil {
+		return fmt.Errorf("gprs: client %s attach already in progress", c.IMSI)
+	}
+	c.pendingAttach = done
+	pdu, err := WrapSM(AttachRequest{IMSI: c.IMSI})
+	if err != nil {
+		return err
+	}
+	c.send(env, c.TLLI(), pdu)
+	c.expire(env, func() bool { return c.pendingAttach != nil }, func() {
+		cb := c.pendingAttach
+		c.pendingAttach = nil
+		if cb != nil {
+			cb(false)
+		}
+	})
+	return nil
+}
+
+// expire schedules a transaction timeout when Timeout is configured.
+func (c *Client) expire(env *sim.Env, pending func() bool, onExpire func()) {
+	if c.Timeout == 0 {
+		return
+	}
+	env.After(c.Timeout, func() {
+		if pending() {
+			onExpire()
+		}
+	})
+}
+
+// UpdateRoutingArea reports a new routing area to the SGSN (movement). The
+// attach and PDP contexts survive; done fires on the accept.
+func (c *Client) UpdateRoutingArea(env *sim.Env, rai gsmid.RAI, done func()) error {
+	if !c.attached {
+		return fmt.Errorf("gprs: client %s not attached", c.IMSI)
+	}
+	c.pendingRAU = done
+	pdu, err := WrapSM(RAUpdateRequest{RAI: rai})
+	if err != nil {
+		return err
+	}
+	c.send(env, c.TLLI(), pdu)
+	return nil
+}
+
+// Detach leaves the GPRS network.
+func (c *Client) Detach(env *sim.Env, done func()) error {
+	if !c.attached {
+		return fmt.Errorf("gprs: client %s not attached", c.IMSI)
+	}
+	c.pendingDetach = done
+	pdu, err := WrapSM(DetachRequest{})
+	if err != nil {
+		return err
+	}
+	c.send(env, c.TLLI(), pdu)
+	return nil
+}
+
+// ActivatePDP requests a PDP context on the NSAPI; done fires with the
+// assigned address. requestedAddr requests a static address ("" = dynamic).
+func (c *Client) ActivatePDP(env *sim.Env, nsapi uint8, qos gtp.QoSProfile,
+	requestedAddr string, done func(addr netip.Addr, ok bool)) error {
+	if !c.attached {
+		return fmt.Errorf("gprs: client %s must attach before PDP activation", c.IMSI)
+	}
+	if _, exists := c.contexts[nsapi]; exists {
+		return fmt.Errorf("gprs: client %s NSAPI %d already active", c.IMSI, nsapi)
+	}
+	if _, pending := c.pendingActivate[nsapi]; pending {
+		return fmt.Errorf("gprs: client %s NSAPI %d activation in progress", c.IMSI, nsapi)
+	}
+	c.pendingActivate[nsapi] = done
+	pdu, err := WrapSM(ActivatePDPRequest{NSAPI: nsapi, QoS: qos, RequestedAddress: requestedAddr})
+	if err != nil {
+		return err
+	}
+	c.send(env, c.TLLI(), pdu)
+	c.expire(env, func() bool { _, p := c.pendingActivate[nsapi]; return p }, func() {
+		cb := c.pendingActivate[nsapi]
+		delete(c.pendingActivate, nsapi)
+		if cb != nil {
+			cb(netip.Addr{}, false)
+		}
+	})
+	return nil
+}
+
+// DeactivatePDP tears down the context on the NSAPI.
+func (c *Client) DeactivatePDP(env *sim.Env, nsapi uint8, done func()) error {
+	if _, exists := c.contexts[nsapi]; !exists {
+		return fmt.Errorf("gprs: client %s NSAPI %d not active", c.IMSI, nsapi)
+	}
+	c.pendingDeactivate[nsapi] = done
+	pdu, err := WrapSM(DeactivatePDPRequest{NSAPI: nsapi})
+	if err != nil {
+		return err
+	}
+	c.send(env, c.TLLI(), pdu)
+	return nil
+}
+
+// SendIP transmits an IP packet on the context's NSAPI. The packet's source
+// address is filled from the context when unset.
+func (c *Client) SendIP(env *sim.Env, nsapi uint8, pkt ipnet.Packet) error {
+	ctx, ok := c.contexts[nsapi]
+	if !ok {
+		return fmt.Errorf("gprs: client %s NSAPI %d not active", c.IMSI, nsapi)
+	}
+	if !pkt.Src.IsValid() {
+		pkt.Src = ctx.Address
+	}
+	c.send(env, c.TLLI(), WrapData(nsapi, pkt))
+	return nil
+}
+
+// HandleDownlink processes a downlink LLC PDU addressed to this client.
+func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
+	parsed, err := ParsePDU(pdu)
+	if err != nil {
+		return err
+	}
+	if parsed.IsData {
+		if c.OnPacket != nil {
+			c.OnPacket(env, parsed.NSAPI, parsed.Packet)
+		}
+		return nil
+	}
+	switch m := parsed.SM.(type) {
+	case AttachAccept:
+		c.attached = true
+		c.ptmsi = m.PTMSI
+		if done := c.pendingAttach; done != nil {
+			c.pendingAttach = nil
+			done(true)
+		}
+	case AttachReject:
+		if done := c.pendingAttach; done != nil {
+			c.pendingAttach = nil
+			done(false)
+		}
+	case DetachAccept:
+		c.attached = false
+		c.contexts = make(map[uint8]*ClientPDP)
+		if done := c.pendingDetach; done != nil {
+			c.pendingDetach = nil
+			done()
+		}
+	case ActivatePDPAccept:
+		addr, parseErr := netip.ParseAddr(m.Address)
+		done := c.pendingActivate[m.NSAPI]
+		delete(c.pendingActivate, m.NSAPI)
+		if parseErr != nil {
+			if done != nil {
+				done(netip.Addr{}, false)
+			}
+			return fmt.Errorf("gprs: bad PDP address %q: %w", m.Address, parseErr)
+		}
+		c.contexts[m.NSAPI] = &ClientPDP{NSAPI: m.NSAPI, Address: addr, QoS: m.QoS}
+		if done != nil {
+			done(addr, true)
+		}
+	case ActivatePDPReject:
+		if done := c.pendingActivate[m.NSAPI]; done != nil {
+			delete(c.pendingActivate, m.NSAPI)
+			done(netip.Addr{}, false)
+		}
+	case DeactivatePDPAccept:
+		delete(c.contexts, m.NSAPI)
+		if done := c.pendingDeactivate[m.NSAPI]; done != nil {
+			delete(c.pendingDeactivate, m.NSAPI)
+			done()
+		}
+	case RequestPDPActivation:
+		if c.OnActivationRequest != nil {
+			c.OnActivationRequest(env, m.Address)
+		}
+	case RAUpdateAccept:
+		if done := c.pendingRAU; done != nil {
+			c.pendingRAU = nil
+			done()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package gprs
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// GGSNConfig parameterises a GGSN node.
+type GGSNConfig struct {
+	ID sim.NodeID
+	// PoolPrefix is the dynamic PDP address range base, e.g. "10.1.1.0".
+	PoolPrefix string
+	// Gi is the external packet-network router (the PSDN / H.323 LAN).
+	Gi sim.NodeID
+	// HLR, when set, is queried over Gc during PDP activation — paper
+	// step 1.3: "the IMSI of the MS is used by the GGSN to retrieve the
+	// HLR record to obtain information such as IP address".
+	HLR sim.NodeID
+	// MAPTimeout bounds Gc dialogues. Zero means 5 seconds.
+	MAPTimeout time.Duration
+	// NetworkInitiatedActivation enables the TR 23.923 MT path: downlink
+	// packets for a provisioned static address with no context trigger a
+	// PDU Notification toward the subscriber's SGSN (found via Gc).
+	NetworkInitiatedActivation bool
+	// MaxKbps caps the negotiated peak throughput per context (0 = no
+	// cap) — the GSM 03.60 QoS negotiation, downward only.
+	MaxKbps uint16
+}
+
+// ggsnPDP is the GGSN's per-context record — the paper's step 1.3 lists its
+// fields: "IMSI, IP address, QoS profile negotiated, SGSN address, and so
+// on".
+type ggsnPDP struct {
+	imsi    gsmid.IMSI
+	nsapi   uint8
+	tid     gtp.TID
+	sgsn    sim.NodeID
+	address netip.Addr
+	qos     gtp.QoSProfile
+	dynamic bool
+}
+
+// GGSN is the gateway GPRS support node: the anchor between GTP tunnels and
+// the external packet network (Gi), with dynamic address allocation and the
+// optional network-initiated activation path.
+type GGSN struct {
+	cfg  GGSNConfig
+	pool *ipnet.Pool
+	dm   *ss7.DialogueManager
+
+	mu      sync.Mutex
+	byTID   map[gtp.TID]*ggsnPDP
+	byAddr  map[netip.Addr]gtp.TID
+	static  map[netip.Addr]gsmid.IMSI
+	queued  map[netip.Addr][]ipnet.Packet
+	nextSeq uint16
+
+	ulPackets, dlPackets, dropped uint64
+}
+
+var _ sim.Node = (*GGSN)(nil)
+
+// NewGGSN returns a GGSN. It panics on an invalid pool prefix (topology
+// construction error).
+func NewGGSN(cfg GGSNConfig) *GGSN {
+	if cfg.PoolPrefix == "" {
+		cfg.PoolPrefix = "10.1.1.0"
+	}
+	if cfg.MAPTimeout == 0 {
+		cfg.MAPTimeout = 5 * time.Second
+	}
+	pool, err := ipnet.NewPool(cfg.PoolPrefix)
+	if err != nil {
+		panic(err)
+	}
+	return &GGSN{
+		cfg:    cfg,
+		pool:   pool,
+		dm:     ss7.NewDialogueManager(),
+		byTID:  make(map[gtp.TID]*ggsnPDP),
+		byAddr: make(map[netip.Addr]gtp.TID),
+		static: make(map[netip.Addr]gsmid.IMSI),
+		queued: make(map[netip.Addr][]ipnet.Packet),
+	}
+}
+
+// ID implements sim.Node.
+func (g *GGSN) ID() sim.NodeID { return g.cfg.ID }
+
+// ProvisionStatic records a static PDP address for a subscriber, enabling
+// network-initiated activation toward it.
+func (g *GGSN) ProvisionStatic(addr netip.Addr, imsi gsmid.IMSI) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.static[addr] = imsi
+}
+
+// ActiveContexts returns the number of PDP contexts — the GGSN-side
+// residency cost measured by experiment C2.
+func (g *GGSN) ActiveContexts() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.byTID)
+}
+
+// AddressOf returns the PDP address of a context by TID.
+func (g *GGSN) AddressOf(tid gtp.TID) (netip.Addr, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ctx, ok := g.byTID[tid]
+	if !ok {
+		return netip.Addr{}, false
+	}
+	return ctx.address, true
+}
+
+// Stats returns (uplink, downlink, dropped) packet counts.
+func (g *GGSN) Stats() (ul, dl, dropped uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ulPackets, g.dlPackets, g.dropped
+}
+
+// Receive implements sim.Node.
+func (g *GGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	switch m := msg.(type) {
+	case gtp.CreatePDPRequest:
+		g.handleCreate(env, from, m)
+	case gtp.DeletePDPRequest:
+		g.handleDelete(env, from, m)
+	case gtp.TPDU:
+		g.handleUplink(env, m)
+	case gtp.EchoRequest:
+		env.Send(g.cfg.ID, from, gtp.EchoResponse{Seq: m.Seq})
+	case gtp.PDUNotifyResponse:
+		// Informational; queued packets flush when the context appears.
+	case ipnet.Packet:
+		g.handleDownlink(env, m)
+	case sigmap.SendRoutingInfoForGPRSAck:
+		g.dm.Resolve(m.Invoke, m)
+	}
+}
+
+// handleCreate creates a PDP context. When the HLR is reachable over Gc and
+// no explicit address was requested, the GGSN first retrieves the HLR record
+// (paper step 1.3) to learn a provisioned static address.
+func (g *GGSN) handleCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPRequest) {
+	finish := func(staticAddr string) {
+		g.finishCreate(env, sgsn, m, staticAddr)
+	}
+	if m.RequestedAddress != "" {
+		finish(m.RequestedAddress)
+		return
+	}
+	if g.cfg.HLR == "" {
+		finish("")
+		return
+	}
+	invoke := g.dm.Invoke(env, g.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		static := ""
+		if ack, isAck := resp.(sigmap.SendRoutingInfoForGPRSAck); ok && isAck && ack.Cause == sigmap.CauseNone {
+			static = ack.StaticPDPAddress
+		}
+		finish(static)
+	})
+	env.Send(g.cfg.ID, g.cfg.HLR, sigmap.SendRoutingInfoForGPRS{Invoke: invoke, IMSI: m.IMSI})
+}
+
+func (g *GGSN) finishCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPRequest, staticAddr string) {
+	var addr netip.Addr
+	dynamic := false
+	if staticAddr != "" {
+		parsed, err := netip.ParseAddr(staticAddr)
+		if err != nil {
+			env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{Seq: m.Seq, Cause: gtp.CauseSystemFailure})
+			return
+		}
+		addr = parsed
+	} else {
+		allocated, err := g.pool.Allocate()
+		if err != nil {
+			env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{Seq: m.Seq, Cause: gtp.CauseNoResources})
+			return
+		}
+		addr = allocated
+		dynamic = true
+	}
+
+	tid := gtp.MakeTID(m.IMSI, m.NSAPI)
+	negotiated := gtp.Negotiate(m.QoS, g.cfg.MaxKbps)
+	g.mu.Lock()
+	if _, exists := g.byTID[tid]; exists {
+		g.mu.Unlock()
+		if dynamic {
+			g.pool.Release(addr)
+		}
+		env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{Seq: m.Seq, Cause: gtp.CauseSystemFailure})
+		return
+	}
+	g.byTID[tid] = &ggsnPDP{
+		imsi: m.IMSI, nsapi: m.NSAPI, tid: tid,
+		sgsn: sgsn, address: addr, qos: negotiated, dynamic: dynamic,
+	}
+	g.byAddr[addr] = tid
+	queued := g.queued[addr]
+	delete(g.queued, addr)
+	g.mu.Unlock()
+
+	env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{
+		Seq: m.Seq, Cause: gtp.CauseAccepted, TID: tid, Address: addr.String(),
+		QoS: negotiated,
+	})
+	// Flush traffic that was waiting on network-initiated activation.
+	for _, pkt := range queued {
+		g.handleDownlink(env, pkt)
+	}
+}
+
+func (g *GGSN) handleDelete(env *sim.Env, sgsn sim.NodeID, m gtp.DeletePDPRequest) {
+	g.mu.Lock()
+	ctx, ok := g.byTID[m.TID]
+	if ok {
+		delete(g.byTID, m.TID)
+		delete(g.byAddr, ctx.address)
+		if ctx.dynamic {
+			g.pool.Release(ctx.address)
+		}
+	}
+	g.mu.Unlock()
+
+	cause := gtp.CauseAccepted
+	if !ok {
+		cause = gtp.CauseNotFound
+	}
+	env.Send(g.cfg.ID, sgsn, gtp.DeletePDPResponse{Seq: m.Seq, Cause: cause})
+}
+
+// handleUplink decapsulates a T-PDU and forwards the inner packet to Gi —
+// or hairpins it straight into another tunnel when the destination is a PDP
+// address served by this GGSN (MS-to-MS traffic never leaves the gateway).
+func (g *GGSN) handleUplink(env *sim.Env, m gtp.TPDU) {
+	pkt, err := ipnet.Unmarshal(m.Payload)
+	if err != nil {
+		return
+	}
+	g.mu.Lock()
+	_, known := g.byTID[m.TID]
+	if known {
+		g.ulPackets++
+	} else {
+		g.dropped++
+	}
+	g.mu.Unlock()
+	if !known {
+		return
+	}
+	g.mu.Lock()
+	_, local := g.byAddr[pkt.Dst]
+	g.mu.Unlock()
+	if local {
+		g.handleDownlink(env, pkt)
+		return
+	}
+	env.Send(g.cfg.ID, g.cfg.Gi, pkt)
+}
+
+// handleDownlink routes a Gi-side packet into the right tunnel; with no
+// active context it either triggers network-initiated activation (static,
+// provisioned, feature enabled) or drops.
+func (g *GGSN) handleDownlink(env *sim.Env, pkt ipnet.Packet) {
+	g.mu.Lock()
+	tid, active := g.byAddr[pkt.Dst]
+	var ctx *ggsnPDP
+	if active {
+		ctx = g.byTID[tid]
+		g.dlPackets++
+	}
+	g.mu.Unlock()
+
+	if active {
+		env.Send(g.cfg.ID, ctx.sgsn, gtp.TPDU{TID: tid, Payload: pkt.Marshal()})
+		return
+	}
+
+	g.mu.Lock()
+	imsi, isStatic := g.static[pkt.Dst]
+	canNotify := g.cfg.NetworkInitiatedActivation && isStatic && g.cfg.HLR != ""
+	if canNotify {
+		g.queued[pkt.Dst] = append(g.queued[pkt.Dst], pkt)
+	} else {
+		g.dropped++
+	}
+	alreadyNotifying := canNotify && len(g.queued[pkt.Dst]) > 1
+	g.mu.Unlock()
+
+	if !canNotify || alreadyNotifying {
+		return
+	}
+	// Gc: find the serving SGSN, then ask it to have the MS activate.
+	invoke := g.dm.Invoke(env, g.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.SendRoutingInfoForGPRSAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone || ack.SGSN == "" {
+			g.mu.Lock()
+			g.dropped += uint64(len(g.queued[pkt.Dst]))
+			delete(g.queued, pkt.Dst)
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Lock()
+		g.nextSeq++
+		seq := g.nextSeq
+		g.mu.Unlock()
+		env.Send(g.cfg.ID, sim.NodeID(ack.SGSN), gtp.PDUNotifyRequest{
+			Seq: seq, IMSI: imsi, Address: pkt.Dst.String(),
+		})
+	})
+	env.Send(g.cfg.ID, g.cfg.HLR, sigmap.SendRoutingInfoForGPRS{Invoke: invoke, IMSI: imsi})
+}

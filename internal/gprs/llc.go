@@ -1,0 +1,68 @@
+package gprs
+
+import (
+	"fmt"
+
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sim"
+)
+
+// LLC service access points: signalling (GMM/SM) vs user data (SNDCP).
+const (
+	sapiSignalling uint8 = 1
+	sapiData       uint8 = 3
+)
+
+// WrapSM frames a GMM/SM message as an LLC PDU.
+func WrapSM(msg sim.Message) ([]byte, error) {
+	body, err := MarshalSM(msg)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{sapiSignalling}, body...), nil
+}
+
+// WrapData frames an IP packet as an SNDCP LLC PDU on the given NSAPI.
+func WrapData(nsapi uint8, pkt ipnet.Packet) []byte {
+	body := pkt.Marshal()
+	out := make([]byte, 0, 2+len(body))
+	out = append(out, sapiData, nsapi)
+	return append(out, body...)
+}
+
+// PDU is a parsed LLC PDU: exactly one of SM or Packet is meaningful.
+type PDU struct {
+	// SM holds the signalling message when the PDU is on the GMM SAPI.
+	SM sim.Message
+	// NSAPI and Packet hold user data when the PDU is on the data SAPI.
+	NSAPI  uint8
+	Packet ipnet.Packet
+	// IsData discriminates the two arms.
+	IsData bool
+}
+
+// ParsePDU decodes an LLC PDU produced by WrapSM or WrapData.
+func ParsePDU(pdu []byte) (PDU, error) {
+	if len(pdu) == 0 {
+		return PDU{}, fmt.Errorf("%w: empty LLC PDU", ErrBadMessage)
+	}
+	switch pdu[0] {
+	case sapiSignalling:
+		msg, err := UnmarshalSM(pdu[1:])
+		if err != nil {
+			return PDU{}, err
+		}
+		return PDU{SM: msg}, nil
+	case sapiData:
+		if len(pdu) < 2 {
+			return PDU{}, fmt.Errorf("%w: SNDCP PDU too short", ErrBadMessage)
+		}
+		pkt, err := ipnet.Unmarshal(pdu[2:])
+		if err != nil {
+			return PDU{}, fmt.Errorf("%w: SNDCP payload: %v", ErrBadMessage, err)
+		}
+		return PDU{IsData: true, NSAPI: pdu[1], Packet: pkt}, nil
+	default:
+		return PDU{}, fmt.Errorf("%w: unknown SAPI %d", ErrBadMessage, pdu[0])
+	}
+}

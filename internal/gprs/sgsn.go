@@ -1,0 +1,530 @@
+package gprs
+
+import (
+	"sync"
+	"time"
+
+	"vgprs/internal/gb"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// SGSNConfig parameterises an SGSN node.
+type SGSNConfig struct {
+	ID sim.NodeID
+	// GGSN is the gateway this SGSN creates tunnels toward (Gn).
+	GGSN sim.NodeID
+	// HLR, when set, receives MAP_UPDATE_GPRS_LOCATION at attach (Gr).
+	HLR sim.NodeID
+	// MAPTimeout bounds HLR dialogues. Zero means 5s.
+	MAPTimeout time.Duration
+	// MaxContexts bounds concurrently active PDP contexts (the resource
+	// the paper's §6 PDP-residency trade-off is about). Zero means
+	// unlimited.
+	MaxContexts int
+	// EchoInterval enables GTP path supervision (GSM 09.60 Echo): the
+	// SGSN pings the GGSN every interval once StartPathSupervision is
+	// called, and declares the Gn path down after EchoMisses consecutive
+	// unanswered echoes. Zero leaves supervision off.
+	EchoInterval time.Duration
+	// EchoMisses is the consecutive-miss threshold for declaring the
+	// path down. Zero means 3.
+	EchoMisses int
+}
+
+// mmCtx is the SGSN's per-subscriber mobility context.
+type mmCtx struct {
+	imsi  gsmid.IMSI
+	ptmsi gsmid.PTMSI
+	// ms and peer record where downlink traffic goes: the Gb peer node
+	// (BSC or VMSC) and the MS correlation handle it needs.
+	ms   sim.NodeID
+	peer sim.NodeID
+	cell gsmid.CGI
+	pdp  map[uint8]*sgsnPDP
+}
+
+// sgsnPDP is the SGSN's per-context state. Each context remembers the Gb
+// path it was activated over: the same subscriber can hold voice contexts
+// through the VMSC and data contexts through the radio PCU simultaneously
+// (the paper's Fig 2(b) shows both paths side by side), and downlink
+// traffic must follow each context's own path.
+type sgsnPDP struct {
+	nsapi   uint8
+	tid     gtp.TID
+	address string
+	qos     gtp.QoSProfile
+	peer    sim.NodeID
+	ms      sim.NodeID
+}
+
+// SGSN is the serving GPRS support node: it terminates the Gb interface,
+// manages attach and PDP-context state, and tunnels user traffic to the
+// GGSN over GTP (Gn).
+type SGSN struct {
+	cfg SGSNConfig
+	dm  *ss7.DialogueManager
+
+	mu       sync.Mutex
+	byTLLI   map[gsmid.TLLI]*mmCtx
+	byIMSI   map[gsmid.IMSI]*mmCtx
+	byTID    map[gtp.TID]*mmCtx
+	nextPT   uint32
+	nextSeq  uint16
+	pending  map[uint16]func(env *sim.Env, resp sim.Message)
+	contexts int
+
+	ulPackets, dlPackets uint64
+
+	// GTP path supervision state (see SGSNConfig.EchoInterval).
+	supervising  bool
+	pathDown     bool
+	echoAwaiting bool
+	echoMissed   int
+}
+
+var _ sim.Node = (*SGSN)(nil)
+
+// NewSGSN returns an SGSN.
+func NewSGSN(cfg SGSNConfig) *SGSN {
+	if cfg.MAPTimeout == 0 {
+		cfg.MAPTimeout = 5 * time.Second
+	}
+	return &SGSN{
+		cfg:     cfg,
+		dm:      ss7.NewDialogueManager(),
+		byTLLI:  make(map[gsmid.TLLI]*mmCtx),
+		byIMSI:  make(map[gsmid.IMSI]*mmCtx),
+		byTID:   make(map[gtp.TID]*mmCtx),
+		pending: make(map[uint16]func(*sim.Env, sim.Message)),
+	}
+}
+
+// ID implements sim.Node.
+func (s *SGSN) ID() sim.NodeID { return s.cfg.ID }
+
+// Attached returns the number of attached subscribers.
+func (s *SGSN) Attached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byIMSI)
+}
+
+// ActiveContexts returns the number of active PDP contexts — the SGSN-side
+// residency cost measured by experiment C2.
+func (s *SGSN) ActiveContexts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.contexts
+}
+
+// Forwarded returns (uplink, downlink) user-plane packet counts.
+func (s *SGSN) Forwarded() (ul, dl uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ulPackets, s.dlPackets
+}
+
+// Receive implements sim.Node.
+func (s *SGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	switch m := msg.(type) {
+	case gb.ULUnitdata:
+		s.handleUL(env, from, m)
+	case gtp.CreatePDPResponse:
+		s.resolve(env, m.Seq, m)
+	case gtp.DeletePDPResponse:
+		s.resolve(env, m.Seq, m)
+	case gtp.TPDU:
+		s.handleDownlinkTPDU(env, m)
+	case gtp.PDUNotifyRequest:
+		s.handlePDUNotify(env, from, m)
+	case gtp.EchoRequest:
+		env.Send(s.cfg.ID, from, gtp.EchoResponse{Seq: m.Seq})
+	case gtp.EchoResponse:
+		s.handleEchoResponse()
+	case sigmap.UpdateGPRSLocationAck:
+		s.dm.Resolve(m.Invoke, m)
+	case sigmap.CancelLocation:
+		s.handleCancelLocation(env, from, m)
+	}
+}
+
+// handleCancelLocation purges a subscriber whose service moved to another
+// SGSN (HLR-driven, GSM 03.60 inter-SGSN routing-area update): the MM
+// context and every PDP context go, including the GGSN-side tunnels.
+func (s *SGSN) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.CancelLocation) {
+	s.mu.Lock()
+	ctx, ok := s.byIMSI[m.IMSI]
+	var tids []gtp.TID
+	if ok {
+		for _, pdp := range ctx.pdp {
+			delete(s.byTID, pdp.tid)
+			tids = append(tids, pdp.tid)
+			s.contexts--
+		}
+		delete(s.byIMSI, m.IMSI)
+		delete(s.byTLLI, gsmid.LocalTLLI(ctx.ptmsi))
+	}
+	s.mu.Unlock()
+	for _, tid := range tids {
+		s.mu.Lock()
+		s.nextSeq++
+		seq := s.nextSeq
+		s.mu.Unlock()
+		env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: tid})
+	}
+	env.Send(s.cfg.ID, from, sigmap.CancelLocationAck{Invoke: m.Invoke})
+}
+
+func (s *SGSN) resolve(env *sim.Env, seq uint16, resp sim.Message) {
+	s.mu.Lock()
+	cb, ok := s.pending[seq]
+	if ok {
+		delete(s.pending, seq)
+	}
+	s.mu.Unlock()
+	if ok {
+		cb(env, resp)
+	}
+}
+
+// reply sends a GMM/SM answer back over the path the request came in on
+// (peer + MS handle), so transactions for one subscriber can run over the
+// VMSC and radio paths independently.
+func (s *SGSN) reply(env *sim.Env, peer, ms sim.NodeID, tlli gsmid.TLLI, sm sim.Message) {
+	pdu, err := WrapSM(sm)
+	if err != nil {
+		return
+	}
+	// Record the logical GMM/SM arrow; the bytes ride inside LLC/Gb.
+	env.Note(s.cfg.ID, peer, "GMM", sm)
+	env.Send(s.cfg.ID, peer, gb.DLUnitdata{TLLI: tlli, MS: ms, PDU: pdu})
+}
+
+func (s *SGSN) handleUL(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata) {
+	parsed, err := ParsePDU(ul.PDU)
+	if err != nil {
+		return
+	}
+	if parsed.IsData {
+		s.handleUplinkData(env, ul, parsed)
+		return
+	}
+	// Record the logical GMM/SM arrow for the decoded signalling message.
+	env.Note(peer, s.cfg.ID, "GMM", parsed.SM)
+	switch m := parsed.SM.(type) {
+	case AttachRequest:
+		s.handleAttach(env, peer, ul, m)
+	case DetachRequest:
+		s.handleDetach(env, ul)
+	case ActivatePDPRequest:
+		s.handleActivate(env, peer, ul, m)
+	case DeactivatePDPRequest:
+		s.handleDeactivate(env, peer, ul, m)
+	case RAUpdateRequest:
+		s.handleRAUpdate(env, peer, ul, m)
+	}
+}
+
+func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m AttachRequest) {
+	s.mu.Lock()
+	ctx, exists := s.byIMSI[m.IMSI]
+	if !exists {
+		s.nextPT++
+		ctx = &mmCtx{
+			imsi:  m.IMSI,
+			ptmsi: gsmid.PTMSI(s.nextPT),
+			pdp:   make(map[uint8]*sgsnPDP),
+		}
+		s.byIMSI[m.IMSI] = ctx
+	}
+	ctx.ms = ul.MS
+	ctx.peer = peer
+	ctx.cell = ul.Cell
+	// Index under both the TLLI the request came with and the local TLLI
+	// the client derives from its new P-TMSI.
+	s.byTLLI[ul.TLLI] = ctx
+	s.byTLLI[gsmid.LocalTLLI(ctx.ptmsi)] = ctx
+	ptmsi := ctx.ptmsi
+	s.mu.Unlock()
+
+	accept := func() {
+		s.reply(env, peer, ul.MS, ul.TLLI, AttachAccept{PTMSI: ptmsi})
+	}
+	if s.cfg.HLR == "" {
+		accept()
+		return
+	}
+	invoke := s.dm.Invoke(env, s.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.UpdateGPRSLocationAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+			s.reply(env, peer, ul.MS, ul.TLLI, AttachReject{Cause: SMCauseUnknownSubscriber})
+			return
+		}
+		accept()
+	})
+	env.Send(s.cfg.ID, s.cfg.HLR, sigmap.UpdateGPRSLocation{
+		Invoke: invoke, IMSI: m.IMSI, SGSN: string(s.cfg.ID),
+	})
+}
+
+func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
+	s.mu.Lock()
+	ctx, ok := s.byTLLI[ul.TLLI]
+	var tids []gtp.TID
+	if ok {
+		for _, pdp := range ctx.pdp {
+			delete(s.byTID, pdp.tid)
+			tids = append(tids, pdp.tid)
+			s.contexts--
+		}
+		ctx.pdp = make(map[uint8]*sgsnPDP)
+		delete(s.byIMSI, ctx.imsi)
+		delete(s.byTLLI, ul.TLLI)
+		delete(s.byTLLI, gsmid.LocalTLLI(ctx.ptmsi))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Tear the tunnels down at the GGSN too, or a later re-attach would
+	// collide with the stale TIDs (GSM 03.60 detach deletes all contexts).
+	for _, tid := range tids {
+		s.mu.Lock()
+		s.nextSeq++
+		seq := s.nextSeq
+		s.mu.Unlock()
+		env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: tid})
+	}
+	s.reply(env, ctx.peer, ul.MS, ul.TLLI, DetachAccept{})
+}
+
+func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m ActivatePDPRequest) {
+	s.mu.Lock()
+	ctx, ok := s.byTLLI[ul.TLLI]
+	var full, dup bool
+	if ok {
+		_, dup = ctx.pdp[m.NSAPI]
+		full = s.cfg.MaxContexts > 0 && s.contexts >= s.cfg.MaxContexts
+	}
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	pathDown := s.pathDown
+	s.mu.Unlock()
+
+	switch {
+	case !ok:
+		return // not attached: no reply channel is even known
+	case pathDown:
+		// Path supervision has declared the GGSN unreachable: fail fast
+		// instead of letting the create request vanish into the tunnel.
+		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNetworkFailure})
+		return
+	case dup:
+		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseDuplicateNSAPI})
+		return
+	case full:
+		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNoResources})
+		return
+	}
+
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.pending[seq] = func(env *sim.Env, resp sim.Message) {
+		cr, isCreate := resp.(gtp.CreatePDPResponse)
+		if !isCreate || !cr.Cause.Accepted() {
+			s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNetworkFailure})
+			return
+		}
+		s.mu.Lock()
+		ctx.pdp[m.NSAPI] = &sgsnPDP{
+			nsapi: m.NSAPI, tid: cr.TID, address: cr.Address, qos: cr.QoS,
+			peer: peer, ms: ul.MS,
+		}
+		s.byTID[cr.TID] = ctx
+		s.contexts++
+		s.mu.Unlock()
+		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPAccept{NSAPI: m.NSAPI, Address: cr.Address, QoS: cr.QoS})
+	}
+	s.mu.Unlock()
+
+	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.CreatePDPRequest{
+		Seq: seq, IMSI: ctx.imsi, NSAPI: m.NSAPI, QoS: m.QoS,
+		SGSN: string(s.cfg.ID), RequestedAddress: m.RequestedAddress,
+	})
+}
+
+func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m DeactivatePDPRequest) {
+	s.mu.Lock()
+	ctx, ok := s.byTLLI[ul.TLLI]
+	var pdp *sgsnPDP
+	if ok {
+		pdp = ctx.pdp[m.NSAPI]
+	}
+	s.mu.Unlock()
+	if !ok || pdp == nil {
+		return
+	}
+
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.pending[seq] = func(env *sim.Env, resp sim.Message) {
+		s.mu.Lock()
+		delete(ctx.pdp, m.NSAPI)
+		delete(s.byTID, pdp.tid)
+		s.contexts--
+		s.mu.Unlock()
+		s.reply(env, peer, ul.MS, ul.TLLI, DeactivatePDPAccept{NSAPI: m.NSAPI})
+	}
+	s.mu.Unlock()
+
+	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: pdp.tid})
+}
+
+func (s *SGSN) handleUplinkData(env *sim.Env, ul gb.ULUnitdata, parsed PDU) {
+	s.mu.Lock()
+	ctx, ok := s.byTLLI[ul.TLLI]
+	var pdp *sgsnPDP
+	if ok {
+		pdp = ctx.pdp[parsed.NSAPI]
+	}
+	if pdp != nil {
+		s.ulPackets++
+	}
+	s.mu.Unlock()
+	if pdp == nil {
+		return
+	}
+	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.TPDU{TID: pdp.tid, Payload: parsed.Packet.Marshal()})
+}
+
+func (s *SGSN) handleDownlinkTPDU(env *sim.Env, m gtp.TPDU) {
+	s.mu.Lock()
+	ctx, ok := s.byTID[m.TID]
+	var tlli gsmid.TLLI
+	peer, ms := sim.NodeID(""), sim.NodeID("")
+	if ok {
+		tlli = gsmid.LocalTLLI(ctx.ptmsi)
+		s.dlPackets++
+		// Downlink follows the path the context was activated over.
+		peer, ms = ctx.peer, ctx.ms
+		if pdp := ctx.pdp[m.TID.NSAPI()]; pdp != nil && pdp.peer != "" {
+			peer, ms = pdp.peer, pdp.ms
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	pdu := make([]byte, 0, 2+len(m.Payload))
+	pdu = append(pdu, sapiData, m.TID.NSAPI())
+	pdu = append(pdu, m.Payload...)
+	env.Send(s.cfg.ID, peer, gb.DLUnitdata{TLLI: tlli, MS: ms, PDU: pdu})
+}
+
+// handleRAUpdate refreshes the subscriber's serving cell and Gb path on a
+// routing-area update; PDP contexts survive (GSM 03.60 §6.9), though each
+// context keeps routing downlink over the path it was activated on until
+// re-activated.
+func (s *SGSN) handleRAUpdate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m RAUpdateRequest) {
+	s.mu.Lock()
+	ctx, ok := s.byTLLI[ul.TLLI]
+	if ok {
+		ctx.peer = peer
+		ctx.ms = ul.MS
+		ctx.cell = ul.Cell
+		// Contexts activated over the moving path follow the MS.
+		for _, pdp := range ctx.pdp {
+			if pdp.ms == ul.MS {
+				pdp.peer = peer
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ok {
+		s.reply(env, peer, ul.MS, ul.TLLI, RAUpdateAccept{RAI: m.RAI})
+	}
+}
+
+// handlePDUNotify relays the GGSN's network-requested activation to the MS
+// (TR 23.923 MT-call path).
+func (s *SGSN) handlePDUNotify(env *sim.Env, from sim.NodeID, m gtp.PDUNotifyRequest) {
+	s.mu.Lock()
+	ctx, ok := s.byIMSI[m.IMSI]
+	var tlli gsmid.TLLI
+	if ok {
+		tlli = gsmid.LocalTLLI(ctx.ptmsi)
+	}
+	s.mu.Unlock()
+
+	cause := gtp.CauseAccepted
+	if !ok {
+		cause = gtp.CauseNotFound
+	}
+	env.Send(s.cfg.ID, from, gtp.PDUNotifyResponse{Seq: m.Seq, Cause: cause})
+	if ok {
+		// Unsolicited requests use the subscriber's most recent attach
+		// path (the only one the SGSN can assume is listening).
+		s.reply(env, ctx.peer, ctx.ms, tlli, RequestPDPActivation{Address: m.Address})
+	}
+}
+
+// StartPathSupervision begins periodic GTP Echo probing of the Gn path.
+// It requires SGSNConfig.EchoInterval > 0 and is idempotent. Supervision
+// keeps the event queue non-empty, so drive the simulation with RunUntil
+// rather than Run once it is started.
+func (s *SGSN) StartPathSupervision(env *sim.Env) {
+	s.mu.Lock()
+	if s.supervising || s.cfg.EchoInterval <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.supervising = true
+	s.mu.Unlock()
+	s.echoTick(env)
+}
+
+// PathUp reports whether the Gn path toward the GGSN is considered alive.
+// It is true until supervision observes the miss threshold.
+func (s *SGSN) PathUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.pathDown
+}
+
+func (s *SGSN) echoTick(env *sim.Env) {
+	s.mu.Lock()
+	if s.echoAwaiting {
+		s.echoMissed++
+		limit := s.cfg.EchoMisses
+		if limit == 0 {
+			limit = 3
+		}
+		if s.echoMissed >= limit {
+			s.pathDown = true
+		}
+	}
+	s.echoAwaiting = true
+	s.nextSeq++
+	seq := s.nextSeq
+	s.mu.Unlock()
+
+	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.EchoRequest{Seq: seq})
+	env.After(s.cfg.EchoInterval, func() { s.echoTick(env) })
+}
+
+// handleEchoResponse marks the Gn path alive again: any response clears
+// the miss counter and a down verdict (peer restart recovery).
+func (s *SGSN) handleEchoResponse() {
+	s.mu.Lock()
+	s.echoAwaiting = false
+	s.echoMissed = 0
+	s.pathDown = false
+	s.mu.Unlock()
+}

@@ -1,0 +1,279 @@
+package gsm
+
+import (
+	"errors"
+	"fmt"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/wire"
+)
+
+// ErrBadMessage is returned when a layer-3 message fails to decode.
+var ErrBadMessage = errors.New("gsm: malformed layer-3 message")
+
+// GSM 04.08 protocol discriminators (low nibble of octet 1).
+const (
+	pdCC uint8 = 0x03 // call control
+	pdMM uint8 = 0x05 // mobility management
+	pdRR uint8 = 0x06 // radio resource
+	// pdSim frames the simulation-level carriers (TCH frames, LLC frames,
+	// channel access) that are not 04.08 L3 messages.
+	pdSim uint8 = 0x0E
+)
+
+// GSM 04.08 message types (selected real values; simulation carriers use
+// the pdSim space).
+const (
+	mtLocationUpdateRequest uint8 = 0x08 // MM
+	mtLocationUpdateAccept  uint8 = 0x02 // MM
+	mtLocationUpdateReject  uint8 = 0x04 // MM
+	mtAuthRequest           uint8 = 0x12 // MM
+	mtAuthResponse          uint8 = 0x14 // MM
+
+	mtCipherModeCommand  uint8 = 0x35 // RR
+	mtCipherModeComplete uint8 = 0x32 // RR
+	mtPagingRequest      uint8 = 0x21 // RR
+	mtPagingResponse     uint8 = 0x27 // RR
+	mtMeasurementReport  uint8 = 0x15 // RR
+	mtHandoverCommand    uint8 = 0x2B // RR
+	mtHandoverComplete   uint8 = 0x2C // RR
+	mtHandoverAccess     uint8 = 0x3B // RR (simulation: access burst stand-in)
+	mtHandoverRequired   uint8 = 0x3C // BSSMAP in reality; carried here for the A leg
+	mtImmediateAssign    uint8 = 0x3F // RR
+
+	mtAlerting        uint8 = 0x01 // CC
+	mtSetup           uint8 = 0x05 // CC
+	mtConnect         uint8 = 0x07 // CC
+	mtCallConfirmed   uint8 = 0x08 // CC
+	mtDisconnect      uint8 = 0x25 // CC
+	mtRelease         uint8 = 0x2D // CC
+	mtReleaseComplete uint8 = 0x2A // CC
+
+	mtIMSIDetach uint8 = 0x01 // MM: IMSI detach indication
+
+	mtChannelRequest uint8 = 0x01 // pdSim
+	mtTCHFrame       uint8 = 0x02 // pdSim
+	mtLLCFrame       uint8 = 0x03 // pdSim
+)
+
+// header writes the common preamble: protocol discriminator, message type,
+// leg, and the MS correlation handle (the simulation's stand-in for the
+// dedicated-channel binding).
+func header(w *wire.Writer, pd, mt uint8, leg Leg, ms sim.NodeID) {
+	w.U8(pd)
+	w.U8(mt)
+	w.U8(uint8(leg))
+	w.String8(string(ms))
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Marshal encodes a radio-access layer-3 message (or simulation carrier)
+// into its wire form.
+func Marshal(msg sim.Message) ([]byte, error) {
+	w := wire.NewWriter(48)
+	switch m := msg.(type) {
+	case ChannelRequest:
+		header(w, pdSim, mtChannelRequest, m.Leg, m.MS)
+		w.U8(boolByte(m.ForPaging))
+	case ImmediateAssignment:
+		header(w, pdRR, mtImmediateAssign, m.Leg, m.MS)
+		w.U16(m.Channel)
+		w.U8(boolByte(m.Rejected))
+	case LocationUpdate:
+		header(w, pdMM, mtLocationUpdateRequest, m.Leg, m.MS)
+		m.Identity.Marshal(w)
+		gsmid.MarshalLAI(w, m.LAI)
+	case LocationUpdateAccept:
+		header(w, pdMM, mtLocationUpdateAccept, m.Leg, m.MS)
+		w.U32(uint32(m.TMSI))
+	case LocationUpdateReject:
+		header(w, pdMM, mtLocationUpdateReject, m.Leg, m.MS)
+		w.U8(m.Cause)
+	case AuthRequest:
+		header(w, pdMM, mtAuthRequest, m.Leg, m.MS)
+		w.Raw(m.RAND[:])
+	case AuthResponse:
+		header(w, pdMM, mtAuthResponse, m.Leg, m.MS)
+		w.Raw(m.SRES[:])
+	case CipherModeCommand:
+		header(w, pdRR, mtCipherModeCommand, m.Leg, m.MS)
+	case CipherModeComplete:
+		header(w, pdRR, mtCipherModeComplete, m.Leg, m.MS)
+	case Setup:
+		header(w, pdCC, mtSetup, m.Leg, m.MS)
+		w.U32(m.CallRef)
+		w.BCD(string(m.Called))
+		w.BCD(string(m.Calling))
+	case CallConfirmed:
+		header(w, pdCC, mtCallConfirmed, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case Alerting:
+		header(w, pdCC, mtAlerting, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case Connect:
+		header(w, pdCC, mtConnect, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case Disconnect:
+		header(w, pdCC, mtDisconnect, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case Release:
+		header(w, pdCC, mtRelease, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case ReleaseComplete:
+		header(w, pdCC, mtReleaseComplete, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case IMSIDetach:
+		header(w, pdMM, mtIMSIDetach, m.Leg, m.MS)
+		m.Identity.Marshal(w)
+	case Paging:
+		header(w, pdRR, mtPagingRequest, m.Leg, m.MS)
+		m.Identity.Marshal(w)
+	case PagingResponse:
+		header(w, pdRR, mtPagingResponse, m.Leg, m.MS)
+		m.Identity.Marshal(w)
+	case TCHFrame:
+		header(w, pdSim, mtTCHFrame, m.Leg, m.MS)
+		w.U32(m.CallRef)
+		w.U32(m.Seq)
+		w.U8(boolByte(m.Downlink))
+		w.Bytes16(m.Payload)
+	case MeasurementReport:
+		header(w, pdRR, mtMeasurementReport, m.Leg, m.MS)
+		gsmid.MarshalLAI(w, m.TargetCell.LAI)
+		w.U16(m.TargetCell.CI)
+	case HandoverRequired:
+		header(w, pdRR, mtHandoverRequired, m.Leg, m.MS)
+		w.U32(m.CallRef)
+		gsmid.MarshalLAI(w, m.TargetCell.LAI)
+		w.U16(m.TargetCell.CI)
+	case HandoverCommand:
+		header(w, pdRR, mtHandoverCommand, m.Leg, m.MS)
+		w.U32(m.CallRef)
+		gsmid.MarshalLAI(w, m.TargetCell.LAI)
+		w.U16(m.TargetCell.CI)
+		w.String8(string(m.TargetBTS))
+		w.U16(m.Channel)
+	case HandoverAccess:
+		header(w, pdRR, mtHandoverAccess, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case HandoverComplete:
+		header(w, pdRR, mtHandoverComplete, m.Leg, m.MS)
+		w.U32(m.CallRef)
+	case LLCFrame:
+		header(w, pdSim, mtLLCFrame, m.Leg, m.MS)
+		w.U32(uint32(m.TLLI))
+		w.U8(boolByte(m.Downlink))
+		w.Bytes16(m.Payload)
+	default:
+		return nil, fmt.Errorf("gsm: cannot marshal %T", msg)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a radio-access layer-3 message.
+func Unmarshal(b []byte) (sim.Message, error) {
+	r := wire.NewReader(b)
+	pd := r.U8()
+	mt := r.U8()
+	leg := Leg(r.U8())
+	ms := sim.NodeID(r.String8())
+
+	var msg sim.Message
+	switch {
+	case pd == pdSim && mt == mtChannelRequest:
+		msg = ChannelRequest{Leg: leg, MS: ms, ForPaging: r.U8() != 0}
+	case pd == pdRR && mt == mtImmediateAssign:
+		msg = ImmediateAssignment{Leg: leg, MS: ms, Channel: r.U16(), Rejected: r.U8() != 0}
+	case pd == pdMM && mt == mtLocationUpdateRequest:
+		m := LocationUpdate{Leg: leg, MS: ms}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.LAI = gsmid.UnmarshalLAI(r)
+		msg = m
+	case pd == pdMM && mt == mtLocationUpdateAccept:
+		msg = LocationUpdateAccept{Leg: leg, MS: ms, TMSI: gsmid.TMSI(r.U32())}
+	case pd == pdMM && mt == mtLocationUpdateReject:
+		msg = LocationUpdateReject{Leg: leg, MS: ms, Cause: r.U8()}
+	case pd == pdMM && mt == mtAuthRequest:
+		m := AuthRequest{Leg: leg, MS: ms}
+		copy(m.RAND[:], r.Raw(16))
+		msg = m
+	case pd == pdMM && mt == mtAuthResponse:
+		m := AuthResponse{Leg: leg, MS: ms}
+		copy(m.SRES[:], r.Raw(4))
+		msg = m
+	case pd == pdRR && mt == mtCipherModeCommand:
+		msg = CipherModeCommand{Leg: leg, MS: ms}
+	case pd == pdRR && mt == mtCipherModeComplete:
+		msg = CipherModeComplete{Leg: leg, MS: ms}
+	case pd == pdCC && mt == mtSetup:
+		msg = Setup{Leg: leg, MS: ms, CallRef: r.U32(),
+			Called: gsmid.MSISDN(r.BCD()), Calling: gsmid.MSISDN(r.BCD())}
+	case pd == pdCC && mt == mtCallConfirmed:
+		msg = CallConfirmed{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdCC && mt == mtAlerting:
+		msg = Alerting{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdCC && mt == mtConnect:
+		msg = Connect{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdCC && mt == mtDisconnect:
+		msg = Disconnect{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdCC && mt == mtRelease:
+		msg = Release{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdCC && mt == mtReleaseComplete:
+		msg = ReleaseComplete{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdMM && mt == mtIMSIDetach:
+		m := IMSIDetach{Leg: leg, MS: ms}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		msg = m
+	case pd == pdRR && mt == mtPagingRequest:
+		m := Paging{Leg: leg, MS: ms}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		msg = m
+	case pd == pdRR && mt == mtPagingResponse:
+		m := PagingResponse{Leg: leg, MS: ms}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		msg = m
+	case pd == pdSim && mt == mtTCHFrame:
+		msg = TCHFrame{Leg: leg, MS: ms, CallRef: r.U32(), Seq: r.U32(),
+			Downlink: r.U8() != 0, Payload: r.Bytes16()}
+	case pd == pdRR && mt == mtMeasurementReport:
+		m := MeasurementReport{Leg: leg, MS: ms}
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.CI = r.U16()
+		msg = m
+	case pd == pdRR && mt == mtHandoverRequired:
+		m := HandoverRequired{Leg: leg, MS: ms, CallRef: r.U32()}
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.CI = r.U16()
+		msg = m
+	case pd == pdRR && mt == mtHandoverCommand:
+		m := HandoverCommand{Leg: leg, MS: ms, CallRef: r.U32()}
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.CI = r.U16()
+		m.TargetBTS = sim.NodeID(r.String8())
+		m.Channel = r.U16()
+		msg = m
+	case pd == pdRR && mt == mtHandoverAccess:
+		msg = HandoverAccess{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdRR && mt == mtHandoverComplete:
+		msg = HandoverComplete{Leg: leg, MS: ms, CallRef: r.U32()}
+	case pd == pdSim && mt == mtLLCFrame:
+		msg = LLCFrame{Leg: leg, MS: ms, TLLI: gsmid.TLLI(r.U32()),
+			Downlink: r.U8() != 0, Payload: r.Bytes16()}
+	default:
+		return nil, fmt.Errorf("%w: unknown PD/MT %#x/%#x", ErrBadMessage, pd, mt)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, r.Remaining())
+	}
+	return msg, nil
+}

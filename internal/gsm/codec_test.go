@@ -1,0 +1,131 @@
+package gsm
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+)
+
+func TestL3CodecRoundTripAllTypes(t *testing.T) {
+	lai := gsmid.LAI{MCC: "466", MNC: "92", LAC: 7}
+	cgi := gsmid.CGI{LAI: lai, CI: 0x42}
+	var rand [16]byte
+	rand[0] = 0xAA
+	var sres [4]byte
+	sres[3] = 0x55
+
+	msgs := []sim.Message{
+		ChannelRequest{Leg: LegUm, MS: "MS-1", ForPaging: true},
+		ImmediateAssignment{Leg: LegAbis, MS: "MS-1", Channel: 9},
+		ImmediateAssignment{Leg: LegUm, MS: "MS-1", Rejected: true},
+		LocationUpdate{Leg: LegA, MS: "MS-1", Identity: gsmid.ByIMSI("466920000000001"), LAI: lai},
+		LocationUpdate{Leg: LegUm, MS: "MS-1", Identity: gsmid.ByTMSI(0xBEEF), LAI: lai},
+		LocationUpdateAccept{Leg: LegUm, MS: "MS-1", TMSI: 0xCAFE},
+		LocationUpdateReject{Leg: LegUm, MS: "MS-1", Cause: 3},
+		AuthRequest{Leg: LegUm, MS: "MS-1", RAND: rand},
+		AuthResponse{Leg: LegA, MS: "MS-1", SRES: sres},
+		CipherModeCommand{Leg: LegUm, MS: "MS-1"},
+		CipherModeComplete{Leg: LegA, MS: "MS-1"},
+		Setup{Leg: LegUm, MS: "MS-1", CallRef: 5, Called: "886200000001", Calling: "886900000001"},
+		CallConfirmed{Leg: LegUm, MS: "MS-1", CallRef: 5},
+		Alerting{Leg: LegA, MS: "MS-1", CallRef: 5},
+		Connect{Leg: LegUm, MS: "MS-1", CallRef: 5},
+		Disconnect{Leg: LegUm, MS: "MS-1", CallRef: 5},
+		Release{Leg: LegA, MS: "MS-1", CallRef: 5},
+		ReleaseComplete{Leg: LegUm, MS: "MS-1", CallRef: 5},
+		Paging{Leg: LegA, MS: "MS-1", Identity: gsmid.ByTMSI(0xCAFE)},
+		PagingResponse{Leg: LegUm, MS: "MS-1", Identity: gsmid.ByTMSI(0xCAFE)},
+		TCHFrame{Leg: LegUm, MS: "MS-1", CallRef: 5, Seq: 99, Payload: []byte{1, 2, 3}},
+		TCHFrame{Leg: LegA, MS: "MS-1", CallRef: 5, Seq: 100, Downlink: true, Payload: []byte{4}},
+		MeasurementReport{Leg: LegUm, MS: "MS-1", TargetCell: cgi},
+		HandoverRequired{Leg: LegA, MS: "MS-1", CallRef: 5, TargetCell: cgi},
+		HandoverCommand{Leg: LegUm, MS: "MS-1", CallRef: 5, TargetCell: cgi, TargetBTS: "BTS-2", Channel: 3},
+		HandoverAccess{Leg: LegUm, MS: "MS-1", CallRef: 5},
+		HandoverComplete{Leg: LegUm, MS: "MS-1", CallRef: 5},
+		LLCFrame{Leg: LegUm, MS: "MS-1", TLLI: 0xC0001234, Payload: []byte{7, 8}},
+		LLCFrame{Leg: LegAbis, MS: "MS-1", TLLI: 0xC0001234, Downlink: true, Payload: nil},
+	}
+	for _, m := range msgs {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", m, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip:\n in: %#v\nout: %#v", m, got)
+		}
+	}
+}
+
+func TestL3CodecErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xFF, 0xFF, 1, 0}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("unknown PD/MT err = %v", err)
+	}
+	if _, err := Unmarshal([]byte{pdMM}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("short err = %v", err)
+	}
+	b, err := Marshal(CipherModeComplete{Leg: LegUm, MS: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(b, 1)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("trailing err = %v", err)
+	}
+	if _, err := Marshal(foreignMsg{}); err == nil {
+		t.Error("foreign type accepted")
+	}
+}
+
+func TestL3ProtocolDiscriminators(t *testing.T) {
+	// Real GSM 04.08 discriminators: MM=0x05 for location updating,
+	// CC=0x03 for call control, RR=0x06 for radio resource.
+	check := func(m sim.Message, wantPD uint8) {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != wantPD {
+			t.Errorf("%T PD = %#x, want %#x", m, b[0], wantPD)
+		}
+	}
+	check(LocationUpdate{Identity: gsmid.ByTMSI(1)}, 0x05)
+	check(Setup{}, 0x03)
+	check(Paging{Identity: gsmid.ByTMSI(1)}, 0x06)
+}
+
+func TestL3RoundTripProperty(t *testing.T) {
+	prop := func(ref, seq uint32, tmsi uint32, leg uint8, payload []byte) bool {
+		if len(payload) > 0xFFFF {
+			payload = payload[:0xFFFF]
+		}
+		if len(payload) == 0 {
+			payload = nil // empty fields round-trip to nil
+		}
+		l := Leg(leg%3 + 1)
+		for _, m := range []sim.Message{
+			TCHFrame{Leg: l, MS: "MS-9", CallRef: ref, Seq: seq, Payload: payload},
+			LocationUpdateAccept{Leg: l, MS: "MS-9", TMSI: gsmid.TMSI(tmsi)},
+			Connect{Leg: l, MS: "MS-9", CallRef: ref},
+		} {
+			b, err := Marshal(m)
+			if err != nil {
+				return false
+			}
+			got, err := Unmarshal(b)
+			if err != nil || !reflect.DeepEqual(got, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package gtp
+
+import "testing"
+
+func BenchmarkMarshalTPDU(b *testing.B) {
+	m := TPDU{TID: MakeTID(testIMSI, 5), Payload: make([]byte, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalTPDU(b *testing.B) {
+	buf, err := Marshal(TPDU{TID: MakeTID(testIMSI, 5), Payload: make([]byte, 64)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalCreatePDPRequest(b *testing.B) {
+	m := CreatePDPRequest{Seq: 1, IMSI: testIMSI, NSAPI: 5, QoS: VoiceQoS(), SGSN: "SGSN-1"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

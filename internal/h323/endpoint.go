@@ -1,0 +1,141 @@
+package h323
+
+import (
+	"net/netip"
+	"sync"
+
+	"vgprs/internal/ipnet"
+	"vgprs/internal/q931"
+	"vgprs/internal/sim"
+)
+
+// Directory maps IP addresses to node IDs for trace annotation: when an
+// endpoint notes a logical arrow ("RAS RRQ", "Q.931 Setup") it resolves the
+// peer's node name so recorded traces read like the paper's figures. It has
+// no protocol role.
+type Directory struct {
+	mu sync.Mutex
+	m  map[netip.Addr]sim.NodeID
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{m: make(map[netip.Addr]sim.NodeID)}
+}
+
+// Bind associates an address with a node for tracing.
+func (d *Directory) Bind(addr netip.Addr, node sim.NodeID) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[addr] = node
+}
+
+// Resolve returns the node for an address, or a synthetic name.
+func (d *Directory) Resolve(addr netip.Addr) sim.NodeID {
+	if d == nil {
+		return sim.NodeID(addr.String())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if node, ok := d.m[addr]; ok {
+		return node
+	}
+	return sim.NodeID(addr.String())
+}
+
+// Endpoint is the shared IP plumbing of every H.323 protocol element
+// (terminal, gatekeeper, gateway, and the VMSC's H.323 side): it frames RAS
+// and Q.931 messages into ipnet packets, demultiplexes arrivals by port,
+// and records the logical signalling arrows in the trace.
+type Endpoint struct {
+	// Node is the owning node's ID (for trace arrows).
+	Node sim.NodeID
+	// Addr is this endpoint's IP address.
+	Addr netip.Addr
+	// Send transmits an IP packet toward the network: a LAN-attached
+	// element sends to its router link; the VMSC sends into the MS's
+	// GPRS tunnel.
+	Send func(env *sim.Env, pkt ipnet.Packet)
+	// Dir resolves peer addresses for tracing (nil tolerated).
+	Dir *Directory
+}
+
+// SendRAS transmits a RAS message to a peer over UDP 1719 and notes the
+// logical arrow.
+func (e *Endpoint) SendRAS(env *sim.Env, to netip.Addr, msg sim.Message) {
+	body, err := MarshalRAS(msg)
+	if err != nil {
+		return
+	}
+	env.Note(e.Node, e.Dir.Resolve(to), "RAS", msg)
+	e.Send(env, ipnet.Packet{
+		Src: e.Addr, Dst: to,
+		Proto:   ipnet.ProtoUDP,
+		SrcPort: ipnet.PortRAS, DstPort: ipnet.PortRAS,
+		Payload: body,
+	})
+}
+
+// SendQ931 transmits a call-signalling message to a peer over TCP 1720 and
+// notes the logical arrow.
+func (e *Endpoint) SendQ931(env *sim.Env, to netip.Addr, msg sim.Message) {
+	body, err := q931.Marshal(msg)
+	if err != nil {
+		return
+	}
+	env.Note(e.Node, e.Dir.Resolve(to), "H.225", msg)
+	e.Send(env, ipnet.Packet{
+		Src: e.Addr, Dst: to,
+		Proto:   ipnet.ProtoTCP,
+		SrcPort: ipnet.PortQ931, DstPort: ipnet.PortQ931,
+		Payload: body,
+	})
+}
+
+// SendRTP transmits a media packet to a peer media address.
+func (e *Endpoint) SendRTP(env *sim.Env, to q931.MediaAddr, body []byte) {
+	e.Send(env, ipnet.Packet{
+		Src: e.Addr, Dst: to.Addr,
+		Proto:   ipnet.ProtoUDP,
+		SrcPort: ipnet.PortRTP, DstPort: to.Port,
+		Payload: body,
+	})
+}
+
+// Inbound classifies a received IP packet for the owning element.
+type Inbound struct {
+	// Packet is the raw datagram.
+	Packet ipnet.Packet
+	// RAS holds the decoded RAS message when DstPort is 1719.
+	RAS sim.Message
+	// Q931 holds the decoded call-signalling message when DstPort is 1720.
+	Q931 sim.Message
+	// RTPPayload holds media bytes when the packet targets the RTP port.
+	RTPPayload []byte
+}
+
+// Classify decodes an arriving packet by destination port. It returns
+// (zero, false) for packets this endpoint should ignore.
+func (e *Endpoint) Classify(pkt ipnet.Packet) (Inbound, bool) {
+	switch pkt.DstPort {
+	case ipnet.PortRAS:
+		msg, err := UnmarshalRAS(pkt.Payload)
+		if err != nil {
+			return Inbound{}, false
+		}
+		return Inbound{Packet: pkt, RAS: msg}, true
+	case ipnet.PortQ931:
+		msg, err := q931.Unmarshal(pkt.Payload)
+		if err != nil {
+			return Inbound{}, false
+		}
+		return Inbound{Packet: pkt, Q931: msg}, true
+	case ipnet.PortRTP:
+		return Inbound{Packet: pkt, RTPPayload: pkt.Payload}, true
+	default:
+		return Inbound{}, false
+	}
+}

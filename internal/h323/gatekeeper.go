@@ -1,0 +1,444 @@
+package h323
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// GatekeeperConfig parameterises a gatekeeper node.
+type GatekeeperConfig struct {
+	ID sim.NodeID
+	// Addr is the gatekeeper's IP address on the H.323 LAN.
+	Addr netip.Addr
+	// Router is the LAN router node the gatekeeper is attached to.
+	Router sim.NodeID
+	// Dir resolves peer addresses for tracing.
+	Dir *Directory
+
+	// HLR, when set together with RequireIMSI, makes the gatekeeper
+	// behave like the (non-standard) TR 23.923 gatekeeper: it resolves
+	// and memorizes the subscriber's IMSI over GSM MAP before confirming
+	// each registration. A standard gatekeeper (the vGPRS configuration)
+	// leaves both unset and never touches MAP — the paper's §6
+	// "modifications to the existing networks" contrast.
+	HLR         sim.NodeID
+	RequireIMSI bool
+	// MobilePrefixes limits the IMSI requirement to aliases in the PLMN's
+	// number ranges; fixed-network endpoints register normally.
+	MobilePrefixes []string
+	// MAPTimeout bounds HLR dialogues in the TR mode. Zero means 5 s.
+	MAPTimeout time.Duration
+
+	// PSTNGateway, when valid, receives admission for called aliases that
+	// are not registered endpoints but match a PSTNPrefix — the standard
+	// H.323 gateway-prefix routing that lets an MS call "a traditional
+	// telephone set in the PSTN, connected indirectly through the H.323
+	// network" (paper §4).
+	PSTNGateway netip.Addr
+	// PSTNPrefixes are the number ranges routed to the gateway. Empty
+	// with a valid PSTNGateway means every unregistered alias routes
+	// there.
+	PSTNPrefixes []string
+
+	// RegistrationTTL, when positive, expires registrations that are not
+	// refreshed (H.225 timeToLive): RCFs grant this lifetime, expired
+	// rows stop resolving, and keepalive RRQs for them are answered with
+	// "full registration required". Zero keeps registrations forever.
+	RegistrationTTL time.Duration
+}
+
+// Registration is one row of the address-translation table (paper step 1.5:
+// "the GK creates an entry for the MS in the address translation table,
+// which stores the (IP address, MSISDN) pair").
+type Registration struct {
+	Alias      gsmid.MSISDN
+	SignalAddr netip.Addr
+	SignalPort uint16
+	EndpointID string
+	// ExpiresAt is the virtual time the registration lapses; zero means
+	// it never does.
+	ExpiresAt time.Duration
+}
+
+// gkCallKey identifies a charging record: the call reference alone is not
+// unique (references are scoped to the originating endpoint), so the
+// caller's alias disambiguates.
+type gkCallKey struct {
+	caller gsmid.MSISDN
+	ref    uint16
+}
+
+// CallRecord is the per-call accounting row the gatekeeper keeps for
+// charging (paper step 3.3).
+type CallRecord struct {
+	Caller     gsmid.MSISDN
+	Called     gsmid.MSISDN
+	CallRef    uint16
+	AdmittedAt time.Duration
+	EndedAt    time.Duration
+	Ended      bool
+}
+
+// Gatekeeper is a standard H.323 gatekeeper: registration, address
+// translation, call admission, location queries, and disengage accounting.
+// Deliberately: it has no GSM MAP interface and never sees an IMSI — the
+// architectural property the paper's §6 contrasts with TR 23.923 and that
+// test C4 audits.
+type Gatekeeper struct {
+	cfg GatekeeperConfig
+	ep  *Endpoint
+	dm  *ss7.DialogueManager
+
+	mu      sync.Mutex
+	table   map[gsmid.MSISDN]*Registration
+	calls   map[gkCallKey]*CallRecord
+	imsis   map[gsmid.MSISDN]gsmid.IMSI // TR 23.923 mode only
+	nextEP  int
+	admits  uint64
+	rejects uint64
+}
+
+var _ sim.Node = (*Gatekeeper)(nil)
+
+// NewGatekeeper returns an empty gatekeeper.
+func NewGatekeeper(cfg GatekeeperConfig) *Gatekeeper {
+	if cfg.MAPTimeout == 0 {
+		cfg.MAPTimeout = 5 * time.Second
+	}
+	gk := &Gatekeeper{
+		cfg:   cfg,
+		dm:    ss7.NewDialogueManager(),
+		table: make(map[gsmid.MSISDN]*Registration),
+		calls: make(map[gkCallKey]*CallRecord),
+		imsis: make(map[gsmid.MSISDN]gsmid.IMSI),
+	}
+	gk.ep = &Endpoint{
+		Node: cfg.ID,
+		Addr: cfg.Addr,
+		Dir:  cfg.Dir,
+		Send: func(env *sim.Env, pkt ipnet.Packet) {
+			env.Send(cfg.ID, cfg.Router, pkt)
+		},
+	}
+	return gk
+}
+
+// ID implements sim.Node.
+func (g *Gatekeeper) ID() sim.NodeID { return g.cfg.ID }
+
+// Lookup returns the registration for an alias.
+func (g *Gatekeeper) Lookup(alias gsmid.MSISDN) (Registration, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	reg, ok := g.table[alias]
+	if !ok {
+		return Registration{}, false
+	}
+	return *reg, true
+}
+
+// Registered returns the number of table entries.
+func (g *Gatekeeper) Registered() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.table)
+}
+
+// CallRecords returns a copy of the charging records (paper step 3.3).
+func (g *Gatekeeper) CallRecords() []CallRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]CallRecord, 0, len(g.calls))
+	for _, c := range g.calls {
+		out = append(out, *c)
+	}
+	return out
+}
+
+// Admissions returns (admitted, rejected) counts.
+func (g *Gatekeeper) Admissions() (admitted, rejected uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.admits, g.rejects
+}
+
+// KnownIMSIs returns how many IMSIs the gatekeeper has memorized — zero for
+// a standard gatekeeper; one per subscriber in the TR 23.923 mode. This is
+// the C4 experiment's headline counter.
+func (g *Gatekeeper) KnownIMSIs() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.imsis)
+}
+
+// Receive implements sim.Node.
+func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	if ack, isMAP := msg.(sigmap.SendIMSIAck); isMAP {
+		g.dm.Resolve(ack.Invoke, ack)
+		return
+	}
+	pkt, ok := msg.(ipnet.Packet)
+	if !ok {
+		return
+	}
+	in, ok := g.ep.Classify(pkt)
+	if !ok || in.RAS == nil {
+		return
+	}
+	reply := func(m sim.Message) { g.ep.SendRAS(env, pkt.Src, m) }
+
+	switch m := in.RAS.(type) {
+	case RRQ:
+		if g.cfg.RequireIMSI && g.cfg.HLR != "" && g.isMobileAlias(m.Alias) {
+			g.resolveIMSIThen(env, m, reply)
+			return
+		}
+		g.handleRRQ(env, m, reply)
+	case URQ:
+		g.mu.Lock()
+		if reg, exists := g.table[m.Alias]; exists &&
+			(!m.SignalAddr.IsValid() || reg.SignalAddr == m.SignalAddr) {
+			delete(g.table, m.Alias)
+		}
+		g.mu.Unlock()
+		reply(UCF{Seq: m.Seq})
+	case ARQ:
+		g.handleARQ(env, m, reply)
+	case DRQ:
+		g.mu.Lock()
+		if rec, exists := g.calls[gkCallKey{m.Alias, m.CallRef}]; exists && !rec.Ended {
+			// The caller disengaging: direct hit.
+			rec.Ended = true
+			rec.EndedAt = env.Now()
+		} else if m.Peer != "" {
+			// The called side disengaging, naming the caller. The key is
+			// exact; if the caller already disengaged there is nothing
+			// further to close.
+			if rec, exists := g.calls[gkCallKey{m.Peer, m.CallRef}]; exists && !rec.Ended {
+				rec.Ended = true
+				rec.EndedAt = env.Now()
+			}
+		} else {
+			// A gateway or legacy endpoint without a peer alias: find the
+			// open record for this reference.
+			for _, rec := range g.calls {
+				if rec.CallRef == m.CallRef && !rec.Ended &&
+					(m.Alias == "" || rec.Called == m.Alias) {
+					rec.Ended = true
+					rec.EndedAt = env.Now()
+					break
+				}
+			}
+		}
+		g.mu.Unlock()
+		reply(DCF{Seq: m.Seq})
+	case LRQ:
+		g.mu.Lock()
+		reg, exists := g.lookupLive(m.Alias, env.Now())
+		g.mu.Unlock()
+		if !exists {
+			reply(LRJ{Seq: m.Seq, Reason: RejectCalledPartyNotRegistered})
+			return
+		}
+		reply(LCF{Seq: m.Seq, SignalAddr: reg.SignalAddr, SignalPort: reg.SignalPort})
+	}
+}
+
+// isMobileAlias reports whether an alias falls in the PLMN number ranges.
+// With no prefixes configured, every alias counts as mobile.
+func (g *Gatekeeper) isMobileAlias(alias gsmid.MSISDN) bool {
+	if len(g.cfg.MobilePrefixes) == 0 {
+		return true
+	}
+	for _, p := range g.cfg.MobilePrefixes {
+		if strings.HasPrefix(string(alias), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveIMSIThen is the TR 23.923 registration path: the gatekeeper
+// queries the HLR over GSM MAP, memorizes the IMSI, and only then confirms.
+func (g *Gatekeeper) resolveIMSIThen(env *sim.Env, m RRQ, reply func(sim.Message)) {
+	invoke := g.dm.Invoke(env, g.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.SendIMSIAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+			reply(RRJ{Seq: m.Seq, Reason: RejectGenericData})
+			return
+		}
+		g.mu.Lock()
+		g.imsis[m.Alias] = ack.IMSI
+		g.mu.Unlock()
+		g.handleRRQ(env, m, reply)
+	})
+	env.Send(g.cfg.ID, g.cfg.HLR, sigmap.SendIMSI{Invoke: invoke, MSISDN: m.Alias})
+}
+
+func (g *Gatekeeper) handleRRQ(env *sim.Env, m RRQ, reply func(sim.Message)) {
+	g.mu.Lock()
+	existing, dup := g.table[m.Alias]
+	if dup && g.expired(existing, env.Now()) {
+		delete(g.table, m.Alias)
+		existing, dup = nil, false
+	}
+	// A keepalive refresh presumes the gatekeeper still holds the row;
+	// if it lapsed (or never existed), demand a full registration.
+	if m.KeepAlive && (!dup || existing.SignalAddr != m.SignalAddr) {
+		g.mu.Unlock()
+		reply(RRJ{Seq: m.Seq, Reason: RejectFullRegistrationRequired})
+		return
+	}
+	// Re-registration from the same transport address refreshes the row;
+	// a different address claiming a registered alias is rejected.
+	if dup && existing.SignalAddr != m.SignalAddr {
+		g.mu.Unlock()
+		reply(RRJ{Seq: m.Seq, Reason: RejectDuplicateAlias})
+		return
+	}
+	granted := g.grantTTL(m.TTLSeconds)
+	var epID string
+	if dup {
+		existing.SignalPort = m.SignalPort
+		existing.ExpiresAt = expiryAt(env.Now(), granted)
+		epID = existing.EndpointID
+	} else {
+		g.nextEP++
+		epID = fmt.Sprintf("ep-%d", g.nextEP)
+		g.table[m.Alias] = &Registration{
+			Alias: m.Alias, SignalAddr: m.SignalAddr, SignalPort: m.SignalPort,
+			EndpointID: epID, ExpiresAt: expiryAt(env.Now(), granted),
+		}
+	}
+	g.mu.Unlock()
+	reply(RCF{Seq: m.Seq, EndpointID: epID, TTLSeconds: granted})
+}
+
+// grantTTL computes the lifetime an RCF grants, in seconds: the
+// gatekeeper's configured TTL, shortened further if the endpoint asked for
+// less. Zero means no expiry is in force.
+func (g *Gatekeeper) grantTTL(requested uint16) uint16 {
+	if g.cfg.RegistrationTTL <= 0 {
+		return 0
+	}
+	granted := uint16(g.cfg.RegistrationTTL / time.Second)
+	if granted == 0 {
+		granted = 1
+	}
+	if requested > 0 && requested < granted {
+		granted = requested
+	}
+	return granted
+}
+
+func expiryAt(now time.Duration, ttlSeconds uint16) time.Duration {
+	if ttlSeconds == 0 {
+		return 0
+	}
+	return now + time.Duration(ttlSeconds)*time.Second
+}
+
+// expired reports whether the row has lapsed at the given virtual time.
+func (g *Gatekeeper) expired(r *Registration, now time.Duration) bool {
+	return r.ExpiresAt != 0 && now >= r.ExpiresAt
+}
+
+// lookupLive returns the registration for alias unless it has expired, in
+// which case the row is dropped (lazy expiry — the gatekeeper never has to
+// keep the event queue alive with a sweep timer).
+func (g *Gatekeeper) lookupLive(alias gsmid.MSISDN, now time.Duration) (*Registration, bool) {
+	r, ok := g.table[alias]
+	if !ok {
+		return nil, false
+	}
+	if g.expired(r, now) {
+		delete(g.table, alias)
+		return nil, false
+	}
+	return r, true
+}
+
+// SweepExpired drops every lapsed registration at the given virtual time
+// and reports how many went. Expiry is otherwise lazy; this exists for
+// operators (and tests) that want the table compacted eagerly.
+func (g *Gatekeeper) SweepExpired(now time.Duration) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for alias, r := range g.table {
+		if g.expired(r, now) {
+			delete(g.table, alias)
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Gatekeeper) handleARQ(env *sim.Env, m ARQ, reply func(sim.Message)) {
+	var response sim.Message
+
+	g.mu.Lock()
+	if m.Answer {
+		// Admission for an incoming call: the callee asks permission to
+		// accept; no translation needed.
+		if _, ok := g.lookupLive(m.CallerAlias, env.Now()); ok {
+			g.admits++
+			response = ACF{Seq: m.Seq}
+		} else {
+			g.rejects++
+			response = ARJ{Seq: m.Seq, Reason: RejectCallerNotRegistered}
+		}
+	} else if dest, ok := g.lookupLive(m.CalledAlias, env.Now()); ok {
+		g.admits++
+		key := gkCallKey{m.CallerAlias, m.CallRef}
+		if _, exists := g.calls[key]; !exists {
+			g.calls[key] = &CallRecord{
+				Caller: m.CallerAlias, Called: m.CalledAlias,
+				CallRef: m.CallRef, AdmittedAt: env.Now(),
+			}
+		}
+		response = ACF{Seq: m.Seq, SignalAddr: dest.SignalAddr, SignalPort: dest.SignalPort}
+	} else if g.routesToPSTN(m.CalledAlias) {
+		g.admits++
+		key := gkCallKey{m.CallerAlias, m.CallRef}
+		if _, exists := g.calls[key]; !exists {
+			g.calls[key] = &CallRecord{
+				Caller: m.CallerAlias, Called: m.CalledAlias,
+				CallRef: m.CallRef, AdmittedAt: env.Now(),
+			}
+		}
+		response = ACF{Seq: m.Seq, SignalAddr: g.cfg.PSTNGateway, SignalPort: ipnet.PortQ931}
+	} else {
+		g.rejects++
+		response = ARJ{Seq: m.Seq, Reason: RejectCalledPartyNotRegistered}
+	}
+	g.mu.Unlock()
+
+	reply(response)
+}
+
+// routesToPSTN reports whether an unregistered called alias should be
+// admitted toward the configured PSTN gateway (callers hold g.mu).
+func (g *Gatekeeper) routesToPSTN(alias gsmid.MSISDN) bool {
+	if !g.cfg.PSTNGateway.IsValid() {
+		return false
+	}
+	if len(g.cfg.PSTNPrefixes) == 0 {
+		return true
+	}
+	for _, p := range g.cfg.PSTNPrefixes {
+		if strings.HasPrefix(string(alias), p) {
+			return true
+		}
+	}
+	return false
+}

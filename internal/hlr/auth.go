@@ -1,0 +1,31 @@
+package hlr
+
+import (
+	"crypto/sha256"
+
+	"vgprs/internal/sigmap"
+)
+
+// GenerateTriplet derives a GSM authentication triplet from the subscriber
+// key and a random challenge. Real SIMs run the operator's A3/A8 algorithms
+// (often COMP128); this reproduction substitutes SHA-256(Ki || RAND) and
+// slices SRES (4 bytes) and Kc (8 bytes) from the digest. The substitution
+// preserves the protocol property that matters here: only parties holding Ki
+// can produce SRES for a given RAND, and both ends derive the same Kc.
+func GenerateTriplet(ki [16]byte, rand [16]byte) sigmap.AuthTriplet {
+	h := sha256.New()
+	h.Write(ki[:])
+	h.Write(rand[:])
+	digest := h.Sum(nil)
+
+	t := sigmap.AuthTriplet{RAND: rand}
+	copy(t.SRES[:], digest[0:4])
+	copy(t.Kc[:], digest[4:12])
+	return t
+}
+
+// SRES computes just the signed response for a challenge — what the MS-side
+// SIM returns during authentication.
+func SRES(ki [16]byte, rand [16]byte) [4]byte {
+	return GenerateTriplet(ki, rand).SRES
+}

@@ -1,0 +1,325 @@
+// Package hlr implements the GSM Home Location Register: the per-subscriber
+// master database queried and updated over MAP. It serves location updating
+// (paper Fig 4 step 1.2), authentication-vector generation, routing-info
+// interrogation for call delivery and tromboning (Figs 6-7), and GPRS
+// location management for the SGSN/GGSN (Gr/Gc interfaces, step 1.3).
+package hlr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// Subscriber is the provisioned (static) part of an HLR record.
+type Subscriber struct {
+	IMSI   gsmid.IMSI
+	MSISDN gsmid.MSISDN
+	// Ki is the subscriber's secret authentication key (shared with the
+	// SIM; in this reproduction, with the MS node).
+	Ki [16]byte
+	// Profile is inserted into the serving VLR at registration.
+	Profile sigmap.SubscriberProfile
+	// StaticPDPAddress, when non-empty, is the provisioned static IP for
+	// GPRS. Network-initiated PDP activation (the TR 23.923 MT-call path)
+	// requires it.
+	StaticPDPAddress string
+}
+
+// Record is a live HLR record: the subscription plus current registration
+// state.
+type Record struct {
+	Subscriber
+	// VLR and MSC name the current circuit-switched serving elements
+	// (empty while detached).
+	VLR string
+	MSC string
+	// SGSN names the current packet-switched serving element (empty while
+	// GPRS-detached).
+	SGSN string
+}
+
+// Config parameterises an HLR node.
+type Config struct {
+	// ID is the node identifier, e.g. "HLR-TW".
+	ID sim.NodeID
+	// MAPTimeout bounds each outstanding MAP dialogue the HLR originates
+	// (InsertSubscriberData, ProvideRoamingNumber, CancelLocation).
+	// Zero means 5 seconds.
+	MAPTimeout time.Duration
+}
+
+// HLR is the home location register node.
+type HLR struct {
+	cfg Config
+	dm  *ss7.DialogueManager
+
+	mu       sync.Mutex
+	byIMSI   map[gsmid.IMSI]*Record
+	byMSISDN map[gsmid.MSISDN]gsmid.IMSI
+}
+
+var _ sim.Node = (*HLR)(nil)
+
+// New returns an HLR with no subscribers.
+func New(cfg Config) *HLR {
+	if cfg.MAPTimeout == 0 {
+		cfg.MAPTimeout = 5 * time.Second
+	}
+	return &HLR{
+		cfg:      cfg,
+		dm:       ss7.NewDialogueManager(),
+		byIMSI:   make(map[gsmid.IMSI]*Record),
+		byMSISDN: make(map[gsmid.MSISDN]gsmid.IMSI),
+	}
+}
+
+// ID implements sim.Node.
+func (h *HLR) ID() sim.NodeID { return h.cfg.ID }
+
+// Provision adds a subscriber. It returns an error on duplicate IMSI or
+// MSISDN.
+func (h *HLR) Provision(s Subscriber) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.byIMSI[s.IMSI]; ok {
+		return fmt.Errorf("hlr: duplicate IMSI %s", s.IMSI)
+	}
+	if _, ok := h.byMSISDN[s.MSISDN]; ok {
+		return fmt.Errorf("hlr: duplicate MSISDN %s", s.MSISDN)
+	}
+	h.byIMSI[s.IMSI] = &Record{Subscriber: s}
+	h.byMSISDN[s.MSISDN] = s.IMSI
+	return nil
+}
+
+// Lookup returns a copy of the record for the IMSI.
+func (h *HLR) Lookup(imsi gsmid.IMSI) (Record, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec, ok := h.byIMSI[imsi]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// LookupByMSISDN returns a copy of the record for the MSISDN.
+func (h *HLR) LookupByMSISDN(msisdn gsmid.MSISDN) (Record, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	imsi, ok := h.byMSISDN[msisdn]
+	if !ok {
+		return Record{}, false
+	}
+	return *h.byIMSI[imsi], true
+}
+
+// Receive implements sim.Node: the MAP server side of the HLR.
+func (h *HLR) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sigmap.UpdateLocation:
+		h.handleUpdateLocation(env, from, m)
+	case sigmap.SendAuthenticationInfo:
+		h.handleSendAuthInfo(env, from, m)
+	case sigmap.SendRoutingInformation:
+		h.handleSendRoutingInfo(env, from, m)
+	case sigmap.UpdateGPRSLocation:
+		h.handleUpdateGPRSLocation(env, from, m)
+	case sigmap.SendRoutingInfoForGPRS:
+		h.handleSendRoutingInfoForGPRS(env, from, m)
+	case sigmap.SendIMSI:
+		h.handleSendIMSI(env, from, m)
+	case sigmap.InsertSubscriberDataAck:
+		h.dm.Resolve(m.Invoke, m)
+	case sigmap.CancelLocationAck:
+		h.dm.Resolve(m.Invoke, m)
+	case sigmap.ProvideRoamingNumberAck:
+		h.dm.Resolve(m.Invoke, m)
+	}
+}
+
+// handleUpdateLocation runs paper step 1.2 from the HLR side: cancel the old
+// VLR if the subscriber moved, push the subscription profile into the new
+// VLR, then confirm.
+func (h *HLR) handleUpdateLocation(env *sim.Env, from sim.NodeID, m sigmap.UpdateLocation) {
+	h.mu.Lock()
+	rec, ok := h.byIMSI[m.IMSI]
+	var oldVLR string
+	var profile sigmap.SubscriberProfile
+	if ok {
+		oldVLR = rec.VLR
+		rec.VLR = m.VLR
+		rec.MSC = m.MSC
+		profile = rec.Profile
+	}
+	h.mu.Unlock()
+
+	if !ok {
+		env.Send(h.cfg.ID, from, sigmap.UpdateLocationAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseUnknownSubscriber,
+		})
+		return
+	}
+
+	if oldVLR != "" && oldVLR != m.VLR && env.HasLink(h.cfg.ID, sim.NodeID(oldVLR)) {
+		cancelInvoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(sim.Message, bool) {})
+		env.Send(h.cfg.ID, sim.NodeID(oldVLR), sigmap.CancelLocation{
+			Invoke: cancelInvoke, IMSI: m.IMSI,
+		})
+	}
+
+	isdInvoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(_ sim.Message, ok bool) {
+		cause := sigmap.CauseNone
+		if !ok {
+			cause = sigmap.CauseSystemFailure
+		}
+		env.Send(h.cfg.ID, from, sigmap.UpdateLocationAck{Invoke: m.Invoke, Cause: cause})
+	})
+	env.Send(h.cfg.ID, from, sigmap.InsertSubscriberData{
+		Invoke: isdInvoke, IMSI: m.IMSI, Profile: profile,
+	})
+}
+
+func (h *HLR) handleSendAuthInfo(env *sim.Env, from sim.NodeID, m sigmap.SendAuthenticationInfo) {
+	h.mu.Lock()
+	rec, ok := h.byIMSI[m.IMSI]
+	var ki [16]byte
+	if ok {
+		ki = rec.Ki
+	}
+	h.mu.Unlock()
+
+	if !ok {
+		env.Send(h.cfg.ID, from, sigmap.SendAuthenticationInfoAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseUnknownSubscriber,
+		})
+		return
+	}
+	count := int(m.Count)
+	if count == 0 {
+		count = 1
+	}
+	triplets := make([]sigmap.AuthTriplet, 0, count)
+	for i := 0; i < count; i++ {
+		var rand [16]byte
+		// Draw from the environment's seeded RNG so runs reproduce.
+		for j := range rand {
+			rand[j] = byte(env.Rand().Intn(256))
+		}
+		triplets = append(triplets, GenerateTriplet(ki, rand))
+	}
+	env.Send(h.cfg.ID, from, sigmap.SendAuthenticationInfoAck{
+		Invoke: m.Invoke, Cause: sigmap.CauseNone, Triplets: triplets,
+	})
+}
+
+// handleSendRoutingInfo is the call-delivery interrogation of Fig 7: the
+// GMSC asks where the subscriber is; the HLR relays to the serving VLR for
+// an MSRN and returns it.
+func (h *HLR) handleSendRoutingInfo(env *sim.Env, from sim.NodeID, m sigmap.SendRoutingInformation) {
+	h.mu.Lock()
+	imsi, ok := h.byMSISDN[m.MSISDN]
+	var vlr string
+	if ok {
+		vlr = h.byIMSI[imsi].VLR
+	}
+	h.mu.Unlock()
+
+	if !ok {
+		env.Send(h.cfg.ID, from, sigmap.SendRoutingInformationAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseUnknownSubscriber,
+		})
+		return
+	}
+	if vlr == "" {
+		env.Send(h.cfg.ID, from, sigmap.SendRoutingInformationAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseAbsentSubscriber,
+		})
+		return
+	}
+
+	prnInvoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack := sigmap.SendRoutingInformationAck{Invoke: m.Invoke, Cause: sigmap.CauseSystemFailure}
+		if ok {
+			if prn, isPRN := resp.(sigmap.ProvideRoamingNumberAck); isPRN {
+				ack.Cause = prn.Cause
+				ack.MSRN = prn.MSRN
+			}
+		}
+		env.Send(h.cfg.ID, from, ack)
+	})
+	env.Send(h.cfg.ID, sim.NodeID(vlr), sigmap.ProvideRoamingNumber{
+		Invoke: prnInvoke, IMSI: imsi, GMSC: string(from),
+	})
+}
+
+// handleSendIMSI resolves MSISDN -> IMSI. Serving it to an H.323 gatekeeper
+// is exactly the confidentiality leak the paper's §6 holds against the
+// TR 23.923 architecture; the HLR cannot tell callers apart, which is the
+// point.
+func (h *HLR) handleSendIMSI(env *sim.Env, from sim.NodeID, m sigmap.SendIMSI) {
+	h.mu.Lock()
+	imsi, ok := h.byMSISDN[m.MSISDN]
+	h.mu.Unlock()
+	ack := sigmap.SendIMSIAck{Invoke: m.Invoke}
+	if !ok {
+		ack.Cause = sigmap.CauseUnknownSubscriber
+	} else {
+		ack.IMSI = imsi
+	}
+	env.Send(h.cfg.ID, from, ack)
+}
+
+func (h *HLR) handleUpdateGPRSLocation(env *sim.Env, from sim.NodeID, m sigmap.UpdateGPRSLocation) {
+	h.mu.Lock()
+	rec, ok := h.byIMSI[m.IMSI]
+	var oldSGSN string
+	if ok {
+		oldSGSN = rec.SGSN
+		rec.SGSN = m.SGSN
+	}
+	h.mu.Unlock()
+
+	cause := sigmap.CauseNone
+	if !ok {
+		cause = sigmap.CauseUnknownSubscriber
+	}
+	// Inter-SGSN mobility (GSM 03.60 §6.9.1): the HLR cancels the old
+	// SGSN's MM and PDP contexts when a new SGSN takes over.
+	if ok && oldSGSN != "" && oldSGSN != m.SGSN && env.HasLink(h.cfg.ID, sim.NodeID(oldSGSN)) {
+		invoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(sim.Message, bool) {})
+		env.Send(h.cfg.ID, sim.NodeID(oldSGSN), sigmap.CancelLocation{
+			Invoke: invoke, IMSI: m.IMSI,
+		})
+	}
+	env.Send(h.cfg.ID, from, sigmap.UpdateGPRSLocationAck{Invoke: m.Invoke, Cause: cause})
+}
+
+func (h *HLR) handleSendRoutingInfoForGPRS(env *sim.Env, from sim.NodeID, m sigmap.SendRoutingInfoForGPRS) {
+	h.mu.Lock()
+	rec, ok := h.byIMSI[m.IMSI]
+	var sgsn, static string
+	if ok {
+		sgsn = rec.SGSN
+		static = rec.StaticPDPAddress
+	}
+	h.mu.Unlock()
+
+	ack := sigmap.SendRoutingInfoForGPRSAck{Invoke: m.Invoke}
+	switch {
+	case !ok:
+		ack.Cause = sigmap.CauseUnknownSubscriber
+	case sgsn == "":
+		ack.Cause = sigmap.CauseAbsentSubscriber
+	default:
+		ack.SGSN = sgsn
+		ack.StaticPDPAddress = static
+	}
+	env.Send(h.cfg.ID, from, ack)
+}

@@ -1,0 +1,187 @@
+// Package ipnet models the IP packets that ride through the GPRS core and
+// the external H.323 network: a compact (src, dst, proto, ports, payload)
+// datagram with a binary codec. H.225/RAS signalling rides as TCP/UDP-like
+// payloads inside these packets; RTP media rides as UDP payloads; the GGSN
+// routes packets between the Gi side (H.323 network) and GTP tunnels by
+// destination address (paper Fig 3, links (1)-(3) and (8)).
+package ipnet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"vgprs/internal/sim"
+	"vgprs/internal/wire"
+)
+
+// ErrBadPacket is returned when a packet fails to decode.
+var ErrBadPacket = errors.New("ipnet: malformed packet")
+
+// Proto is the layer-4 protocol discriminator.
+type Proto uint8
+
+// Protocols used by the reproduction.
+const (
+	ProtoTCP Proto = 6  // H.225/Q.931 call signalling, RAS responses
+	ProtoUDP Proto = 17 // RAS and RTP
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("Proto(%d)", uint8(p))
+	}
+}
+
+// Well-known ports of the H.323 suite.
+const (
+	PortRAS   = 1719 // H.225.0 RAS (gatekeeper discovery/registration)
+	PortQ931  = 1720 // H.225.0 call signalling
+	PortRTP   = 5004 // default RTP media port
+	PortGTPv0 = 3386 // GTP (GSM 09.60)
+)
+
+// Packet is an IP datagram.
+type Packet struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	Proto   Proto
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Name implements sim.Message; the name carries the protocol and ports so
+// protocol-stack traces (Fig 3 validation) show the layering.
+func (p Packet) Name() string {
+	return fmt.Sprintf("IP/%s:%d->%d", p.Proto, p.SrcPort, p.DstPort)
+}
+
+var _ sim.Message = Packet{}
+
+// Marshal encodes the packet.
+func (p Packet) Marshal() []byte {
+	w := wire.NewWriter(32 + len(p.Payload))
+	src, _ := p.Src.MarshalBinary()
+	dst, _ := p.Dst.MarshalBinary()
+	w.U8(uint8(len(src)))
+	w.Raw(src)
+	w.U8(uint8(len(dst)))
+	w.Raw(dst)
+	w.U8(uint8(p.Proto))
+	w.U16(p.SrcPort)
+	w.U16(p.DstPort)
+	w.Bytes16(p.Payload)
+	return w.Bytes()
+}
+
+// Unmarshal decodes a packet.
+func Unmarshal(b []byte) (Packet, error) {
+	r := wire.NewReader(b)
+	var p Packet
+	srcLen := int(r.U8())
+	srcRaw := r.Raw(srcLen)
+	dstLen := int(r.U8())
+	dstRaw := r.Raw(dstLen)
+	p.Proto = Proto(r.U8())
+	p.SrcPort = r.U16()
+	p.DstPort = r.U16()
+	p.Payload = r.Bytes16()
+	if err := r.Err(); err != nil {
+		return Packet{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	if r.Remaining() != 0 {
+		return Packet{}, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, r.Remaining())
+	}
+	if err := p.Src.UnmarshalBinary(srcRaw); err != nil {
+		return Packet{}, fmt.Errorf("%w: src addr: %v", ErrBadPacket, err)
+	}
+	if err := p.Dst.UnmarshalBinary(dstRaw); err != nil {
+		return Packet{}, fmt.Errorf("%w: dst addr: %v", ErrBadPacket, err)
+	}
+	return p, nil
+}
+
+// Reply returns a packet template answering p: swapped addresses and ports,
+// same protocol.
+func (p Packet) Reply(payload []byte) Packet {
+	return Packet{
+		Src: p.Dst, Dst: p.Src,
+		Proto:   p.Proto,
+		SrcPort: p.DstPort, DstPort: p.SrcPort,
+		Payload: payload,
+	}
+}
+
+// Pool allocates dynamic IP addresses from a /24-style range — the GGSN's
+// dynamic PDP address allocation (paper step 1.3 assumes dynamic
+// allocation).
+type Pool struct {
+	prefix netip.Addr
+	next   uint8
+	free   []netip.Addr
+	inUse  map[netip.Addr]bool
+}
+
+// NewPool returns a pool allocating prefix.1 through prefix.254, where
+// prefix is a dotted base like "10.1.2.0".
+func NewPool(prefix string) (*Pool, error) {
+	addr, err := netip.ParseAddr(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("ipnet: bad pool prefix: %w", err)
+	}
+	if !addr.Is4() {
+		return nil, fmt.Errorf("ipnet: pool prefix %s is not IPv4", prefix)
+	}
+	return &Pool{prefix: addr, inUse: make(map[netip.Addr]bool)}, nil
+}
+
+// ErrPoolExhausted is returned when no addresses remain.
+var ErrPoolExhausted = errors.New("ipnet: address pool exhausted")
+
+// Allocate returns a free address.
+func (p *Pool) Allocate() (netip.Addr, error) {
+	if n := len(p.free); n > 0 {
+		addr := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.inUse[addr] = true
+		return addr, nil
+	}
+	if p.next >= 254 {
+		return netip.Addr{}, ErrPoolExhausted
+	}
+	p.next++
+	a4 := p.prefix.As4()
+	a4[3] = p.next
+	addr := netip.AddrFrom4(a4)
+	p.inUse[addr] = true
+	return addr, nil
+}
+
+// Release returns an address to the pool. Releasing an address not allocated
+// from this pool is a no-op.
+func (p *Pool) Release(addr netip.Addr) {
+	if !p.inUse[addr] {
+		return
+	}
+	delete(p.inUse, addr)
+	p.free = append(p.free, addr)
+}
+
+// InUse returns the number of allocated addresses.
+func (p *Pool) InUse() int { return len(p.inUse) }
+
+// MustAddr parses an address, panicking on error; for fixture topologies.
+func MustAddr(s string) netip.Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,254 @@
+// Package isup implements the SS7 ISDN User Part trunk signalling used on
+// the circuit-switched side of the reproduction: the PSTN, the GMSC call
+// delivery of the tromboning scenario (paper Figs 7-8), the VMSC's ISUP
+// interface to the PSTN, and the inter-MSC trunk of the handoff scenario
+// (Fig 9).
+//
+// The five-message core set is implemented: IAM (initial address), ACM
+// (address complete), ANM (answer), REL (release) and RLC (release
+// complete). Circuits are identified by CIC within a trunk group; trunk
+// groups carry the cost class (local / national / international) that the
+// tromboning experiment counts.
+package isup
+
+import (
+	"errors"
+	"fmt"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/wire"
+)
+
+// ErrBadMessage is returned when an ISUP message fails to decode.
+var ErrBadMessage = errors.New("isup: malformed ISUP message")
+
+// CIC is a circuit identification code: one voice circuit within a trunk
+// group between two exchanges.
+type CIC uint16
+
+// TrunkClass is the tariff class of a trunk group — what the tromboning
+// experiment (Figs 7-8) counts and prices.
+type TrunkClass uint8
+
+// Trunk classes in increasing cost order.
+const (
+	TrunkLocal TrunkClass = iota + 1
+	TrunkNational
+	TrunkInternational
+)
+
+// String names the trunk class.
+func (c TrunkClass) String() string {
+	switch c {
+	case TrunkLocal:
+		return "local"
+	case TrunkNational:
+		return "national"
+	case TrunkInternational:
+		return "international"
+	default:
+		return fmt.Sprintf("TrunkClass(%d)", uint8(c))
+	}
+}
+
+// CostUnits returns the relative per-call cost of the trunk class used by
+// the tromboning cost table: local 1, national 5, international 25. The
+// paper's point is categorical (two international trunks vs a local call);
+// fixed relative units make the saving quantifiable without tariff data.
+func (c TrunkClass) CostUnits() int {
+	switch c {
+	case TrunkLocal:
+		return 1
+	case TrunkNational:
+		return 5
+	case TrunkInternational:
+		return 25
+	default:
+		return 0
+	}
+}
+
+// ReleaseCause is carried in REL.
+type ReleaseCause uint8
+
+// Release causes.
+const (
+	CauseNormalClearing ReleaseCause = iota + 1
+	CauseUserBusy
+	CauseNoAnswer
+	CauseNoCircuit
+	CauseNetworkFailure
+	CauseUnallocatedNumber
+)
+
+// String names the release cause.
+func (c ReleaseCause) String() string {
+	switch c {
+	case CauseNormalClearing:
+		return "normal-clearing"
+	case CauseUserBusy:
+		return "user-busy"
+	case CauseNoAnswer:
+		return "no-answer"
+	case CauseNoCircuit:
+		return "no-circuit"
+	case CauseNetworkFailure:
+		return "network-failure"
+	case CauseUnallocatedNumber:
+		return "unallocated-number"
+	default:
+		return fmt.Sprintf("ReleaseCause(%d)", uint8(c))
+	}
+}
+
+// IAM is the Initial Address Message: seizes a circuit and carries the
+// called and calling numbers toward the next exchange.
+type IAM struct {
+	CIC     CIC
+	Called  gsmid.MSISDN
+	Calling gsmid.MSISDN
+	// CallRef threads an end-to-end call identifier through multi-hop
+	// trunk setups so traces and tests can follow one call.
+	CallRef uint32
+}
+
+// Name implements sim.Message.
+func (IAM) Name() string { return "ISUP_IAM" }
+
+// ACM is the Address Complete Message: the far end has enough digits and
+// the called party is being alerted.
+type ACM struct {
+	CIC     CIC
+	CallRef uint32
+}
+
+// Name implements sim.Message.
+func (ACM) Name() string { return "ISUP_ACM" }
+
+// ANM is the Answer Message: the called party answered; conversation (and
+// charging) begins.
+type ANM struct {
+	CIC     CIC
+	CallRef uint32
+}
+
+// Name implements sim.Message.
+func (ANM) Name() string { return "ISUP_ANM" }
+
+// REL releases the circuit.
+type REL struct {
+	CIC     CIC
+	CallRef uint32
+	Cause   ReleaseCause
+}
+
+// Name implements sim.Message.
+func (REL) Name() string { return "ISUP_REL" }
+
+// RLC confirms circuit release; the circuit returns to idle.
+type RLC struct {
+	CIC     CIC
+	CallRef uint32
+}
+
+// Name implements sim.Message.
+func (RLC) Name() string { return "ISUP_RLC" }
+
+// TrunkFrame is one speech frame on a seized circuit: the voice that flows
+// alongside ISUP signalling on the same inter-exchange link. (In the real
+// network the circuit is a TDM timeslot; here each 20 ms frame is a message
+// tagged with its CIC.)
+type TrunkFrame struct {
+	CIC     CIC
+	CallRef uint32
+	Seq     uint32
+	Payload []byte
+}
+
+// Name implements sim.Message.
+func (TrunkFrame) Name() string { return "Trunk_Voice" }
+
+// Interface-compliance assertions.
+var (
+	_ sim.Message = IAM{}
+	_ sim.Message = ACM{}
+	_ sim.Message = ANM{}
+	_ sim.Message = REL{}
+	_ sim.Message = RLC{}
+	_ sim.Message = TrunkFrame{}
+)
+
+// Message type codes for the wire codec (ITU Q.763 message type values).
+const (
+	mtIAM uint8 = 0x01
+	mtACM uint8 = 0x06
+	mtANM uint8 = 0x09
+	mtREL uint8 = 0x0C
+	mtRLC uint8 = 0x10
+)
+
+// Marshal encodes an ISUP message.
+func Marshal(msg sim.Message) ([]byte, error) {
+	w := wire.NewWriter(32)
+	switch m := msg.(type) {
+	case IAM:
+		w.U8(mtIAM)
+		w.U16(uint16(m.CIC))
+		w.U32(m.CallRef)
+		w.BCD(string(m.Called))
+		w.BCD(string(m.Calling))
+	case ACM:
+		w.U8(mtACM)
+		w.U16(uint16(m.CIC))
+		w.U32(m.CallRef)
+	case ANM:
+		w.U8(mtANM)
+		w.U16(uint16(m.CIC))
+		w.U32(m.CallRef)
+	case REL:
+		w.U8(mtREL)
+		w.U16(uint16(m.CIC))
+		w.U32(m.CallRef)
+		w.U8(uint8(m.Cause))
+	case RLC:
+		w.U8(mtRLC)
+		w.U16(uint16(m.CIC))
+		w.U32(m.CallRef)
+	default:
+		return nil, fmt.Errorf("isup: cannot marshal %T", msg)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes an ISUP message.
+func Unmarshal(b []byte) (sim.Message, error) {
+	r := wire.NewReader(b)
+	mt := r.U8()
+	cic := CIC(r.U16())
+	ref := r.U32()
+	var msg sim.Message
+	switch mt {
+	case mtIAM:
+		msg = IAM{CIC: cic, CallRef: ref,
+			Called:  gsmid.MSISDN(r.BCD()),
+			Calling: gsmid.MSISDN(r.BCD())}
+	case mtACM:
+		msg = ACM{CIC: cic, CallRef: ref}
+	case mtANM:
+		msg = ANM{CIC: cic, CallRef: ref}
+	case mtREL:
+		msg = REL{CIC: cic, CallRef: ref, Cause: ReleaseCause(r.U8())}
+	case mtRLC:
+		msg = RLC{CIC: cic, CallRef: ref}
+	default:
+		return nil, fmt.Errorf("%w: unknown message type %#x", ErrBadMessage, mt)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, r.Remaining())
+	}
+	return msg, nil
+}

@@ -1,0 +1,33 @@
+package metrics_test
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/metrics"
+)
+
+func ExampleSeries() {
+	s := metrics.NewSeries("setup")
+	for _, d := range []time.Duration{
+		80 * time.Millisecond, 85 * time.Millisecond, 90 * time.Millisecond,
+	} {
+		s.Add(d)
+	}
+	fmt.Println(metrics.FormatDuration(s.Mean()), metrics.FormatDuration(s.Percentile(95)))
+	// Output:
+	// 85ms 90ms
+}
+
+func ExampleTable() {
+	t := metrics.NewTable("latency by scheme", "scheme", "mean")
+	t.AddRow("vGPRS", "85ms")
+	t.AddRow("TR 23.923", "103ms")
+	fmt.Println(t)
+	// Output:
+	// latency by scheme
+	// scheme     mean
+	// ---------  -----
+	// vGPRS      85ms
+	// TR 23.923  103ms
+}

@@ -1,0 +1,215 @@
+// Package metrics collects latency samples and counters from simulation runs
+// and renders the aligned text tables that cmd/vgprs-bench prints for each
+// experiment (the EXPERIMENTS.md "measured" columns).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series is a named collection of duration samples (for example, "vGPRS MO
+// call setup"). The zero value is ready to use.
+type Series struct {
+	Name    string
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample.
+func (s *Series) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Series) Count() int { return len(s.samples) }
+
+// Mean returns the arithmetic mean, or zero for an empty series.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Min returns the smallest sample, or zero for an empty series.
+func (s *Series) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or zero for an empty series.
+func (s *Series) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or zero for an empty series.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.samples) {
+		rank = len(s.samples)
+	}
+	return s.samples[rank-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() time.Duration {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var sq float64
+	for _, v := range s.samples {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	return time.Duration(math.Sqrt(sq / float64(n)))
+}
+
+// Summary returns a one-line digest of the series.
+func (s *Series) Summary() string {
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v max=%v",
+		s.Name, s.Count(), s.Mean().Round(time.Microsecond),
+		s.Percentile(50).Round(time.Microsecond),
+		s.Percentile(95).Round(time.Microsecond),
+		s.Max().Round(time.Microsecond))
+}
+
+func (s *Series) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+	s.sorted = true
+}
+
+// Table renders aligned text tables with a title, header row, and data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a data row. Short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				// No padding after the last column: lines carry no
+				// trailing whitespace.
+				b.WriteString(c)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FormatDuration renders a duration rounded to microseconds — the house
+// format for measured-latency table cells.
+func FormatDuration(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// Counter is a named monotonically increasing counter set, keyed by label.
+type Counter struct {
+	counts map[string]int
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
+
+// Inc adds one to the labelled count.
+func (c *Counter) Inc(label string) { c.counts[label]++ }
+
+// Addn adds n to the labelled count.
+func (c *Counter) Addn(label string, n int) { c.counts[label] += n }
+
+// Get returns the labelled count.
+func (c *Counter) Get(label string) int { return c.counts[label] }
+
+// Labels returns all labels in sorted order.
+func (c *Counter) Labels() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

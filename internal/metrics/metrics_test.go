@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSeriesStats(t *testing.T) {
+	s := NewSeries("setup")
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		s.Add(ms(v))
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != ms(30) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != ms(10) || s.Max() != ms(50) {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Percentile(50); got != ms(30) {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != ms(50) {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != ms(10) {
+		t.Errorf("p0 = %v", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.Stddev() != 0 {
+		t.Fatal("empty series stats must all be zero")
+	}
+}
+
+func TestSeriesAddAfterSort(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(ms(30))
+	_ = s.Min() // forces sort
+	s.Add(ms(10))
+	if s.Min() != ms(10) {
+		t.Fatalf("Min after post-sort Add = %v", s.Min())
+	}
+}
+
+func TestStddev(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(ms(10))
+	s.Add(ms(10))
+	if s.Stddev() != 0 {
+		t.Errorf("Stddev of constants = %v", s.Stddev())
+	}
+	s2 := NewSeries("y")
+	s2.Add(ms(0))
+	s2.Add(ms(20))
+	if got := s2.Stddev(); got != ms(10) {
+		t.Errorf("Stddev = %v, want 10ms", got)
+	}
+}
+
+func TestSummaryContainsFields(t *testing.T) {
+	s := NewSeries("reg")
+	s.Add(ms(5))
+	sum := s.Summary()
+	for _, want := range []string{"reg", "n=1", "mean=", "p95="} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestPercentileMonotonicProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		s := NewSeries("p")
+		for _, v := range raw {
+			s.Add(time.Duration(v) * time.Microsecond)
+		}
+		last := time.Duration(-1)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := s.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBoundedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries("m")
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		return s.Mean() >= s.Min() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("C1: call setup", "scheme", "mean", "p95")
+	tb.AddRow("vGPRS", "120ms", "150ms")
+	tb.AddRow("TR 23.923") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "C1: call setup") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "vGPRS") {
+		t.Errorf("row misordered:\n%s", out)
+	}
+	// Columns align: header and rows share the first column width.
+	if !strings.Contains(lines[1], "scheme") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(1234567 * time.Nanosecond); got != "1.235ms" {
+		t.Errorf("FormatDuration = %q", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("a")
+	c.Inc("a")
+	c.Addn("b", 5)
+	if c.Get("a") != 2 || c.Get("b") != 5 || c.Get("missing") != 0 {
+		t.Fatalf("counts = a:%d b:%d", c.Get("a"), c.Get("b"))
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Fatalf("Labels = %v", labels)
+	}
+}

@@ -1,0 +1,383 @@
+package msc
+
+import (
+	"testing"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/hlr"
+	"vgprs/internal/isup"
+	"vgprs/internal/pstn"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/trace"
+	"vgprs/internal/vlr"
+)
+
+const (
+	testIMSI    = gsmid.IMSI("466920000000001")
+	testMSISDN  = gsmid.MSISDN("886912345678")
+	phoneNumber = gsmid.MSISDN("886551234567")
+)
+
+var testKi = [16]byte{0x42}
+
+type gsmFixture struct {
+	env    *sim.Env
+	rec    *trace.Recorder
+	ms     *gsm.MS
+	msc    *MSC
+	vlr    *vlr.VLR
+	hlr    *hlr.HLR
+	phone  *pstn.Phone
+	trunks *isup.TrunkGroup
+}
+
+// newGSMFixture builds a complete classic-GSM network:
+// MS - BTS - BSC - MSC - VLR/HLR, with a GMSC+phone on the PSTN side.
+func newGSMFixture(t *testing.T, msCfg gsm.MSConfig) *gsmFixture {
+	t.Helper()
+	env := sim.NewEnv(1)
+	rec := trace.NewRecorder()
+	env.SetTracer(rec)
+
+	trunks := isup.NewTrunkGroup("MSC<->GMSC", isup.TrunkNational, 8)
+
+	h := hlr.New(hlr.Config{ID: "HLR"})
+	if err := h.Provision(hlr.Subscriber{
+		IMSI: testIMSI, MSISDN: testMSISDN, Ki: testKi,
+		Profile: sigmap.SubscriberProfile{MSISDN: testMSISDN, InternationalAllowed: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := vlr.New(vlr.Config{
+		ID: "VLR-1", HLR: "HLR", HomeCountryCode: "886", MSRNPrefix: "88690000",
+	})
+	m := New(Config{
+		ID: "MSC-1", VLR: "VLR-1", PSTN: "GMSC",
+		Trunks: map[sim.NodeID]*isup.TrunkGroup{"GMSC": trunks},
+	})
+	gmsc := pstn.NewExchange(pstn.ExchangeConfig{
+		ID: "GMSC", HLR: "HLR", MobilePrefixes: []string{"88691"},
+		Routes: []pstn.Route{
+			{Prefix: "88690", Next: "MSC-1", Trunks: trunks},
+			{Prefix: "88655", Next: "PHONE"},
+		},
+	})
+	phone := pstn.NewPhone(pstn.PhoneConfig{
+		ID: "PHONE", Number: phoneNumber, Exchange: "GMSC",
+		AutoAnswer: true, AnswerDelay: 50 * time.Millisecond, Talk: true,
+	})
+
+	msCfg.ID = "MS-1"
+	msCfg.IMSI = testIMSI
+	msCfg.MSISDN = testMSISDN
+	msCfg.Ki = testKi
+	msCfg.BTS = "BTS-1"
+	ms := gsm.NewMS(msCfg)
+	bts := gsm.NewBTS(gsm.BTSConfig{ID: "BTS-1", BSC: "BSC-1"})
+	bsc := gsm.NewBSC(gsm.BSCConfig{ID: "BSC-1", MSC: "MSC-1", BTSs: []sim.NodeID{"BTS-1"}})
+
+	for _, n := range []sim.Node{h, v, m, gmsc, phone, ms, bts, bsc} {
+		env.AddNode(n)
+	}
+	env.Connect("MS-1", "BTS-1", "Um", time.Millisecond)
+	env.Connect("BTS-1", "BSC-1", "Abis", time.Millisecond)
+	env.Connect("BSC-1", "MSC-1", "A", time.Millisecond)
+	env.Connect("MSC-1", "VLR-1", "B", time.Millisecond)
+	env.Connect("VLR-1", "HLR", "D", time.Millisecond)
+	env.Connect("GMSC", "HLR", "C", time.Millisecond)
+	env.Connect("MSC-1", "GMSC", "ISUP", 2*time.Millisecond)
+	env.Connect("PHONE", "GMSC", "Line", time.Millisecond)
+
+	return &gsmFixture{env: env, rec: rec, ms: ms, msc: m, vlr: v, hlr: h, phone: phone, trunks: trunks}
+}
+
+func (f *gsmFixture) register(t *testing.T) {
+	t.Helper()
+	f.ms.PowerOn(f.env)
+	f.env.RunUntil(f.env.Now() + 5*time.Second)
+	if f.ms.State() != gsm.MSIdle {
+		t.Fatalf("MS state = %v after registration", f.ms.State())
+	}
+}
+
+func TestClassicRegistration(t *testing.T) {
+	f := newGSMFixture(t, gsm.MSConfig{})
+	f.register(t)
+	if f.msc.RegisteredMS() != 1 {
+		t.Fatalf("RegisteredMS = %d", f.msc.RegisteredMS())
+	}
+	rec, _ := f.hlr.Lookup(testIMSI)
+	if rec.MSC != "MSC-1" || rec.VLR != "VLR-1" {
+		t.Fatalf("HLR record = %+v", rec)
+	}
+	// The full Fig-4-minus-GPRS flow appears in the trace.
+	if err := f.rec.ExpectSequence([]trace.ExpectStep{
+		{Msg: "Um_Location_Update_Request", From: "MS-1"},
+		{Msg: "A_Location_Update", To: "MSC-1"},
+		{Msg: "MAP_UPDATE_LOCATION_AREA", From: "MSC-1", To: "VLR-1"},
+		{Msg: "MAP_UPDATE_LOCATION", From: "VLR-1", To: "HLR"},
+		{Msg: "MAP_INSERT_SUBS_DATA", From: "HLR", To: "VLR-1"},
+		{Msg: "MAP_UPDATE_LOCATION_AREA_ack", From: "VLR-1", To: "MSC-1"},
+		{Msg: "Um_Location_Update_Accept", To: "MS-1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMobileOriginatedCallToPSTN(t *testing.T) {
+	var events []string
+	f := newGSMFixture(t, gsm.MSConfig{
+		Talk: true,
+		Hooks: gsm.MSHooks{
+			OnAlerting:  func(uint32) { events = append(events, "alerting") },
+			OnConnected: func(uint32) { events = append(events, "connected") },
+		},
+	})
+	f.register(t)
+
+	if err := f.ms.Dial(f.env, phoneNumber); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunUntil(f.env.Now() + 2*time.Second)
+
+	if len(events) != 2 {
+		t.Fatalf("events = %v", events)
+	}
+	if f.ms.State() != gsm.MSInCall || !f.phone.InCall() {
+		t.Fatalf("states ms=%v phone-in-call=%v", f.ms.State(), f.phone.InCall())
+	}
+	// Voice flows in both directions across the trunk.
+	if f.phone.FramesReceived() == 0 || f.ms.FramesReceived() == 0 {
+		t.Fatalf("frames phone=%d ms=%d", f.phone.FramesReceived(), f.ms.FramesReceived())
+	}
+	if f.trunks.InUse() != 1 {
+		t.Fatalf("trunks in use = %d", f.trunks.InUse())
+	}
+
+	if err := f.ms.Hangup(f.env); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunUntil(f.env.Now() + time.Second)
+	if f.trunks.InUse() != 0 {
+		t.Fatal("trunk leaked after clearing")
+	}
+	if f.msc.ActiveCalls() != 0 {
+		t.Fatal("MSC call state leaked")
+	}
+	if f.phone.InCall() {
+		t.Fatal("phone still in call")
+	}
+}
+
+func TestMobileTerminatedCallFromPSTN(t *testing.T) {
+	f := newGSMFixture(t, gsm.MSConfig{
+		AutoAnswer: true, AnswerDelay: 50 * time.Millisecond, Talk: true,
+	})
+	f.register(t)
+
+	connected := false
+	f.phoneHook(func() { connected = true })
+	if _, err := f.phone.Call(f.env, testMSISDN); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunUntil(f.env.Now() + 3*time.Second)
+
+	if !connected {
+		t.Fatal("PSTN caller never connected")
+	}
+	if f.ms.State() != gsm.MSInCall {
+		t.Fatalf("MS state = %v", f.ms.State())
+	}
+	// Voice both ways.
+	if f.phone.FramesReceived() == 0 || f.ms.FramesReceived() == 0 {
+		t.Fatalf("frames phone=%d ms=%d", f.phone.FramesReceived(), f.ms.FramesReceived())
+	}
+	// Call delivery went through HLR interrogation and paging.
+	if err := f.rec.ExpectSequence([]trace.ExpectStep{
+		{Msg: "ISUP_IAM", From: "PHONE", To: "GMSC"},
+		{Msg: "MAP_SEND_ROUTING_INFORMATION", From: "GMSC", To: "HLR"},
+		{Msg: "MAP_PROVIDE_ROAMING_NUMBER", From: "HLR", To: "VLR-1"},
+		{Msg: "MAP_SEND_ROUTING_INFORMATION_ack", To: "GMSC"},
+		{Msg: "ISUP_IAM", From: "GMSC", To: "MSC-1"},
+		{Msg: "MAP_SEND_INFO_FOR_INCOMING_CALL", From: "MSC-1", To: "VLR-1"},
+		{Msg: "A_Paging", From: "MSC-1"},
+		{Msg: "Um_Paging_Request", To: "MS-1"},
+		{Msg: "Um_Setup", To: "MS-1"},
+		{Msg: "Um_Alerting", From: "MS-1"},
+		{Msg: "ISUP_ACM", From: "MSC-1"},
+		{Msg: "Um_Connect", From: "MS-1"},
+		{Msg: "ISUP_ANM", From: "MSC-1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Far-end clearing releases the MS.
+	if err := f.phone.Hangup(f.env); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunUntil(f.env.Now() + time.Second)
+	if f.ms.State() != gsm.MSIdle {
+		t.Fatalf("MS state after far-end hangup = %v", f.ms.State())
+	}
+	if f.trunks.InUse() != 0 {
+		t.Fatal("trunk leaked")
+	}
+}
+
+// phoneHook installs an OnConnected hook on the fixture phone.
+func (f *gsmFixture) phoneHook(onConnected func()) {
+	// The phone's hooks are reachable through its config; pstn exposes
+	// them via the struct literal only, so rebuild via a tiny adapter.
+	f.phone.SetOnConnected(func(uint32) { onConnected() })
+}
+
+func TestMOCallToUnroutableNumberCleared(t *testing.T) {
+	f := newGSMFixture(t, gsm.MSConfig{})
+	f.register(t)
+	// Dial an international number the GMSC has no route for: the call
+	// must be released and every resource returned.
+	released := false
+	f.ms.SetOnReleased(func(uint32) { released = true })
+	if err := f.ms.Dial(f.env, "85299998888"); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunUntil(f.env.Now() + 2*time.Second)
+	if !released {
+		t.Fatal("unroutable call was not released")
+	}
+	if f.msc.ActiveCalls() != 0 || f.trunks.InUse() != 0 {
+		t.Fatal("state leaked after failed call")
+	}
+}
+
+func TestHandoverTarget(t *testing.T) {
+	f := newGSMFixture(t, gsm.MSConfig{})
+	anchor := &anchorStub{id: "ANCHOR"}
+	f.env.AddNode(anchor)
+	f.env.Connect("ANCHOR", "MSC-1", "E", 2*time.Millisecond)
+
+	// Anchor asks the target to prepare.
+	f.env.Send("ANCHOR", "MSC-1", sigmap.PrepareHandover{
+		Invoke: 77, IMSI: testIMSI, CallRef: 555,
+		TargetCell: gsmid.CGI{LAI: gsmid.LAI{MCC: "466", MNC: "92", LAC: 2}, CI: 9},
+	})
+	f.env.Run()
+	if anchor.ack.HandoverNumber == "" || anchor.ack.Cause != sigmap.CauseNone {
+		t.Fatalf("PrepareHandoverAck = %+v", anchor.ack)
+	}
+
+	// Anchor sets up the trunk to the handover number.
+	f.env.Send("ANCHOR", "MSC-1", isup.IAM{
+		CIC: 7, CallRef: 555, Called: anchor.ack.HandoverNumber,
+	})
+	f.env.Run()
+	if !anchor.answered {
+		t.Fatal("handover trunk not answered")
+	}
+
+	// The MS arrives on the target BSC.
+	f.env.Send("BSC-1", "MSC-1", gsm.HandoverComplete{Leg: gsm.LegA, MS: "MS-1", CallRef: 555})
+	f.env.Run()
+	if anchor.endSignal == nil {
+		t.Fatal("no MAP_SEND_END_SIGNAL to the anchor")
+	}
+
+	// Voice now bridges trunk <-> radio in both directions.
+	f.env.Send("ANCHOR", "MSC-1", isup.TrunkFrame{CIC: 7, CallRef: 555, Seq: 1, Payload: []byte{1}})
+	f.env.Send("MS-1", "BTS-1", gsm.TCHFrame{Leg: gsm.LegUm, MS: "MS-1", CallRef: 555, Seq: 1, Payload: []byte{2}})
+	f.env.Run()
+	if f.ms.FramesReceived() != 1 {
+		t.Fatalf("MS frames = %d", f.ms.FramesReceived())
+	}
+	if anchor.frames != 1 {
+		t.Fatalf("anchor frames = %d", anchor.frames)
+	}
+}
+
+type anchorStub struct {
+	id        sim.NodeID
+	ack       sigmap.PrepareHandoverAck
+	endSignal *sigmap.SendEndSignal
+	answered  bool
+	frames    int
+}
+
+func (a *anchorStub) ID() sim.NodeID { return a.id }
+
+func (a *anchorStub) Receive(env *sim.Env, from sim.NodeID, _ string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sigmap.PrepareHandoverAck:
+		a.ack = m
+	case sigmap.SendEndSignal:
+		a.endSignal = &m
+		env.Send(a.id, from, sigmap.SendEndSignalAck{Invoke: m.Invoke, CallRef: m.CallRef})
+	case isup.ACM:
+	case isup.ANM:
+		a.answered = true
+	case isup.TrunkFrame:
+		a.frames++
+	}
+}
+
+// TestIAMForStaleMSRNRefused covers the trunk-refusal path: an IAM arrives
+// for an MSRN the VLR cannot resolve (expired or never allocated). The MSC
+// must release the circuit with "unallocated number" rather than leave the
+// trunk hanging.
+func TestIAMForStaleMSRNRefused(t *testing.T) {
+	f := newGSMFixture(t, gsm.MSConfig{})
+	f.register(t)
+
+	f.env.Send("GMSC", "MSC-1", isup.IAM{
+		CIC: 7, CallRef: 0x7777, Called: "886900009999",
+	})
+	f.env.RunUntil(f.env.Now() + 2*time.Second)
+
+	found := false
+	for _, e := range f.rec.Entries() {
+		rel, isREL := e.Msg.(isup.REL)
+		if isREL && e.From == "MSC-1" && rel.CallRef == 0x7777 {
+			if rel.Cause != isup.CauseUnallocatedNumber {
+				t.Fatalf("release cause = %v", rel.Cause)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no ISUP REL for the unresolvable MSRN")
+	}
+	if f.msc.ActiveCalls() != 0 {
+		t.Fatalf("MSC holds %d calls after the refusal", f.msc.ActiveCalls())
+	}
+}
+
+// TestMTPagingTimeoutRefusesTrunk covers the no-answer branch: the callee
+// never responds to paging (its Um link is down), so after PagingTimeout
+// the MSC releases the trunk with "no answer".
+func TestMTPagingTimeoutRefusesTrunk(t *testing.T) {
+	f := newGSMFixture(t, gsm.MSConfig{})
+	f.register(t)
+
+	// Silence the MS: paging will never be answered.
+	f.env.LinkBetween("BTS-1", "MS-1").Down = true
+
+	var cause isup.ReleaseCause
+	released := false
+	f.phone.SetOnReleased(func(_ uint32, c isup.ReleaseCause) { released, cause = true, c })
+	if _, err := f.phone.Call(f.env, testMSISDN); err != nil {
+		t.Fatal(err)
+	}
+	f.env.RunUntil(f.env.Now() + 15*time.Second)
+
+	if !released {
+		t.Fatal("caller never released after paging timeout")
+	}
+	if cause != isup.CauseNoAnswer {
+		t.Fatalf("release cause = %v, want no-answer", cause)
+	}
+	if f.trunks.InUse() != 0 {
+		t.Fatal("trunk leaked after paging timeout")
+	}
+}

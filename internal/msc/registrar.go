@@ -1,0 +1,161 @@
+// Package msc implements the classic circuit-switched GSM MSC — the element
+// the paper's VMSC replaces — plus the Registrar, the A-interface/VLR
+// location-update engine that both the classic MSC and the VMSC share (their
+// GSM signalling sides are identical by design; the paper's compatibility
+// argument rests on exactly that).
+//
+// The classic MSC appears in the reproduction as the serving MSC of the
+// tromboning baseline (Fig 7) and as the inter-system handoff target
+// (Fig 9).
+package msc
+
+import (
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// Registration describes a completed (or failed) location update.
+type Registration struct {
+	MS       sim.NodeID
+	BSC      sim.NodeID
+	LAI      gsmid.LAI
+	Identity gsmid.MobileIdentity
+	IMSI     gsmid.IMSI
+	TMSI     gsmid.TMSI
+	MSISDN   gsmid.MSISDN
+	Cause    sigmap.Cause
+}
+
+// OK reports whether the VLR accepted the update.
+func (r Registration) OK() bool { return r.Cause == sigmap.CauseNone }
+
+// Registrar drives the network side of the GSM location-update procedure
+// between the A interface and the VLR (paper Fig 4 steps 1.1-1.2): it
+// forwards the update to the VLR, relays the authentication challenge and
+// ciphering command down the radio path, and reports the outcome to its
+// owner. The owner decides when to send the Um-level accept — the VMSC
+// defers it until after GPRS attach and gatekeeper registration (steps
+// 1.3-1.6), while the classic MSC accepts immediately.
+type Registrar struct {
+	// Node is the owning (V)MSC's ID.
+	Node sim.NodeID
+	// VLR is the attached visitor location register.
+	VLR sim.NodeID
+	// Timeout bounds the whole transaction. Zero means 10 seconds.
+	Timeout time.Duration
+	// OnOutcome fires when the VLR accepts or rejects the update.
+	OnOutcome func(env *sim.Env, reg Registration)
+
+	dm *ss7.DialogueManager
+	// byIdentity finds the pending transaction when the VLR addresses the
+	// MS by mobile identity (Authenticate, SetCipherMode).
+	byIdentity map[string]*regTxn
+	// byMS finds it when the radio path answers (AuthResponse, ...).
+	byMS map[sim.NodeID]*regTxn
+}
+
+type regTxn struct {
+	reg          Registration
+	vlrInvoke    ss7.InvokeID
+	authInvoke   ss7.InvokeID
+	cipherInvoke ss7.InvokeID
+}
+
+// NewRegistrar returns a Registrar.
+func NewRegistrar(node, vlr sim.NodeID, onOutcome func(*sim.Env, Registration)) *Registrar {
+	return &Registrar{
+		Node:       node,
+		VLR:        vlr,
+		Timeout:    10 * time.Second,
+		OnOutcome:  onOutcome,
+		dm:         ss7.NewDialogueManager(),
+		byIdentity: make(map[string]*regTxn),
+		byMS:       make(map[sim.NodeID]*regTxn),
+	}
+}
+
+// Handle processes a message if it belongs to a location-update
+// transaction, reporting whether it was consumed.
+func (r *Registrar) Handle(env *sim.Env, from sim.NodeID, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case gsm.LocationUpdate:
+		r.start(env, from, m)
+		return true
+	case sigmap.Authenticate:
+		txn, ok := r.byIdentity[m.Identity.String()]
+		if !ok {
+			return false
+		}
+		txn.authInvoke = m.Invoke
+		env.Send(r.Node, txn.reg.BSC, gsm.AuthRequest{Leg: gsm.LegA, MS: txn.reg.MS, RAND: m.RAND})
+		return true
+	case gsm.AuthResponse:
+		txn, ok := r.byMS[m.MS]
+		if !ok {
+			return false
+		}
+		env.Send(r.Node, r.VLR, sigmap.AuthenticateAck{
+			Invoke: txn.authInvoke, Cause: sigmap.CauseNone, SRES: m.SRES,
+		})
+		return true
+	case sigmap.SetCipherMode:
+		txn, ok := r.byIdentity[m.Identity.String()]
+		if !ok {
+			return false
+		}
+		txn.cipherInvoke = m.Invoke
+		env.Send(r.Node, txn.reg.BSC, gsm.CipherModeCommand{Leg: gsm.LegA, MS: txn.reg.MS})
+		return true
+	case gsm.CipherModeComplete:
+		txn, ok := r.byMS[m.MS]
+		if !ok {
+			return false
+		}
+		env.Send(r.Node, r.VLR, sigmap.SetCipherModeAck{
+			Invoke: txn.cipherInvoke, Cause: sigmap.CauseNone,
+		})
+		return true
+	case sigmap.UpdateLocationAreaAck:
+		return r.dm.Resolve(m.Invoke, m)
+	default:
+		return false
+	}
+}
+
+func (r *Registrar) start(env *sim.Env, bsc sim.NodeID, m gsm.LocationUpdate) {
+	txn := &regTxn{reg: Registration{
+		MS: m.MS, BSC: bsc, LAI: m.LAI, Identity: m.Identity,
+	}}
+	key := m.Identity.String()
+	r.byIdentity[key] = txn
+	r.byMS[m.MS] = txn
+
+	finish := func(ack sigmap.UpdateLocationAreaAck, ok bool) {
+		delete(r.byIdentity, key)
+		delete(r.byMS, m.MS)
+		reg := txn.reg
+		if !ok {
+			reg.Cause = sigmap.CauseSystemFailure
+		} else {
+			reg.Cause = ack.Cause
+			reg.IMSI = ack.IMSI
+			reg.TMSI = ack.TMSI
+			reg.MSISDN = ack.MSISDN
+		}
+		if r.OnOutcome != nil {
+			r.OnOutcome(env, reg)
+		}
+	}
+	txn.vlrInvoke = r.dm.Invoke(env, r.Timeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.UpdateLocationAreaAck)
+		finish(ack, ok && isAck)
+	})
+	env.Send(r.Node, r.VLR, sigmap.UpdateLocationArea{
+		Invoke: txn.vlrInvoke, Identity: m.Identity, LAI: m.LAI, MSC: string(r.Node),
+	})
+}

@@ -1,0 +1,96 @@
+package msc
+
+import (
+	"testing"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+)
+
+// silentVLR never answers — for timeout paths.
+type silentVLR struct{ id sim.NodeID }
+
+func (v *silentVLR) ID() sim.NodeID                                    { return v.id }
+func (v *silentVLR) Receive(*sim.Env, sim.NodeID, string, sim.Message) {}
+
+// bscStub records downlink radio messages.
+type bscStub struct {
+	id  sim.NodeID
+	got []sim.Message
+}
+
+func (b *bscStub) ID() sim.NodeID { return b.id }
+
+func (b *bscStub) Receive(env *sim.Env, from sim.NodeID, _ string, msg sim.Message) {
+	b.got = append(b.got, msg)
+}
+
+func TestRegistrarVLRTimeoutFails(t *testing.T) {
+	env := sim.NewEnv(1)
+	var outcome *Registration
+	r := NewRegistrar("MSC-1", "VLR-SILENT", func(_ *sim.Env, reg Registration) {
+		outcome = &reg
+	})
+	r.Timeout = 2 * time.Second
+	owner := &registrarOwner{id: "MSC-1", r: r}
+	vlr := &silentVLR{id: "VLR-SILENT"}
+	bsc := &bscStub{id: "BSC-1"}
+	env.AddNode(owner)
+	env.AddNode(vlr)
+	env.AddNode(bsc)
+	env.Connect("MSC-1", "VLR-SILENT", "B", time.Millisecond)
+	env.Connect("BSC-1", "MSC-1", "A", time.Millisecond)
+
+	env.Send("BSC-1", "MSC-1", gsm.LocationUpdate{
+		Leg: gsm.LegA, MS: "MS-1", Identity: gsmid.ByIMSI("466920000000001"),
+	})
+	env.Run()
+
+	if outcome == nil {
+		t.Fatal("no outcome after VLR timeout")
+	}
+	if outcome.OK() {
+		t.Fatal("timed-out registration reported OK")
+	}
+	if outcome.Cause != sigmap.CauseSystemFailure {
+		t.Fatalf("cause = %v", outcome.Cause)
+	}
+	// The transaction tables are clean for a retry.
+	if len(r.byIdentity) != 0 || len(r.byMS) != 0 {
+		t.Fatal("registrar leaked transaction state")
+	}
+}
+
+// registrarOwner is a minimal node driving a Registrar.
+type registrarOwner struct {
+	id sim.NodeID
+	r  *Registrar
+}
+
+func (o *registrarOwner) ID() sim.NodeID { return o.id }
+
+func (o *registrarOwner) Receive(env *sim.Env, from sim.NodeID, _ string, msg sim.Message) {
+	o.r.Handle(env, from, msg)
+}
+
+func TestRegistrarIgnoresForeignMessages(t *testing.T) {
+	env := sim.NewEnv(1)
+	r := NewRegistrar("MSC-1", "VLR-1", nil)
+	if r.Handle(env, "X", foreignReg{}) {
+		t.Fatal("foreign message consumed")
+	}
+	// Auth for an unknown identity is not consumed either.
+	if r.Handle(env, "X", sigmap.Authenticate{Identity: gsmid.ByTMSI(9)}) {
+		t.Fatal("stray Authenticate consumed")
+	}
+	if r.Handle(env, "X", gsm.AuthResponse{MS: "MS-?"}) {
+		t.Fatal("stray AuthResponse consumed")
+	}
+}
+
+type foreignReg struct{}
+
+func (foreignReg) Name() string { return "X" }

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"vgprs/internal/gb"
+	"vgprs/internal/gprs"
+	"vgprs/internal/gsm"
+	"vgprs/internal/gtp"
+	"vgprs/internal/h323"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/isup"
+	"vgprs/internal/q931"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/trace"
+)
+
+// WireSize returns the encoded size of a message through its protocol's
+// wire codec, plus the codec family name. ok is false for message types
+// with no codec (none remain — every traced type encodes — but the
+// signature keeps callers honest). The experiment harness uses it to turn
+// traces into byte counts; the wire-through test uses the same dispatch to
+// verify round trips.
+func WireSize(msg sim.Message) (n int, family string, ok bool) {
+	switch m := msg.(type) {
+	case sigmap.UpdateLocationArea, sigmap.UpdateLocationAreaAck,
+		sigmap.UpdateLocation, sigmap.UpdateLocationAck,
+		sigmap.InsertSubscriberData, sigmap.InsertSubscriberDataAck,
+		sigmap.SendAuthenticationInfo, sigmap.SendAuthenticationInfoAck,
+		sigmap.Authenticate, sigmap.AuthenticateAck,
+		sigmap.SetCipherMode, sigmap.SetCipherModeAck,
+		sigmap.SendInfoForOutgoingCall, sigmap.SendInfoForOutgoingCallAck,
+		sigmap.SendRoutingInformation, sigmap.SendRoutingInformationAck,
+		sigmap.ProvideRoamingNumber, sigmap.ProvideRoamingNumberAck,
+		sigmap.SendInfoForIncomingCall, sigmap.SendInfoForIncomingCallAck,
+		sigmap.SendRoutingInfoForGPRS, sigmap.SendRoutingInfoForGPRSAck,
+		sigmap.UpdateGPRSLocation, sigmap.UpdateGPRSLocationAck,
+		sigmap.PrepareHandover, sigmap.PrepareHandoverAck,
+		sigmap.PrepareSubsequentHandover, sigmap.PrepareSubsequentHandoverAck,
+		sigmap.SendEndSignal, sigmap.SendEndSignalAck,
+		sigmap.CancelLocation, sigmap.CancelLocationAck,
+		sigmap.SendIMSI, sigmap.SendIMSIAck:
+		b, err := sigmap.Marshal(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "MAP", true
+	case q931.Setup, q931.CallProceeding, q931.Alerting, q931.Connect, q931.ReleaseComplete:
+		b, err := q931.Marshal(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "Q.931", true
+	case isup.IAM, isup.ACM, isup.ANM, isup.REL, isup.RLC:
+		b, err := isup.Marshal(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "ISUP", true
+	case gtp.CreatePDPRequest, gtp.CreatePDPResponse,
+		gtp.DeletePDPRequest, gtp.DeletePDPResponse,
+		gtp.PDUNotifyRequest, gtp.PDUNotifyResponse,
+		gtp.EchoRequest, gtp.EchoResponse, gtp.TPDU:
+		b, err := gtp.Marshal(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "GTP", true
+	case gb.ULUnitdata, gb.DLUnitdata:
+		b, err := gb.Marshal(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "Gb", true
+	case ipnet.Packet:
+		return len(m.Marshal()), "IP", true
+	case h323.RRQ, h323.RCF, h323.RRJ, h323.URQ, h323.UCF,
+		h323.ARQ, h323.ACF, h323.ARJ, h323.DRQ, h323.DCF,
+		h323.LRQ, h323.LCF, h323.LRJ:
+		b, err := h323.MarshalRAS(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "RAS", true
+	case gprs.AttachRequest, gprs.AttachAccept, gprs.AttachReject,
+		gprs.DetachRequest, gprs.DetachAccept,
+		gprs.ActivatePDPRequest, gprs.ActivatePDPAccept, gprs.ActivatePDPReject,
+		gprs.DeactivatePDPRequest, gprs.DeactivatePDPAccept,
+		gprs.RequestPDPActivation, gprs.RAUpdateRequest, gprs.RAUpdateAccept:
+		b, err := gprs.MarshalSM(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "GMM", true
+	case gsm.ChannelRequest, gsm.ImmediateAssignment, gsm.LocationUpdate,
+		gsm.LocationUpdateAccept, gsm.LocationUpdateReject,
+		gsm.AuthRequest, gsm.AuthResponse,
+		gsm.CipherModeCommand, gsm.CipherModeComplete,
+		gsm.Setup, gsm.CallConfirmed, gsm.Alerting, gsm.Connect,
+		gsm.Disconnect, gsm.Release, gsm.ReleaseComplete, gsm.IMSIDetach,
+		gsm.Paging, gsm.PagingResponse, gsm.TCHFrame,
+		gsm.MeasurementReport, gsm.HandoverRequired, gsm.HandoverCommand,
+		gsm.HandoverAccess, gsm.HandoverComplete, gsm.LLCFrame:
+		b, err := gsm.Marshal(msg)
+		if err != nil {
+			return 0, "", false
+		}
+		return len(b), "GSM", true
+	default:
+		return 0, "", false
+	}
+}
+
+// WireBytesByIface sums the encoded size of every traced message, grouped
+// by interface — the byte-level counterpart of
+// trace.Recorder.MessagesByInterface used by the C5 experiment.
+func WireBytesByIface(rec *trace.Recorder) map[string]int {
+	out := make(map[string]int)
+	for _, e := range rec.Entries() {
+		if n, _, ok := WireSize(e.Msg); ok {
+			out[e.Iface] += n
+		}
+	}
+	return out
+}

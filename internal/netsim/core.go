@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"net/netip"
+
+	"vgprs/internal/gprs"
+	"vgprs/internal/sim"
+)
+
+// SGSNHandle and GGSNHandle re-export the GPRS core elements without
+// leaking construction details into every test.
+type SGSNHandle struct{ *gprs.SGSN }
+
+// GGSNHandle wraps the GGSN.
+type GGSNHandle struct{ *gprs.GGSN }
+
+type gprsCoreConfig struct {
+	SGSNID, GGSNID sim.NodeID
+	HLR            sim.NodeID
+	Gi             sim.NodeID
+	PoolPrefix     string
+	MaxContexts    int
+	NetworkInit    bool
+}
+
+func buildGPRSCore(cfg gprsCoreConfig) (*gprs.SGSN, *gprs.GGSN) {
+	sgsn := gprs.NewSGSN(gprs.SGSNConfig{
+		ID: cfg.SGSNID, GGSN: cfg.GGSNID, HLR: cfg.HLR, MaxContexts: cfg.MaxContexts,
+	})
+	ggsn := gprs.NewGGSN(gprs.GGSNConfig{
+		ID: cfg.GGSNID, PoolPrefix: cfg.PoolPrefix, Gi: cfg.Gi, HLR: cfg.HLR,
+		NetworkInitiatedActivation: cfg.NetworkInit,
+	})
+	return sgsn, ggsn
+}
+
+func mustPrefix(s string) netip.Prefix {
+	return netip.MustParsePrefix(s)
+}

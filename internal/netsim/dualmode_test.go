@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"vgprs/internal/gprs"
+	"vgprs/internal/gsm"
+	"vgprs/internal/gtp"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sim"
+)
+
+// TestSimultaneousVoiceAndData reproduces the full promise of paper
+// Fig 2(b): the SAME subscriber runs the data path (1)(2)(3)(4) —
+// MS ~ BSC(PCU) ~ SGSN ~ GGSN — for packets, while the voice path
+// (1)(2)(5)(6)(4) through the VMSC carries a call, concurrently. The SGSN
+// routes each PDP context over the path it was activated on: the VMSC's
+// voice/signalling contexts and the handset's own data context coexist
+// under one IMSI.
+func TestSimultaneousVoiceAndData(t *testing.T) {
+	n := BuildVGPRS(VGPRSOptions{Seed: 6, Talk: true})
+
+	// A data host on the Gi network for the GPRS session to talk to.
+	host := &echoHost{id: "HOST", addr: ipnet.MustAddr("192.168.1.100")}
+	n.Env.AddNode(host)
+	n.Router.AddHost(host.addr, "HOST")
+	n.Env.Connect("GI", "HOST", "IP", time.Millisecond)
+
+	// The handset's packet side: a GPRS client for the SAME subscriber,
+	// attached over the radio path through the BSC's PCU. (The BSC gets
+	// its PCU by pointing at the SGSN; BuildVGPRS leaves it unset since
+	// plain vGPRS needs none, so rebuild the radio data leg explicitly.)
+	dataLeg := gprs.NewMS(gprs.MSConfig{ID: "MS-1-data", IMSI: n.Subscribers[0].IMSI, BTS: "BTS-2x"})
+	bts2 := gsm.NewBTS(gsm.BTSConfig{ID: "BTS-2x", BSC: "BSC-2x"})
+	bsc2 := gsm.NewBSC(gsm.BSCConfig{
+		ID: "BSC-2x", MSC: "VMSC-1", SGSN: "SGSN-1", BTSs: []sim.NodeID{"BTS-2x"},
+	})
+	for _, node := range []sim.Node{dataLeg, bts2, bsc2} {
+		n.Env.AddNode(node)
+	}
+	n.Env.Connect("MS-1-data", "BTS-2x", "Um", 10*time.Millisecond)
+	n.Env.Connect("BTS-2x", "BSC-2x", "Abis", 2*time.Millisecond)
+	n.Env.Connect("BSC-2x", "VMSC-1", "A", time.Millisecond)
+	n.Env.Connect("BSC-2x", "SGSN-1", "Gb", 2*time.Millisecond)
+
+	// Voice side registers first (the VMSC attaches for the subscriber).
+	if err := n.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The data leg attaches itself — same IMSI, radio path.
+	attached := false
+	if err := dataLeg.Client.Attach(n.Env, func(ok bool) { attached = ok }); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 5*time.Second)
+	if !attached {
+		t.Fatal("data-leg attach failed")
+	}
+	// Data context on NSAPI 7 (the VMSC holds 5 and 6).
+	var dataAddr netip.Addr
+	if err := dataLeg.Client.ActivatePDP(n.Env, 7, gtp.SignallingQoS(), "",
+		func(a netip.Addr, ok bool) {
+			if ok {
+				dataAddr = a
+			}
+		}); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 5*time.Second)
+	if !dataAddr.IsValid() {
+		t.Fatal("data PDP activation failed")
+	}
+
+	// Start the voice call.
+	ms := n.MSs[0]
+	if err := ms.Dial(n.Env, TerminalAlias(0)); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 3*time.Second)
+	if ms.State() != gsm.MSInCall {
+		t.Fatalf("voice call state = %v", ms.State())
+	}
+
+	// Data flows mid-call: send pings over the data context while RTP is
+	// streaming, and require the echoes back on the radio path.
+	var dataRx int
+	dataLeg.Client.OnPacket = func(_ *sim.Env, nsapi uint8, pkt ipnet.Packet) {
+		if nsapi == 7 {
+			dataRx++
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := dataLeg.Client.SendIP(n.Env, 7, ipnet.Packet{
+			Dst: host.addr, Proto: ipnet.ProtoUDP, SrcPort: 9, DstPort: 9,
+			Payload: []byte{byte(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rtpBefore := n.Terminals[0].Media.Received()
+	n.Env.RunUntil(n.Env.Now() + 2*time.Second)
+
+	if dataRx != 5 {
+		t.Fatalf("data echoes = %d, want 5", dataRx)
+	}
+	if n.Terminals[0].Media.Received() <= rtpBefore {
+		t.Fatal("voice stalled while data flowed")
+	}
+	// Three contexts for the subscriber: signalling + voice (VMSC) +
+	// data (handset).
+	if got := n.SGSN.ActiveContexts(); got != 3 {
+		t.Fatalf("SGSN contexts = %d, want 3", got)
+	}
+	// Clearing the voice call must not disturb the data context.
+	if err := ms.Hangup(n.Env); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 2*time.Second)
+	if got := n.SGSN.ActiveContexts(); got != 2 {
+		t.Fatalf("contexts after voice clear = %d, want 2", got)
+	}
+	if err := dataLeg.Client.SendIP(n.Env, 7, ipnet.Packet{
+		Dst: host.addr, Proto: ipnet.ProtoUDP, SrcPort: 9, DstPort: 9, Payload: []byte{99},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 2*time.Second)
+	if dataRx != 6 {
+		t.Fatalf("post-call data echoes = %d, want 6", dataRx)
+	}
+}
+
+// echoHost answers every UDP packet.
+type echoHost struct {
+	id   sim.NodeID
+	addr netip.Addr
+}
+
+func (h *echoHost) ID() sim.NodeID { return h.id }
+
+func (h *echoHost) Receive(env *sim.Env, from sim.NodeID, _ string, msg sim.Message) {
+	if pkt, ok := msg.(ipnet.Packet); ok {
+		env.Send(h.id, from, pkt.Reply(pkt.Payload))
+	}
+}

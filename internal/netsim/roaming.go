@@ -1,0 +1,302 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/h323"
+	"vgprs/internal/hlr"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/isup"
+	"vgprs/internal/msc"
+	"vgprs/internal/pstn"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/trace"
+	"vgprs/internal/vlr"
+	"vgprs/internal/vmsc"
+)
+
+// Roamer identities: a UK subscriber (MCC 234) visiting Hong Kong.
+var (
+	// RoamerIMSI is subscriber x's IMSI.
+	RoamerIMSI = gsmid.IMSI("234150000000001")
+	// RoamerMSISDN is x's UK directory number.
+	RoamerMSISDN = gsmid.MSISDN("044781234567")
+	// CallerNumber is y's Hong Kong fixed number.
+	CallerNumber = gsmid.MSISDN("852211100001")
+	// UKFixedNumber is a plain UK landline (for the gatekeeper-miss
+	// fallback case).
+	UKFixedNumber = gsmid.MSISDN("044612340001")
+)
+
+var roamerKi = [16]byte{0x77, 0x01}
+
+// RoamingGSMNet is the Fig 7 baseline: subscriber x roams in Hong Kong
+// under a classic GSM MSC; a local call from y becomes two international
+// trunks (the tromboning the paper eliminates).
+type RoamingGSMNet struct {
+	Env *sim.Env
+	Rec *trace.Recorder
+
+	HLRUK  *hlr.HLR
+	GMSCUK *pstn.Exchange
+	LEHK   *pstn.Exchange
+	PhoneY *pstn.Phone
+	MSCHK  *msc.MSC
+	VLRHK  *vlr.VLR
+	MS     *gsm.MS
+
+	// IntlToUK carries y's leg to the UK; IntlToHK carries the GMSC's
+	// leg back to Hong Kong — the two international trunks of Fig 7.
+	IntlToUK *isup.TrunkGroup
+	IntlToHK *isup.TrunkGroup
+}
+
+// BuildRoamingGSM wires the Fig 7 configuration.
+func BuildRoamingGSM(seed int64) *RoamingGSMNet {
+	env := sim.NewEnv(seed)
+	rec := trace.NewRecorder()
+	env.SetTracer(rec)
+	lat := DefaultLatencies()
+
+	n := &RoamingGSMNet{
+		Env: env, Rec: rec,
+		IntlToUK: isup.NewTrunkGroup("LE-HK<->GMSC-UK", isup.TrunkInternational, 16),
+		IntlToHK: isup.NewTrunkGroup("GMSC-UK<->MSC-HK", isup.TrunkInternational, 16),
+	}
+
+	n.HLRUK = hlr.New(hlr.Config{ID: "HLR-UK"})
+	mustProvision(n.HLRUK, hlr.Subscriber{
+		IMSI: RoamerIMSI, MSISDN: RoamerMSISDN, Ki: roamerKi,
+		Profile: sigmap.SubscriberProfile{MSISDN: RoamerMSISDN, InternationalAllowed: true},
+	})
+	n.VLRHK = vlr.New(vlr.Config{
+		ID: "VLR-HK", HLR: "HLR-UK", HomeCountryCode: "852", MSRNPrefix: "85290000",
+	})
+	n.MSCHK = msc.New(msc.Config{
+		ID: "MSC-HK", VLR: "VLR-HK", PSTN: "GMSC-UK",
+		Trunks: map[sim.NodeID]*isup.TrunkGroup{"GMSC-UK": n.IntlToHK},
+	})
+	n.GMSCUK = pstn.NewExchange(pstn.ExchangeConfig{
+		ID: "GMSC-UK", HLR: "HLR-UK", MobilePrefixes: []string{"0447"},
+		Routes: []pstn.Route{
+			{Prefix: "85290", Next: "MSC-HK", Trunks: n.IntlToHK},
+			{Prefix: "852", Next: "LE-HK", Trunks: n.IntlToUK},
+		},
+	})
+	n.LEHK = pstn.NewExchange(pstn.ExchangeConfig{
+		ID: "LE-HK",
+		Routes: []pstn.Route{
+			{Prefix: "044", Next: "GMSC-UK", Trunks: n.IntlToUK},
+			{Prefix: "85221", Next: "PHONE-Y"},
+		},
+	})
+	n.PhoneY = pstn.NewPhone(pstn.PhoneConfig{
+		ID: "PHONE-Y", Number: CallerNumber, Exchange: "LE-HK", Talk: true,
+	})
+
+	bts := gsm.NewBTS(gsm.BTSConfig{ID: "BTS-HK", BSC: "BSC-HK"})
+	bsc := gsm.NewBSC(gsm.BSCConfig{ID: "BSC-HK", MSC: "MSC-HK", BTSs: []sim.NodeID{"BTS-HK"}})
+	n.MS = gsm.NewMS(gsm.MSConfig{
+		ID: "MS-X", IMSI: RoamerIMSI, MSISDN: RoamerMSISDN, Ki: roamerKi,
+		BTS: "BTS-HK", LAI: gsmid.LAI{MCC: "454", MNC: "00", LAC: 1},
+		AutoAnswer: true, AnswerDelay: 200 * time.Millisecond, Talk: true,
+	})
+
+	for _, node := range []sim.Node{
+		n.HLRUK, n.VLRHK, n.MSCHK, n.GMSCUK, n.LEHK, n.PhoneY, bts, bsc, n.MS,
+	} {
+		env.AddNode(node)
+	}
+	env.Connect("MS-X", "BTS-HK", "Um", lat.Um)
+	env.Connect("BTS-HK", "BSC-HK", "Abis", lat.Abis)
+	env.Connect("BSC-HK", "MSC-HK", "A", lat.A)
+	env.Connect("MSC-HK", "VLR-HK", "B", lat.SS7)
+	env.Connect("VLR-HK", "HLR-UK", "D", lat.Intl) // international SS7
+	env.Connect("GMSC-UK", "HLR-UK", "C", lat.SS7)
+	env.Connect("PHONE-Y", "LE-HK", "Line", lat.LAN)
+	env.Connect("LE-HK", "GMSC-UK", "ISUP", lat.Intl)
+	env.Connect("GMSC-UK", "MSC-HK", "ISUP", lat.Intl)
+	return n
+}
+
+// Register powers on the roamer and waits for registration.
+func (n *RoamingGSMNet) Register() error {
+	n.MS.PowerOn(n.Env)
+	n.Env.RunUntil(n.Env.Now() + 30*time.Second)
+	if n.MS.State() != gsm.MSIdle {
+		return fmt.Errorf("netsim: roamer state %v after registration", n.MS.State())
+	}
+	return nil
+}
+
+// InternationalSeizures returns the total international trunk legs used —
+// the Fig 7 headline number (2 for the tromboned call).
+func (n *RoamingGSMNet) InternationalSeizures() int {
+	return n.IntlToUK.TotalSeizures() + n.IntlToHK.TotalSeizures()
+}
+
+// RoamingVGPRSNet is the Fig 8 configuration: the same roamer x now
+// registers through a Hong Kong VMSC, so its MSISDN appears in the local
+// gatekeeper's address-translation table; y's call goes local exchange ->
+// H.323 gateway -> VoIP -> VMSC -> x, never leaving Hong Kong.
+type RoamingVGPRSNet struct {
+	Env *sim.Env
+	Rec *trace.Recorder
+	Dir *h323.Directory
+
+	HLRUK   *hlr.HLR
+	GMSCUK  *pstn.Exchange
+	LEHK    *pstn.Exchange
+	PhoneY  *pstn.Phone
+	PhoneUK *pstn.Phone
+	Gateway *h323.Gateway
+	GK      *h323.Gatekeeper
+	VMSC    *vmsc.VMSC
+	VLRHK   *vlr.VLR
+	SGSN    SGSNHandle
+	GGSN    GGSNHandle
+	MS      *gsm.MS
+
+	// LocalTrunks carry the LE->gateway leg (a local call). IntlTrunks
+	// carry the fallback path to the UK.
+	LocalTrunks *isup.TrunkGroup
+	IntlTrunks  *isup.TrunkGroup
+}
+
+// BuildRoamingVGPRS wires the Fig 8 configuration.
+func BuildRoamingVGPRS(seed int64) *RoamingVGPRSNet {
+	env := sim.NewEnv(seed)
+	rec := trace.NewRecorder()
+	env.SetTracer(rec)
+	dir := h323.NewDirectory()
+	lat := DefaultLatencies()
+
+	n := &RoamingVGPRSNet{
+		Env: env, Rec: rec, Dir: dir,
+		LocalTrunks: isup.NewTrunkGroup("LE-HK<->GW-HK", isup.TrunkLocal, 16),
+		IntlTrunks:  isup.NewTrunkGroup("LE-HK<->GMSC-UK", isup.TrunkInternational, 16),
+	}
+
+	n.HLRUK = hlr.New(hlr.Config{ID: "HLR-UK"})
+	mustProvision(n.HLRUK, hlr.Subscriber{
+		IMSI: RoamerIMSI, MSISDN: RoamerMSISDN, Ki: roamerKi,
+		Profile: sigmap.SubscriberProfile{MSISDN: RoamerMSISDN, InternationalAllowed: true},
+	})
+	n.VLRHK = vlr.New(vlr.Config{
+		ID: "VLR-HK", HLR: "HLR-UK", HomeCountryCode: "852", MSRNPrefix: "85290000",
+	})
+
+	sgsn, ggsn := buildGPRSCore(gprsCoreConfig{
+		SGSNID: "SGSN-HK", GGSNID: "GGSN-HK", HLR: "HLR-UK", Gi: "GI-HK",
+		PoolPrefix: "10.2.1.0",
+	})
+	n.SGSN = SGSNHandle{sgsn}
+	n.GGSN = GGSNHandle{ggsn}
+
+	router := ipnet.NewRouter("GI-HK")
+	gkHK := ipnet.MustAddr("192.168.2.1")
+	gwAddr := ipnet.MustAddr("192.168.2.2")
+	n.GK = h323.NewGatekeeper(h323.GatekeeperConfig{
+		ID: "GK-HK", Addr: gkHK, Router: "GI-HK", Dir: dir,
+		// Unregistered Hong Kong numbers route out through the gateway —
+		// the paper §4's "traditional telephone set in the PSTN,
+		// connected indirectly through the H.323 network".
+		PSTNGateway: gwAddr, PSTNPrefixes: []string{"852"},
+	})
+	n.Gateway = h323.NewGateway(h323.GatewayConfig{
+		ID: "GW-HK", Addr: gwAddr, Router: "GI-HK", Gatekeeper: gkHK, Dir: dir,
+		Exchange: "LE-HK", Trunks: n.LocalTrunks,
+	})
+	router.AddHost(gkHK, "GK-HK")
+	router.AddHost(gwAddr, "GW-HK")
+	router.AddPrefix(mustPrefix("10.2.1.0/24"), "GGSN-HK")
+	dir.Bind(gkHK, "GK-HK")
+	dir.Bind(gwAddr, "GW-HK")
+
+	n.VMSC = vmsc.New(vmsc.Config{
+		ID: "VMSC-HK", VLR: "VLR-HK", SGSN: "SGSN-HK",
+		Cell:       gsmid.CGI{LAI: gsmid.LAI{MCC: "454", MNC: "00", LAC: 1}, CI: 1},
+		Gatekeeper: gkHK, Dir: dir,
+	})
+	n.VMSC.ProvisionMSISDN(RoamerIMSI, RoamerMSISDN)
+
+	bts := gsm.NewBTS(gsm.BTSConfig{ID: "BTS-HK", BSC: "BSC-HK"})
+	bsc := gsm.NewBSC(gsm.BSCConfig{ID: "BSC-HK", MSC: "VMSC-HK", BTSs: []sim.NodeID{"BTS-HK"}})
+	n.MS = gsm.NewMS(gsm.MSConfig{
+		ID: "MS-X", IMSI: RoamerIMSI, MSISDN: RoamerMSISDN, Ki: roamerKi,
+		BTS: "BTS-HK", LAI: gsmid.LAI{MCC: "454", MNC: "00", LAC: 1},
+		AutoAnswer: true, AnswerDelay: 200 * time.Millisecond, Talk: true,
+	})
+
+	// The PSTN side: y's local exchange prefers the VoIP gateway for UK
+	// numbers and falls back to the international route.
+	n.GMSCUK = pstn.NewExchange(pstn.ExchangeConfig{
+		ID: "GMSC-UK", HLR: "HLR-UK", MobilePrefixes: []string{"0447"},
+		Routes: []pstn.Route{
+			{Prefix: "0446", Next: "PHONE-UK"}, // UK fixed lines
+		},
+	})
+	n.PhoneUK = pstn.NewPhone(pstn.PhoneConfig{
+		ID: "PHONE-UK", Number: UKFixedNumber, Exchange: "GMSC-UK",
+		AutoAnswer: true, AnswerDelay: 200 * time.Millisecond,
+	})
+	n.LEHK = pstn.NewExchange(pstn.ExchangeConfig{
+		ID: "LE-HK",
+		Routes: []pstn.Route{
+			{Prefix: "044", Next: "GW-HK", Trunks: n.LocalTrunks},
+			{Prefix: "044", Next: "GMSC-UK", Trunks: n.IntlTrunks},
+			{Prefix: "85221", Next: "PHONE-Y"},
+		},
+	})
+	n.PhoneY = pstn.NewPhone(pstn.PhoneConfig{
+		ID: "PHONE-Y", Number: CallerNumber, Exchange: "LE-HK", Talk: true,
+	})
+
+	for _, node := range []sim.Node{
+		n.HLRUK, n.VLRHK, sgsn, ggsn, router, n.GK, n.Gateway, n.VMSC,
+		bts, bsc, n.MS, n.GMSCUK, n.PhoneUK, n.LEHK, n.PhoneY,
+	} {
+		env.AddNode(node)
+	}
+	env.Connect("MS-X", "BTS-HK", "Um", lat.Um)
+	env.Connect("BTS-HK", "BSC-HK", "Abis", lat.Abis)
+	env.Connect("BSC-HK", "VMSC-HK", "A", lat.A)
+	env.Connect("VMSC-HK", "VLR-HK", "B", lat.SS7)
+	env.Connect("VLR-HK", "HLR-UK", "D", lat.Intl)
+	env.Connect("VMSC-HK", "SGSN-HK", "Gb", lat.Gb)
+	env.Connect("SGSN-HK", "GGSN-HK", "Gn", lat.Gn)
+	env.Connect("SGSN-HK", "HLR-UK", "Gr", lat.Intl)
+	env.Connect("GGSN-HK", "HLR-UK", "Gc", lat.Intl)
+	env.Connect("GGSN-HK", "GI-HK", "Gi", lat.Gi)
+	env.Connect("GI-HK", "GK-HK", "IP", lat.LAN)
+	env.Connect("GI-HK", "GW-HK", "IP", lat.LAN)
+	env.Connect("PHONE-Y", "LE-HK", "Line", lat.LAN)
+	env.Connect("LE-HK", "GW-HK", "ISUP", lat.Natl)
+	env.Connect("LE-HK", "GMSC-UK", "ISUP", lat.Intl)
+	env.Connect("GMSC-UK", "HLR-UK", "C", lat.SS7)
+	env.Connect("PHONE-UK", "GMSC-UK", "Line", lat.LAN)
+	return n
+}
+
+// Register powers on the roamer and waits for the full vGPRS registration
+// (which, per Fig 8, puts x's UK MSISDN into the Hong Kong gatekeeper).
+func (n *RoamingVGPRSNet) Register() error {
+	n.MS.PowerOn(n.Env)
+	n.Env.RunUntil(n.Env.Now() + 30*time.Second)
+	if n.MS.State() != gsm.MSIdle {
+		return fmt.Errorf("netsim: roamer state %v after registration", n.MS.State())
+	}
+	if _, ok := n.GK.Lookup(RoamerMSISDN); !ok {
+		return fmt.Errorf("netsim: roamer not in gatekeeper table")
+	}
+	return nil
+}
+
+// InternationalSeizures returns international trunk legs used.
+func (n *RoamingVGPRSNet) InternationalSeizures() int {
+	return n.IntlTrunks.TotalSeizures()
+}

@@ -1,0 +1,246 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"vgprs/internal/gsm"
+)
+
+// TestSoakMixedWorkload drives a two-area vGPRS network through one
+// simulated hour of randomized subscriber behaviour — calls, hangups,
+// relocations between the areas, power cycles — and then audits every
+// resource for leaks. Individual features are tested elsewhere; this test
+// exists for their *interactions* (a move scheduled while another MS is
+// mid-call, a power cycle racing a terminating call, and so on). The RNG
+// is the environment's own seeded generator, so failures reproduce.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		numMS    = 6
+		simHour  = time.Hour
+		tickStep = 5 * time.Second
+	)
+	n := BuildTwoVMSC(VGPRSOptions{Seed: 42, NumMS: numMS, NumTerminals: 2, Talk: true})
+	if err := n.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	rng := n.Env.Rand()
+
+	// area tracks which BTS each MS is camped on.
+	area := make([]int, numMS)
+	actions := map[string]int{}
+
+	end := n.Env.Now() + simHour
+	for n.Env.Now() < end {
+		i := rng.Intn(numMS)
+		ms := n.MSs[i]
+		switch choice := rng.Intn(10); {
+		case choice < 3: // dial a terminal
+			if ms.State() == gsm.MSIdle {
+				if err := ms.Dial(n.Env, TerminalAlias(rng.Intn(2))); err == nil {
+					actions["dial"]++
+				}
+			}
+		case choice < 5: // hang up
+			if ms.State() == gsm.MSInCall {
+				if err := ms.Hangup(n.Env); err == nil {
+					actions["hangup"]++
+				}
+			}
+		case choice < 7: // relocate to the other area
+			if ms.State() == gsm.MSIdle {
+				var err error
+				if area[i] == 0 {
+					err = ms.MoveTo(n.Env, "BTS-2", n.Area2LAI)
+				} else {
+					err = ms.MoveTo(n.Env, "BTS-1", area1LAI())
+				}
+				if err == nil {
+					area[i] = 1 - area[i]
+					actions["move"]++
+				}
+			}
+		case choice < 8: // terminal calls the MS
+			if _, err := n.Terminals[rng.Intn(2)].Call(n.Env, n.Subscribers[i].MSISDN); err == nil {
+				actions["mt-call"]++
+			}
+		case choice < 9: // power cycle (also exercises abrupt mid-call loss)
+			switch ms.State() {
+			case gsm.MSIdle, gsm.MSInCall:
+				if err := ms.PowerOff(n.Env); err == nil {
+					actions["power-off"]++
+				}
+			case gsm.MSDetached:
+				ms.PowerOn(n.Env)
+				actions["power-on"]++
+			}
+		default: // let time pass
+		}
+		n.Env.RunUntil(n.Env.Now() + tickStep)
+	}
+
+	// Quiesce: hang up whatever is still up, power every MS back on.
+	for _, ms := range n.MSs {
+		if ms.State() == gsm.MSInCall {
+			_ = ms.Hangup(n.Env)
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + 30*time.Second)
+	for _, ms := range n.MSs {
+		if ms.State() == gsm.MSDetached {
+			ms.PowerOn(n.Env)
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + 60*time.Second)
+
+	t.Logf("after 1h simulated: %v", actions)
+	for _, key := range []string{"dial", "move", "mt-call", "power-off"} {
+		if actions[key] == 0 {
+			t.Errorf("workload never exercised %q — widen the mix", key)
+		}
+	}
+
+	// Leak audit.
+	if got := n.VMSC.ActiveCalls() + n.VMSC2.ActiveCalls(); got != 0 {
+		t.Errorf("%d calls still active after quiesce", got)
+	}
+	for _, term := range n.Terminals {
+		if term.ActiveCalls() != 0 {
+			t.Errorf("terminal %s holds %d calls", term.ID(), term.ActiveCalls())
+		}
+	}
+	// Every powered-on MS must be idle, registered exactly once, with its
+	// alias resolving and one signalling context at the serving SGSN.
+	totalCtx := 0
+	for i, ms := range n.MSs {
+		if ms.State() != gsm.MSIdle {
+			t.Errorf("MS-%d state = %v after recovery", i+1, ms.State())
+			continue
+		}
+		sub := n.Subscribers[i]
+		_, reg1, _ := n.VMSC.Entry(sub.IMSI)
+		_, reg2, _ := n.VMSC2.Entry(sub.IMSI)
+		if reg1 == reg2 {
+			t.Errorf("MS-%d registered at both or neither VMSC (1=%v 2=%v)", i+1, reg1, reg2)
+		}
+		if _, ok := n.GK.Lookup(sub.MSISDN); !ok {
+			t.Errorf("MS-%d alias unresolvable after soak", i+1)
+		}
+		totalCtx++
+	}
+	if got := n.SGSN.ActiveContexts() + n.SGSN2.ActiveContexts(); got != totalCtx {
+		t.Errorf("PDP contexts = %d, want %d (one signalling context per MS)", got, totalCtx)
+	}
+	if n.BSC.ChannelsInUse() != 0 || n.BSC2.ChannelsInUse() != 0 {
+		t.Errorf("radio channels leaked: BSC-1=%d BSC-2=%d",
+			n.BSC.ChannelsInUse(), n.BSC2.ChannelsInUse())
+	}
+	// The GK table holds one row per MS plus the two terminals.
+	if got := n.GK.Registered(); got != totalCtx+2 {
+		t.Errorf("GK table = %d rows, want %d", got, totalCtx+2)
+	}
+}
+
+// TestSoakIdlePDPMode soaks the §6 idle-PDP-deactivation ablation: per-call
+// context activation and network-initiated MT activation interleave with
+// power cycles for a simulated half hour. The mode's invariant is audited
+// throughout: zero PDP contexts whenever all MSs are idle.
+func TestSoakIdlePDPMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const numMS = 4
+	n := BuildVGPRS(VGPRSOptions{
+		Seed: 7, NumMS: numMS, NumTerminals: 2, DeactivateIdlePDP: true,
+	})
+	if err := n.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	rng := n.Env.Rand()
+	actions := map[string]int{}
+
+	end := n.Env.Now() + 30*time.Minute
+	for n.Env.Now() < end {
+		i := rng.Intn(numMS)
+		ms := n.MSs[i]
+		switch choice := rng.Intn(8); {
+		case choice < 3:
+			if ms.State() == gsm.MSIdle {
+				if err := ms.Dial(n.Env, TerminalAlias(rng.Intn(2))); err == nil {
+					actions["dial"]++
+				}
+			}
+		case choice < 5:
+			if ms.State() == gsm.MSInCall {
+				if err := ms.Hangup(n.Env); err == nil {
+					actions["hangup"]++
+				}
+			}
+		case choice < 6:
+			// MT call needs network-initiated activation in this mode.
+			if _, err := n.Terminals[rng.Intn(2)].Call(n.Env, n.Subscribers[i].MSISDN); err == nil {
+				actions["mt-call"]++
+			}
+		case choice < 7:
+			switch ms.State() {
+			case gsm.MSIdle, gsm.MSInCall:
+				if err := ms.PowerOff(n.Env); err == nil {
+					actions["power-off"]++
+				}
+			case gsm.MSDetached:
+				ms.PowerOn(n.Env)
+				actions["power-on"]++
+			}
+		}
+		n.Env.RunUntil(n.Env.Now() + 5*time.Second)
+	}
+
+	// Quiesce and audit: with every call cleared, the mode's whole point
+	// is that no PDP context remains.
+	for _, ms := range n.MSs {
+		if ms.State() == gsm.MSInCall {
+			_ = ms.Hangup(n.Env)
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + 30*time.Second)
+	for _, ms := range n.MSs {
+		if ms.State() == gsm.MSDetached {
+			ms.PowerOn(n.Env)
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + 60*time.Second)
+
+	t.Logf("after 30min simulated: %v", actions)
+	for _, key := range []string{"dial", "mt-call", "power-off"} {
+		if actions[key] == 0 {
+			t.Errorf("workload never exercised %q", key)
+		}
+	}
+	if got := n.VMSC.ActiveCalls(); got != 0 {
+		t.Errorf("%d calls still active", got)
+	}
+	if got := n.SGSN.ActiveContexts(); got != 0 {
+		t.Errorf("idle-PDP mode left %d contexts active", got)
+	}
+	if got := n.GGSN.ActiveContexts(); got != 0 {
+		t.Errorf("GGSN holds %d contexts with all MSs idle", got)
+	}
+	for i, ms := range n.MSs {
+		if ms.State() != gsm.MSIdle {
+			t.Errorf("MS-%d state = %v", i+1, ms.State())
+			continue
+		}
+		if _, reg, _ := n.VMSC.Entry(n.Subscribers[i].IMSI); !reg {
+			t.Errorf("MS-%d not registered after soak", i+1)
+		}
+		if _, ok := n.GK.Lookup(n.Subscribers[i].MSISDN); !ok {
+			t.Errorf("MS-%d alias unresolvable after soak", i+1)
+		}
+	}
+	if n.BSC.ChannelsInUse() != 0 {
+		t.Errorf("radio channels leaked: %d", n.BSC.ChannelsInUse())
+	}
+}

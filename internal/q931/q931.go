@@ -1,0 +1,265 @@
+// Package q931 implements the Q.931/H.225.0 call-signalling messages used
+// between H.323 endpoints: Setup, Call Proceeding, Alerting, Connect and
+// Release Complete — exactly the set the paper's Figs 5-6 exchange between
+// the VMSC, the GGSN-side network and the H.323 terminal.
+//
+// Messages are encoded in a Q.931-shaped frame: protocol discriminator
+// 0x08, a 2-octet call reference, the ITU message-type octet, then
+// information elements. (Real H.225 wraps Q.931 in TPKT and adds an ASN.1
+// user-user IE; this reproduction carries the H.225-specific fields — alias
+// and media transport address — as typed IEs instead. DESIGN.md documents
+// the substitution.)
+package q931
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/wire"
+)
+
+// ErrBadMessage is returned when a Q.931 frame fails to decode.
+var ErrBadMessage = errors.New("q931: malformed message")
+
+// protocolDiscriminator is the Q.931 protocol discriminator octet.
+const protocolDiscriminator = 0x08
+
+// ITU-T Q.931 message type octets.
+const (
+	mtAlerting        uint8 = 0x01
+	mtCallProceeding  uint8 = 0x02
+	mtSetup           uint8 = 0x05
+	mtConnect         uint8 = 0x07
+	mtReleaseComplete uint8 = 0x5A
+)
+
+// Cause is the Q.931 release cause.
+type Cause uint8
+
+// Release causes (ITU-T Q.850 values for the ones with standard codes).
+const (
+	CauseNormal           Cause = 16
+	CauseUserBusy         Cause = 17
+	CauseNoAnswer         Cause = 19
+	CauseRejected         Cause = 21
+	CauseUnreachable      Cause = 3
+	CauseResourcesUnavail Cause = 47
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNormal:
+		return "normal-clearing"
+	case CauseUserBusy:
+		return "user-busy"
+	case CauseNoAnswer:
+		return "no-answer"
+	case CauseRejected:
+		return "call-rejected"
+	case CauseUnreachable:
+		return "no-route-to-destination"
+	case CauseResourcesUnavail:
+		return "resources-unavailable"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// MediaAddr is an RTP transport address exchanged in Setup/Connect (the
+// H.245-lite fast-start of this reproduction).
+type MediaAddr struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+// Valid reports whether the address is set.
+func (m MediaAddr) Valid() bool { return m.Addr.IsValid() }
+
+// String formats addr:port.
+func (m MediaAddr) String() string { return fmt.Sprintf("%s:%d", m.Addr, m.Port) }
+
+// Setup starts a call toward the called alias (paper steps 2.4 and 4.2).
+type Setup struct {
+	CallRef uint16
+	Called  gsmid.MSISDN
+	Calling gsmid.MSISDN
+	// Media is the caller's RTP receive address (fast start).
+	Media MediaAddr
+}
+
+// Name implements sim.Message.
+func (Setup) Name() string { return "Q.931 Setup" }
+
+// CallProceeding acknowledges that enough routing information was received
+// (paper step 2.4: "it does not expect to receive more routing
+// information").
+type CallProceeding struct {
+	CallRef uint16
+}
+
+// Name implements sim.Message.
+func (CallProceeding) Name() string { return "Q.931 Call Proceeding" }
+
+// Alerting reports that the called party is being alerted (steps 2.6, 4.6).
+type Alerting struct {
+	CallRef uint16
+}
+
+// Name implements sim.Message.
+func (Alerting) Name() string { return "Q.931 Alerting" }
+
+// Connect reports answer and carries the answerer's RTP address (steps 2.8,
+// 4.7).
+type Connect struct {
+	CallRef uint16
+	Media   MediaAddr
+}
+
+// Name implements sim.Message.
+func (Connect) Name() string { return "Q.931 Connect" }
+
+// ReleaseComplete clears the call (paper step 3.2; H.225 collapses the
+// Q.931 release sequence into this single message).
+type ReleaseComplete struct {
+	CallRef uint16
+	Cause   Cause
+}
+
+// Name implements sim.Message.
+func (ReleaseComplete) Name() string { return "Q.931 Release Complete" }
+
+// Interface-compliance assertions.
+var (
+	_ sim.Message = Setup{}
+	_ sim.Message = CallProceeding{}
+	_ sim.Message = Alerting{}
+	_ sim.Message = Connect{}
+	_ sim.Message = ReleaseComplete{}
+)
+
+func marshalMedia(w *wire.Writer, m MediaAddr) {
+	if !m.Addr.IsValid() {
+		w.U8(0)
+		return
+	}
+	raw, _ := m.Addr.MarshalBinary()
+	w.U8(uint8(len(raw)))
+	w.Raw(raw)
+	w.U16(m.Port)
+}
+
+func unmarshalMedia(r *wire.Reader) (MediaAddr, error) {
+	n := int(r.U8())
+	if n == 0 {
+		return MediaAddr{}, nil
+	}
+	raw := r.Raw(n)
+	port := r.U16()
+	if r.Err() != nil {
+		return MediaAddr{}, r.Err()
+	}
+	var addr netip.Addr
+	if err := addr.UnmarshalBinary(raw); err != nil {
+		return MediaAddr{}, err
+	}
+	return MediaAddr{Addr: addr, Port: port}, nil
+}
+
+// Marshal encodes a Q.931 message.
+func Marshal(msg sim.Message) ([]byte, error) {
+	w := wire.NewWriter(48)
+	w.U8(protocolDiscriminator)
+	switch m := msg.(type) {
+	case Setup:
+		w.U16(m.CallRef)
+		w.U8(mtSetup)
+		w.BCD(string(m.Called))
+		w.BCD(string(m.Calling))
+		marshalMedia(w, m.Media)
+	case CallProceeding:
+		w.U16(m.CallRef)
+		w.U8(mtCallProceeding)
+	case Alerting:
+		w.U16(m.CallRef)
+		w.U8(mtAlerting)
+	case Connect:
+		w.U16(m.CallRef)
+		w.U8(mtConnect)
+		marshalMedia(w, m.Media)
+	case ReleaseComplete:
+		w.U16(m.CallRef)
+		w.U8(mtReleaseComplete)
+		w.U8(uint8(m.Cause))
+	default:
+		return nil, fmt.Errorf("q931: cannot marshal %T", msg)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a Q.931 message.
+func Unmarshal(b []byte) (sim.Message, error) {
+	r := wire.NewReader(b)
+	if pd := r.U8(); pd != protocolDiscriminator {
+		return nil, fmt.Errorf("%w: protocol discriminator %#x", ErrBadMessage, pd)
+	}
+	callRef := r.U16()
+	mt := r.U8()
+	var msg sim.Message
+	switch mt {
+	case mtSetup:
+		m := Setup{CallRef: callRef}
+		m.Called = gsmid.MSISDN(r.BCD())
+		m.Calling = gsmid.MSISDN(r.BCD())
+		media, err := unmarshalMedia(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: media: %v", ErrBadMessage, err)
+		}
+		m.Media = media
+		msg = m
+	case mtCallProceeding:
+		msg = CallProceeding{CallRef: callRef}
+	case mtAlerting:
+		msg = Alerting{CallRef: callRef}
+	case mtConnect:
+		m := Connect{CallRef: callRef}
+		media, err := unmarshalMedia(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: media: %v", ErrBadMessage, err)
+		}
+		m.Media = media
+		msg = m
+	case mtReleaseComplete:
+		msg = ReleaseComplete{CallRef: callRef, Cause: Cause(r.U8())}
+	default:
+		return nil, fmt.Errorf("%w: unknown message type %#x", ErrBadMessage, mt)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, r.Remaining())
+	}
+	return msg, nil
+}
+
+// CallRefOf extracts the call reference from any Q.931 message.
+func CallRefOf(msg sim.Message) (uint16, bool) {
+	switch m := msg.(type) {
+	case Setup:
+		return m.CallRef, true
+	case CallProceeding:
+		return m.CallRef, true
+	case Alerting:
+		return m.CallRef, true
+	case Connect:
+		return m.CallRef, true
+	case ReleaseComplete:
+		return m.CallRef, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,156 @@
+package q931
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sim"
+)
+
+func TestRoundTripAllMessages(t *testing.T) {
+	media := MediaAddr{Addr: ipnet.MustAddr("10.1.1.5"), Port: 5004}
+	msgs := []sim.Message{
+		Setup{CallRef: 7, Called: "886912345678", Calling: "85291234567", Media: media},
+		Setup{CallRef: 8, Called: "886912345678", Calling: "85291234567"}, // no media
+		CallProceeding{CallRef: 7},
+		Alerting{CallRef: 7},
+		Connect{CallRef: 7, Media: media},
+		Connect{CallRef: 7},
+		ReleaseComplete{CallRef: 7, Cause: CauseNormal},
+	}
+	for _, m := range msgs {
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", m, err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("Unmarshal(%T): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %#v -> %#v", m, got)
+		}
+	}
+}
+
+func TestProtocolDiscriminator(t *testing.T) {
+	b, err := Marshal(Alerting{CallRef: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x08 {
+		t.Fatalf("first octet = %#x, want 0x08 (Q.931 protocol discriminator)", b[0])
+	}
+	b[0] = 0x09
+	if _, err := Unmarshal(b); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("wrong discriminator err = %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{0x08, 0, 1, 0xEE}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	if _, err := Unmarshal([]byte{0x08}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("short err = %v", err)
+	}
+	b, err := Marshal(Alerting{CallRef: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("trailing err = %v", err)
+	}
+}
+
+func TestMarshalForeign(t *testing.T) {
+	if _, err := Marshal(foreign{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNamesMatchPaperVocabulary(t *testing.T) {
+	cases := map[sim.Message]string{
+		Setup{}:           "Q.931 Setup",
+		CallProceeding{}:  "Q.931 Call Proceeding",
+		Alerting{}:        "Q.931 Alerting",
+		Connect{}:         "Q.931 Connect",
+		ReleaseComplete{}: "Q.931 Release Complete",
+	}
+	for m, want := range cases {
+		if m.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", m, m.Name(), want)
+		}
+	}
+}
+
+func TestCallRefOf(t *testing.T) {
+	for _, m := range []sim.Message{
+		Setup{CallRef: 5}, CallProceeding{CallRef: 5}, Alerting{CallRef: 5},
+		Connect{CallRef: 5}, ReleaseComplete{CallRef: 5},
+	} {
+		ref, ok := CallRefOf(m)
+		if !ok || ref != 5 {
+			t.Errorf("CallRefOf(%T) = %d/%v", m, ref, ok)
+		}
+	}
+	if _, ok := CallRefOf(foreign{}); ok {
+		t.Error("CallRefOf(foreign) = true")
+	}
+}
+
+func TestMediaAddr(t *testing.T) {
+	m := MediaAddr{Addr: ipnet.MustAddr("10.0.0.1"), Port: 9}
+	if !m.Valid() || m.String() != "10.0.0.1:9" {
+		t.Fatalf("media = %v valid=%v", m, m.Valid())
+	}
+	if (MediaAddr{}).Valid() {
+		t.Fatal("zero media claims valid")
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	if CauseNormal.String() != "normal-clearing" || Cause(99).String() != "Cause(99)" {
+		t.Fatal("cause strings wrong")
+	}
+}
+
+func TestSetupRoundTripProperty(t *testing.T) {
+	prop := func(ref uint16, port uint16, a [4]byte, digits []byte) bool {
+		ds := make([]byte, 0, 12)
+		for i := 0; i < len(digits) && len(ds) < 12; i++ {
+			ds = append(ds, '0'+digits[i]%10)
+		}
+		if len(ds) < 3 {
+			return true
+		}
+		m := Setup{
+			CallRef: ref,
+			Called:  gsmidMSISDN(ds),
+			Calling: gsmidMSISDN(ds),
+			Media:   MediaAddr{Addr: ipnetAddrFrom4(a), Port: port},
+		}
+		b, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		return err == nil && reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type foreign struct{}
+
+func (foreign) Name() string { return "X" }
+
+func gsmidMSISDN(b []byte) gsmid.MSISDN { return gsmid.MSISDN(b) }
+
+func ipnetAddrFrom4(a [4]byte) netip.Addr { return netip.AddrFrom4(a) }

@@ -1,0 +1,33 @@
+package rtp
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkMarshalPacket(b *testing.B) {
+	p := Packet{PayloadType: PayloadTypeGSM, Seq: 7, Timestamp: 160, SSRC: 1, Payload: make([]byte, 33)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Marshal()
+	}
+}
+
+func BenchmarkUnmarshalPacket(b *testing.B) {
+	buf := Packet{PayloadType: PayloadTypeGSM, Seq: 7, Payload: make([]byte, 33)}.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceiverReceive(b *testing.B) {
+	r := NewReceiver()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Receive(Packet{Seq: uint16(i), Timestamp: uint32(i) * TimestampStep},
+			time.Duration(i)*20*time.Millisecond, 0, false)
+	}
+}

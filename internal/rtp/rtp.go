@@ -1,0 +1,201 @@
+// Package rtp implements the Real-time Transport Protocol packetisation
+// used on the vGPRS media plane: the RFC 3550 fixed header, payload
+// marshalling, and receive-side statistics (loss, reordering, interarrival
+// jitter) for the voice-quality experiment C3.
+package rtp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vgprs/internal/wire"
+)
+
+// ErrBadPacket is returned when an RTP packet fails to decode.
+var ErrBadPacket = errors.New("rtp: malformed packet")
+
+// PayloadTypeGSM is the static RTP payload type for GSM 06.10 (RFC 3551).
+const PayloadTypeGSM = 3
+
+// ClockRate is the RTP timestamp clock for GSM audio (8 kHz).
+const ClockRate = 8000
+
+// TimestampStep is the RTP timestamp increment per 20 ms GSM frame.
+const TimestampStep = 160
+
+// TimestampAt converts a wall/virtual-clock instant into RTP timestamp
+// units. Senders that gate frames (DTX) must derive timestamps from the
+// sampling clock, not a per-packet counter, or receivers would measure the
+// silence gaps as jitter.
+func TimestampAt(now time.Duration) uint32 {
+	return uint32(now * ClockRate / time.Second)
+}
+
+// Packet is an RTP packet: the fixed header plus payload.
+type Packet struct {
+	PayloadType uint8
+	Marker      bool
+	Seq         uint16
+	Timestamp   uint32
+	SSRC        uint32
+	Payload     []byte
+}
+
+// Name implements sim.Message.
+func (Packet) Name() string { return "RTP" }
+
+// Marshal encodes the packet with the RFC 3550 fixed header (V=2, no
+// padding, no extension, no CSRC).
+func (p Packet) Marshal() []byte {
+	w := wire.NewWriter(12 + len(p.Payload))
+	w.U8(0x80) // V=2
+	b2 := p.PayloadType & 0x7F
+	if p.Marker {
+		b2 |= 0x80
+	}
+	w.U8(b2)
+	w.U16(p.Seq)
+	w.U32(p.Timestamp)
+	w.U32(p.SSRC)
+	w.Raw(p.Payload)
+	return w.Bytes()
+}
+
+// Unmarshal decodes an RTP packet.
+func Unmarshal(b []byte) (Packet, error) {
+	r := wire.NewReader(b)
+	v := r.U8()
+	if r.Err() == nil && v>>6 != 2 {
+		return Packet{}, fmt.Errorf("%w: version %d", ErrBadPacket, v>>6)
+	}
+	b2 := r.U8()
+	p := Packet{
+		PayloadType: b2 & 0x7F,
+		Marker:      b2&0x80 != 0,
+		Seq:         r.U16(),
+		Timestamp:   r.U32(),
+		SSRC:        r.U32(),
+	}
+	p.Payload = r.Rest()
+	if err := r.Err(); err != nil {
+		return Packet{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
+	}
+	return p, nil
+}
+
+// Receiver tracks receive-side stream statistics.
+type Receiver struct {
+	started   bool
+	highest   uint16
+	cycles    uint32
+	received  uint64
+	reordered uint64
+	// jitter is the RFC 3550 interarrival jitter estimate in RTP clock
+	// units, kept as a float per the spec's running formula.
+	jitter        float64
+	lastTransit   float64
+	haveTransit   bool
+	delays        []time.Duration
+	firstSeq      uint16
+	expectedBase  uint64
+	lastArrival   time.Duration
+	lastTimestamp uint32
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver() *Receiver { return &Receiver{} }
+
+// Receive records a packet arriving at the given (virtual) time, with the
+// sender-side generation time when known (for one-way delay tracking).
+func (r *Receiver) Receive(p Packet, arrival time.Duration, generated time.Duration, haveGenerated bool) {
+	if !r.started {
+		r.started = true
+		r.firstSeq = p.Seq
+		r.highest = p.Seq
+	} else {
+		diff := int16(p.Seq - r.highest)
+		switch {
+		case diff > 0:
+			if p.Seq < r.highest {
+				r.cycles++
+			}
+			r.highest = p.Seq
+		default:
+			r.reordered++
+		}
+	}
+	r.received++
+
+	// RFC 3550 interarrival jitter: J += (|D| - J) / 16, with transit
+	// times in clock units.
+	arrivalTicks := float64(arrival) / float64(time.Second) * ClockRate
+	transit := arrivalTicks - float64(p.Timestamp)
+	if r.haveTransit {
+		d := transit - r.lastTransit
+		if d < 0 {
+			d = -d
+		}
+		r.jitter += (d - r.jitter) / 16
+	}
+	r.lastTransit = transit
+	r.haveTransit = true
+	r.lastArrival = arrival
+	r.lastTimestamp = p.Timestamp
+
+	if haveGenerated {
+		r.delays = append(r.delays, arrival-generated)
+	}
+}
+
+// Received returns the number of packets received.
+func (r *Receiver) Received() uint64 { return r.received }
+
+// Reordered returns the number of out-of-order arrivals.
+func (r *Receiver) Reordered() uint64 { return r.reordered }
+
+// ExpectedFrom returns how many packets were expected given the highest
+// sequence seen (inclusive range from the first).
+func (r *Receiver) ExpectedFrom() uint64 {
+	if !r.started {
+		return 0
+	}
+	// RFC 3550 extended sequence numbers: the cycle count extends the
+	// highest sequence; plain uint16 subtraction would wrap on its own
+	// and double-count the cycle.
+	extHighest := uint64(r.cycles)<<16 + uint64(r.highest)
+	return extHighest - uint64(r.firstSeq) + 1
+}
+
+// Lost returns the estimated number of lost packets.
+func (r *Receiver) Lost() uint64 {
+	exp := r.ExpectedFrom()
+	if exp <= r.received {
+		return 0
+	}
+	return exp - r.received
+}
+
+// Jitter returns the RFC 3550 interarrival jitter as a duration.
+func (r *Receiver) Jitter() time.Duration {
+	return time.Duration(r.jitter / ClockRate * float64(time.Second))
+}
+
+// Delays returns the recorded one-way delays (for percentile analysis).
+func (r *Receiver) Delays() []time.Duration {
+	out := make([]time.Duration, len(r.delays))
+	copy(out, r.delays)
+	return out
+}
+
+// MeanDelay returns the average one-way delay, or zero with no samples.
+func (r *Receiver) MeanDelay() time.Duration {
+	if len(r.delays) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.delays {
+		sum += d
+	}
+	return sum / time.Duration(len(r.delays))
+}

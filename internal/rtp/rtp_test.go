@@ -1,0 +1,231 @@
+package rtp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	p := Packet{
+		PayloadType: PayloadTypeGSM, Marker: true,
+		Seq: 1000, Timestamp: 160000, SSRC: 0xDEADBEEF,
+		Payload: []byte("frame"),
+	}
+	got, err := Unmarshal(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadType != p.PayloadType || got.Marker != p.Marker ||
+		got.Seq != p.Seq || got.Timestamp != p.Timestamp || got.SSRC != p.SSRC ||
+		!bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("round trip %+v -> %+v", p, got)
+	}
+}
+
+func TestHeaderLayout(t *testing.T) {
+	b := Packet{PayloadType: 3, Seq: 1}.Marshal()
+	if len(b) != 12 {
+		t.Fatalf("header len = %d, want 12", len(b))
+	}
+	if b[0] != 0x80 {
+		t.Fatalf("first octet = %#x, want 0x80 (V=2)", b[0])
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{0x80, 3}); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("short err = %v", err)
+	}
+	b := Packet{}.Marshal()
+	b[0] = 0x40 // version 1
+	if _, err := Unmarshal(b); !errors.Is(err, ErrBadPacket) {
+		t.Errorf("version err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(pt uint8, marker bool, seq uint16, ts, ssrc uint32, payload []byte) bool {
+		p := Packet{PayloadType: pt & 0x7F, Marker: marker, Seq: seq, Timestamp: ts, SSRC: ssrc, Payload: payload}
+		got, err := Unmarshal(p.Marshal())
+		return err == nil && got.PayloadType == p.PayloadType && got.Marker == marker &&
+			got.Seq == seq && got.Timestamp == ts && got.SSRC == ssrc &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func receiveN(r *Receiver, n int, interval time.Duration, jitterEvery int, jitterAmount time.Duration) {
+	for i := 0; i < n; i++ {
+		arrival := time.Duration(i) * interval
+		if jitterEvery > 0 && i%jitterEvery == 0 {
+			arrival += jitterAmount
+		}
+		r.Receive(Packet{
+			Seq:       uint16(i),
+			Timestamp: uint32(i * TimestampStep),
+		}, arrival, arrival-10*time.Millisecond, true)
+	}
+}
+
+func TestReceiverCountsAndDelay(t *testing.T) {
+	r := NewReceiver()
+	receiveN(r, 100, 20*time.Millisecond, 0, 0)
+	if r.Received() != 100 || r.Lost() != 0 || r.Reordered() != 0 {
+		t.Fatalf("recv=%d lost=%d reorder=%d", r.Received(), r.Lost(), r.Reordered())
+	}
+	if r.MeanDelay() != 10*time.Millisecond {
+		t.Fatalf("mean delay = %v", r.MeanDelay())
+	}
+	if len(r.Delays()) != 100 {
+		t.Fatalf("delays = %d", len(r.Delays()))
+	}
+}
+
+func TestReceiverPerfectStreamHasLowJitter(t *testing.T) {
+	r := NewReceiver()
+	receiveN(r, 200, 20*time.Millisecond, 0, 0)
+	if r.Jitter() > time.Millisecond {
+		t.Fatalf("jitter = %v for a perfectly paced stream", r.Jitter())
+	}
+}
+
+func TestReceiverJitterDetectsVariance(t *testing.T) {
+	steady := NewReceiver()
+	receiveN(steady, 200, 20*time.Millisecond, 0, 0)
+	bursty := NewReceiver()
+	receiveN(bursty, 200, 20*time.Millisecond, 3, 15*time.Millisecond)
+	if bursty.Jitter() <= steady.Jitter() {
+		t.Fatalf("bursty jitter %v <= steady %v", bursty.Jitter(), steady.Jitter())
+	}
+}
+
+func TestReceiverLoss(t *testing.T) {
+	r := NewReceiver()
+	for i := 0; i < 100; i++ {
+		if i%10 == 3 {
+			continue // drop every 10th
+		}
+		r.Receive(Packet{Seq: uint16(i), Timestamp: uint32(i * TimestampStep)},
+			time.Duration(i)*20*time.Millisecond, 0, false)
+	}
+	if r.Lost() != 10 {
+		t.Fatalf("Lost = %d, want 10", r.Lost())
+	}
+}
+
+func TestReceiverReordering(t *testing.T) {
+	r := NewReceiver()
+	seqs := []uint16{0, 1, 3, 2, 4}
+	for i, s := range seqs {
+		r.Receive(Packet{Seq: s}, time.Duration(i)*time.Millisecond, 0, false)
+	}
+	if r.Reordered() != 1 {
+		t.Fatalf("Reordered = %d, want 1", r.Reordered())
+	}
+	if r.Lost() != 0 {
+		t.Fatalf("Lost = %d, want 0 (late arrival filled the gap)", r.Lost())
+	}
+}
+
+func TestReceiverEmpty(t *testing.T) {
+	r := NewReceiver()
+	if r.ExpectedFrom() != 0 || r.Lost() != 0 || r.MeanDelay() != 0 {
+		t.Fatal("empty receiver stats must be zero")
+	}
+}
+
+func TestReceiverSequenceWraparound(t *testing.T) {
+	r := NewReceiver()
+	at := time.Duration(0)
+	// 100 packets straddling the uint16 boundary: 65500..65535, 0..63.
+	for i := 0; i < 100; i++ {
+		seq := uint16(65500 + i) // wraps naturally
+		r.Receive(Packet{Seq: seq, Timestamp: uint32(i) * TimestampStep},
+			at, 0, false)
+		at += 20 * time.Millisecond
+	}
+	if r.Received() != 100 {
+		t.Fatalf("received = %d", r.Received())
+	}
+	if r.ExpectedFrom() != 100 {
+		t.Fatalf("expected = %d across the wrap", r.ExpectedFrom())
+	}
+	if r.Lost() != 0 {
+		t.Fatalf("lost = %d on a complete wrapped stream", r.Lost())
+	}
+}
+
+// TestReceiverDTXGapIsNotJitter models silence suppression: the sender
+// skips frames but stamps timestamps from the sampling clock, so the
+// arrival gap matches the timestamp gap exactly and measured jitter must
+// stay zero.
+func TestReceiverDTXGapIsNotJitter(t *testing.T) {
+	r := NewReceiver()
+	at := time.Duration(0)
+	seq := uint16(0)
+	emit := func(frames int) {
+		for i := 0; i < frames; i++ {
+			seq++
+			r.Receive(Packet{Seq: seq, Timestamp: TimestampAt(at)}, at, 0, false)
+			at += 20 * time.Millisecond
+		}
+	}
+	emit(50)                     // talk spurt
+	at += 600 * time.Millisecond // silence: no packets, clock advances
+	emit(50)                     // next spurt
+	if got := r.Jitter(); got != 0 {
+		t.Fatalf("jitter = %v across a DTX gap, want 0", got)
+	}
+	// Counter-case: if the sender had stamped timestamps per packet sent
+	// (the bug TimestampAt prevents), the same gap WOULD read as jitter.
+	w := NewReceiver()
+	at2, ts := time.Duration(0), uint32(0)
+	for i := 0; i < 50; i++ {
+		w.Receive(Packet{Seq: uint16(i), Timestamp: ts}, at2, 0, false)
+		ts += TimestampStep
+		at2 += 20 * time.Millisecond
+	}
+	at2 += 600 * time.Millisecond
+	for i := 50; i < 100; i++ {
+		w.Receive(Packet{Seq: uint16(i), Timestamp: ts}, at2, 0, false)
+		ts += TimestampStep
+		at2 += 20 * time.Millisecond
+	}
+	if w.Jitter() == 0 {
+		t.Fatal("per-packet timestamps should have produced jitter")
+	}
+}
+
+// TestReceiverAccountingProperty: for any starting sequence (including
+// ones that wrap) and any loss pattern that keeps the first and last
+// packet, ExpectedFrom equals the span and Lost equals the drop count.
+func TestReceiverAccountingProperty(t *testing.T) {
+	prop := func(start uint16, lossMask uint64) bool {
+		const n = 200
+		r := NewReceiver()
+		at := time.Duration(0)
+		dropped := uint64(0)
+		for i := 0; i < n; i++ {
+			seq := start + uint16(i)
+			// Drop middle packets per the mask; always deliver the
+			// first and last so the span is well defined.
+			if i != 0 && i != n-1 && lossMask>>(uint(i)%64)&1 == 1 {
+				lossMask = lossMask*6364136223846793005 + 1 // next bits
+				dropped++
+				continue
+			}
+			lossMask = lossMask*6364136223846793005 + 1
+			r.Receive(Packet{Seq: seq, Timestamp: TimestampAt(at)}, at, 0, false)
+			at += 20 * time.Millisecond
+		}
+		return r.ExpectedFrom() == n && r.Lost() == dropped
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package sigmap
+
+import (
+	"testing"
+
+	"vgprs/internal/gsmid"
+)
+
+func BenchmarkMarshalUpdateLocationArea(b *testing.B) {
+	m := UpdateLocationArea{
+		Invoke:   7,
+		Identity: gsmid.ByIMSI("466920000000001"),
+		LAI:      gsmid.LAI{MCC: "466", MNC: "92", LAC: 1},
+		MSC:      "VMSC-1",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalUpdateLocationArea(b *testing.B) {
+	m := UpdateLocationArea{
+		Invoke:   7,
+		Identity: gsmid.ByIMSI("466920000000001"),
+		LAI:      gsmid.LAI{MCC: "466", MNC: "92", LAC: 1},
+		MSC:      "VMSC-1",
+	}
+	buf, err := Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

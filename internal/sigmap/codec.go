@@ -1,0 +1,405 @@
+package sigmap
+
+import (
+	"fmt"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+	"vgprs/internal/wire"
+)
+
+// Operation codes for the MAP wire codec. Values are stable across versions
+// of this repository; they are not the TCAP operation codes of GSM 09.02
+// (those are ASN.1-coupled), but carry the same operations.
+const (
+	opUpdateLocationArea uint8 = iota + 1
+	opUpdateLocationAreaAck
+	opUpdateLocation
+	opUpdateLocationAck
+	opInsertSubscriberData
+	opInsertSubscriberDataAck
+	opCancelLocation
+	opCancelLocationAck
+	opSendAuthenticationInfo
+	opSendAuthenticationInfoAck
+	opSendInfoForOutgoingCall
+	opSendInfoForOutgoingCallAck
+	opSendRoutingInformation
+	opSendRoutingInformationAck
+	opProvideRoamingNumber
+	opProvideRoamingNumberAck
+	opPrepareHandover
+	opPrepareHandoverAck
+	opSendEndSignal
+	opSendEndSignalAck
+	opSendInfoForIncomingCall
+	opSendInfoForIncomingCallAck
+	opSendRoutingInfoForGPRS
+	opSendRoutingInfoForGPRSAck
+	opUpdateGPRSLocation
+	opUpdateGPRSLocationAck
+	opAuthenticate
+	opAuthenticateAck
+	opSetCipherMode
+	opSetCipherModeAck
+	opSendIMSI
+	opSendIMSIAck
+	opPrepareSubsequentHandover
+	opPrepareSubsequentHandoverAck
+)
+
+// Marshal encodes a MAP operation to its wire form. It returns an error for
+// message types outside this package.
+func Marshal(msg sim.Message) ([]byte, error) {
+	w := wire.NewWriter(64)
+	switch m := msg.(type) {
+	case UpdateLocationArea:
+		w.U8(opUpdateLocationArea)
+		w.U32(uint32(m.Invoke))
+		m.Identity.Marshal(w)
+		gsmid.MarshalLAI(w, m.LAI)
+		w.String8(m.MSC)
+	case UpdateLocationAreaAck:
+		w.U8(opUpdateLocationAreaAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.IMSI))
+		w.U32(uint32(m.TMSI))
+		w.BCD(string(m.MSISDN))
+	case UpdateLocation:
+		w.U8(opUpdateLocation)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+		w.String8(m.VLR)
+		w.String8(m.MSC)
+	case UpdateLocationAck:
+		w.U8(opUpdateLocationAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+	case InsertSubscriberData:
+		w.U8(opInsertSubscriberData)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+		marshalProfile(w, m.Profile)
+	case InsertSubscriberDataAck:
+		w.U8(opInsertSubscriberDataAck)
+		w.U32(uint32(m.Invoke))
+	case CancelLocation:
+		w.U8(opCancelLocation)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+	case CancelLocationAck:
+		w.U8(opCancelLocationAck)
+		w.U32(uint32(m.Invoke))
+	case SendAuthenticationInfo:
+		w.U8(opSendAuthenticationInfo)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+		w.U8(m.Count)
+	case SendAuthenticationInfoAck:
+		w.U8(opSendAuthenticationInfoAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		if len(m.Triplets) > 255 {
+			return nil, fmt.Errorf("sigmap: %d triplets exceeds 255", len(m.Triplets))
+		}
+		w.U8(uint8(len(m.Triplets)))
+		for _, tr := range m.Triplets {
+			w.Raw(tr.RAND[:])
+			w.Raw(tr.SRES[:])
+			w.Raw(tr.Kc[:])
+		}
+	case SendInfoForOutgoingCall:
+		w.U8(opSendInfoForOutgoingCall)
+		w.U32(uint32(m.Invoke))
+		m.Identity.Marshal(w)
+		w.BCD(string(m.Called))
+	case SendInfoForOutgoingCallAck:
+		w.U8(opSendInfoForOutgoingCallAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.IMSI))
+		w.BCD(string(m.MSISDN))
+	case SendRoutingInformation:
+		w.U8(opSendRoutingInformation)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.MSISDN))
+	case SendRoutingInformationAck:
+		w.U8(opSendRoutingInformationAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.MSRN))
+	case ProvideRoamingNumber:
+		w.U8(opProvideRoamingNumber)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+		w.String8(m.GMSC)
+	case ProvideRoamingNumberAck:
+		w.U8(opProvideRoamingNumberAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.MSRN))
+	case PrepareHandover:
+		w.U8(opPrepareHandover)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+		w.U32(m.CallRef)
+		gsmid.MarshalLAI(w, m.TargetCell.LAI)
+		w.U16(m.TargetCell.CI)
+	case PrepareHandoverAck:
+		w.U8(opPrepareHandoverAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.HandoverNumber))
+		w.U16(m.RadioChannel)
+	case PrepareSubsequentHandover:
+		w.U8(opPrepareSubsequentHandover)
+		w.U32(uint32(m.Invoke))
+		w.U32(m.CallRef)
+		gsmid.MarshalLAI(w, m.TargetCell.LAI)
+		w.U16(m.TargetCell.CI)
+	case PrepareSubsequentHandoverAck:
+		w.U8(opPrepareSubsequentHandoverAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.U32(m.CallRef)
+		gsmid.MarshalLAI(w, m.TargetCell.LAI)
+		w.U16(m.TargetCell.CI)
+		w.String8(m.TargetBTS)
+		w.U16(m.RadioChannel)
+	case SendEndSignal:
+		w.U8(opSendEndSignal)
+		w.U32(uint32(m.Invoke))
+		w.U32(m.CallRef)
+	case SendEndSignalAck:
+		w.U8(opSendEndSignalAck)
+		w.U32(uint32(m.Invoke))
+		w.U32(m.CallRef)
+	case SendInfoForIncomingCall:
+		w.U8(opSendInfoForIncomingCall)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.MSRN))
+	case SendInfoForIncomingCallAck:
+		w.U8(opSendInfoForIncomingCallAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.IMSI))
+		w.BCD(string(m.MSISDN))
+	case SendRoutingInfoForGPRS:
+		w.U8(opSendRoutingInfoForGPRS)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+	case SendRoutingInfoForGPRSAck:
+		w.U8(opSendRoutingInfoForGPRSAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.String8(m.SGSN)
+		w.String8(m.StaticPDPAddress)
+	case UpdateGPRSLocation:
+		w.U8(opUpdateGPRSLocation)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.IMSI))
+		w.String8(m.SGSN)
+	case UpdateGPRSLocationAck:
+		w.U8(opUpdateGPRSLocationAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+	case Authenticate:
+		w.U8(opAuthenticate)
+		w.U32(uint32(m.Invoke))
+		m.Identity.Marshal(w)
+		w.Raw(m.RAND[:])
+	case AuthenticateAck:
+		w.U8(opAuthenticateAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.Raw(m.SRES[:])
+	case SetCipherMode:
+		w.U8(opSetCipherMode)
+		w.U32(uint32(m.Invoke))
+		m.Identity.Marshal(w)
+		w.Raw(m.Kc[:])
+	case SetCipherModeAck:
+		w.U8(opSetCipherModeAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+	case SendIMSI:
+		w.U8(opSendIMSI)
+		w.U32(uint32(m.Invoke))
+		w.BCD(string(m.MSISDN))
+	case SendIMSIAck:
+		w.U8(opSendIMSIAck)
+		w.U32(uint32(m.Invoke))
+		w.U8(uint8(m.Cause))
+		w.BCD(string(m.IMSI))
+	default:
+		return nil, fmt.Errorf("sigmap: cannot marshal %T", msg)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes a MAP operation from its wire form.
+func Unmarshal(b []byte) (sim.Message, error) {
+	r := wire.NewReader(b)
+	op := r.U8()
+	invoke := ss7.InvokeID(r.U32())
+	var msg sim.Message
+	switch op {
+	case opUpdateLocationArea:
+		m := UpdateLocationArea{Invoke: invoke}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.LAI = gsmid.UnmarshalLAI(r)
+		m.MSC = r.String8()
+		msg = m
+	case opUpdateLocationAreaAck:
+		msg = UpdateLocationAreaAck{
+			Invoke: invoke,
+			Cause:  Cause(r.U8()),
+			IMSI:   gsmid.IMSI(r.BCD()),
+			TMSI:   gsmid.TMSI(r.U32()),
+			MSISDN: gsmid.MSISDN(r.BCD()),
+		}
+	case opUpdateLocation:
+		msg = UpdateLocation{
+			Invoke: invoke,
+			IMSI:   gsmid.IMSI(r.BCD()),
+			VLR:    r.String8(),
+			MSC:    r.String8(),
+		}
+	case opUpdateLocationAck:
+		msg = UpdateLocationAck{Invoke: invoke, Cause: Cause(r.U8())}
+	case opInsertSubscriberData:
+		msg = InsertSubscriberData{
+			Invoke:  invoke,
+			IMSI:    gsmid.IMSI(r.BCD()),
+			Profile: unmarshalProfile(r),
+		}
+	case opInsertSubscriberDataAck:
+		msg = InsertSubscriberDataAck{Invoke: invoke}
+	case opCancelLocation:
+		msg = CancelLocation{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD())}
+	case opCancelLocationAck:
+		msg = CancelLocationAck{Invoke: invoke}
+	case opSendAuthenticationInfo:
+		msg = SendAuthenticationInfo{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD()), Count: r.U8()}
+	case opSendAuthenticationInfoAck:
+		m := SendAuthenticationInfoAck{Invoke: invoke, Cause: Cause(r.U8())}
+		n := int(r.U8())
+		for i := 0; i < n; i++ {
+			var tr AuthTriplet
+			copy(tr.RAND[:], r.Raw(16))
+			copy(tr.SRES[:], r.Raw(4))
+			copy(tr.Kc[:], r.Raw(8))
+			m.Triplets = append(m.Triplets, tr)
+		}
+		msg = m
+	case opSendInfoForOutgoingCall:
+		m := SendInfoForOutgoingCall{Invoke: invoke}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.Called = gsmid.MSISDN(r.BCD())
+		msg = m
+	case opSendInfoForOutgoingCallAck:
+		msg = SendInfoForOutgoingCallAck{
+			Invoke: invoke,
+			Cause:  Cause(r.U8()),
+			IMSI:   gsmid.IMSI(r.BCD()),
+			MSISDN: gsmid.MSISDN(r.BCD()),
+		}
+	case opSendRoutingInformation:
+		msg = SendRoutingInformation{Invoke: invoke, MSISDN: gsmid.MSISDN(r.BCD())}
+	case opSendRoutingInformationAck:
+		msg = SendRoutingInformationAck{
+			Invoke: invoke,
+			Cause:  Cause(r.U8()),
+			MSRN:   gsmid.MSISDN(r.BCD()),
+		}
+	case opProvideRoamingNumber:
+		msg = ProvideRoamingNumber{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD()), GMSC: r.String8()}
+	case opProvideRoamingNumberAck:
+		msg = ProvideRoamingNumberAck{
+			Invoke: invoke,
+			Cause:  Cause(r.U8()),
+			MSRN:   gsmid.MSISDN(r.BCD()),
+		}
+	case opPrepareHandover:
+		m := PrepareHandover{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD()), CallRef: r.U32()}
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.CI = r.U16()
+		msg = m
+	case opPrepareHandoverAck:
+		msg = PrepareHandoverAck{
+			Invoke:         invoke,
+			Cause:          Cause(r.U8()),
+			HandoverNumber: gsmid.MSISDN(r.BCD()),
+			RadioChannel:   r.U16(),
+		}
+	case opPrepareSubsequentHandover:
+		m := PrepareSubsequentHandover{Invoke: invoke, CallRef: r.U32()}
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.CI = r.U16()
+		msg = m
+	case opPrepareSubsequentHandoverAck:
+		m := PrepareSubsequentHandoverAck{Invoke: invoke, Cause: Cause(r.U8()), CallRef: r.U32()}
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.CI = r.U16()
+		m.TargetBTS = r.String8()
+		m.RadioChannel = r.U16()
+		msg = m
+	case opSendEndSignal:
+		msg = SendEndSignal{Invoke: invoke, CallRef: r.U32()}
+	case opSendEndSignalAck:
+		msg = SendEndSignalAck{Invoke: invoke, CallRef: r.U32()}
+	case opSendInfoForIncomingCall:
+		msg = SendInfoForIncomingCall{Invoke: invoke, MSRN: gsmid.MSISDN(r.BCD())}
+	case opSendInfoForIncomingCallAck:
+		msg = SendInfoForIncomingCallAck{
+			Invoke: invoke,
+			Cause:  Cause(r.U8()),
+			IMSI:   gsmid.IMSI(r.BCD()),
+			MSISDN: gsmid.MSISDN(r.BCD()),
+		}
+	case opSendRoutingInfoForGPRS:
+		msg = SendRoutingInfoForGPRS{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD())}
+	case opSendRoutingInfoForGPRSAck:
+		msg = SendRoutingInfoForGPRSAck{
+			Invoke:           invoke,
+			Cause:            Cause(r.U8()),
+			SGSN:             r.String8(),
+			StaticPDPAddress: r.String8(),
+		}
+	case opUpdateGPRSLocation:
+		msg = UpdateGPRSLocation{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD()), SGSN: r.String8()}
+	case opUpdateGPRSLocationAck:
+		msg = UpdateGPRSLocationAck{Invoke: invoke, Cause: Cause(r.U8())}
+	case opAuthenticate:
+		m := Authenticate{Invoke: invoke}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		copy(m.RAND[:], r.Raw(16))
+		msg = m
+	case opAuthenticateAck:
+		m := AuthenticateAck{Invoke: invoke, Cause: Cause(r.U8())}
+		copy(m.SRES[:], r.Raw(4))
+		msg = m
+	case opSetCipherMode:
+		m := SetCipherMode{Invoke: invoke}
+		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		copy(m.Kc[:], r.Raw(8))
+		msg = m
+	case opSetCipherModeAck:
+		msg = SetCipherModeAck{Invoke: invoke, Cause: Cause(r.U8())}
+	case opSendIMSI:
+		msg = SendIMSI{Invoke: invoke, MSISDN: gsmid.MSISDN(r.BCD())}
+	case opSendIMSIAck:
+		msg = SendIMSIAck{Invoke: invoke, Cause: Cause(r.U8()), IMSI: gsmid.IMSI(r.BCD())}
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadMessage, op)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, r.Remaining())
+	}
+	return msg, nil
+}

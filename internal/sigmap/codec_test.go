@@ -1,0 +1,197 @@
+package sigmap
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+func roundTrip(t *testing.T, msg sim.Message) sim.Message {
+	t.Helper()
+	b, err := Marshal(msg)
+	if err != nil {
+		t.Fatalf("Marshal(%T): %v", msg, err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal(%T): %v", msg, err)
+	}
+	return got
+}
+
+func TestRoundTripAllOperations(t *testing.T) {
+	imsi := gsmid.MustIMSI("466920000000001")
+	msisdn := gsmid.MustMSISDN("886912345678")
+	lai := gsmid.LAI{MCC: "466", MNC: "92", LAC: 0x1234}
+	triplet := AuthTriplet{}
+	for i := range triplet.RAND {
+		triplet.RAND[i] = byte(i)
+	}
+	copy(triplet.SRES[:], []byte{9, 8, 7, 6})
+	copy(triplet.Kc[:], []byte{1, 1, 2, 3, 5, 8, 13, 21})
+
+	msgs := []sim.Message{
+		UpdateLocationArea{Invoke: 7, Identity: gsmid.ByIMSI(imsi), LAI: lai, MSC: "vmsc-1"},
+		UpdateLocationArea{Invoke: 8, Identity: gsmid.ByTMSI(0xDEADBEEF), LAI: lai, MSC: "vmsc-1"},
+		UpdateLocationAreaAck{Invoke: 7, Cause: CauseNone, IMSI: imsi, TMSI: 0xCAFE0001, MSISDN: msisdn},
+		UpdateLocation{Invoke: 9, IMSI: imsi, VLR: "vlr-1", MSC: "vmsc-1"},
+		UpdateLocationAck{Invoke: 9, Cause: CauseRoamingNotAllowed},
+		InsertSubscriberData{Invoke: 10, IMSI: imsi, Profile: SubscriberProfile{
+			MSISDN: msisdn, InternationalAllowed: true, VoIPQoS: 2, Barred: false}},
+		InsertSubscriberDataAck{Invoke: 10},
+		CancelLocation{Invoke: 11, IMSI: imsi},
+		CancelLocationAck{Invoke: 11},
+		SendAuthenticationInfo{Invoke: 12, IMSI: imsi, Count: 3},
+		SendAuthenticationInfoAck{Invoke: 12, Cause: CauseNone, Triplets: []AuthTriplet{triplet, triplet}},
+		SendInfoForOutgoingCall{Invoke: 13, Identity: gsmid.ByTMSI(1), Called: msisdn},
+		SendInfoForOutgoingCallAck{Invoke: 13, Cause: CauseNone, IMSI: imsi, MSISDN: msisdn},
+		SendRoutingInformation{Invoke: 14, MSISDN: msisdn},
+		SendRoutingInformationAck{Invoke: 14, Cause: CauseAbsentSubscriber, MSRN: "886900000123"},
+		ProvideRoamingNumber{Invoke: 15, IMSI: imsi, GMSC: "gmsc-uk"},
+		ProvideRoamingNumberAck{Invoke: 15, Cause: CauseNone, MSRN: "886900000124"},
+		PrepareHandover{Invoke: 16, IMSI: imsi, CallRef: 99,
+			TargetCell: gsmid.CGI{LAI: lai, CI: 0xBEEF}},
+		PrepareHandoverAck{Invoke: 16, Cause: CauseNone, HandoverNumber: "886900000200", RadioChannel: 42},
+		PrepareSubsequentHandover{Invoke: 16, CallRef: 99,
+			TargetCell: gsmid.CGI{LAI: lai, CI: 0xBEEF}},
+		PrepareSubsequentHandoverAck{Invoke: 16, Cause: CauseNone, CallRef: 99,
+			TargetCell: gsmid.CGI{LAI: lai, CI: 0xBEEF},
+			TargetBTS:  "BTS-3", RadioChannel: 7},
+		PrepareSubsequentHandoverAck{Invoke: 17, Cause: CauseSystemFailure, CallRef: 100},
+		SendEndSignal{Invoke: 17, CallRef: 99},
+		SendEndSignalAck{Invoke: 17, CallRef: 99},
+		SendInfoForIncomingCall{Invoke: 18, MSRN: "886900000123"},
+		SendInfoForIncomingCallAck{Invoke: 18, Cause: CauseNone, IMSI: imsi, MSISDN: msisdn},
+		SendRoutingInfoForGPRS{Invoke: 19, IMSI: imsi},
+		SendRoutingInfoForGPRSAck{Invoke: 19, Cause: CauseNone, SGSN: "sgsn-1", StaticPDPAddress: "10.0.0.9"},
+		SendRoutingInfoForGPRSAck{Invoke: 20, Cause: CauseUnknownSubscriber},
+		UpdateGPRSLocation{Invoke: 21, IMSI: imsi, SGSN: "sgsn-1"},
+		UpdateGPRSLocationAck{Invoke: 21, Cause: CauseNone},
+		Authenticate{Invoke: 22, Identity: gsmid.ByIMSI(imsi), RAND: triplet.RAND},
+		AuthenticateAck{Invoke: 22, Cause: CauseNone, SRES: triplet.SRES},
+		SetCipherMode{Invoke: 23, Identity: gsmid.ByTMSI(5), Kc: triplet.Kc},
+		SetCipherModeAck{Invoke: 23, Cause: CauseNone},
+		SendIMSI{Invoke: 24, MSISDN: msisdn},
+		SendIMSIAck{Invoke: 24, Cause: CauseNone, IMSI: imsi},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip mismatch:\n in: %#v\nout: %#v", m, got)
+		}
+	}
+}
+
+func TestNamesMatchPaperVocabulary(t *testing.T) {
+	cases := map[sim.Message]string{
+		UpdateLocationArea{}:      "MAP_UPDATE_LOCATION_AREA",
+		UpdateLocationAreaAck{}:   "MAP_UPDATE_LOCATION_AREA_ack",
+		UpdateLocation{}:          "MAP_UPDATE_LOCATION",
+		InsertSubscriberData{}:    "MAP_INSERT_SUBS_DATA",
+		SendInfoForOutgoingCall{}: "MAP_SEND_INFO_FOR_OUTGOING_CALL",
+		SendRoutingInformation{}:  "MAP_SEND_ROUTING_INFORMATION",
+		ProvideRoamingNumber{}:    "MAP_PROVIDE_ROAMING_NUMBER",
+		PrepareHandover{}:         "MAP_PREPARE_HANDOVER",
+		SendEndSignal{}:           "MAP_SEND_END_SIGNAL",
+	}
+	for m, want := range cases {
+		if m.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", m, m.Name(), want)
+		}
+	}
+}
+
+func TestMarshalUnknownType(t *testing.T) {
+	if _, err := Marshal(fakeMsg{}); err == nil {
+		t.Fatal("expected error for foreign message type")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{0xFF, 0, 0, 0, 0}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("unknown opcode err = %v", err)
+	}
+	if _, err := Unmarshal([]byte{opUpdateLocation}); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("truncated err = %v", err)
+	}
+	// Valid message with trailing garbage.
+	b, err := Marshal(SendEndSignal{Invoke: 1, CallRef: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(b, 0x00)); !errors.Is(err, ErrBadMessage) {
+		t.Errorf("trailing bytes err = %v", err)
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	for c, want := range map[Cause]string{
+		CauseNone:               "none",
+		CauseUnknownSubscriber:  "unknown-subscriber",
+		CauseNotAllowed:         "not-allowed",
+		CauseSystemFailure:      "system-failure",
+		CauseAbsentSubscriber:   "absent-subscriber",
+		CauseRoamingNotAllowed:  "roaming-not-allowed",
+		CauseNoHandoverResource: "no-handover-resource",
+		Cause(99):               "Cause(99)",
+	} {
+		if c.String() != want {
+			t.Errorf("Cause(%d).String() = %q, want %q", uint8(c), c, want)
+		}
+	}
+}
+
+func TestAuthTripletRoundTripProperty(t *testing.T) {
+	prop := func(rand [16]byte, sres [4]byte, kc [8]byte, invoke uint32) bool {
+		m := SendAuthenticationInfoAck{
+			Invoke:   ss7InvokeID(invoke),
+			Triplets: []AuthTriplet{{RAND: rand, SRES: sres, Kc: kc}},
+		}
+		b, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutingInfoRoundTripProperty(t *testing.T) {
+	prop := func(raw []byte, invoke uint32) bool {
+		digits := make([]byte, 0, 15)
+		for i := 0; i < len(raw) && len(digits) < 15; i++ {
+			digits = append(digits, '0'+raw[i]%10)
+		}
+		if len(digits) < 3 {
+			return true
+		}
+		m := SendRoutingInformation{Invoke: ss7InvokeID(invoke), MSISDN: gsmid.MSISDN(digits)}
+		b, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		return err == nil && reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type fakeMsg struct{}
+
+func (fakeMsg) Name() string { return "FAKE" }
+
+// ss7InvokeID converts for property tests.
+func ss7InvokeID(v uint32) ss7.InvokeID { return ss7.InvokeID(v) }

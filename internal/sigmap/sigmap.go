@@ -1,0 +1,538 @@
+// Package sigmap implements the GSM Mobile Application Part (MAP, GSM 09.02)
+// operations used by the vGPRS procedures: location updating and subscriber
+// data management (paper Fig 4), outgoing-call authorization (Fig 5),
+// routing-information retrieval for call delivery and tromboning (Figs 6-8),
+// and inter-MSC handover (Fig 9).
+//
+// Every operation is a typed message implementing sim.Message with a binary
+// wire codec; requests carry an ss7.InvokeID that the responding element
+// echoes so the ss7.DialogueManager can correlate them.
+package sigmap
+
+import (
+	"errors"
+	"fmt"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+	"vgprs/internal/wire"
+)
+
+// ErrBadMessage is returned when a MAP message fails to decode.
+var ErrBadMessage = errors.New("sigmap: malformed MAP message")
+
+// Cause codes for negative MAP responses.
+type Cause uint8
+
+// MAP failure causes used across the procedures.
+const (
+	CauseNone               Cause = iota // success
+	CauseUnknownSubscriber               // no HLR/VLR record
+	CauseNotAllowed                      // service barred by subscription
+	CauseSystemFailure                   // internal element failure
+	CauseAbsentSubscriber                // MS detached / no paging response
+	CauseRoamingNotAllowed               // PLMN not permitted
+	CauseNoHandoverResource              // target MSC cannot host handover
+)
+
+// String names the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseUnknownSubscriber:
+		return "unknown-subscriber"
+	case CauseNotAllowed:
+		return "not-allowed"
+	case CauseSystemFailure:
+		return "system-failure"
+	case CauseAbsentSubscriber:
+		return "absent-subscriber"
+	case CauseRoamingNotAllowed:
+		return "roaming-not-allowed"
+	case CauseNoHandoverResource:
+		return "no-handover-resource"
+	default:
+		return fmt.Sprintf("Cause(%d)", uint8(c))
+	}
+}
+
+// AuthTriplet is a GSM authentication vector (RAND, SRES, Kc) produced by
+// the HLR/AuC from the subscriber key.
+type AuthTriplet struct {
+	RAND [16]byte
+	SRES [4]byte
+	Kc   [8]byte
+}
+
+// SubscriberProfile is the subscription data the HLR inserts into a VLR at
+// registration (paper step 1.2: "the profile indicates, e.g., if the MS is
+// allowed to make international calls").
+type SubscriberProfile struct {
+	MSISDN               gsmid.MSISDN
+	InternationalAllowed bool
+	// VoIPQoS is the GPRS QoS profile class the VMSC requests for this
+	// subscriber's voice PDP context (1 = highest precedence).
+	VoIPQoS uint8
+	// Barred blocks all outgoing calls.
+	Barred bool
+}
+
+func marshalProfile(w *wire.Writer, p SubscriberProfile) {
+	w.BCD(string(p.MSISDN))
+	w.U8(boolByte(p.InternationalAllowed))
+	w.U8(p.VoIPQoS)
+	w.U8(boolByte(p.Barred))
+}
+
+func unmarshalProfile(r *wire.Reader) SubscriberProfile {
+	return SubscriberProfile{
+		MSISDN:               gsmid.MSISDN(r.BCD()),
+		InternationalAllowed: r.U8() != 0,
+		VoIPQoS:              r.U8(),
+		Barred:               r.U8() != 0,
+	}
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- Location management (Fig 4, steps 1.1-1.2) ---
+
+// UpdateLocationArea is sent by the (V)MSC to its VLR when an MS performs a
+// location update (paper step 1.1).
+type UpdateLocationArea struct {
+	Invoke   ss7.InvokeID
+	Identity gsmid.MobileIdentity
+	LAI      gsmid.LAI
+	// MSC is the serving (V)MSC address the VLR records for this MS.
+	MSC string
+}
+
+// Name implements sim.Message.
+func (UpdateLocationArea) Name() string { return "MAP_UPDATE_LOCATION_AREA" }
+
+// UpdateLocationAreaAck confirms (or rejects) a location update toward the
+// (V)MSC (paper step 1.2 tail).
+type UpdateLocationAreaAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	IMSI   gsmid.IMSI
+	// TMSI is the fresh temporary identity the VLR allocated.
+	TMSI gsmid.TMSI
+	// MSISDN is the subscriber's directory number from the inserted
+	// profile — the VMSC registers it as the H.323 alias (step 1.4).
+	MSISDN gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (UpdateLocationAreaAck) Name() string { return "MAP_UPDATE_LOCATION_AREA_ack" }
+
+// UpdateLocation is sent by the VLR to the subscriber's HLR to record the
+// new serving VLR (paper step 1.2).
+type UpdateLocation struct {
+	Invoke ss7.InvokeID
+	IMSI   gsmid.IMSI
+	VLR    string
+	MSC    string
+}
+
+// Name implements sim.Message.
+func (UpdateLocation) Name() string { return "MAP_UPDATE_LOCATION" }
+
+// UpdateLocationAck is the HLR's answer to UpdateLocation.
+type UpdateLocationAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+}
+
+// Name implements sim.Message.
+func (UpdateLocationAck) Name() string { return "MAP_UPDATE_LOCATION_ack" }
+
+// InsertSubscriberData carries the subscription profile from HLR to VLR
+// during location updating (paper step 1.2).
+type InsertSubscriberData struct {
+	Invoke  ss7.InvokeID
+	IMSI    gsmid.IMSI
+	Profile SubscriberProfile
+}
+
+// Name implements sim.Message.
+func (InsertSubscriberData) Name() string { return "MAP_INSERT_SUBS_DATA" }
+
+// InsertSubscriberDataAck confirms profile insertion.
+type InsertSubscriberDataAck struct {
+	Invoke ss7.InvokeID
+}
+
+// Name implements sim.Message.
+func (InsertSubscriberDataAck) Name() string { return "MAP_INSERT_SUBS_DATA_ack" }
+
+// CancelLocation tells the previous VLR to purge an MS that moved away.
+type CancelLocation struct {
+	Invoke ss7.InvokeID
+	IMSI   gsmid.IMSI
+}
+
+// Name implements sim.Message.
+func (CancelLocation) Name() string { return "MAP_CANCEL_LOCATION" }
+
+// CancelLocationAck confirms the purge.
+type CancelLocationAck struct {
+	Invoke ss7.InvokeID
+}
+
+// Name implements sim.Message.
+func (CancelLocationAck) Name() string { return "MAP_CANCEL_LOCATION_ack" }
+
+// --- Authentication ---
+
+// SendAuthenticationInfo requests auth triplets from the HLR/AuC.
+type SendAuthenticationInfo struct {
+	Invoke ss7.InvokeID
+	IMSI   gsmid.IMSI
+	Count  uint8 // number of triplets requested
+}
+
+// Name implements sim.Message.
+func (SendAuthenticationInfo) Name() string { return "MAP_SEND_AUTHENTICATION_INFO" }
+
+// SendAuthenticationInfoAck returns auth triplets.
+type SendAuthenticationInfoAck struct {
+	Invoke   ss7.InvokeID
+	Cause    Cause
+	Triplets []AuthTriplet
+}
+
+// Name implements sim.Message.
+func (SendAuthenticationInfoAck) Name() string { return "MAP_SEND_AUTHENTICATION_INFO_ack" }
+
+// Authenticate is sent by the VLR to the serving (V)MSC to run the GSM
+// challenge-response toward the MS (paper step 1.1: "the standard GSM
+// authentication procedure is exercised", details elided in the figure).
+type Authenticate struct {
+	Invoke   ss7.InvokeID
+	Identity gsmid.MobileIdentity
+	RAND     [16]byte
+}
+
+// Name implements sim.Message.
+func (Authenticate) Name() string { return "MAP_AUTHENTICATE" }
+
+// AuthenticateAck returns the signed response the MS computed.
+type AuthenticateAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	SRES   [4]byte
+}
+
+// Name implements sim.Message.
+func (AuthenticateAck) Name() string { return "MAP_AUTHENTICATE_ack" }
+
+// SetCipherMode is sent by the VLR to the serving (V)MSC to start ciphering
+// on the radio path with the session key Kc (paper step 1.2: "the VLR then
+// sets up the standard GSM ciphering with the MS").
+type SetCipherMode struct {
+	Invoke   ss7.InvokeID
+	Identity gsmid.MobileIdentity
+	Kc       [8]byte
+}
+
+// Name implements sim.Message.
+func (SetCipherMode) Name() string { return "MAP_SET_CIPHER_MODE" }
+
+// SetCipherModeAck confirms ciphering is active on the radio path.
+type SetCipherModeAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+}
+
+// Name implements sim.Message.
+func (SetCipherModeAck) Name() string { return "MAP_SET_CIPHER_MODE_ack" }
+
+// --- Call handling (Figs 5-8) ---
+
+// SendInfoForOutgoingCall asks the VLR to authorize an outgoing call (paper
+// step 2.2: "check if the service requested by the calling party is legal").
+type SendInfoForOutgoingCall struct {
+	Invoke   ss7.InvokeID
+	Identity gsmid.MobileIdentity
+	Called   gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (SendInfoForOutgoingCall) Name() string { return "MAP_SEND_INFO_FOR_OUTGOING_CALL" }
+
+// SendInfoForOutgoingCallAck authorizes or rejects the call.
+type SendInfoForOutgoingCallAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	IMSI   gsmid.IMSI
+	MSISDN gsmid.MSISDN // calling-party number for onward signalling
+}
+
+// Name implements sim.Message.
+func (SendInfoForOutgoingCallAck) Name() string { return "MAP_SEND_INFO_FOR_OUTGOING_CALL_ack" }
+
+// SendRoutingInformation is the GMSC's HLR interrogation when delivering a
+// call to an MS (tromboning scenario, Fig 7).
+type SendRoutingInformation struct {
+	Invoke ss7.InvokeID
+	MSISDN gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (SendRoutingInformation) Name() string { return "MAP_SEND_ROUTING_INFORMATION" }
+
+// SendRoutingInformationAck returns the roaming number to route the call to.
+type SendRoutingInformationAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	// MSRN is the mobile station roaming number: a temporary E.164 number
+	// that routes to the serving (V)MSC.
+	MSRN gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (SendRoutingInformationAck) Name() string { return "MAP_SEND_ROUTING_INFORMATION_ack" }
+
+// ProvideRoamingNumber asks the serving VLR to allocate an MSRN for an
+// incoming call.
+type ProvideRoamingNumber struct {
+	Invoke ss7.InvokeID
+	IMSI   gsmid.IMSI
+	GMSC   string
+}
+
+// Name implements sim.Message.
+func (ProvideRoamingNumber) Name() string { return "MAP_PROVIDE_ROAMING_NUMBER" }
+
+// ProvideRoamingNumberAck returns the allocated MSRN.
+type ProvideRoamingNumberAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	MSRN   gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (ProvideRoamingNumberAck) Name() string { return "MAP_PROVIDE_ROAMING_NUMBER_ack" }
+
+// SendInfoForIncomingCall asks the VLR to resolve a roaming number (MSRN)
+// back to the subscriber it was allocated for, when an IAM arrives at the
+// serving (V)MSC.
+type SendInfoForIncomingCall struct {
+	Invoke ss7.InvokeID
+	MSRN   gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (SendInfoForIncomingCall) Name() string { return "MAP_SEND_INFO_FOR_INCOMING_CALL" }
+
+// SendInfoForIncomingCallAck resolves the MSRN.
+type SendInfoForIncomingCallAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	IMSI   gsmid.IMSI
+	MSISDN gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (SendInfoForIncomingCallAck) Name() string { return "MAP_SEND_INFO_FOR_INCOMING_CALL_ack" }
+
+// SendIMSI resolves an MSISDN to the subscriber's IMSI (MAP_SEND_IMSI,
+// GSM 09.02 §12.10). vGPRS never uses it; the TR 23.923 baseline's
+// gatekeeper must (paper §6: "the H.323 gatekeeper should memorize IMSI.
+// Since IMSI is considered confidential to the GPRS network operator, this
+// approach may not work if the GPRS network and the H.323 network are owned
+// by different service providers") — experiment C4 counts exactly these
+// messages.
+type SendIMSI struct {
+	Invoke ss7.InvokeID
+	MSISDN gsmid.MSISDN
+}
+
+// Name implements sim.Message.
+func (SendIMSI) Name() string { return "MAP_SEND_IMSI" }
+
+// SendIMSIAck returns the IMSI.
+type SendIMSIAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	IMSI   gsmid.IMSI
+}
+
+// Name implements sim.Message.
+func (SendIMSIAck) Name() string { return "MAP_SEND_IMSI_ack" }
+
+// --- GPRS interworking (Gr/Gc interfaces) ---
+
+// SendRoutingInfoForGPRS is the GGSN's HLR interrogation (Gc interface):
+// paper step 1.3 has the GGSN use the IMSI to retrieve the HLR record during
+// PDP context activation; the TR 23.923 baseline uses it for
+// network-initiated activation.
+type SendRoutingInfoForGPRS struct {
+	Invoke ss7.InvokeID
+	IMSI   gsmid.IMSI
+}
+
+// Name implements sim.Message.
+func (SendRoutingInfoForGPRS) Name() string { return "MAP_SEND_ROUTING_INFO_FOR_GPRS" }
+
+// UpdateGPRSLocation records the serving SGSN in the HLR during GPRS attach
+// (Gr interface). In vGPRS it runs when the VMSC's virtual MS attaches
+// (paper step 1.3).
+type UpdateGPRSLocation struct {
+	Invoke ss7.InvokeID
+	IMSI   gsmid.IMSI
+	SGSN   string
+}
+
+// Name implements sim.Message.
+func (UpdateGPRSLocation) Name() string { return "MAP_UPDATE_GPRS_LOCATION" }
+
+// UpdateGPRSLocationAck confirms the SGSN registration.
+type UpdateGPRSLocationAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+}
+
+// Name implements sim.Message.
+func (UpdateGPRSLocationAck) Name() string { return "MAP_UPDATE_GPRS_LOCATION_ack" }
+
+// SendRoutingInfoForGPRSAck returns the serving SGSN and any static PDP
+// address provisioned for the subscriber.
+type SendRoutingInfoForGPRSAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	SGSN   string
+	// StaticPDPAddress is the provisioned static IP (empty when the
+	// subscriber uses dynamic addressing). GSM 03.60 requires a static
+	// address for network-initiated PDP activation — the limitation the
+	// paper holds against TR 23.923.
+	StaticPDPAddress string
+}
+
+// Name implements sim.Message.
+func (SendRoutingInfoForGPRSAck) Name() string { return "MAP_SEND_ROUTING_INFO_FOR_GPRS_ack" }
+
+// --- Inter-MSC handover (Fig 9, MAP E interface) ---
+
+// PrepareHandover asks a target MSC to prepare radio resources for an
+// inter-system handover; the anchor VMSC stays in the call path (paper §7).
+type PrepareHandover struct {
+	Invoke     ss7.InvokeID
+	IMSI       gsmid.IMSI
+	CallRef    uint32
+	TargetCell gsmid.CGI
+}
+
+// Name implements sim.Message.
+func (PrepareHandover) Name() string { return "MAP_PREPARE_HANDOVER" }
+
+// PrepareHandoverAck returns the handover number used to set up the
+// inter-MSC circuit trunk.
+type PrepareHandoverAck struct {
+	Invoke ss7.InvokeID
+	Cause  Cause
+	// HandoverNumber routes the ISUP trunk from the anchor to the target.
+	HandoverNumber gsmid.MSISDN
+	// RadioChannel is the traffic channel the target reserved.
+	RadioChannel uint16
+}
+
+// Name implements sim.Message.
+func (PrepareHandoverAck) Name() string { return "MAP_PREPARE_HANDOVER_ack" }
+
+// PrepareSubsequentHandover is the relay (current serving) MSC asking the
+// anchor to move the MS again (GSM 03.09 subsequent handover): back onto
+// the anchor's own radio system (handback) or on to a third MSC. Only the
+// anchor holds the call, so only the anchor can decide and prepare.
+type PrepareSubsequentHandover struct {
+	Invoke ss7.InvokeID
+	// CallRef is the anchor-allocated handover reference identifying the
+	// call at both ends of the E interface.
+	CallRef    uint32
+	TargetCell gsmid.CGI
+}
+
+// Name implements sim.Message.
+func (PrepareSubsequentHandover) Name() string { return "MAP_PREPARE_SUBSEQUENT_HANDOVER" }
+
+// PrepareSubsequentHandoverAck carries what the relay MSC needs to command
+// the MS across: the target cell's BTS and the reserved traffic channel.
+type PrepareSubsequentHandoverAck struct {
+	Invoke  ss7.InvokeID
+	Cause   Cause
+	CallRef uint32
+	// TargetCell/TargetBTS/RadioChannel populate the Handover Command the
+	// relay MSC's BSC sends to the MS.
+	TargetCell   gsmid.CGI
+	TargetBTS    string
+	RadioChannel uint16
+}
+
+// Name implements sim.Message.
+func (PrepareSubsequentHandoverAck) Name() string { return "MAP_PREPARE_SUBSEQUENT_HANDOVER_ack" }
+
+// SendEndSignal tells the anchor MSC that the MS has arrived on the target
+// system, completing the handover.
+type SendEndSignal struct {
+	Invoke  ss7.InvokeID
+	CallRef uint32
+}
+
+// Name implements sim.Message.
+func (SendEndSignal) Name() string { return "MAP_SEND_END_SIGNAL" }
+
+// SendEndSignalAck acknowledges handover completion (sent at call end in
+// real MAP; acknowledged immediately here).
+type SendEndSignalAck struct {
+	Invoke  ss7.InvokeID
+	CallRef uint32
+}
+
+// Name implements sim.Message.
+func (SendEndSignalAck) Name() string { return "MAP_SEND_END_SIGNAL_ack" }
+
+// Interface-compliance assertions: every MAP operation is a sim.Message.
+var (
+	_ sim.Message = UpdateLocationArea{}
+	_ sim.Message = UpdateLocationAreaAck{}
+	_ sim.Message = UpdateLocation{}
+	_ sim.Message = UpdateLocationAck{}
+	_ sim.Message = InsertSubscriberData{}
+	_ sim.Message = InsertSubscriberDataAck{}
+	_ sim.Message = CancelLocation{}
+	_ sim.Message = CancelLocationAck{}
+	_ sim.Message = SendAuthenticationInfo{}
+	_ sim.Message = SendAuthenticationInfoAck{}
+	_ sim.Message = SendInfoForOutgoingCall{}
+	_ sim.Message = SendInfoForOutgoingCallAck{}
+	_ sim.Message = SendRoutingInformation{}
+	_ sim.Message = SendRoutingInformationAck{}
+	_ sim.Message = ProvideRoamingNumber{}
+	_ sim.Message = ProvideRoamingNumberAck{}
+	_ sim.Message = PrepareHandover{}
+	_ sim.Message = PrepareHandoverAck{}
+	_ sim.Message = PrepareSubsequentHandover{}
+	_ sim.Message = PrepareSubsequentHandoverAck{}
+	_ sim.Message = SendEndSignal{}
+	_ sim.Message = SendEndSignalAck{}
+	_ sim.Message = SendInfoForIncomingCall{}
+	_ sim.Message = SendInfoForIncomingCallAck{}
+	_ sim.Message = SendRoutingInfoForGPRS{}
+	_ sim.Message = SendRoutingInfoForGPRSAck{}
+	_ sim.Message = UpdateGPRSLocation{}
+	_ sim.Message = UpdateGPRSLocationAck{}
+	_ sim.Message = Authenticate{}
+	_ sim.Message = AuthenticateAck{}
+	_ sim.Message = SetCipherMode{}
+	_ sim.Message = SetCipherModeAck{}
+	_ sim.Message = SendIMSI{}
+	_ sim.Message = SendIMSIAck{}
+)

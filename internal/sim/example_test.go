@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/sim"
+)
+
+// pinger sends one ping and prints the reply's arrival time.
+type pinger struct{ peer sim.NodeID }
+
+func (pinger) ID() sim.NodeID { return "pinger" }
+
+func (p pinger) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	fmt.Printf("%v: %s from %s\n", env.Now(), msg.Name(), from)
+}
+
+// echoNode answers every message with a pong.
+type echoNode struct{}
+
+func (echoNode) ID() sim.NodeID { return "echo" }
+
+func (echoNode) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	env.Send("echo", from, text("pong"))
+}
+
+type text string
+
+func (t text) Name() string { return string(t) }
+
+func Example() {
+	env := sim.NewEnv(1)
+	env.AddNode(pinger{peer: "echo"})
+	env.AddNode(echoNode{})
+	env.Connect("pinger", "echo", "wire", 3*time.Millisecond)
+
+	env.Send("pinger", "echo", text("ping"))
+	env.Run()
+	// Output:
+	// 6ms: pong from echo
+}

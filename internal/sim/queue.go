@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is a scheduled callback. Ties on timestamp break on insertion
+// sequence so the engine is fully deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue struct {
+	h eventHeap
+}
+
+func (q *eventQueue) push(ev *event) { heap.Push(&q.h, ev) }
+
+func (q *eventQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	ev, ok := heap.Pop(&q.h).(*event)
+	if !ok {
+		return nil
+	}
+	return ev
+}
+
+func (q *eventQueue) peek() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+type eventHeap []*event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("sim: eventHeap.Push received non-event")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,278 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every network element in the vGPRS reproduction (MS, BTS, BSC, VMSC, SGSN,
+// GGSN, gatekeeper, ...) is a Node registered with an Env. Nodes exchange
+// typed protocol messages over Links that model a named interface (Um, Abis,
+// A, Gb, ...) with a fixed one-way latency. The engine runs on a virtual
+// clock, so latency measurements are exact and runs are reproducible from a
+// seed.
+//
+// The engine is intentionally single-threaded: determinism is what lets the
+// figure-flow tests assert exact message sequences and lets the benchmark
+// harness report stable latencies. Concurrency-sensitive state inside nodes
+// (tables shared with inspection APIs) is still guarded by mutexes so nodes
+// remain safe to inspect from tests while an Env is not running.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a network element within an Env.
+type NodeID string
+
+// Message is a protocol message exchanged between nodes. Every protocol
+// package defines typed messages implementing this interface; Name returns
+// the wire-level message name used in the paper's figures (for example
+// "MAP_UPDATE_LOCATION" or "RAS RRQ") so traces read like the paper.
+type Message interface {
+	Name() string
+}
+
+// Node is a simulated network element.
+type Node interface {
+	// ID returns the node's unique identifier within its Env.
+	ID() NodeID
+	// Receive handles a message delivered over the named interface.
+	// It runs on the simulation goroutine; implementations may call back
+	// into the Env (Send, After) but must not block.
+	Receive(env *Env, from NodeID, iface string, msg Message)
+}
+
+// Tracer observes every message delivery. The trace package provides a
+// recording implementation; a nil tracer disables tracing.
+type Tracer interface {
+	Trace(at time.Duration, from, to NodeID, iface string, msg Message)
+}
+
+// Env is a simulation environment: a registry of nodes and links plus the
+// virtual clock and event queue.
+type Env struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	nodes  map[NodeID]Node
+	links  map[linkKey]*Link
+	tracer Tracer
+	rng    *rand.Rand
+
+	delivered uint64
+	running   bool
+}
+
+type linkKey struct {
+	from, to NodeID
+}
+
+// Link is a unidirectional edge between two nodes. Connect creates both
+// directions with the same properties.
+type Link struct {
+	From    NodeID
+	To      NodeID
+	Iface   string
+	Latency time.Duration
+	// Jitter, when positive, adds a uniformly distributed extra delay in
+	// [0, Jitter) to each delivery. Jitter draws from the Env's seeded
+	// RNG, so runs remain reproducible.
+	Jitter time.Duration
+	// Loss, when positive, drops each delivery independently with this
+	// probability (0..1), drawing from the Env's seeded RNG.
+	Loss float64
+	// Down marks the link as failed; sends over a down link are dropped
+	// (and still traced with the "drop:" prefix on the interface name).
+	Down bool
+}
+
+// NewEnv creates an empty simulation environment seeded for reproducibility.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		nodes: make(map[NodeID]Node),
+		links: make(map[linkKey]*Link),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetTracer installs the message tracer. Passing nil disables tracing.
+func (e *Env) SetTracer(t Tracer) { e.tracer = t }
+
+// Tracer returns the currently installed tracer, or nil.
+func (e *Env) Tracer() Tracer { return e.tracer }
+
+// Rand returns the environment's seeded random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Delivered returns the total number of messages delivered so far.
+func (e *Env) Delivered() uint64 { return e.delivered }
+
+// AddNode registers a node. It panics if the node's ID is already taken:
+// topology construction errors are programming errors, not runtime
+// conditions.
+func (e *Env) AddNode(n Node) {
+	id := n.ID()
+	if _, ok := e.nodes[id]; ok {
+		panic(fmt.Sprintf("sim: duplicate node ID %q", id))
+	}
+	e.nodes[id] = n
+}
+
+// Node returns the registered node with the given ID, or nil.
+func (e *Env) Node(id NodeID) Node { return e.nodes[id] }
+
+// Connect creates a bidirectional link between a and b over the named
+// interface with the given one-way latency. Both endpoints must already be
+// registered. It returns the two unidirectional links so callers can adjust
+// jitter or fail one direction.
+func (e *Env) Connect(a, b NodeID, iface string, latency time.Duration) (ab, ba *Link) {
+	for _, id := range []NodeID{a, b} {
+		if _, ok := e.nodes[id]; !ok {
+			panic(fmt.Sprintf("sim: Connect references unknown node %q", id))
+		}
+	}
+	ab = &Link{From: a, To: b, Iface: iface, Latency: latency}
+	ba = &Link{From: b, To: a, Iface: iface, Latency: latency}
+	e.links[linkKey{a, b}] = ab
+	e.links[linkKey{b, a}] = ba
+	return ab, ba
+}
+
+// LinkBetween returns the unidirectional link from a to b, or nil.
+func (e *Env) LinkBetween(a, b NodeID) *Link { return e.links[linkKey{a, b}] }
+
+// HasLink reports whether a bidirectional link exists between a and b.
+func (e *Env) HasLink(a, b NodeID) bool {
+	_, ab := e.links[linkKey{a, b}]
+	_, ba := e.links[linkKey{b, a}]
+	return ab && ba
+}
+
+// Neighbors returns the IDs of all nodes directly linked from id, in
+// deterministic (sorted by insertion-independent key) order is not needed by
+// callers; order is unspecified.
+func (e *Env) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for k := range e.links {
+		if k.from == id {
+			out = append(out, k.to)
+		}
+	}
+	return out
+}
+
+// Send delivers msg from one node to another over the link between them.
+// Delivery is scheduled after the link latency (plus jitter, if configured).
+// Send panics if no link exists: sending over a nonexistent interface is a
+// topology bug the figure tests must surface loudly.
+func (e *Env) Send(from, to NodeID, msg Message) {
+	link := e.links[linkKey{from, to}]
+	if link == nil {
+		panic(fmt.Sprintf("sim: no link %s -> %s for message %s", from, to, msg.Name()))
+	}
+	if link.Down || (link.Loss > 0 && e.rng.Float64() < link.Loss) {
+		if e.tracer != nil {
+			e.tracer.Trace(e.now, from, to, "drop:"+link.Iface, msg)
+		}
+		return
+	}
+	delay := link.Latency
+	if link.Jitter > 0 {
+		delay += time.Duration(e.rng.Int63n(int64(link.Jitter)))
+	}
+	e.schedule(e.now+delay, func() {
+		dst := e.nodes[to]
+		if dst == nil {
+			return
+		}
+		if e.tracer != nil {
+			e.tracer.Trace(e.now, from, to, link.Iface, msg)
+		}
+		e.delivered++
+		dst.Receive(e, from, link.Iface, msg)
+	})
+}
+
+// Note records an application-level message in the trace without delivering
+// anything: protocol endpoints call it when they send or decode a message
+// that rides encapsulated inside lower layers (a Q.931 Setup inside
+// TCP/GTP/Gb, a RAS RRQ inside UDP). This is what lets recorded traces show
+// the paper's logical arrows (VMSC -> GK "RAS RRQ") alongside the physical
+// encapsulation hops.
+func (e *Env) Note(from, to NodeID, iface string, msg Message) {
+	if e.tracer != nil {
+		e.tracer.Trace(e.now, from, to, iface, msg)
+	}
+}
+
+// After schedules fn to run at Now()+d on the simulation goroutine. Nodes
+// use it for protocol timers (paging response timers, PDP activation
+// timeouts, RTP packetisation ticks).
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn)
+}
+
+func (e *Env) schedule(at time.Duration, fn func()) {
+	e.seq++
+	e.queue.push(&event{at: at, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue is empty. It returns the virtual time
+// at which the simulation quiesced.
+func (e *Env) Run() time.Duration {
+	return e.RunUntil(-1)
+}
+
+// RunUntil processes events with timestamps <= deadline. A negative deadline
+// means run to quiescence. Events scheduled during the run are processed if
+// they fall within the deadline. It returns the current virtual time.
+func (e *Env) RunUntil(deadline time.Duration) time.Duration {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		ev := e.queue.peek()
+		if ev == nil {
+			// Idle time still passes: a bounded run leaves the clock at
+			// the deadline so time-based state (expiries, TTLs) observes
+			// the full interval.
+			if deadline >= 0 && deadline > e.now {
+				e.now = deadline
+			}
+			break
+		}
+		if deadline >= 0 && ev.at > deadline {
+			e.now = deadline
+			break
+		}
+		e.queue.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step processes exactly one pending event, returning false if none remain.
+func (e *Env) Step() bool {
+	ev := e.queue.pop()
+	if ev == nil {
+		return false
+	}
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	ev.fn()
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Env) Pending() int { return e.queue.len() }

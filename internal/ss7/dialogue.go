@@ -1,0 +1,73 @@
+package ss7
+
+import (
+	"time"
+
+	"vgprs/internal/sim"
+)
+
+// InvokeID correlates a MAP invoke with its result, like a TCAP invoke ID.
+type InvokeID uint32
+
+// DialogueManager tracks outstanding MAP invokes for one network element.
+// Callers register a completion callback per invoke; a response routed back
+// through Resolve fires the callback exactly once. Invokes that receive no
+// response within their timeout fire the callback with ok=false — this is
+// how lost-signalling failure injection surfaces in the procedure state
+// machines.
+//
+// The manager is driven entirely from the simulation goroutine, so it needs
+// no locking.
+type DialogueManager struct {
+	next    InvokeID
+	pending map[InvokeID]*pendingInvoke
+}
+
+type pendingInvoke struct {
+	done     func(msg sim.Message, ok bool)
+	expired  bool
+	resolved bool
+}
+
+// NewDialogueManager returns an empty manager.
+func NewDialogueManager() *DialogueManager {
+	return &DialogueManager{pending: make(map[InvokeID]*pendingInvoke)}
+}
+
+// Invoke allocates an invoke ID and registers done to be called with the
+// response. If no response arrives within timeout (virtual time), done is
+// called with (nil, false). A timeout of zero disables expiry.
+func (d *DialogueManager) Invoke(env *sim.Env, timeout time.Duration, done func(msg sim.Message, ok bool)) InvokeID {
+	d.next++
+	id := d.next
+	p := &pendingInvoke{done: done}
+	d.pending[id] = p
+	if timeout > 0 {
+		env.After(timeout, func() {
+			if p.resolved {
+				return
+			}
+			p.expired = true
+			delete(d.pending, id)
+			p.done(nil, false)
+		})
+	}
+	return id
+}
+
+// Resolve delivers a response for the given invoke ID. It reports whether an
+// outstanding invoke was found (late responses after timeout return false
+// and are dropped, mirroring TCAP behaviour).
+func (d *DialogueManager) Resolve(id InvokeID, msg sim.Message) bool {
+	p, ok := d.pending[id]
+	if !ok {
+		return false
+	}
+	p.resolved = true
+	delete(d.pending, id)
+	p.done(msg, true)
+	return true
+}
+
+// Outstanding returns the number of unresolved invokes.
+func (d *DialogueManager) Outstanding() int { return len(d.pending) }

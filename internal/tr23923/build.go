@@ -1,0 +1,195 @@
+package tr23923
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"vgprs/internal/gprs"
+	"vgprs/internal/gsm"
+	"vgprs/internal/h323"
+	"vgprs/internal/hlr"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/netsim"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/trace"
+)
+
+// Options parameterises BuildNet.
+type Options struct {
+	Seed         int64
+	NumMS        int
+	NumTerminals int
+	Latencies    *netsim.Latencies
+	// PSJitter is the extra uniform delay on the packet-switched air
+	// interface (shared-PDCH contention). Zero disables it; the C3
+	// experiment sweeps it.
+	PSJitter time.Duration
+	// KeepPDPActive is the ablation that holds contexts while idle.
+	KeepPDPActive bool
+	Talk          bool
+	AutoAnswer    time.Duration
+	NoTrace       bool
+}
+
+// Net is a TR 23.923 network: H.323-terminal MSs over a packet-switched
+// radio path, a MAP-capable gatekeeper, and the same GPRS core as the vGPRS
+// build.
+type Net struct {
+	Env *sim.Env
+	Rec *trace.Recorder
+	Dir *h323.Directory
+
+	HLR       *hlr.HLR
+	SGSN      *gprs.SGSN
+	GGSN      *gprs.GGSN
+	GK        *h323.Gatekeeper
+	Router    *ipnet.Router
+	MSs       []*MS
+	Terminals []*h323.Terminal
+
+	Subscribers []netsim.Subscriber
+}
+
+// staticAddrN is the n-th MS's provisioned static PDP address.
+func staticAddrN(n int) string { return fmt.Sprintf("10.3.1.%d", n+1) }
+
+// BuildNet wires the TR 23.923 comparison network.
+func BuildNet(opts Options) *Net {
+	if opts.NumMS == 0 {
+		opts.NumMS = 1
+	}
+	if opts.NumTerminals == 0 {
+		opts.NumTerminals = 1
+	}
+	if opts.AutoAnswer == 0 {
+		opts.AutoAnswer = 200 * time.Millisecond
+	}
+	lat := netsim.DefaultLatencies()
+	if opts.Latencies != nil {
+		lat = *opts.Latencies
+	}
+
+	env := sim.NewEnv(opts.Seed)
+	var rec *trace.Recorder
+	if !opts.NoTrace {
+		rec = trace.NewRecorder()
+		env.SetTracer(rec)
+	}
+	dir := h323.NewDirectory()
+	n := &Net{Env: env, Rec: rec, Dir: dir}
+
+	n.HLR = hlr.New(hlr.Config{ID: "HLR"})
+	n.SGSN = gprs.NewSGSN(gprs.SGSNConfig{ID: "SGSN-1", GGSN: "GGSN-1", HLR: "HLR"})
+	n.GGSN = gprs.NewGGSN(gprs.GGSNConfig{
+		ID: "GGSN-1", PoolPrefix: "10.3.9.0", Gi: "GI", HLR: "HLR",
+		NetworkInitiatedActivation: true,
+	})
+	n.Router = ipnet.NewRouter("GI")
+
+	gkAddr := ipnet.MustAddr("192.168.3.1")
+	// The TR 23.923 gatekeeper is NOT a standard H.323 element: it
+	// resolves and memorizes IMSIs over GSM MAP (paper §6).
+	n.GK = h323.NewGatekeeper(h323.GatekeeperConfig{
+		ID: "GK", Addr: gkAddr, Router: "GI", Dir: dir,
+		HLR: "HLR", RequireIMSI: true, MobilePrefixes: []string{"8869"},
+	})
+	n.Router.AddHost(gkAddr, "GK")
+	n.Router.AddPrefix(netip.MustParsePrefix("10.3.1.0/24"), "GGSN-1")
+	dir.Bind(gkAddr, "GK")
+
+	bts := gsm.NewBTS(gsm.BTSConfig{ID: "BTS-1", BSC: "BSC-1"})
+	bsc := gsm.NewBSC(gsm.BSCConfig{
+		ID: "BSC-1", MSC: "CS-SINK", SGSN: "SGSN-1", BTSs: []sim.NodeID{"BTS-1"},
+	})
+	// The CS side is unused in this architecture; a sink absorbs strays.
+	sink := &csSink{id: "CS-SINK"}
+
+	for _, node := range []sim.Node{n.HLR, n.SGSN, n.GGSN, n.Router, n.GK, bts, bsc, sink} {
+		env.AddNode(node)
+	}
+	env.Connect("BTS-1", "BSC-1", "Abis", lat.Abis)
+	env.Connect("BSC-1", "CS-SINK", "A", lat.A)
+	env.Connect("BSC-1", "SGSN-1", "Gb", lat.Gb)
+	env.Connect("SGSN-1", "GGSN-1", "Gn", lat.Gn)
+	env.Connect("SGSN-1", "HLR", "Gr", lat.SS7)
+	env.Connect("GGSN-1", "HLR", "Gc", lat.SS7)
+	env.Connect("GK", "HLR", "MAP", lat.SS7) // the non-standard interface
+	env.Connect("GGSN-1", "GI", "Gi", lat.Gi)
+	env.Connect("GI", "GK", "IP", lat.LAN)
+
+	for i := 0; i < opts.NumMS; i++ {
+		sub := netsim.SubscriberN(i)
+		n.Subscribers = append(n.Subscribers, sub)
+		static := staticAddrN(i)
+		if err := n.HLR.Provision(hlr.Subscriber{
+			IMSI: sub.IMSI, MSISDN: sub.MSISDN, Ki: sub.Ki,
+			Profile:          sigmap.SubscriberProfile{MSISDN: sub.MSISDN},
+			StaticPDPAddress: static,
+		}); err != nil {
+			panic(err)
+		}
+		n.GGSN.ProvisionStatic(ipnet.MustAddr(static), sub.IMSI)
+
+		msID := sim.NodeID(fmt.Sprintf("MS-%d", i+1))
+		ms := NewMS(MSConfig{
+			ID: msID, IMSI: sub.IMSI, MSISDN: sub.MSISDN,
+			BTS: "BTS-1", Gatekeeper: gkAddr, StaticAddr: static, Dir: dir,
+			KeepPDPActive: opts.KeepPDPActive,
+			Talk:          opts.Talk, AutoAnswer: true, AnswerDelay: opts.AutoAnswer,
+		})
+		n.MSs = append(n.MSs, ms)
+		env.AddNode(ms)
+		// The packet-switched radio leg carries the contention jitter.
+		ab, ba := env.Connect(msID, "BTS-1", "Um", lat.Um)
+		ab.Jitter = opts.PSJitter
+		ba.Jitter = opts.PSJitter
+	}
+
+	for i := 0; i < opts.NumTerminals; i++ {
+		termID := sim.NodeID(fmt.Sprintf("TERM-%d", i+1))
+		addr := ipnet.MustAddr(fmt.Sprintf("192.168.3.%d", 10+i))
+		term := h323.NewTerminal(h323.TerminalConfig{
+			ID: termID, Alias: netsim.TerminalAlias(i), Addr: addr,
+			Router: "GI", Gatekeeper: gkAddr, Dir: dir,
+			AutoAnswer: true, AnswerDelay: opts.AutoAnswer, Talk: opts.Talk,
+		})
+		n.Terminals = append(n.Terminals, term)
+		n.Router.AddHost(addr, termID)
+		dir.Bind(addr, termID)
+		env.AddNode(term)
+		env.Connect("GI", termID, "IP", lat.LAN)
+	}
+	return n
+}
+
+// RegisterAll registers every terminal and MS.
+func (n *Net) RegisterAll() error {
+	for _, term := range n.Terminals {
+		term.Register(n.Env)
+	}
+	for _, ms := range n.MSs {
+		if err := ms.Register(n.Env); err != nil {
+			return err
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + 30*time.Second)
+	for i, ms := range n.MSs {
+		if !ms.Registered() {
+			return fmt.Errorf("tr23923: MS %d not registered", i)
+		}
+	}
+	return nil
+}
+
+// csSink absorbs any circuit-switched message (there should be none in this
+// architecture; a count would indicate a modelling bug).
+type csSink struct {
+	id  sim.NodeID
+	got int
+}
+
+func (s *csSink) ID() sim.NodeID { return s.id }
+
+func (s *csSink) Receive(*sim.Env, sim.NodeID, string, sim.Message) { s.got++ }

@@ -1,0 +1,48 @@
+package trace_test
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/sim"
+	"vgprs/internal/trace"
+)
+
+type step string
+
+func (s step) Name() string { return string(s) }
+
+type relay struct{ id, next sim.NodeID }
+
+func (r relay) ID() sim.NodeID { return r.id }
+
+func (r relay) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	if r.next != "" {
+		env.Send(r.id, r.next, msg)
+	}
+}
+
+// ExampleRecorder_ExpectSequence shows how the paper's figures become
+// executable assertions: record a run, then require the message sequence.
+func ExampleRecorder_ExpectSequence() {
+	env := sim.NewEnv(1)
+	rec := trace.NewRecorder()
+	env.SetTracer(rec)
+
+	env.AddNode(relay{id: "MS", next: "BTS"})
+	env.AddNode(relay{id: "BTS", next: "MSC"})
+	env.AddNode(relay{id: "MSC"})
+	env.Connect("MS", "BTS", "Um", time.Millisecond)
+	env.Connect("BTS", "MSC", "A", time.Millisecond)
+
+	env.Send("MS", "BTS", step("Setup"))
+	env.Run()
+
+	err := rec.ExpectSequence([]trace.ExpectStep{
+		{Msg: "Setup", From: "MS", Iface: "Um"},
+		{Msg: "Setup", To: "MSC", Iface: "A"},
+	})
+	fmt.Println("sequence ok:", err == nil)
+	// Output:
+	// sequence ok: true
+}

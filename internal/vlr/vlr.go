@@ -1,0 +1,419 @@
+// Package vlr implements the GSM Visitor Location Register: the per-visited-
+// area database that fronts the HLR for the serving (V)MSC. It drives the
+// registration procedure of paper Fig 4 (authentication-vector fetch,
+// challenge-response via the MSC, ciphering setup, HLR location update, TMSI
+// allocation), authorizes outgoing calls (Fig 5 step 2.2), and allocates
+// roaming numbers for incoming call delivery (Figs 6-7).
+package vlr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/hlr"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// MMContext is the mobility-management state the VLR keeps per visiting MS.
+type MMContext struct {
+	IMSI     gsmid.IMSI
+	TMSI     gsmid.TMSI
+	LAI      gsmid.LAI
+	MSC      string
+	Profile  sigmap.SubscriberProfile
+	Ciphered bool
+	// Triplets is the cache of unused authentication vectors.
+	Triplets []sigmap.AuthTriplet
+}
+
+// Config parameterises a VLR node.
+type Config struct {
+	// ID is the node identifier, e.g. "VLR-1".
+	ID sim.NodeID
+	// HLR is the home location register this VLR updates. (A multi-PLMN
+	// deployment routes per-IMSI; this reproduction attaches one VLR to
+	// one HLR, which matches all the paper's scenarios.)
+	HLR sim.NodeID
+	// HomeCountryCode is the E.164 country code of the network this VLR
+	// serves; calls to other country codes require the international
+	// service in the subscriber profile.
+	HomeCountryCode string
+	// MSRNPrefix prefixes allocated roaming numbers; must yield valid
+	// MSISDNs when a 4-digit suffix is appended.
+	MSRNPrefix string
+	// MSRNLifetime bounds how long an allocated roaming number stays
+	// valid awaiting the incoming IAM. Zero means 30 seconds.
+	MSRNLifetime time.Duration
+	// MAPTimeout bounds dialogues this VLR originates. Zero means 5s.
+	MAPTimeout time.Duration
+	// AuthDisabled skips the challenge-response and ciphering phases
+	// (used by ablation benches to isolate their latency contribution).
+	AuthDisabled bool
+}
+
+// VLR is the visitor location register node.
+type VLR struct {
+	cfg Config
+	dm  *ss7.DialogueManager
+
+	mu       sync.Mutex
+	byIMSI   map[gsmid.IMSI]*MMContext
+	byTMSI   map[gsmid.TMSI]gsmid.IMSI
+	msrn     map[gsmid.MSISDN]gsmid.IMSI
+	nextTMSI uint32
+	nextMSRN uint32
+}
+
+var _ sim.Node = (*VLR)(nil)
+
+// New returns an empty VLR.
+func New(cfg Config) *VLR {
+	if cfg.MAPTimeout == 0 {
+		cfg.MAPTimeout = 5 * time.Second
+	}
+	if cfg.MSRNLifetime == 0 {
+		cfg.MSRNLifetime = 30 * time.Second
+	}
+	if cfg.MSRNPrefix == "" {
+		cfg.MSRNPrefix = "88690000"
+	}
+	return &VLR{
+		cfg:    cfg,
+		dm:     ss7.NewDialogueManager(),
+		byIMSI: make(map[gsmid.IMSI]*MMContext),
+		byTMSI: make(map[gsmid.TMSI]gsmid.IMSI),
+		msrn:   make(map[gsmid.MSISDN]gsmid.IMSI),
+	}
+}
+
+// ID implements sim.Node.
+func (v *VLR) ID() sim.NodeID { return v.cfg.ID }
+
+// Lookup returns a copy of the MM context for the IMSI.
+func (v *VLR) Lookup(imsi gsmid.IMSI) (MMContext, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ctx, ok := v.byIMSI[imsi]
+	if !ok {
+		return MMContext{}, false
+	}
+	return *ctx, true
+}
+
+// Registered returns the number of MM contexts currently held.
+func (v *VLR) Registered() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.byIMSI)
+}
+
+// OutstandingMSRNs returns the number of roaming numbers awaiting use.
+func (v *VLR) OutstandingMSRNs() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.msrn)
+}
+
+// Receive implements sim.Node.
+func (v *VLR) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sigmap.UpdateLocationArea:
+		v.handleUpdateLocationArea(env, from, m)
+	case sigmap.SendInfoForOutgoingCall:
+		v.handleOutgoingCall(env, from, m)
+	case sigmap.SendInfoForIncomingCall:
+		v.handleIncomingCall(env, from, m)
+	case sigmap.InsertSubscriberData:
+		v.handleInsertSubscriberData(env, from, m)
+	case sigmap.CancelLocation:
+		v.handleCancelLocation(env, from, m)
+	case sigmap.ProvideRoamingNumber:
+		v.handleProvideRoamingNumber(env, from, m)
+	case sigmap.SendAuthenticationInfoAck,
+		sigmap.UpdateLocationAck,
+		sigmap.AuthenticateAck,
+		sigmap.SetCipherModeAck:
+		v.resolveAck(m)
+	}
+}
+
+func (v *VLR) resolveAck(msg sim.Message) {
+	switch m := msg.(type) {
+	case sigmap.SendAuthenticationInfoAck:
+		v.dm.Resolve(m.Invoke, m)
+	case sigmap.UpdateLocationAck:
+		v.dm.Resolve(m.Invoke, m)
+	case sigmap.AuthenticateAck:
+		v.dm.Resolve(m.Invoke, m)
+	case sigmap.SetCipherModeAck:
+		v.dm.Resolve(m.Invoke, m)
+	}
+}
+
+// resolveIdentity maps a mobile identity to an IMSI using the TMSI table
+// when needed. ok is false for unknown TMSIs (the MS must retry with IMSI,
+// per GSM 04.08 identity-request handling, which this reproduction elides).
+func (v *VLR) resolveIdentity(id gsmid.MobileIdentity) (gsmid.IMSI, bool) {
+	switch id.Kind {
+	case gsmid.IdentityIMSI:
+		return id.IMSI, true
+	case gsmid.IdentityTMSI:
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		imsi, ok := v.byTMSI[id.TMSI]
+		return imsi, ok
+	default:
+		return "", false
+	}
+}
+
+// handleUpdateLocationArea drives paper steps 1.1-1.2 on the network side:
+//
+//	fetch auth vectors -> authenticate MS (via MSC) -> start ciphering ->
+//	MAP_UPDATE_LOCATION to HLR (profile arrives via InsertSubscriberData)
+//	-> allocate TMSI -> MAP_UPDATE_LOCATION_AREA_ack to the MSC.
+func (v *VLR) handleUpdateLocationArea(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea) {
+	reject := func(cause sigmap.Cause) {
+		env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: cause})
+	}
+	imsi, ok := v.resolveIdentity(m.Identity)
+	if !ok {
+		reject(sigmap.CauseUnknownSubscriber)
+		return
+	}
+
+	if v.cfg.AuthDisabled {
+		v.updateHLRAndConfirm(env, msc, m, imsi, false)
+		return
+	}
+
+	saiInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.SendAuthenticationInfoAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone || len(ack.Triplets) == 0 {
+			reject(sigmap.CauseSystemFailure)
+			return
+		}
+		v.authenticate(env, msc, m, imsi, ack.Triplets)
+	})
+	env.Send(v.cfg.ID, v.cfg.HLR, sigmap.SendAuthenticationInfo{
+		Invoke: saiInvoke, IMSI: imsi, Count: 3,
+	})
+}
+
+// authenticate runs the challenge-response through the MSC, then ciphering,
+// then proceeds to the HLR location update.
+func (v *VLR) authenticate(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea,
+	imsi gsmid.IMSI, triplets []sigmap.AuthTriplet) {
+	reject := func(cause sigmap.Cause) {
+		env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: cause})
+	}
+	challenge := triplets[0]
+	authInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.AuthenticateAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone || ack.SRES != challenge.SRES {
+			reject(sigmap.CauseNotAllowed)
+			return
+		}
+		cipherInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+			cAck, isC := resp.(sigmap.SetCipherModeAck)
+			if !ok || !isC || cAck.Cause != sigmap.CauseNone {
+				reject(sigmap.CauseSystemFailure)
+				return
+			}
+			v.updateHLRAndConfirm(env, msc, m, imsi, true)
+		})
+		env.Send(v.cfg.ID, msc, sigmap.SetCipherMode{
+			Invoke: cipherInvoke, Identity: m.Identity, Kc: challenge.Kc,
+		})
+	})
+	env.Send(v.cfg.ID, msc, sigmap.Authenticate{
+		Invoke: authInvoke, Identity: m.Identity, RAND: challenge.RAND,
+	})
+	// Remaining triplets are cached for later transactions.
+	v.mu.Lock()
+	if ctx := v.byIMSI[imsi]; ctx != nil {
+		ctx.Triplets = append(ctx.Triplets, triplets[1:]...)
+	}
+	v.mu.Unlock()
+}
+
+// updateHLRAndConfirm performs the HLR update and completes the location
+// update toward the MSC.
+func (v *VLR) updateHLRAndConfirm(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea,
+	imsi gsmid.IMSI, ciphered bool) {
+	ulInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.UpdateLocationAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+			cause := sigmap.CauseSystemFailure
+			if isAck {
+				cause = ack.Cause
+			}
+			env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: cause})
+			return
+		}
+		tmsi := v.createContext(imsi, m.LAI, m.MSC, ciphered)
+		v.mu.Lock()
+		msisdn := v.byIMSI[imsi].Profile.MSISDN
+		v.mu.Unlock()
+		env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseNone, IMSI: imsi, TMSI: tmsi,
+			MSISDN: msisdn,
+		})
+	})
+	env.Send(v.cfg.ID, v.cfg.HLR, sigmap.UpdateLocation{
+		Invoke: ulInvoke, IMSI: imsi, VLR: string(v.cfg.ID), MSC: m.MSC,
+	})
+}
+
+// createContext installs (or refreshes) the MM context and allocates a TMSI.
+func (v *VLR) createContext(imsi gsmid.IMSI, lai gsmid.LAI, msc string, ciphered bool) gsmid.TMSI {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ctx, ok := v.byIMSI[imsi]
+	if !ok {
+		ctx = &MMContext{IMSI: imsi}
+		v.byIMSI[imsi] = ctx
+	} else if ctx.TMSI != 0 {
+		delete(v.byTMSI, ctx.TMSI)
+	}
+	v.nextTMSI++
+	ctx.TMSI = gsmid.TMSI(v.nextTMSI)
+	ctx.LAI = lai
+	ctx.MSC = msc
+	ctx.Ciphered = ciphered
+	v.byTMSI[ctx.TMSI] = imsi
+	return ctx.TMSI
+}
+
+func (v *VLR) handleInsertSubscriberData(env *sim.Env, from sim.NodeID, m sigmap.InsertSubscriberData) {
+	v.mu.Lock()
+	ctx, ok := v.byIMSI[m.IMSI]
+	if !ok {
+		// Profile may arrive before the UpdateLocationAck installs the
+		// context: create a provisional one.
+		ctx = &MMContext{IMSI: m.IMSI}
+		v.byIMSI[m.IMSI] = ctx
+	}
+	ctx.Profile = m.Profile
+	v.mu.Unlock()
+	env.Send(v.cfg.ID, from, sigmap.InsertSubscriberDataAck{Invoke: m.Invoke})
+}
+
+func (v *VLR) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.CancelLocation) {
+	v.mu.Lock()
+	var servingMSC string
+	if ctx, ok := v.byIMSI[m.IMSI]; ok {
+		servingMSC = ctx.MSC
+		delete(v.byTMSI, ctx.TMSI)
+		delete(v.byIMSI, m.IMSI)
+	}
+	v.mu.Unlock()
+	// The subscriber left this service area: the (V)MSC holding state for
+	// it (the VMSC's MS table, its gatekeeper registration, its GPRS
+	// contexts) must clean up too (paper §5: the old VMSC releases the
+	// H.323 registration when the MS moves away).
+	if servingMSC != "" && env.HasLink(v.cfg.ID, sim.NodeID(servingMSC)) {
+		env.Send(v.cfg.ID, sim.NodeID(servingMSC), sigmap.CancelLocation{IMSI: m.IMSI})
+	}
+	env.Send(v.cfg.ID, from, sigmap.CancelLocationAck{Invoke: m.Invoke})
+}
+
+// handleOutgoingCall authorizes an MS-originated call (paper step 2.2).
+func (v *VLR) handleOutgoingCall(env *sim.Env, from sim.NodeID, m sigmap.SendInfoForOutgoingCall) {
+	reply := func(cause sigmap.Cause, imsi gsmid.IMSI, msisdn gsmid.MSISDN) {
+		env.Send(v.cfg.ID, from, sigmap.SendInfoForOutgoingCallAck{
+			Invoke: m.Invoke, Cause: cause, IMSI: imsi, MSISDN: msisdn,
+		})
+	}
+	imsi, ok := v.resolveIdentity(m.Identity)
+	if !ok {
+		reply(sigmap.CauseUnknownSubscriber, "", "")
+		return
+	}
+	v.mu.Lock()
+	ctx, ok := v.byIMSI[imsi]
+	var profile sigmap.SubscriberProfile
+	if ok {
+		profile = ctx.Profile
+	}
+	v.mu.Unlock()
+	switch {
+	case !ok:
+		reply(sigmap.CauseUnknownSubscriber, "", "")
+	case profile.Barred:
+		reply(sigmap.CauseNotAllowed, imsi, profile.MSISDN)
+	case v.isInternational(m.Called) && !profile.InternationalAllowed:
+		reply(sigmap.CauseNotAllowed, imsi, profile.MSISDN)
+	default:
+		reply(sigmap.CauseNone, imsi, profile.MSISDN)
+	}
+}
+
+func (v *VLR) isInternational(called gsmid.MSISDN) bool {
+	return v.cfg.HomeCountryCode != "" && called.CountryCode() != v.cfg.HomeCountryCode
+}
+
+// handleProvideRoamingNumber allocates an MSRN for an incoming call (HLR
+// interrogation path, Figs 6-7).
+func (v *VLR) handleProvideRoamingNumber(env *sim.Env, from sim.NodeID, m sigmap.ProvideRoamingNumber) {
+	v.mu.Lock()
+	_, ok := v.byIMSI[m.IMSI]
+	var msrn gsmid.MSISDN
+	if ok {
+		v.nextMSRN++
+		msrn = gsmid.MSISDN(fmt.Sprintf("%s%04d", v.cfg.MSRNPrefix, v.nextMSRN%10000))
+		v.msrn[msrn] = m.IMSI
+	}
+	v.mu.Unlock()
+
+	if !ok {
+		env.Send(v.cfg.ID, from, sigmap.ProvideRoamingNumberAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseAbsentSubscriber,
+		})
+		return
+	}
+	// Reclaim the MSRN if the IAM never arrives.
+	env.After(v.cfg.MSRNLifetime, func() {
+		v.mu.Lock()
+		delete(v.msrn, msrn)
+		v.mu.Unlock()
+	})
+	env.Send(v.cfg.ID, from, sigmap.ProvideRoamingNumberAck{
+		Invoke: m.Invoke, Cause: sigmap.CauseNone, MSRN: msrn,
+	})
+}
+
+// handleIncomingCall resolves an MSRN back to the subscriber when the IAM
+// reaches the serving (V)MSC.
+func (v *VLR) handleIncomingCall(env *sim.Env, from sim.NodeID, m sigmap.SendInfoForIncomingCall) {
+	v.mu.Lock()
+	imsi, ok := v.msrn[m.MSRN]
+	var msisdn gsmid.MSISDN
+	if ok {
+		delete(v.msrn, m.MSRN) // single use
+		if ctx := v.byIMSI[imsi]; ctx != nil {
+			msisdn = ctx.Profile.MSISDN
+		}
+	}
+	v.mu.Unlock()
+
+	if !ok {
+		env.Send(v.cfg.ID, from, sigmap.SendInfoForIncomingCallAck{
+			Invoke: m.Invoke, Cause: sigmap.CauseUnknownSubscriber,
+		})
+		return
+	}
+	env.Send(v.cfg.ID, from, sigmap.SendInfoForIncomingCallAck{
+		Invoke: m.Invoke, Cause: sigmap.CauseNone, IMSI: imsi, MSISDN: msisdn,
+	})
+}
+
+// VerifySRES checks a signed response against the expected triplet — a
+// helper for MSC implementations that cache triplets locally.
+func VerifySRES(ki [16]byte, rand [16]byte, sres [4]byte) bool {
+	return hlr.SRES(ki, rand) == sres
+}

@@ -1,0 +1,589 @@
+package vmsc
+
+import (
+	"net/netip"
+	"time"
+
+	"vgprs/internal/codec"
+	"vgprs/internal/gb"
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/h323"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/isup"
+	"vgprs/internal/q931"
+	"vgprs/internal/rtp"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+)
+
+// Receive implements sim.Node: the VMSC's five faces (A interface, MAP,
+// Gb, ISUP E-trunks, and — through the Gb tunnel — H.225/RAS/RTP).
+func (v *VMSC) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	if v.registrar.Handle(env, from, msg) {
+		return
+	}
+	switch t := msg.(type) {
+	case gb.DLUnitdata:
+		v.handleDL(env, t)
+	case gsm.Setup:
+		v.handleMOSetup(env, from, t)
+	case gsm.PagingResponse:
+		v.pagingResponse(env, t)
+	case gsm.Alerting:
+		v.radioAlerting(env, t)
+	case gsm.Connect:
+		v.radioConnect(env, t)
+	case gsm.Disconnect:
+		v.radioDisconnect(env, t)
+	case gsm.ReleaseComplete:
+		// Radio channel freed at the BSC; nothing more to do.
+	case gsm.IMSIDetach:
+		v.handleIMSIDetach(env, t)
+	case sigmap.CancelLocation:
+		v.handleCancelLocation(env, from, t)
+	case gsm.TCHFrame:
+		v.uplinkVoice(env, t)
+	case gsm.HandoverRequired:
+		v.handoverRequired(env, t)
+	case sigmap.PrepareSubsequentHandover:
+		// This VMSC anchors a call whose relay MSC wants the MS moved on.
+		v.subsequentHandover(env, from, t)
+	case sigmap.PrepareSubsequentHandoverAck:
+		// This VMSC is the relay of a handed-in MS (VMSC-to-VMSC case).
+		v.hoTarget.SubsequentAck(env, t)
+	case gsm.HandoverAccess:
+		// First burst on the target cell; wait for HandoverComplete.
+	case gsm.HandoverComplete:
+		// A handback onto this VMSC's own system first; otherwise this
+		// VMSC is a handover target for another anchor.
+		if !v.handoverComplete(env, from, t) {
+			v.hoTarget.Complete(env, from, t)
+		}
+	case sigmap.PrepareHandover:
+		// This VMSC is the handover TARGET (VMSC-to-VMSC handoff).
+		v.hoTarget.Prepare(env, from, t)
+	case sigmap.SendEndSignalAck:
+		// The anchor acknowledged our end signal; nothing further.
+	case isup.IAM:
+		// Only handover trunks terminate at a VMSC.
+		v.hoTarget.TrunkArrived(env, from, t)
+	case sigmap.SendInfoForOutgoingCallAck:
+		v.dm.Resolve(t.Invoke, t)
+	case sigmap.PrepareHandoverAck:
+		v.dm.Resolve(t.Invoke, t)
+	case sigmap.SendEndSignal:
+		v.sendEndSignal(env, from, t)
+	case isup.ACM, isup.RLC:
+		// Trunk progress on the handover leg needs no action.
+	case isup.ANM:
+		// Handover trunk answered; the HandoverCommand was already sent.
+	case isup.REL:
+		v.trunkREL(env, from, t)
+	case isup.TrunkFrame:
+		v.trunkVoice(env, t)
+	}
+}
+
+// handleIP dispatches IP packets arriving through an MS's PDP contexts.
+func (v *VMSC) handleIP(env *sim.Env, entry *msEntry, pkt ipnet.Packet) {
+	if entry.endpoint == nil {
+		return
+	}
+	in, ok := entry.endpoint.Classify(pkt)
+	if !ok {
+		return
+	}
+	switch {
+	case in.RAS != nil:
+		v.handleRAS(env, in.RAS)
+	case in.Q931 != nil:
+		v.handleQ931(env, entry, pkt, in.Q931)
+	case in.RTPPayload != nil:
+		v.downlinkVoice(env, entry, in.RTPPayload)
+	}
+}
+
+func (v *VMSC) handleRAS(env *sim.Env, msg sim.Message) {
+	var seq uint32
+	switch m := msg.(type) {
+	case h323.RCF:
+		seq = m.Seq
+	case h323.RRJ:
+		seq = m.Seq
+	case h323.ACF:
+		seq = m.Seq
+	case h323.ARJ:
+		seq = m.Seq
+	case h323.DCF:
+		seq = m.Seq
+	case h323.UCF:
+		seq = m.Seq
+	default:
+		return
+	}
+	if done, ok := v.pendingRAS[seq]; ok {
+		delete(v.pendingRAS, seq)
+		done(env, msg)
+	}
+}
+
+// ras sends a RAS request through the MS's signalling context and registers
+// done for the answer. An unanswered transaction times out after MAPTimeout
+// and fires done with a nil message — callers treat that as failure, so a
+// dead gatekeeper (or severed tunnel) fails procedures instead of wedging
+// them.
+func (v *VMSC) ras(env *sim.Env, entry *msEntry, msg sim.Message, done func(*sim.Env, sim.Message)) {
+	if done != nil {
+		var seq uint32
+		switch m := msg.(type) {
+		case h323.RRQ:
+			seq = m.Seq
+		case h323.ARQ:
+			seq = m.Seq
+		case h323.DRQ:
+			seq = m.Seq
+		case h323.URQ:
+			seq = m.Seq
+		}
+		v.pendingRAS[seq] = done
+		env.After(v.cfg.MAPTimeout, func() {
+			if cb, pending := v.pendingRAS[seq]; pending {
+				delete(v.pendingRAS, seq)
+				cb(env, nil)
+			}
+		})
+	}
+	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, msg)
+}
+
+// --- Mobile-originated calls (Fig 5, steps 2.1-2.9) ---
+
+func (v *VMSC) handleMOSetup(env *sim.Env, bsc sim.NodeID, t gsm.Setup) {
+	entry, known := v.byMS[t.MS]
+	if !known || !entry.registered || entry.call != nil {
+		env.Send(v.cfg.ID, bsc, gsm.Release{Leg: gsm.LegA, MS: t.MS, CallRef: t.CallRef})
+		return
+	}
+	v.nextRAS++ // Q.931 references share the VMSC-wide sequence space
+	call := &vCall{
+		entry: entry, ref: uint16(v.nextRAS), radioRef: t.CallRef,
+		state: callRouting, mobileOriginated: true,
+	}
+	entry.call = call
+	v.active++
+
+	// Step 2.2: ask the VLR whether the call is allowed, then check the
+	// routing path to the GGSN (the PDP context record — already active
+	// in vGPRS, which is the point of the §6 comparison).
+	invoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+		ack, isAck := resp.(sigmap.SendInfoForOutgoingCallAck)
+		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+			v.clearCall(env, call, true)
+			return
+		}
+		v.setMSISDN(entry, ack.MSISDN)
+		v.ensureSignallingPDP(env, entry, func(ok bool) {
+			if !ok {
+				v.clearCall(env, call, true)
+				return
+			}
+			v.admitMOCall(env, call, t.Called)
+		})
+	})
+	env.Send(v.cfg.ID, v.cfg.VLR, sigmap.SendInfoForOutgoingCall{
+		Invoke: invoke, Identity: gsmid.ByTMSI(entry.tmsi), Called: t.Called,
+	})
+}
+
+// admitMOCall runs step 2.3: the ARQ/ACF exchange that yields the
+// destination's call signalling channel transport address.
+func (v *VMSC) admitMOCall(env *sim.Env, call *vCall, called gsmid.MSISDN) {
+	entry := call.entry
+	v.nextRAS++
+	v.ras(env, entry, h323.ARQ{
+		Seq: v.nextRAS, CallerAlias: entry.msisdn, CalledAlias: called, CallRef: call.ref,
+	}, func(env *sim.Env, msg sim.Message) {
+		m, admitted := msg.(h323.ACF)
+		if !admitted { // ARJ or timeout
+			v.clearCall(env, call, true)
+			return
+		}
+		call.remoteSig = m.SignalAddr
+		call.state = callDelivering
+		// Step 2.4: Q.931 Setup through the GGSN to the terminal.
+		entry.endpoint.SendQ931(env, m.SignalAddr, q931.Setup{
+			CallRef: call.ref, Called: called, Calling: entry.msisdn,
+			Media: q931.MediaAddr{Addr: entry.addr, Port: ipnet.PortRTP},
+		})
+	})
+}
+
+func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg sim.Message) {
+	switch m := msg.(type) {
+	case q931.Setup:
+		v.handleMTSetup(env, entry, pkt, m)
+	case q931.CallProceeding:
+		// Step 2.4 tail: no more routing information expected.
+	case q931.Alerting:
+		// Step 2.7: relay the alerting indication down the radio path to
+		// trigger ringback at the MS.
+		if call := entry.call; call != nil && call.ref == m.CallRef && call.mobileOriginated {
+			call.state = callAlerting
+			env.Send(v.cfg.ID, call.entry.bsc, gsm.Alerting{
+				Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+			})
+		}
+	case q931.Connect:
+		// Step 2.8 + 2.9: answer reaches the MS; then activate the
+		// real-time voice PDP context.
+		if call := entry.call; call != nil && call.ref == m.CallRef && call.mobileOriginated {
+			call.remoteMed = m.Media
+			env.Send(v.cfg.ID, call.entry.bsc, gsm.Connect{
+				Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+			})
+			v.activateVoicePDP(env, call)
+		}
+	case q931.ReleaseComplete:
+		// Far party cleared (or step 3.2's mirror for MT calls).
+		if call := entry.call; call != nil && call.ref == m.CallRef {
+			v.disengage(env, call)
+			v.releaseRadio(env, call)
+			v.teardownVoicePDP(env, call.entry)
+			v.forget(call)
+		}
+	}
+}
+
+// handleMTSetup runs Fig 6 steps 4.2-4.5: the Setup arrived through the
+// GGSN on the MS's signalling PDP context.
+func (v *VMSC) handleMTSetup(env *sim.Env, entry *msEntry, pkt ipnet.Packet, m q931.Setup) {
+	if entry.call != nil {
+		entry.endpoint.SendQ931(env, pkt.Src, q931.ReleaseComplete{
+			CallRef: m.CallRef, Cause: q931.CauseUserBusy,
+		})
+		return
+	}
+	call := &vCall{
+		entry: entry, ref: m.CallRef, radioRef: uint32(m.CallRef),
+		state: callPaging, remote: m.Calling, remoteSig: pkt.Src, remoteMed: m.Media,
+	}
+	entry.call = call
+	v.active++
+
+	// Step 4.2 tail: Call Proceeding back to the caller.
+	entry.endpoint.SendQ931(env, pkt.Src, q931.CallProceeding{CallRef: m.CallRef})
+
+	// Step 4.3: ARQ/ACF with the gatekeeper.
+	v.nextRAS++
+	v.ras(env, entry, h323.ARQ{
+		Seq: v.nextRAS, CallerAlias: entry.msisdn, CalledAlias: m.Calling,
+		CallRef: m.CallRef, Answer: true,
+	}, func(env *sim.Env, msg sim.Message) {
+		if _, admitted := msg.(h323.ACF); !admitted { // ARJ or timeout
+			entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+				CallRef: call.ref, Cause: q931.CauseResourcesUnavail,
+			})
+			v.forget(call)
+			return
+		}
+		// Step 4.4: page the MS.
+		env.Send(v.cfg.ID, entry.bsc, gsm.Paging{
+			Leg: gsm.LegA, MS: entry.ms, Identity: gsmid.ByTMSI(entry.tmsi),
+		})
+		env.After(v.cfg.PagingTimeout, func() {
+			if call.state == callPaging {
+				entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+					CallRef: call.ref, Cause: q931.CauseNoAnswer,
+				})
+				v.disengage(env, call)
+				v.forget(call)
+			}
+		})
+	})
+}
+
+func (v *VMSC) pagingResponse(env *sim.Env, t gsm.PagingResponse) {
+	entry, ok := v.byMS[t.MS]
+	if !ok || entry.call == nil || entry.call.state != callPaging {
+		// Orphan paging response (the caller gave up, or the page raced
+		// the paging timer): release the channel the MS acquired to
+		// answer, or it would sit allocated forever.
+		if ok {
+			env.Send(v.cfg.ID, entry.bsc, gsm.Release{Leg: gsm.LegA, MS: t.MS})
+		}
+		return
+	}
+	call := entry.call
+	call.state = callDelivering
+	// Step 4.5: Setup down the radio path.
+	env.Send(v.cfg.ID, entry.bsc, gsm.Setup{
+		Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
+	})
+}
+
+func (v *VMSC) radioAlerting(env *sim.Env, t gsm.Alerting) {
+	entry, ok := v.byMS[t.MS]
+	if !ok || entry.call == nil || entry.call.mobileOriginated {
+		return
+	}
+	call := entry.call
+	call.state = callAlerting
+	// Step 4.6: Q.931 Alerting toward the calling terminal (ringback).
+	entry.endpoint.SendQ931(env, call.remoteSig, q931.Alerting{CallRef: call.ref})
+}
+
+func (v *VMSC) radioConnect(env *sim.Env, t gsm.Connect) {
+	entry, ok := v.byMS[t.MS]
+	if !ok || entry.call == nil || entry.call.mobileOriginated {
+		return
+	}
+	call := entry.call
+	// Step 4.7: Connect toward the caller, with the MS's media address.
+	entry.endpoint.SendQ931(env, call.remoteSig, q931.Connect{
+		CallRef: call.ref,
+		Media:   q931.MediaAddr{Addr: entry.addr, Port: ipnet.PortRTP},
+	})
+	// Step 4.8: activate the voice PDP context.
+	v.activateVoicePDP(env, call)
+}
+
+// activateVoicePDP runs step 2.9/4.8: a second, real-time PDP context for
+// the voice packets. The call is active once it completes.
+func (v *VMSC) activateVoicePDP(env *sim.Env, call *vCall) {
+	entry := call.entry
+	establish := func() {
+		call.state = callActive
+		entry.voiceUp = true
+		v.stats.CallsEstablished++
+		if v.cfg.Hooks.OnCallEstablished != nil {
+			v.cfg.Hooks.OnCallEstablished(entry.imsi, call.mobileOriginated)
+		}
+	}
+	if _, active := entry.client.Context(NSAPIVoice); active {
+		establish()
+		return
+	}
+	err := entry.client.ActivatePDP(env, NSAPIVoice, gtp.VoiceQoS(), "",
+		func(_ netip.Addr, ok bool) {
+			if !ok {
+				v.clearCall(env, call, true)
+				return
+			}
+			establish()
+		})
+	if err != nil {
+		v.clearCall(env, call, true)
+	}
+}
+
+// --- Release (Fig 5, steps 3.1-3.4) ---
+
+func (v *VMSC) radioDisconnect(env *sim.Env, t gsm.Disconnect) {
+	entry, ok := v.byMS[t.MS]
+	if !ok || entry.call == nil {
+		// Possibly a handed-in MS hanging up on this target system.
+		v.hoTarget.RadioDisconnect(env, t)
+		return
+	}
+	call := entry.call
+	// Step 3.2: release the H.323 leg.
+	entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+		CallRef: call.ref, Cause: q931.CauseNormal,
+	})
+	// Step 3.3: disengage with the gatekeeper (charging stops).
+	v.disengage(env, call)
+	// Radio leg clearing toward the MS.
+	v.releaseRadio(env, call)
+	// Step 3.4: deactivate the voice PDP context.
+	v.teardownVoicePDP(env, entry)
+	v.forget(call)
+}
+
+func (v *VMSC) disengage(env *sim.Env, call *vCall) {
+	v.nextRAS++
+	v.ras(env, call.entry, h323.DRQ{
+		Seq: v.nextRAS, Alias: call.entry.msisdn, CallRef: call.ref,
+		Peer: call.remote,
+	}, nil)
+}
+
+func (v *VMSC) releaseRadio(env *sim.Env, call *vCall) {
+	if call.hoActive {
+		// After inter-system handover the radio leg lives at the target
+		// MSC; release it over the trunk instead.
+		env.Send(v.cfg.ID, call.hoPeer, isup.REL{
+			CIC: call.hoCIC, CallRef: call.hoRef, Cause: isup.CauseNormalClearing,
+		})
+		if call.hoTrunks != nil {
+			call.hoTrunks.Release(call.hoCIC)
+		}
+		return
+	}
+	env.Send(v.cfg.ID, call.entry.bsc, gsm.Release{
+		Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+	})
+}
+
+// teardownVoicePDP deactivates the voice context and, in DeactivateIdlePDP
+// mode, the signalling context too.
+func (v *VMSC) teardownVoicePDP(env *sim.Env, entry *msEntry) {
+	entry.voiceUp = false
+	if _, active := entry.client.Context(NSAPIVoice); active {
+		_ = entry.client.DeactivatePDP(env, NSAPIVoice, func() {
+			if v.cfg.DeactivateIdlePDP {
+				v.deactivateSignalling(env, entry, func() {})
+			}
+		})
+		return
+	}
+	if v.cfg.DeactivateIdlePDP {
+		v.deactivateSignalling(env, entry, func() {})
+	}
+}
+
+// clearCall aborts a failed call attempt, clearing the radio side and — if
+// call signalling already reached the far end — the H.323 leg too.
+func (v *VMSC) clearCall(env *sim.Env, call *vCall, radio bool) {
+	if radio {
+		v.releaseRadio(env, call)
+	}
+	if call.remoteSig.IsValid() {
+		call.entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+			CallRef: call.ref, Cause: q931.CauseResourcesUnavail,
+		})
+		v.disengage(env, call)
+	}
+	v.teardownVoicePDP(env, call.entry)
+	v.forget(call)
+}
+
+func (v *VMSC) forget(call *vCall) {
+	v.stats.CallsReleased++
+	if v.cfg.Hooks.OnCallReleased != nil {
+		v.cfg.Hooks.OnCallReleased(call.entry.imsi)
+	}
+	if call.entry.call == call {
+		call.entry.call = nil
+	}
+	if call.hoRef != 0 {
+		delete(v.hoCalls, call.hoRef)
+	}
+	v.active--
+}
+
+// --- Media plane: vocoder + PCU (paper §2: "at the VMSC, the voice
+// information is translated into GPRS packets through vocoder and packet
+// control unit") ---
+
+func (v *VMSC) uplinkVoice(env *sim.Env, t gsm.TCHFrame) {
+	entry, ok := v.byMS[t.MS]
+	if !ok || entry.call == nil {
+		// Possibly a handed-in MS anchored at another (V)MSC.
+		v.hoTarget.UplinkVoice(env, t)
+		return
+	}
+	call := entry.call
+	if call.state != callActive || !call.remoteMed.Valid() {
+		v.stats.FramesClipped++
+		return
+	}
+	v.stats.FramesUplink++
+	payload := codec.Transcode(t.Payload)
+	// The vocoder charges its processing delay before the packet leaves.
+	env.After(v.transcodeCost(), func() {
+		call.rtpSeq++
+		p := rtp.Packet{
+			PayloadType: rtp.PayloadTypeGSM,
+			Seq:         call.rtpSeq,
+			Timestamp:   rtp.TimestampAt(env.Now()),
+			SSRC:        uint32(call.ref),
+			Payload:     payload,
+		}
+		entry.endpoint.SendRTP(env, call.remoteMed, p.Marshal())
+	})
+}
+
+func (v *VMSC) downlinkVoice(env *sim.Env, entry *msEntry, payload []byte) {
+	call := entry.call
+	if call == nil {
+		return
+	}
+	p, err := rtp.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	v.stats.FramesDownlink++
+	frame := codec.Transcode(p.Payload)
+	env.After(v.transcodeCost(), func() {
+		call.seqDown++
+		if call.hoActive {
+			// Post-handover: the radio leg is behind the E trunk.
+			call.hoSeq++
+			env.Send(v.cfg.ID, call.hoPeer, isup.TrunkFrame{
+				CIC: call.hoCIC, CallRef: call.hoRef, Seq: call.hoSeq, Payload: frame,
+			})
+			return
+		}
+		env.Send(v.cfg.ID, entry.bsc, gsm.TCHFrame{
+			Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
+			Seq: call.seqDown, Downlink: true, Payload: frame,
+		})
+	})
+}
+
+// trunkVoice carries uplink speech arriving from a handover target MSC (as
+// anchor) or anchor speech for a handed-in MS (as target).
+func (v *VMSC) trunkVoice(env *sim.Env, t isup.TrunkFrame) {
+	call := v.hoCalls[t.CallRef]
+	if call == nil {
+		v.hoTarget.TrunkVoice(env, t)
+		return
+	}
+	if !call.hoActive || call.state != callActive || !call.remoteMed.Valid() {
+		return
+	}
+	v.stats.FramesUplink++
+	payload := codec.Transcode(t.Payload)
+	env.After(v.transcodeCost(), func() {
+		call.rtpSeq++
+		p := rtp.Packet{
+			PayloadType: rtp.PayloadTypeGSM,
+			Seq:         call.rtpSeq,
+			Timestamp:   rtp.TimestampAt(env.Now()),
+			SSRC:        uint32(call.ref),
+			Payload:     payload,
+		}
+		call.entry.endpoint.SendRTP(env, call.remoteMed, p.Marshal())
+	})
+}
+
+// trunkREL handles release of the handover trunk from the target side (the
+// handed-over MS hung up).
+func (v *VMSC) trunkREL(env *sim.Env, from sim.NodeID, t isup.REL) {
+	env.Send(v.cfg.ID, from, isup.RLC{CIC: t.CIC, CallRef: t.CallRef})
+	call := v.hoCalls[t.CallRef]
+	if call == nil {
+		// Possibly the anchor releasing a call handed in to this VMSC.
+		v.hoTarget.TrunkREL(env, t)
+		return
+	}
+	if call.hoTrunks != nil {
+		call.hoTrunks.Release(call.hoCIC)
+	}
+	call.entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+		CallRef: call.ref, Cause: q931.CauseNormal,
+	})
+	v.disengage(env, call)
+	v.teardownVoicePDP(env, call.entry)
+	v.forget(call)
+}
+
+// transcodeCost returns the configured per-direction vocoder delay.
+func (v *VMSC) transcodeCost() time.Duration {
+	if v.cfg.TranscodeCost != 0 {
+		return v.cfg.TranscodeCost
+	}
+	return codec.TranscodeCost
+}

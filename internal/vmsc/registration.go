@@ -1,0 +1,307 @@
+package vmsc
+
+import (
+	"net/netip"
+	"time"
+
+	"vgprs/internal/gb"
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/h323"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/msc"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+)
+
+// gbUL builds an uplink Gb frame for a virtual MS.
+func gbUL(tlli gsmid.TLLI, ms sim.NodeID, cell gsmid.CGI, pdu []byte) gb.ULUnitdata {
+	return gb.ULUnitdata{TLLI: tlli, MS: ms, Cell: cell, PDU: pdu}
+}
+
+// onVLROutcome continues the Fig 4 registration after the VLR accepted or
+// rejected the location update (end of step 1.2). On success the VMSC runs
+// steps 1.3-1.5 (GPRS attach, signalling-PDP activation, gatekeeper
+// registration) before accepting toward the MS (step 1.6).
+func (v *VMSC) onVLROutcome(env *sim.Env, reg msc.Registration) {
+	if !reg.OK() {
+		v.stats.RegisterFailers++
+		env.Send(v.cfg.ID, reg.BSC, gsm.LocationUpdateReject{
+			Leg: gsm.LegA, MS: reg.MS, Cause: uint8(reg.Cause),
+		})
+		return
+	}
+
+	entry, exists := v.entries[reg.IMSI]
+	if !exists {
+		entry = &msEntry{imsi: reg.IMSI}
+		v.entries[reg.IMSI] = entry
+	}
+	entry.tmsi = reg.TMSI
+	entry.lai = reg.LAI
+	entry.ms = reg.MS
+	entry.bsc = reg.BSC
+	v.byMS[reg.MS] = entry
+	v.setMSISDN(entry, reg.MSISDN)
+
+	accept := func() {
+		env.Send(v.cfg.ID, entry.bsc, gsm.LocationUpdateAccept{
+			Leg: gsm.LegA, MS: entry.ms, TMSI: entry.tmsi,
+		})
+	}
+
+	if entry.registered {
+		// Re-registration (location update due to movement, paper §3
+		// closing remark): the GPRS and H.323 state already exists.
+		accept()
+		return
+	}
+
+	fail := func(stage string) {
+		v.stats.RegisterFailers++
+		if v.cfg.Hooks.OnMSRegisterFailed != nil {
+			v.cfg.Hooks.OnMSRegisterFailed(entry.imsi, stage)
+		}
+		env.Send(v.cfg.ID, entry.bsc, gsm.LocationUpdateReject{
+			Leg: gsm.LegA, MS: entry.ms, Cause: 1,
+		})
+	}
+
+	if entry.client == nil {
+		entry.client = v.newClient(entry)
+	}
+
+	// Step 1.3a: GPRS attach, just like a GPRS MS.
+	if err := entry.client.Attach(env, func(ok bool) {
+		if !ok {
+			fail("gprs-attach")
+			return
+		}
+		v.activateSignallingPDP(env, entry, accept, fail)
+	}); err != nil {
+		fail("gprs-attach")
+	}
+}
+
+// activateSignallingPDP runs step 1.3b: a low-priority PDP context dedicated
+// to H.323 signalling.
+func (v *VMSC) activateSignallingPDP(env *sim.Env, entry *msEntry, accept func(), fail func(string)) {
+	err := entry.client.ActivatePDP(env, NSAPISignalling, gtp.SignallingQoS(),
+		v.staticAddrFor(entry.imsi),
+		func(addr netip.Addr, ok bool) {
+			if !ok {
+				fail("pdp-activation")
+				return
+			}
+			entry.addr = addr
+			entry.endpoint = v.endpointFor(entry)
+			if v.cfg.Dir != nil {
+				v.cfg.Dir.Bind(addr, v.cfg.ID)
+			}
+			v.registerWithGatekeeper(env, entry, accept, fail)
+		})
+	if err != nil {
+		fail("pdp-activation")
+	}
+}
+
+// registerWithGatekeeper runs steps 1.4-1.5: RAS RRQ carrying the MS's
+// MSISDN as alias and the PDP address as transport address; the RCF
+// completes the MS table entry.
+func (v *VMSC) registerWithGatekeeper(env *sim.Env, entry *msEntry, accept func(), fail func(string)) {
+	v.nextRAS++
+	seq := v.nextRAS
+	v.ras(env, entry, h323.RRQ{
+		Seq: seq, Alias: entry.msisdn,
+		SignalAddr: entry.addr, SignalPort: ipnet.PortQ931,
+	}, func(env *sim.Env, msg sim.Message) {
+		if _, confirmed := msg.(h323.RCF); !confirmed { // RRJ or timeout
+			fail("gatekeeper-registration")
+			return
+		}
+		entry.registered = true
+		v.byMSISDN[entry.msisdn] = entry
+		v.stats.Registrations++
+		if v.cfg.DeactivateIdlePDP {
+			// The §6 ablation: drop the signalling context while idle
+			// (TR 23.923-style resource saving).
+			v.deactivateSignalling(env, entry, func() {
+				v.finishRegistration(env, entry, accept)
+			})
+			return
+		}
+		v.finishRegistration(env, entry, accept)
+	})
+}
+
+func (v *VMSC) finishRegistration(env *sim.Env, entry *msEntry, accept func()) {
+	accept()
+	if v.cfg.Hooks.OnMSRegistered != nil {
+		v.cfg.Hooks.OnMSRegistered(entry.imsi, entry.addr)
+	}
+}
+
+func (v *VMSC) deactivateSignalling(env *sim.Env, entry *msEntry, done func()) {
+	if _, active := entry.client.Context(NSAPISignalling); !active {
+		done()
+		return
+	}
+	if err := entry.client.DeactivatePDP(env, NSAPISignalling, done); err != nil {
+		done()
+	}
+}
+
+// ensureSignallingPDP re-activates the signalling context in
+// DeactivateIdlePDP mode before a call can proceed.
+func (v *VMSC) ensureSignallingPDP(env *sim.Env, entry *msEntry, done func(ok bool)) {
+	if _, active := entry.client.Context(NSAPISignalling); active {
+		done(true)
+		return
+	}
+	err := entry.client.ActivatePDP(env, NSAPISignalling, gtp.SignallingQoS(),
+		v.staticAddrFor(entry.imsi),
+		func(addr netip.Addr, ok bool) {
+			if ok {
+				entry.addr = addr
+			}
+			done(ok)
+		})
+	if err != nil {
+		done(false)
+	}
+}
+
+// setMSISDN records the subscriber's directory number; the Registrar learns
+// it from the VLR profile only indirectly, so the VMSC resolves it during
+// call authorization — and topology builders may pre-provision it so the
+// alias is available at registration time.
+func (v *VMSC) setMSISDN(entry *msEntry, msisdn gsmid.MSISDN) {
+	if msisdn == "" || entry.msisdn == msisdn {
+		return
+	}
+	entry.msisdn = msisdn
+	v.byMSISDN[msisdn] = entry
+}
+
+// ProvisionMSISDN tells the VMSC a subscriber's MSISDN ahead of
+// registration. The paper's VMSC learns it from subscription data; here the
+// topology builder provides it so the RRQ of step 1.4 can carry the alias.
+func (v *VMSC) ProvisionMSISDN(imsi gsmid.IMSI, msisdn gsmid.MSISDN) {
+	entry, ok := v.entries[imsi]
+	if !ok {
+		entry = &msEntry{imsi: imsi}
+		v.entries[imsi] = entry
+	}
+	v.setMSISDN(entry, msisdn)
+}
+
+// handleDL feeds downlink Gb traffic into the right virtual client.
+func (v *VMSC) handleDL(env *sim.Env, dl gb.DLUnitdata) {
+	entry, ok := v.byMS[dl.MS]
+	if !ok || entry.client == nil {
+		return
+	}
+	_ = entry.client.HandleDownlink(env, dl.PDU)
+}
+
+// handleIMSIDetach deregisters a powering-off MS: the gatekeeper row is
+// removed (URQ), the GPRS contexts are detached, and the MS table entry is
+// marked unregistered — the reverse of the Fig 4 procedure. The detach
+// indication itself is unacknowledged, so failures here only delay garbage
+// collection.
+func (v *VMSC) handleIMSIDetach(env *sim.Env, t gsm.IMSIDetach) {
+	entry, ok := v.byMS[t.MS]
+	if !ok || !entry.registered {
+		return
+	}
+	v.deregister(env, entry)
+}
+
+// handleCancelLocation deregisters a subscriber whose location update ran
+// through another switch: the VLR relays the HLR's cancel so the old VMSC
+// releases the gatekeeper alias and GPRS contexts it holds on the MS's
+// behalf (paper §5 — the VMSC cleans up when the MS leaves its area).
+func (v *VMSC) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.CancelLocation) {
+	entry, ok := v.entries[m.IMSI]
+	if ok && entry.registered {
+		v.deregister(env, entry)
+	}
+}
+
+// deregister tears down a subscriber's vGPRS service: any call in progress,
+// the gatekeeper alias (URQ), and the GPRS attachment — the reverse of the
+// Fig 4 chain.
+func (v *VMSC) deregister(env *sim.Env, entry *msEntry) {
+	entry.registered = false
+	delete(v.byMSISDN, entry.msisdn)
+
+	// Abort any call in progress.
+	if entry.call != nil {
+		v.clearCall(env, entry.call, false)
+	}
+
+	// Unregister the alias at the gatekeeper. The context may already be
+	// torn down in DeactivateIdlePDP mode; re-activate transiently if so.
+	unregister := func() {
+		v.nextRAS++
+		v.ras(env, entry, h323.URQ{Seq: v.nextRAS, Alias: entry.msisdn, SignalAddr: entry.addr},
+			func(env *sim.Env, _ sim.Message) {
+				// Whether UCF or timeout, finish by detaching from GPRS.
+				if entry.client.Attached() {
+					_ = entry.client.Detach(env, func() {})
+				}
+			})
+	}
+	if _, active := entry.client.Context(NSAPISignalling); active {
+		unregister()
+		return
+	}
+	v.ensureSignallingPDP(env, entry, func(ok bool) {
+		if !ok {
+			return
+		}
+		entry.endpoint = v.endpointFor(entry)
+		unregister()
+	})
+}
+
+// StartKeepAlive begins periodic H.225 keepalive RRQs for every registered
+// subscriber — required when the gatekeeper enforces a registration TTL.
+// The VMSC refreshes on behalf of its MSs just as it registered on their
+// behalf (paper step 1.4); an MS whose row lapsed anyway (answered with
+// "full registration required") is re-registered with a full RRQ. Idle-PDP
+// mode skips subscribers whose signalling context is down; their rows are
+// refreshed when the per-call activation re-registers. Keepalives keep the
+// event queue non-empty: drive the simulation with RunUntil once started.
+func (v *VMSC) StartKeepAlive(env *sim.Env, interval time.Duration) {
+	if interval <= 0 || v.keepAlive {
+		return
+	}
+	v.keepAlive = true
+	var tick func()
+	tick = func() {
+		for _, entry := range v.entries {
+			entry := entry
+			if !entry.registered || entry.client == nil {
+				continue
+			}
+			if _, active := entry.client.Context(NSAPISignalling); !active {
+				continue
+			}
+			v.nextRAS++
+			v.ras(env, entry, h323.RRQ{
+				Seq: v.nextRAS, Alias: entry.msisdn,
+				SignalAddr: entry.addr, SignalPort: ipnet.PortQ931,
+				KeepAlive: true,
+			}, func(env *sim.Env, msg sim.Message) {
+				rrj, isRRJ := msg.(h323.RRJ)
+				if isRRJ && rrj.Reason == h323.RejectFullRegistrationRequired {
+					v.registerWithGatekeeper(env, entry, func() {}, func(string) {})
+				}
+			})
+		}
+		env.After(interval, tick)
+	}
+	tick()
+}

@@ -1,0 +1,314 @@
+// Package vmsc implements the paper's contribution: the VoIP Mobile
+// Switching Center, a router-based softswitch that replaces the GSM MSC.
+//
+// Toward the radio network the VMSC is indistinguishable from an MSC (A
+// interface to the BSC, MAP B to the VLR). Toward the packet core it acts
+// as a GPRS MS *per registered subscriber*: it attaches and activates PDP
+// contexts over the Gb interface exactly like a handset would (paper step
+// 1.3), giving every MS an IP identity. Toward the VoIP world it is an
+// H.323 endpoint per MS, registering each MSISDN with a standard gatekeeper
+// (step 1.4) and running H.225/Q.931 call signalling plus vocoder-transcoded
+// RTP through the GPRS tunnel. Toward legacy MSCs it anchors inter-system
+// handovers over MAP E and ISUP trunks (Fig 9).
+//
+// The MS table required by the paper ("the VMSC maintains an MS table...
+// MM and PDP contexts such as TMSI, IMSI, and the QoS profile requested")
+// is the entries map below.
+package vmsc
+
+import (
+	"net/netip"
+	"time"
+
+	"vgprs/internal/gprs"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/h323"
+	"vgprs/internal/ipnet"
+	"vgprs/internal/isup"
+	"vgprs/internal/msc"
+	"vgprs/internal/q931"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+)
+
+// NSAPIs for the two PDP contexts each MS holds (paper steps 1.3 and 2.9).
+const (
+	NSAPISignalling uint8 = 5
+	NSAPIVoice      uint8 = 6
+)
+
+// HandoverTarget names the legacy MSC (and its BTS, standing in for the
+// radio channel description) serving a neighbour cell.
+type HandoverTarget struct {
+	MSC sim.NodeID
+	BTS sim.NodeID
+}
+
+// Hooks observe VMSC events; all run on the simulation goroutine.
+type Hooks struct {
+	// OnMSRegistered fires when the full Fig 4 procedure (VLR + GPRS +
+	// gatekeeper) completes for an MS.
+	OnMSRegistered func(imsi gsmid.IMSI, addr netip.Addr)
+	// OnMSRegisterFailed fires when any stage fails.
+	OnMSRegisterFailed func(imsi gsmid.IMSI, stage string)
+	// OnCallEstablished fires when a call reaches conversation.
+	OnCallEstablished func(imsi gsmid.IMSI, mobileOriginated bool)
+	// OnCallReleased fires when a call finishes clearing.
+	OnCallReleased func(imsi gsmid.IMSI)
+	// OnHandoverComplete fires when an inter-system handover finishes.
+	OnHandoverComplete func(imsi gsmid.IMSI, target sim.NodeID)
+}
+
+// Config parameterises a VMSC.
+type Config struct {
+	ID sim.NodeID
+	// VLR is the attached visitor location register (B interface).
+	VLR sim.NodeID
+	// SGSN is the Gb peer.
+	SGSN sim.NodeID
+	// Cell is the cell identity stamped on the virtual MSs' Gb traffic.
+	Cell gsmid.CGI
+	// Gatekeeper is the H.323 gatekeeper's IP address.
+	Gatekeeper netip.Addr
+	// Dir resolves IP addresses for trace annotation.
+	Dir *h323.Directory
+	// HandoverTargets maps neighbour cells to legacy MSCs (Fig 9).
+	HandoverTargets map[gsmid.CGI]HandoverTarget
+	// ETrunks maps each E-interface peer MSC to the shared trunk group.
+	ETrunks map[sim.NodeID]*isup.TrunkGroup
+	// HandbackCells maps this VMSC's own cells to their BTS nodes, so a
+	// subsequent-handover request naming one of them is recognised as a
+	// handback onto the anchor's radio system (GSM 03.09).
+	HandbackCells map[gsmid.CGI]sim.NodeID
+	// DeactivateIdlePDP enables the ablation the paper discusses in §6:
+	// tear the signalling PDP context down while the MS is idle and
+	// re-activate per call. Requires static PDP addresses.
+	DeactivateIdlePDP bool
+	// StaticAddrs provides per-IMSI static PDP addresses for the
+	// DeactivateIdlePDP mode (and must be provisioned at the GGSN).
+	StaticAddrs map[gsmid.IMSI]string
+	// PagingTimeout bounds the wait for paging responses. Zero = 5 s.
+	PagingTimeout time.Duration
+	// MAPTimeout bounds MAP and RAS transactions. Zero = 5 s.
+	MAPTimeout time.Duration
+	// TranscodeCost is the vocoder's per-frame processing delay in each
+	// direction. Zero means codec.TranscodeCost (500µs). The A2 ablation
+	// sweeps it to show how vocoder placement at the VMSC prices into
+	// mouth-to-ear delay.
+	TranscodeCost time.Duration
+
+	Hooks Hooks
+}
+
+// VMSC is the VoIP mobile switching center node.
+type VMSC struct {
+	cfg       Config
+	registrar *msc.Registrar
+	hoTarget  *msc.HandoverTarget
+	dm        *ss7.DialogueManager
+
+	keepAlive bool
+
+	// entries is the paper's MS table.
+	entries  map[gsmid.IMSI]*msEntry
+	byMS     map[sim.NodeID]*msEntry
+	byMSISDN map[gsmid.MSISDN]*msEntry
+
+	pendingRAS map[uint32]func(env *sim.Env, msg sim.Message)
+	nextRAS    uint32
+
+	// hoCalls indexes handed-over calls by the anchor-allocated trunk
+	// call reference (Q.931 references are resolved per MS entry, since
+	// each MS holds at most one call).
+	hoCalls    map[uint32]*vCall
+	nextHORef  uint32
+	nextHOChan uint16
+	active     int
+
+	stats Stats
+}
+
+// Stats counts VMSC activity for the experiment harness.
+type Stats struct {
+	Registrations    uint64
+	RegisterFailers  uint64
+	CallsEstablished uint64
+	CallsReleased    uint64
+	FramesUplink     uint64
+	FramesDownlink   uint64
+	FramesClipped    uint64 // speech frames arriving before the voice PDP context was ready
+	Handovers        uint64
+}
+
+// msEntry is one row of the MS table: the MM context plus the virtual GPRS
+// client holding the PDP contexts, plus the per-MS H.323 endpoint.
+type msEntry struct {
+	imsi   gsmid.IMSI
+	msisdn gsmid.MSISDN
+	tmsi   gsmid.TMSI
+	lai    gsmid.LAI
+	ms     sim.NodeID
+	bsc    sim.NodeID
+
+	client     *gprs.Client
+	addr       netip.Addr
+	endpoint   *h323.Endpoint
+	registered bool
+	voiceUp    bool
+
+	call *vCall
+}
+
+type callState uint8
+
+const (
+	callRouting callState = iota + 1
+	callPaging
+	callDelivering
+	callAlerting
+	callActive
+	callClearing
+)
+
+// vCall is one call through the VMSC.
+type vCall struct {
+	entry *msEntry
+	// ref is the Q.931 call reference on the H.323 leg.
+	ref uint16
+	// radioRef is the call reference on the A-interface leg.
+	radioRef         uint32
+	state            callState
+	mobileOriginated bool
+	// remote is the far party's alias (dialled number on MO, calling
+	// party on MT) — the gatekeeper's DRQ matching needs it.
+	remote    gsmid.MSISDN
+	remoteSig netip.Addr
+	remoteMed q931.MediaAddr
+
+	rtpSeq  uint16
+	seqDown uint32
+
+	// Inter-system handover leg (Fig 9), once active.
+	hoActive bool
+	hoRef    uint32
+	hoPeer   sim.NodeID
+	hoCIC    isup.CIC
+	hoTrunks *isup.TrunkGroup
+	hoSeq    uint32
+	// hoNext is the prepared-but-not-yet-confirmed leg of a subsequent
+	// handover to a third MSC; it replaces hoPeer/hoCIC/hoTrunks when
+	// the new target reports the MS's arrival.
+	hoNext *hoLeg
+}
+
+// hoLeg is one circuit leg of the inter-system handover path.
+type hoLeg struct {
+	peer   sim.NodeID
+	cic    isup.CIC
+	trunks *isup.TrunkGroup
+}
+
+var _ sim.Node = (*VMSC)(nil)
+
+// New returns a VMSC.
+func New(cfg Config) *VMSC {
+	if cfg.PagingTimeout == 0 {
+		cfg.PagingTimeout = 5 * time.Second
+	}
+	if cfg.MAPTimeout == 0 {
+		cfg.MAPTimeout = 5 * time.Second
+	}
+	v := &VMSC{
+		cfg:        cfg,
+		dm:         ss7.NewDialogueManager(),
+		entries:    make(map[gsmid.IMSI]*msEntry),
+		byMS:       make(map[sim.NodeID]*msEntry),
+		byMSISDN:   make(map[gsmid.MSISDN]*msEntry),
+		pendingRAS: make(map[uint32]func(*sim.Env, sim.Message)),
+		hoCalls:    make(map[uint32]*vCall),
+	}
+	v.registrar = msc.NewRegistrar(cfg.ID, cfg.VLR, v.onVLROutcome)
+	v.hoTarget = msc.NewHandoverTarget(cfg.ID, "88697")
+	return v
+}
+
+// HandoversIn returns how many inter-system handovers this VMSC received as
+// the target — the paper's §7 "between two VMSCs follows the same
+// procedure" case.
+func (v *VMSC) HandoversIn() uint64 { return v.hoTarget.Completed() }
+
+// ID implements sim.Node.
+func (v *VMSC) ID() sim.NodeID { return v.cfg.ID }
+
+// Stats returns a copy of the activity counters.
+func (v *VMSC) Stats() Stats { return v.stats }
+
+// MSTable returns the number of MS table entries (MM+PDP contexts held).
+func (v *VMSC) MSTable() int { return len(v.entries) }
+
+// Entry reports a subscriber's registration state and PDP address.
+func (v *VMSC) Entry(imsi gsmid.IMSI) (addr netip.Addr, registered bool, ok bool) {
+	e, exists := v.entries[imsi]
+	if !exists {
+		return netip.Addr{}, false, false
+	}
+	return e.addr, e.registered, true
+}
+
+// ActiveCalls returns the number of calls in progress.
+func (v *VMSC) ActiveCalls() int { return v.active }
+
+// staticAddrFor returns the provisioned static PDP address for an IMSI in
+// DeactivateIdlePDP mode ("" = dynamic).
+func (v *VMSC) staticAddrFor(imsi gsmid.IMSI) string {
+	if !v.cfg.DeactivateIdlePDP {
+		return ""
+	}
+	return v.cfg.StaticAddrs[imsi]
+}
+
+// newClient builds the virtual GPRS client for an MS. The transport sends
+// LLC PDUs straight onto the Gb interface — the VMSC-specific twist on the
+// shared gprs.Client state machine.
+func (v *VMSC) newClient(entry *msEntry) *gprs.Client {
+	client := gprs.NewClient(entry.imsi, func(env *sim.Env, tlli gsmid.TLLI, pdu []byte) {
+		env.Send(v.cfg.ID, v.cfg.SGSN, gbUL(tlli, entry.ms, v.cfg.Cell, pdu))
+	})
+	client.Timeout = v.cfg.MAPTimeout
+	client.OnPacket = func(env *sim.Env, nsapi uint8, pkt ipnet.Packet) {
+		v.handleIP(env, entry, pkt)
+	}
+	client.OnActivationRequest = func(env *sim.Env, address string) {
+		// Network-requested activation (DeactivateIdlePDP mode): bring
+		// the signalling context back so the incoming Setup can reach us.
+		if _, active := entry.client.Context(NSAPISignalling); active {
+			return
+		}
+		_ = entry.client.ActivatePDP(env, NSAPISignalling, gtp.SignallingQoS(), address,
+			func(addr netip.Addr, ok bool) {
+				if ok {
+					entry.addr = addr
+				}
+			})
+	}
+	return client
+}
+
+// endpointFor builds the per-MS H.323 endpoint. Its Send routes packets
+// through the MS's PDP contexts, choosing the voice context for RTP when it
+// is up — the traffic-flow-template role of GPRS.
+func (v *VMSC) endpointFor(entry *msEntry) *h323.Endpoint {
+	return &h323.Endpoint{
+		Node: v.cfg.ID,
+		Addr: entry.addr,
+		Dir:  v.cfg.Dir,
+		Send: func(env *sim.Env, pkt ipnet.Packet) {
+			nsapi := NSAPISignalling
+			if entry.voiceUp && (pkt.DstPort == ipnet.PortRTP || pkt.SrcPort == ipnet.PortRTP) {
+				nsapi = NSAPIVoice
+			}
+			_ = entry.client.SendIP(env, nsapi, pkt)
+		},
+	}
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// EncodeBCD packs a decimal digit string into GSM "swapped nibble" BCD, the
+// form used for IMSI, MSISDN and called-party digits throughout GSM 04.08
+// and MAP. Odd-length strings are padded with the filler nibble 0xF.
+//
+// For example "12345" encodes to {0x21, 0x43, 0xF5}.
+func EncodeBCD(digits string) ([]byte, error) {
+	for i := 0; i < len(digits); i++ {
+		if digits[i] < '0' || digits[i] > '9' {
+			return nil, fmt.Errorf("%w: %q at index %d", ErrBadDigit, digits[i], i)
+		}
+	}
+	out := make([]byte, (len(digits)+1)/2)
+	for i := 0; i < len(digits); i++ {
+		nibble := digits[i] - '0'
+		if i%2 == 0 {
+			out[i/2] = nibble
+		} else {
+			out[i/2] |= nibble << 4
+		}
+	}
+	if len(digits)%2 == 1 {
+		out[len(out)-1] |= 0xF0
+	}
+	return out, nil
+}
+
+// DecodeBCD unpacks GSM swapped-nibble BCD back into a digit string. A
+// filler nibble (0xF) in the final high nibble terminates an odd-length
+// string; a filler anywhere else, or any nibble above 9, is an error.
+func DecodeBCD(b []byte) (string, error) {
+	digits := make([]byte, 0, len(b)*2)
+	for i, octet := range b {
+		lo := octet & 0x0F
+		hi := octet >> 4
+		if lo > 9 {
+			return "", fmt.Errorf("%w: low nibble %X in octet %d", ErrBadDigit, lo, i)
+		}
+		digits = append(digits, '0'+lo)
+		if hi == 0xF {
+			if i != len(b)-1 {
+				return "", fmt.Errorf("%w: filler nibble before final octet (octet %d)", ErrBadDigit, i)
+			}
+			break
+		}
+		if hi > 9 {
+			return "", fmt.Errorf("%w: high nibble %X in octet %d", ErrBadDigit, hi, i)
+		}
+		digits = append(digits, '0'+hi)
+	}
+	return string(digits), nil
+}
+
+// BCD appends a one-byte length prefix followed by the BCD encoding of
+// digits. It panics on non-digit input: identity strings are validated at
+// construction by the gsmid package, so a bad digit here is a programming
+// error.
+func (w *Writer) BCD(digits string) {
+	enc, err := EncodeBCD(digits)
+	if err != nil {
+		panic(fmt.Sprintf("wire: BCD(%q): %v", digits, err))
+	}
+	if len(enc) > 255 {
+		panic(fmt.Sprintf("wire: BCD length %d exceeds 255", len(enc)))
+	}
+	w.U8(uint8(len(enc)))
+	w.Raw(enc)
+}
+
+// BCD reads a one-byte length prefix followed by that many BCD octets and
+// decodes them to a digit string.
+func (r *Reader) BCD() string {
+	n := int(r.U8())
+	raw := r.Raw(n)
+	if r.err != nil {
+		return ""
+	}
+	s, err := DecodeBCD(raw)
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return s
+}

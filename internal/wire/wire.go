@@ -1,0 +1,196 @@
+// Package wire provides low-level binary encoding helpers shared by the
+// protocol codecs in this repository: a bounds-checked reader/writer for
+// big-endian fields, BCD digit packing as used throughout GSM (IMSI, MSISDN,
+// dialled digits), and simple tag-length-value records.
+//
+// All protocol messages (MAP, ISUP, GTP, Q.931, RAS, RTP, GSM L3) marshal
+// through these helpers so the figure-flow reproduction exercises real byte
+// encodings end to end, not just Go structs.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned when a decode runs off the end of the input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrBadDigit is returned when a BCD field contains a non-digit nibble or a
+// digit string contains a non-digit byte.
+var ErrBadDigit = errors.New("wire: invalid BCD digit")
+
+// Writer accumulates big-endian binary output. The zero value is ready to
+// use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated output. The returned slice aliases the
+// writer's buffer; callers that keep writing must copy it first.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends a single byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian 16-bit value.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian 32-bit value.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian 64-bit value.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Raw appends b verbatim.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// String8 appends a length-prefixed (one byte) string. It panics if the
+// string exceeds 255 bytes: all protocol fields using this form are
+// validated at construction.
+func (w *Writer) String8(s string) {
+	if len(s) > 255 {
+		panic(fmt.Sprintf("wire: String8 length %d exceeds 255", len(s)))
+	}
+	w.U8(uint8(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes16 appends a length-prefixed (two bytes, big-endian) byte slice.
+func (w *Writer) Bytes16(b []byte) {
+	if len(b) > 0xFFFF {
+		panic(fmt.Sprintf("wire: Bytes16 length %d exceeds 65535", len(b)))
+	}
+	w.U16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// TLV appends a tag, one-byte length, and value — the GSM information
+// element form. It panics on values longer than 255 bytes.
+func (w *Writer) TLV(tag uint8, value []byte) {
+	if len(value) > 255 {
+		panic(fmt.Sprintf("wire: TLV value length %d exceeds 255", len(value)))
+	}
+	w.U8(tag)
+	w.U8(uint8(len(value)))
+	w.buf = append(w.buf, value...)
+}
+
+// Reader consumes big-endian binary input with bounds checking. Decoding
+// functions call its accessors and check Err once at the end ("handle errors
+// once").
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w at offset %d", ErrShortBuffer, r.off)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a big-endian 16-bit value.
+func (r *Reader) U16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a big-endian 32-bit value.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a big-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Raw reads n bytes, returning a copy so the decoded message does not alias
+// the network buffer. Zero-length reads return nil (nil is a valid slice),
+// so empty fields round-trip to their zero value.
+func (r *Reader) Raw(n int) []byte {
+	if n < 0 || r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += n
+	return out
+}
+
+// String8 reads a one-byte length-prefixed string.
+func (r *Reader) String8() string {
+	n := int(r.U8())
+	return string(r.Raw(n))
+}
+
+// Bytes16 reads a two-byte length-prefixed byte slice.
+func (r *Reader) Bytes16() []byte {
+	n := int(r.U16())
+	return r.Raw(n)
+}
+
+// TLV reads a tag, one-byte length, and value.
+func (r *Reader) TLV() (tag uint8, value []byte) {
+	tag = r.U8()
+	n := int(r.U8())
+	return tag, r.Raw(n)
+}
+
+// Rest returns a copy of all unread bytes and advances to the end.
+func (r *Reader) Rest() []byte {
+	return r.Raw(r.Remaining())
+}

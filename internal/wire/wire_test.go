@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.U16(0x1234)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0102030405060708)
+	w.String8("hello")
+	w.Bytes16([]byte{1, 2, 3})
+	w.TLV(0x42, []byte{9, 9})
+	w.Raw([]byte{0xFF})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0x1234 {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.String8(); got != "hello" {
+		t.Errorf("String8 = %q", got)
+	}
+	if got := r.Bytes16(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes16 = %v", got)
+	}
+	tag, val := r.TLV()
+	if tag != 0x42 || !bytes.Equal(val, []byte{9, 9}) {
+		t.Errorf("TLV = %#x %v", tag, val)
+	}
+	if got := r.Rest(); !bytes.Equal(got, []byte{0xFF}) {
+		t.Errorf("Rest = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Error is sticky: later reads return zero values without panicking.
+	if got := r.U8(); got != 0 {
+		t.Fatalf("U8 after error = %#x, want 0", got)
+	}
+}
+
+func TestReaderShortString8(t *testing.T) {
+	r := NewReader([]byte{10, 'a', 'b'})
+	_ = r.String8()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+}
+
+func TestRawCopies(t *testing.T) {
+	src := []byte{1, 2, 3}
+	r := NewReader(src)
+	got := r.Raw(3)
+	src[0] = 99
+	if got[0] != 1 {
+		t.Fatal("Raw must copy out of the network buffer")
+	}
+}
+
+func TestString8PanicsOnOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := NewWriter(0)
+	w.String8(strings.Repeat("x", 256))
+}
+
+func TestTLVPanicsOnOversize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := NewWriter(0)
+	w.TLV(1, make([]byte, 256))
+}
+
+func TestEncodeBCDKnownVector(t *testing.T) {
+	// GSM 04.08 swapped-nibble form: "12345" -> 21 43 F5.
+	got, err := EncodeBCD("12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x21, 0x43, 0xF5}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("EncodeBCD = % X, want % X", got, want)
+	}
+}
+
+func TestEncodeBCDEven(t *testing.T) {
+	got, err := EncodeBCD("466923123456789") // a 15-digit IMSI
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("len = %d, want 8", len(got))
+	}
+	back, err := DecodeBCD(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != "466923123456789" {
+		t.Fatalf("round trip = %q", back)
+	}
+}
+
+func TestEncodeBCDRejectsNonDigit(t *testing.T) {
+	if _, err := EncodeBCD("12a4"); !errors.Is(err, ErrBadDigit) {
+		t.Fatalf("err = %v, want ErrBadDigit", err)
+	}
+}
+
+func TestDecodeBCDRejectsBadNibbles(t *testing.T) {
+	cases := [][]byte{
+		{0x1A},       // high nibble A mid-value
+		{0x0F},       // low nibble filler
+		{0xF1, 0x21}, // filler before final octet
+	}
+	for _, c := range cases {
+		if _, err := DecodeBCD(c); !errors.Is(err, ErrBadDigit) {
+			t.Errorf("DecodeBCD(% X) err = %v, want ErrBadDigit", c, err)
+		}
+	}
+}
+
+func TestDecodeBCDEmpty(t *testing.T) {
+	s, err := DecodeBCD(nil)
+	if err != nil || s != "" {
+		t.Fatalf("DecodeBCD(nil) = %q, %v", s, err)
+	}
+}
+
+func TestBCDRoundTripProperty(t *testing.T) {
+	prop := func(raw []byte) bool {
+		// Map arbitrary bytes to digit strings of length 0..40.
+		digits := make([]byte, 0, len(raw)%41)
+		for i := 0; i < len(raw) && i < 40; i++ {
+			digits = append(digits, '0'+raw[i]%10)
+		}
+		s := string(digits)
+		enc, err := EncodeBCD(s)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeBCD(enc)
+		return err == nil && dec == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReaderBCDRoundTrip(t *testing.T) {
+	w := NewWriter(16)
+	w.BCD("886912345678")
+	w.U8(0x7E)
+	r := NewReader(w.Bytes())
+	if got := r.BCD(); got != "886912345678" {
+		t.Fatalf("BCD = %q", got)
+	}
+	if got := r.U8(); got != 0x7E {
+		t.Fatalf("trailing byte = %#x", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestReaderBCDShort(t *testing.T) {
+	r := NewReader([]byte{5, 0x21}) // claims 5 octets, has 1
+	_ = r.BCD()
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v", r.Err())
+	}
+}
+
+func TestReaderBCDBadDigitSurfaces(t *testing.T) {
+	r := NewReader([]byte{1, 0x1A})
+	_ = r.BCD()
+	if !errors.Is(r.Err(), ErrBadDigit) {
+		t.Fatalf("Err = %v, want ErrBadDigit", r.Err())
+	}
+}
+
+func TestWriterBCDPanicsOnNonDigit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w := NewWriter(0)
+	w.BCD("12x")
+}
+
+func TestQuickU32RoundTrip(t *testing.T) {
+	prop := func(v uint32) bool {
+		w := NewWriter(4)
+		w.U32(v)
+		return NewReader(w.Bytes()).U32() == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBytes16RoundTrip(t *testing.T) {
+	prop := func(b []byte) bool {
+		if len(b) > 0xFFFF {
+			b = b[:0xFFFF]
+		}
+		w := NewWriter(len(b) + 2)
+		w.Bytes16(b)
+		got := NewReader(w.Bytes()).Bytes16()
+		return bytes.Equal(got, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
