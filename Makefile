@@ -1,0 +1,38 @@
+# Development entry points. `make check` is the tier-1 gate plus the race
+# detector over the packages that now run work on goroutines (the parallel
+# sweep runner); CI should run exactly this target.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-sim bench-json
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep runner fans experiment points across worker goroutines; keep the
+# race detector on the packages that schedule or execute that work.
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+
+check: vet build test race
+
+# Full benchmark suite (paper artifacts + engine micro-benchmarks).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Engine hot-path micro-benchmarks only: must report 0 allocs/op for
+# BenchmarkSendDeliver and BenchmarkTimerChurn.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'SendDeliver|TimerChurn' -benchmem ./internal/sim/
+
+# Machine-readable experiment results (BENCH_<id>.json in the working dir).
+bench-json:
+	$(GO) run ./cmd/vgprs-bench -json

@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	vgprs-bench [-seed N] [-calls N] [-only F4,C1,...]
+//	vgprs-bench [-seed N] [-calls N] [-only F4,C1,...] [-json] [-out DIR]
+//
+// With -json, each experiment additionally writes its raw results to
+// DIR/BENCH_<id>.json (machine-readable, stable field names), so the
+// performance trajectory across revisions can be tracked without parsing
+// the text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -26,6 +33,8 @@ func run(args []string) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	calls := fs.Int("calls", 5, "calls per setup-latency series (C1)")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	jsonOut := fs.Bool("json", false, "also write per-experiment results to BENCH_<id>.json")
+	outDir := fs.String("out", ".", "directory for -json output files")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,99 +48,101 @@ func run(args []string) int {
 	want := func(id string) bool { return len(wanted) == 0 || wanted[id] }
 
 	type experiment struct {
-		id  string
-		run func() (fmt.Stringer, error)
+		id string
+		// run returns the rendered table plus the raw result value for
+		// -json serialisation.
+		run func() (fmt.Stringer, any, error)
 	}
 	suite := []experiment{
-		{"F1", func() (fmt.Stringer, error) {
+		{"F1", func() (fmt.Stringer, any, error) {
 			r, err := experiments.RunF1Attach(*seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.F1Table(r), nil
+			return experiments.F1Table(r), r, nil
 		}},
-		{"F4", func() (fmt.Stringer, error) {
+		{"F4", func() (fmt.Stringer, any, error) {
 			r, err := experiments.RunF4Registration(*seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.F4Table(r), nil
+			return experiments.F4Table(r), r, nil
 		}},
-		{"C1", func() (fmt.Stringer, error) {
+		{"C1", func() (fmt.Stringer, any, error) {
 			r, err := experiments.RunC1SetupComparison(*seed, *calls)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.C1Table(r), nil
+			return experiments.C1Table(r), r, nil
 		}},
-		{"C2", func() (fmt.Stringer, error) {
+		{"C2", func() (fmt.Stringer, any, error) {
 			points, err := experiments.RunC2ContextResidency(*seed, []int{1, 10, 50, 100})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.C2Table(points), nil
+			return experiments.C2Table(points), points, nil
 		}},
-		{"C3", func() (fmt.Stringer, error) {
+		{"C3", func() (fmt.Stringer, any, error) {
 			points, err := experiments.RunC3VoiceQuality(*seed, 10*time.Second,
 				[]time.Duration{0, 10 * time.Millisecond, 30 * time.Millisecond})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.C3Table(points), nil
+			return experiments.C3Table(points), points, nil
 		}},
-		{"C5", func() (fmt.Stringer, error) {
+		{"C5", func() (fmt.Stringer, any, error) {
 			results, err := experiments.RunC5SignallingLoad(*seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.C5Table(results), nil
+			return experiments.C5Table(results), results, nil
 		}},
-		{"F7F8", func() (fmt.Stringer, error) {
+		{"F7F8", func() (fmt.Stringer, any, error) {
 			entries, err := experiments.RunF7F8Tromboning(*seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.TromboneTable(entries), nil
+			return experiments.TromboneTable(entries), entries, nil
 		}},
-		{"F9", func() (fmt.Stringer, error) {
+		{"F9", func() (fmt.Stringer, any, error) {
 			r, err := experiments.RunF9Handoff(*seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.F9Table(r), nil
+			return experiments.F9Table(r), r, nil
 		}},
-		{"A1", func() (fmt.Stringer, error) {
+		{"A1", func() (fmt.Stringer, any, error) {
 			results, err := experiments.RunA1RegistrationAblation(*seed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.A1Table(results), nil
+			return experiments.A1Table(results), results, nil
 		}},
-		{"A2", func() (fmt.Stringer, error) {
+		{"A2", func() (fmt.Stringer, any, error) {
 			points, err := experiments.RunA2VocoderCost(*seed, 3*time.Second,
 				[]time.Duration{500 * time.Microsecond, time.Millisecond,
 					2 * time.Millisecond, 5 * time.Millisecond})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.A2Table(points), nil
+			return experiments.A2Table(points), points, nil
 		}},
-		{"A3", func() (fmt.Stringer, error) {
+		{"A3", func() (fmt.Stringer, any, error) {
 			points, err := experiments.RunA3RadioLatencySweep(*seed,
 				[]time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
 					20 * time.Millisecond, 40 * time.Millisecond})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.A3Table(points), nil
+			return experiments.A3Table(points), points, nil
 		}},
-		{"R1", func() (fmt.Stringer, error) {
+		{"R1", func() (fmt.Stringer, any, error) {
 			points, err := experiments.RunR1RegistrationStorm(*seed,
 				[]struct{ MS, TCH int }{{10, 4}, {25, 4}, {50, 8}, {100, 16}})
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			return experiments.R1Table(points), nil
+			return experiments.R1Table(points), points, nil
 		}},
 	}
 
@@ -140,16 +151,42 @@ func run(args []string) int {
 		if !want(e.id) && !(e.id == "F7F8" && (want("F7") || want("F8"))) {
 			continue
 		}
-		table, err := e.run()
+		table, data, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.id, err)
 			failed++
 			continue
 		}
 		fmt.Println(table)
+		if *jsonOut {
+			if err := writeJSON(*outDir, e.id, *seed, data); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.id, err)
+				failed++
+			}
+		}
 	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeJSON writes one experiment's raw results to DIR/BENCH_<id>.json.
+// Duration-typed fields serialise as integer nanoseconds of virtual time.
+func writeJSON(dir, id string, seed int64, data any) error {
+	payload := struct {
+		Experiment string `json:"experiment"`
+		Seed       int64  `json:"seed"`
+		Data       any    `json:"data"`
+	}{Experiment: id, Seed: seed, Data: data}
+	buf, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal results: %w", err)
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("write results: %w", err)
+	}
+	return nil
 }

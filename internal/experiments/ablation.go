@@ -28,20 +28,21 @@ func RunA1RegistrationAblation(seed int64) ([]AblationResult, error) {
 		{"auth/cipher disabled", netsim.VGPRSOptions{Seed: seed, AuthDisabled: true}},
 		{"idle-PDP deactivation mode", netsim.VGPRSOptions{Seed: seed, DeactivateIdlePDP: true}},
 	}
-	var out []AblationResult
-	for _, v := range variants {
+	return runSweep(variants, func(v struct {
+		name string
+		opts netsim.VGPRSOptions
+	}) (AblationResult, error) {
 		n := netsim.BuildVGPRS(v.opts)
 		if err := n.RegisterAll(); err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", v.name, err)
+			return AblationResult{}, fmt.Errorf("experiments: %s: %w", v.name, err)
 		}
 		first, ok1 := n.Rec.First("Um_Location_Update_Request")
 		accept, ok2 := n.Rec.Last("Um_Location_Update_Accept")
 		if !ok1 || !ok2 {
-			return nil, fmt.Errorf("experiments: %s: incomplete trace", v.name)
+			return AblationResult{}, fmt.Errorf("experiments: %s: incomplete trace", v.name)
 		}
-		out = append(out, AblationResult{Variant: v.name, Total: accept.At - first.At})
-	}
-	return out, nil
+		return AblationResult{Variant: v.name, Total: accept.At - first.At}, nil
+	})
 }
 
 // A1Table renders the ablation.
@@ -71,37 +72,34 @@ type VocoderPoint struct {
 // delay (one transcode hop per direction), while jitter stays untouched
 // because the cost is deterministic.
 func RunA2VocoderCost(seed int64, talkFor time.Duration, costs []time.Duration) ([]VocoderPoint, error) {
-	var out []VocoderPoint
-	for _, cost := range costs {
-		cost := cost
+	return runSweep(costs, func(cost time.Duration) (VocoderPoint, error) {
 		n := netsim.BuildVGPRS(netsim.VGPRSOptions{
 			Seed: seed, Talk: true, NoTrace: true,
 			VMSCMutate: func(cfg *vmsc.Config) { cfg.TranscodeCost = cost },
 		})
 		if err := n.RegisterAll(); err != nil {
-			return nil, fmt.Errorf("experiments: A2 cost=%v: %w", cost, err)
+			return VocoderPoint{}, fmt.Errorf("experiments: A2 cost=%v: %w", cost, err)
 		}
 		if err := n.MSs[0].Dial(n.Env, netsim.TerminalAlias(0)); err != nil {
-			return nil, fmt.Errorf("experiments: A2 cost=%v: %w", cost, err)
+			return VocoderPoint{}, fmt.Errorf("experiments: A2 cost=%v: %w", cost, err)
 		}
 		n.Env.RunUntil(n.Env.Now() + 3*time.Second + talkFor)
 		term := n.Terminals[0]
 		if term.Media.Received() == 0 {
-			return nil, fmt.Errorf("experiments: A2 cost=%v: media never flowed", cost)
+			return VocoderPoint{}, fmt.Errorf("experiments: A2 cost=%v: media never flowed", cost)
 		}
 		delays := metrics.NewSeries("A2")
 		for _, d := range term.Media.Delays() {
 			delays.Add(d)
 		}
-		out = append(out, VocoderPoint{
+		return VocoderPoint{
 			Cost:      cost,
 			MeanDelay: term.Media.MeanDelay(),
 			P95Delay:  delays.Percentile(95),
 			Jitter:    term.Media.Jitter(),
 			Frames:    term.Media.Received(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // A2Table renders the vocoder-cost sweep.
@@ -134,21 +132,19 @@ type RadioSweepPoint struct {
 // because the TR scheme pays the per-call PDP activation — radio round
 // trips — that vGPRS avoids, so its handicap *grows* with Um latency.
 func RunA3RadioLatencySweep(seed int64, ums []time.Duration) ([]RadioSweepPoint, error) {
-	var out []RadioSweepPoint
-	for _, um := range ums {
+	return runSweep(ums, func(um time.Duration) (RadioSweepPoint, error) {
 		lat := netsim.DefaultLatencies()
 		lat.Um = um
 		v, err := measureVGPRSCallsAt(seed, 1, true, false, &lat)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: A3 Um=%v vGPRS: %w", um, err)
+			return RadioSweepPoint{}, fmt.Errorf("experiments: A3 Um=%v vGPRS: %w", um, err)
 		}
 		tr, err := measureTRCallsAt(seed, 1, true, false, &lat)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: A3 Um=%v TR: %w", um, err)
+			return RadioSweepPoint{}, fmt.Errorf("experiments: A3 Um=%v TR: %w", um, err)
 		}
-		out = append(out, RadioSweepPoint{Um: um, VGPRSSetup: v.Mean(), TRSetup: tr.Mean()})
-	}
-	return out, nil
+		return RadioSweepPoint{Um: um, VGPRSSetup: v.Mean(), TRSetup: tr.Mean()}, nil
+	})
 }
 
 // A3Table renders the sweep.

@@ -212,11 +212,12 @@ type C1Result struct {
 // each side's ablation.
 func RunC1SetupComparison(seed int64, calls int) (C1Result, error) {
 	var out C1Result
-	runs := []struct {
+	type c1Run struct {
 		vgprs   bool
 		mo      bool
 		variant bool // deactivateIdle for vGPRS; keepActive for TR
-	}{
+	}
+	runs := []c1Run{
 		{vgprs: true, mo: true},
 		{vgprs: true, mo: false},
 		{vgprs: true, mo: true, variant: true},
@@ -225,19 +226,16 @@ func RunC1SetupComparison(seed int64, calls int) (C1Result, error) {
 		{vgprs: false, mo: false},
 		{vgprs: false, mo: true, variant: true},
 	}
-	for _, r := range runs {
-		var s *metrics.Series
-		var err error
+	series, err := runSweep(runs, func(r c1Run) (*metrics.Series, error) {
 		if r.vgprs {
-			s, err = measureVGPRSCalls(seed, calls, r.mo, r.variant)
-		} else {
-			s, err = measureTRCalls(seed, calls, r.mo, r.variant)
+			return measureVGPRSCalls(seed, calls, r.mo, r.variant)
 		}
-		if err != nil {
-			return out, err
-		}
-		out.Series = append(out.Series, s)
+		return measureTRCalls(seed, calls, r.mo, r.variant)
+	})
+	if err != nil {
+		return out, err
 	}
+	out.Series = series
 	return out, nil
 }
 

@@ -25,20 +25,19 @@ type C2Point struct {
 // vGPRS's always-on signalling context) against the MO call-setup latency
 // (the cost TR 23.923 pays instead).
 func RunC2ContextResidency(seed int64, sizes []int) ([]C2Point, error) {
-	var out []C2Point
-	for _, size := range sizes {
+	return runSweep(sizes, func(size int) (C2Point, error) {
 		p := C2Point{NumMS: size}
 
 		vn := netsim.BuildVGPRS(netsim.VGPRSOptions{
 			Seed: seed, NumMS: size, NoTrace: true, AutoAnswerDelay: time.Millisecond,
 		})
 		if err := vn.RegisterAll(); err != nil {
-			return nil, err
+			return p, err
 		}
 		p.VGPRSIdleCtx = vn.SGSN.ActiveContexts()
 		d, err := oneVGPRSMOCall(vn)
 		if err != nil {
-			return nil, err
+			return p, err
 		}
 		p.VGPRSMOSetup = d
 
@@ -46,19 +45,18 @@ func RunC2ContextResidency(seed int64, sizes []int) ([]C2Point, error) {
 			Seed: seed, NumMS: size, NoTrace: true, AutoAnswer: time.Millisecond,
 		})
 		if err := tn.RegisterAll(); err != nil {
-			return nil, err
+			return p, err
 		}
 		// Let the post-registration deactivations drain.
 		tn.Env.RunUntil(tn.Env.Now() + 10*time.Second)
 		p.TRIdleCtx = tn.SGSN.ActiveContexts()
 		td, err := oneTRMOCall(tn)
 		if err != nil {
-			return nil, err
+			return p, err
 		}
 		p.TRMOSetup = td
-		out = append(out, p)
-	}
-	return out, nil
+		return p, nil
+	})
 }
 
 func oneVGPRSMOCall(n *netsim.VGPRSNet) (time.Duration, error) {
@@ -141,90 +139,67 @@ type C3Point struct {
 // TR 23.923 packet-switched leg under increasing radio contention (the §6
 // "real-time communication" argument).
 func RunC3VoiceQuality(seed int64, talkFor time.Duration, psJitters []time.Duration) ([]C3Point, error) {
-	var out []C3Point
-
-	// vGPRS: dedicated TCH — no contention jitter by construction.
-	vn := netsim.BuildVGPRS(netsim.VGPRSOptions{Seed: seed, Talk: true, NoTrace: true})
-	if err := vn.RegisterAll(); err != nil {
-		return nil, err
+	type c3Arm struct {
+		scheme string
+		dtx    bool
+		tr     bool
+		pj     time.Duration
 	}
-	if err := vn.MSs[0].Dial(vn.Env, netsim.TerminalAlias(0)); err != nil {
-		return nil, err
+	arms := []c3Arm{
+		// vGPRS: dedicated TCH — no contention jitter by construction.
+		{scheme: "vGPRS (CS air leg)"},
+		// vGPRS with DTX: the vocoder's silence suppression gates the
+		// uplink frames (GSM DTX), roughly halving media bandwidth at
+		// identical latency/jitter.
+		{scheme: "vGPRS (CS air leg, DTX)", dtx: true},
 	}
-	vn.Env.RunUntil(vn.Env.Now() + 3*time.Second + talkFor)
-	term := vn.Terminals[0]
-	if term.Media.Received() == 0 {
-		return nil, fmt.Errorf("experiments: vGPRS media never flowed")
-	}
-	delays := metrics.NewSeries("vGPRS")
-	for _, d := range term.Media.Delays() {
-		delays.Add(d)
-	}
-	out = append(out, C3Point{
-		Scheme:    "vGPRS (CS air leg)",
-		MeanDelay: term.Media.MeanDelay(),
-		P95Delay:  delays.Percentile(95),
-		Jitter:    term.Media.Jitter(),
-		Frames:    term.Media.Received(),
-	})
-
-	// vGPRS with DTX: the vocoder's silence suppression gates the uplink
-	// frames (GSM DTX), roughly halving media bandwidth at identical
-	// latency/jitter.
-	dn := netsim.BuildVGPRS(netsim.VGPRSOptions{Seed: seed, Talk: true, DTX: true, NoTrace: true})
-	if err := dn.RegisterAll(); err != nil {
-		return nil, err
-	}
-	if err := dn.MSs[0].Dial(dn.Env, netsim.TerminalAlias(0)); err != nil {
-		return nil, err
-	}
-	dn.Env.RunUntil(dn.Env.Now() + 3*time.Second + talkFor)
-	dterm := dn.Terminals[0]
-	if dterm.Media.Received() == 0 {
-		return nil, fmt.Errorf("experiments: vGPRS DTX media never flowed")
-	}
-	dd := metrics.NewSeries("vGPRS DTX")
-	for _, d := range dterm.Media.Delays() {
-		dd.Add(d)
-	}
-	out = append(out, C3Point{
-		Scheme:    "vGPRS (CS air leg, DTX)",
-		MeanDelay: dterm.Media.MeanDelay(),
-		P95Delay:  dd.Percentile(95),
-		Jitter:    dterm.Media.Jitter(),
-		Frames:    dterm.Media.Received(),
-	})
-
 	// TR 23.923: packet-switched air leg under each contention level.
 	for _, pj := range psJitters {
-		tn := tr23923.BuildNet(tr23923.Options{
-			Seed: seed, Talk: true, PSJitter: pj, KeepPDPActive: true, NoTrace: true,
-		})
-		if err := tn.RegisterAll(); err != nil {
-			return nil, err
-		}
-		if _, err := tn.MSs[0].Call(tn.Env, netsim.TerminalAlias(0)); err != nil {
-			return nil, err
-		}
-		tn.Env.RunUntil(tn.Env.Now() + 3*time.Second + talkFor)
-		tterm := tn.Terminals[0]
-		if tterm.Media.Received() == 0 {
-			return nil, fmt.Errorf("experiments: TR media never flowed (jitter %v)", pj)
-		}
-		td := metrics.NewSeries("TR")
-		for _, d := range tterm.Media.Delays() {
-			td.Add(d)
-		}
-		out = append(out, C3Point{
-			Scheme:    "TR 23.923 (PS air leg)",
-			PSJitter:  pj,
-			MeanDelay: tterm.Media.MeanDelay(),
-			P95Delay:  td.Percentile(95),
-			Jitter:    tterm.Media.Jitter(),
-			Frames:    tterm.Media.Received(),
-		})
+		arms = append(arms, c3Arm{scheme: "TR 23.923 (PS air leg)", tr: true, pj: pj})
 	}
-	return out, nil
+	return runSweep(arms, func(a c3Arm) (C3Point, error) {
+		var term *h323.Terminal
+		if a.tr {
+			tn := tr23923.BuildNet(tr23923.Options{
+				Seed: seed, Talk: true, PSJitter: a.pj, KeepPDPActive: true, NoTrace: true,
+			})
+			if err := tn.RegisterAll(); err != nil {
+				return C3Point{}, err
+			}
+			if _, err := tn.MSs[0].Call(tn.Env, netsim.TerminalAlias(0)); err != nil {
+				return C3Point{}, err
+			}
+			tn.Env.RunUntil(tn.Env.Now() + 3*time.Second + talkFor)
+			term = tn.Terminals[0]
+		} else {
+			vn := netsim.BuildVGPRS(netsim.VGPRSOptions{
+				Seed: seed, Talk: true, DTX: a.dtx, NoTrace: true,
+			})
+			if err := vn.RegisterAll(); err != nil {
+				return C3Point{}, err
+			}
+			if err := vn.MSs[0].Dial(vn.Env, netsim.TerminalAlias(0)); err != nil {
+				return C3Point{}, err
+			}
+			vn.Env.RunUntil(vn.Env.Now() + 3*time.Second + talkFor)
+			term = vn.Terminals[0]
+		}
+		if term.Media.Received() == 0 {
+			return C3Point{}, fmt.Errorf("experiments: %s media never flowed (jitter %v)", a.scheme, a.pj)
+		}
+		delays := metrics.NewSeries(a.scheme)
+		for _, d := range term.Media.Delays() {
+			delays.Add(d)
+		}
+		return C3Point{
+			Scheme:    a.scheme,
+			PSJitter:  a.pj,
+			MeanDelay: term.Media.MeanDelay(),
+			P95Delay:  delays.Percentile(95),
+			Jitter:    term.Media.Jitter(),
+			Frames:    term.Media.Received(),
+		}, nil
+	})
 }
 
 // C3Table renders the voice-quality comparison.

@@ -122,72 +122,59 @@ type TromboneEntry struct {
 }
 
 func runTromboning(seed int64) ([]TromboneEntry, error) {
-	var out []TromboneEntry
+	scenarios := []string{"fig7", "fig8", "fallback"}
+	return runSweep(scenarios, func(scenario string) (TromboneEntry, error) {
+		if scenario == "fig7" {
+			// Fig 7: GSM baseline.
+			g := netsim.BuildRoamingGSM(seed)
+			if err := g.Register(); err != nil {
+				return TromboneEntry{}, err
+			}
+			start := g.Env.Now()
+			var connectedAt time.Duration
+			g.PhoneY.SetOnConnected(func(uint32) { connectedAt = g.Env.Now() })
+			if _, err := g.PhoneY.Call(g.Env, netsim.RoamerMSISDN); err != nil {
+				return TromboneEntry{}, err
+			}
+			g.Env.RunUntil(g.Env.Now() + 20*time.Second)
+			return TromboneEntry{
+				Scenario:     "Fig 7: GSM roamer call (tromboned)",
+				IntlSeizures: g.InternationalSeizures(),
+				CostUnits:    g.InternationalSeizures() * isup.TrunkInternational.CostUnits(),
+				Setup:        connectedAt - start,
+				Connected:    connectedAt > 0,
+			}, nil
+		}
 
-	// Fig 7: GSM baseline.
-	g := netsim.BuildRoamingGSM(seed)
-	if err := g.Register(); err != nil {
-		return nil, err
-	}
-	start := g.Env.Now()
-	var connectedAt time.Duration
-	g.PhoneY.SetOnConnected(func(uint32) { connectedAt = g.Env.Now() })
-	if _, err := g.PhoneY.Call(g.Env, netsim.RoamerMSISDN); err != nil {
-		return nil, err
-	}
-	g.Env.RunUntil(g.Env.Now() + 20*time.Second)
-	out = append(out, TromboneEntry{
-		Scenario:     "Fig 7: GSM roamer call (tromboned)",
-		IntlSeizures: g.InternationalSeizures(),
-		CostUnits:    g.InternationalSeizures() * isup.TrunkInternational.CostUnits(),
-		Setup:        connectedAt - start,
-		Connected:    connectedAt > 0,
+		// Fig 8: vGPRS elimination; the fallback arm is the same topology
+		// with a gatekeeper miss (different seed, PSTN destination).
+		name := "Fig 8: vGPRS roamer call (local VoIP)"
+		vseed, callee := seed, netsim.RoamerMSISDN
+		if scenario == "fallback" {
+			name = "Fig 8 fallback: GK miss -> PSTN"
+			vseed, callee = seed+1, netsim.UKFixedNumber
+		}
+		v := netsim.BuildRoamingVGPRS(vseed)
+		if err := v.Register(); err != nil {
+			return TromboneEntry{}, err
+		}
+		start := v.Env.Now()
+		var connectedAt time.Duration
+		v.PhoneY.SetOnConnected(func(uint32) { connectedAt = v.Env.Now() })
+		if _, err := v.PhoneY.Call(v.Env, callee); err != nil {
+			return TromboneEntry{}, err
+		}
+		v.Env.RunUntil(v.Env.Now() + 20*time.Second)
+		return TromboneEntry{
+			Scenario:     name,
+			IntlSeizures: v.InternationalSeizures(),
+			LocalSeizure: v.LocalTrunks.TotalSeizures(),
+			CostUnits: v.InternationalSeizures()*isup.TrunkInternational.CostUnits() +
+				v.LocalTrunks.TotalSeizures()*isup.TrunkLocal.CostUnits(),
+			Setup:     connectedAt - start,
+			Connected: connectedAt > 0,
+		}, nil
 	})
-
-	// Fig 8: vGPRS elimination.
-	v := netsim.BuildRoamingVGPRS(seed)
-	if err := v.Register(); err != nil {
-		return nil, err
-	}
-	start = v.Env.Now()
-	connectedAt = 0
-	v.PhoneY.SetOnConnected(func(uint32) { connectedAt = v.Env.Now() })
-	if _, err := v.PhoneY.Call(v.Env, netsim.RoamerMSISDN); err != nil {
-		return nil, err
-	}
-	v.Env.RunUntil(v.Env.Now() + 20*time.Second)
-	out = append(out, TromboneEntry{
-		Scenario:     "Fig 8: vGPRS roamer call (local VoIP)",
-		IntlSeizures: v.InternationalSeizures(),
-		LocalSeizure: v.LocalTrunks.TotalSeizures(),
-		CostUnits: v.InternationalSeizures()*isup.TrunkInternational.CostUnits() +
-			v.LocalTrunks.TotalSeizures()*isup.TrunkLocal.CostUnits(),
-		Setup:     connectedAt - start,
-		Connected: connectedAt > 0,
-	})
-
-	// Fig 8 fallback: gatekeeper miss -> normal PSTN call.
-	f := netsim.BuildRoamingVGPRS(seed + 1)
-	if err := f.Register(); err != nil {
-		return nil, err
-	}
-	start = f.Env.Now()
-	connectedAt = 0
-	f.PhoneY.SetOnConnected(func(uint32) { connectedAt = f.Env.Now() })
-	if _, err := f.PhoneY.Call(f.Env, netsim.UKFixedNumber); err != nil {
-		return nil, err
-	}
-	f.Env.RunUntil(f.Env.Now() + 20*time.Second)
-	out = append(out, TromboneEntry{
-		Scenario:     "Fig 8 fallback: GK miss -> PSTN",
-		IntlSeizures: f.InternationalSeizures(),
-		LocalSeizure: f.LocalTrunks.TotalSeizures(),
-		CostUnits: f.InternationalSeizures()*isup.TrunkInternational.CostUnits() +
-			f.LocalTrunks.TotalSeizures()*isup.TrunkLocal.CostUnits(),
-		Setup:     connectedAt - start,
-		Connected: connectedAt > 0,
-	})
-	return out, nil
 }
 
 // TromboneTable renders the tromboning experiment.

@@ -24,8 +24,7 @@ type R1Point struct {
 // measurement beyond the paper; it sizes the VMSC's registration machinery
 // under the morning-commute power-on wave.
 func RunR1RegistrationStorm(seed int64, points []struct{ MS, TCH int }) ([]R1Point, error) {
-	var out []R1Point
-	for _, p := range points {
+	return runSweep(points, func(p struct{ MS, TCH int }) (R1Point, error) {
 		n := netsim.BuildVGPRS(netsim.VGPRSOptions{
 			Seed: seed, NumMS: p.MS, TCHCapacity: p.TCH, NoTrace: true,
 		})
@@ -63,14 +62,13 @@ func RunR1RegistrationStorm(seed int64, points []struct{ MS, TCH int }) ([]R1Poi
 		if finished == 0 {
 			finished = n.Env.Now()
 		}
-		out = append(out, R1Point{
+		return R1Point{
 			NumMS: p.MS, TCHCapacity: p.TCH,
 			Registered: registered,
 			Duration:   finished - start,
 			Blocked:    n.BSC.Blocked(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // R1Table renders the storm sweep.

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepParallelism is the worker count for runSweep. Every sweep point
+// builds its own Env from its own seed, so points are independent and safe
+// to fan out; 1 forces the sequential path.
+var sweepParallelism atomic.Int32
+
+func init() { sweepParallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetSweepParallelism sets the number of worker goroutines experiment sweeps
+// fan out across and returns the previous value. n < 1 selects sequential
+// execution. Results are independent of this setting: points are assembled
+// in input order and each point derives all randomness from its own seed.
+func SetSweepParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(sweepParallelism.Swap(int32(n)))
+}
+
+// SweepParallelism returns the current sweep worker count.
+func SweepParallelism() int { return int(sweepParallelism.Load()) }
+
+// runSweep runs one experiment function per point, fanning points out across
+// worker goroutines, and assembles results in input order so sweep output is
+// byte-identical to a sequential run. The run function must be
+// self-contained: it builds its own Env (from a per-point seed) and shares
+// no mutable state with other points. The first error by input order wins.
+func runSweep[P, R any](points []P, run func(P) (R, error)) ([]R, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := SweepParallelism()
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers <= 1 {
+		for i, p := range points {
+			r, err := run(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = run(points[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSweepRunnerOrderAndErrors exercises the generic runner directly:
+// results come back in input order regardless of worker interleaving, and
+// the first error by input order wins.
+func TestSweepRunnerOrderAndErrors(t *testing.T) {
+	defer SetSweepParallelism(SetSweepParallelism(8))
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	out, err := runSweep(points, func(p int) (int, error) { return p * p, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+
+	_, err = runSweep(points, func(p int) (int, error) {
+		if p%7 == 3 {
+			return 0, fmt.Errorf("point %d failed", p)
+		}
+		return p, nil
+	})
+	if err == nil || err.Error() != "point 3 failed" {
+		t.Fatalf("err = %v, want first-by-order failure (point 3)", err)
+	}
+
+	empty, err := runSweep(nil, func(p int) (int, error) { return p, nil })
+	if err != nil || empty != nil {
+		t.Fatalf("empty sweep = %v, %v", empty, err)
+	}
+}
+
+// TestParallelSweepsMatchSequential is the determinism contract of the
+// tentpole: for a fixed seed, every sweep-based experiment must produce
+// results identical to the sequential implementation, because each point
+// derives all randomness from its own per-point seed and results are
+// assembled in input order.
+func TestParallelSweepsMatchSequential(t *testing.T) {
+	const seed = 1
+	type runs struct {
+		c1     C1Result
+		c2     []C2Point
+		c3     []C3Point
+		a1     []AblationResult
+		a2     []VocoderPoint
+		a3     []RadioSweepPoint
+		r1     []R1Point
+		trombo []TromboneEntry
+	}
+	collect := func() runs {
+		t.Helper()
+		var r runs
+		var err error
+		if r.c1, err = RunC1SetupComparison(seed, 2); err != nil {
+			t.Fatal(err)
+		}
+		if r.c2, err = RunC2ContextResidency(seed, []int{2, 5}); err != nil {
+			t.Fatal(err)
+		}
+		if r.c3, err = RunC3VoiceQuality(seed, 2*time.Second,
+			[]time.Duration{0, 20 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if r.a1, err = RunA1RegistrationAblation(seed); err != nil {
+			t.Fatal(err)
+		}
+		if r.a2, err = RunA2VocoderCost(seed, 2*time.Second,
+			[]time.Duration{time.Millisecond, 3 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if r.a3, err = RunA3RadioLatencySweep(seed,
+			[]time.Duration{5 * time.Millisecond, 20 * time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if r.r1, err = RunR1RegistrationStorm(seed,
+			[]struct{ MS, TCH int }{{5, 4}, {10, 4}}); err != nil {
+			t.Fatal(err)
+		}
+		if r.trombo, err = RunF7F8Tromboning(seed); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	prev := SetSweepParallelism(1)
+	sequential := collect()
+	SetSweepParallelism(max(4, runtime.GOMAXPROCS(0)))
+	parallel := collect()
+	SetSweepParallelism(prev)
+
+	// C1 carries *metrics.Series; compare the rendered table (the figure
+	// output that must stay byte-identical) plus the raw sample counts.
+	if seq, par := C1Table(sequential.c1).String(), C1Table(parallel.c1).String(); seq != par {
+		t.Errorf("C1 tables differ:\nsequential:\n%s\nparallel:\n%s", seq, par)
+	}
+	for _, pair := range []struct {
+		name     string
+		seq, par any
+	}{
+		{"C2", sequential.c2, parallel.c2},
+		{"C3", sequential.c3, parallel.c3},
+		{"A1", sequential.a1, parallel.a1},
+		{"A2", sequential.a2, parallel.a2},
+		{"A3", sequential.a3, parallel.a3},
+		{"R1", sequential.r1, parallel.r1},
+		{"F7F8", sequential.trombo, parallel.trombo},
+	} {
+		if !reflect.DeepEqual(pair.seq, pair.par) {
+			t.Errorf("%s: parallel sweep diverged from sequential:\nsequential: %+v\nparallel:   %+v",
+				pair.name, pair.seq, pair.par)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -12,11 +13,14 @@ import (
 )
 
 // Series is a named collection of duration samples (for example, "vGPRS MO
-// call setup"). The zero value is ready to use.
+// call setup"). The zero value is ready to use. Samples are kept in
+// insertion order; order statistics (Min, Max, Percentile, Summary) operate
+// on a lazily maintained sorted copy, so querying them never reorders the
+// series itself.
 type Series struct {
 	Name    string
 	samples []time.Duration
-	sorted  bool
+	sorted  []time.Duration // lazily built sorted copy; nil when stale
 }
 
 // NewSeries returns an empty named series.
@@ -25,8 +29,12 @@ func NewSeries(name string) *Series { return &Series{Name: name} }
 // Add appends a sample.
 func (s *Series) Add(d time.Duration) {
 	s.samples = append(s.samples, d)
-	s.sorted = false
+	s.sorted = nil
 }
+
+// Samples returns the samples in insertion order. The returned slice is the
+// series' own storage; callers must not modify it.
+func (s *Series) Samples() []time.Duration { return s.samples }
 
 // Count returns the number of samples.
 func (s *Series) Count() int { return len(s.samples) }
@@ -48,8 +56,7 @@ func (s *Series) Min() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.samples[0]
+	return s.ensureSorted()[0]
 }
 
 // Max returns the largest sample, or zero for an empty series.
@@ -57,8 +64,8 @@ func (s *Series) Max() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	s.ensureSorted()
-	return s.samples[len(s.samples)-1]
+	sorted := s.ensureSorted()
+	return sorted[len(sorted)-1]
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using
@@ -67,18 +74,18 @@ func (s *Series) Percentile(p float64) time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
-	s.ensureSorted()
+	sorted := s.ensureSorted()
 	if p <= 0 {
-		return s.samples[0]
+		return sorted[0]
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(s.samples))))
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(s.samples) {
-		rank = len(s.samples)
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return s.samples[rank-1]
+	return sorted[rank-1]
 }
 
 // Stddev returns the population standard deviation.
@@ -105,12 +112,40 @@ func (s *Series) Summary() string {
 		s.Max().Round(time.Microsecond))
 }
 
-func (s *Series) ensureSorted() {
-	if s.sorted {
-		return
+// ensureSorted returns a sorted copy of the samples, building it on first
+// use after an Add. The samples slice itself is never reordered: callers
+// iterating the series in insertion order are unaffected by order-statistic
+// queries.
+func (s *Series) ensureSorted() []time.Duration {
+	if s.sorted == nil {
+		s.sorted = append(make([]time.Duration, 0, len(s.samples)), s.samples...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
 	}
-	sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-	s.sorted = true
+	return s.sorted
+}
+
+// MarshalJSON renders the series as its summary statistics plus the raw
+// samples in insertion order, all in nanoseconds of virtual time. This is
+// the machine-readable form vgprs-bench -json writes, so perf trajectories
+// across revisions can be diffed without parsing text tables.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Name    string          `json:"name"`
+		Count   int             `json:"count"`
+		MeanNS  int64           `json:"mean_ns"`
+		P50NS   int64           `json:"p50_ns"`
+		P95NS   int64           `json:"p95_ns"`
+		MaxNS   int64           `json:"max_ns"`
+		Samples []time.Duration `json:"samples_ns"`
+	}{
+		Name:    s.Name,
+		Count:   s.Count(),
+		MeanNS:  int64(s.Mean()),
+		P50NS:   int64(s.Percentile(50)),
+		P95NS:   int64(s.Percentile(95)),
+		MaxNS:   int64(s.Max()),
+		Samples: s.samples,
+	})
 }
 
 // Table renders aligned text tables with a title, header row, and data rows.

@@ -34,6 +34,34 @@ func TestSeriesStats(t *testing.T) {
 	}
 }
 
+// TestSeriesQueriesPreserveInsertionOrder is the regression test for the
+// ensureSorted bug: order statistics used to sort the samples in place,
+// silently reordering the series for any caller iterating it afterwards.
+func TestSeriesQueriesPreserveInsertionOrder(t *testing.T) {
+	inserted := []int{50, 10, 40, 20, 30}
+	s := NewSeries("order")
+	for _, v := range inserted {
+		s.Add(ms(v))
+	}
+	if s.Min() != ms(10) || s.Max() != ms(50) || s.Percentile(50) != ms(30) {
+		t.Fatalf("stats wrong: min=%v max=%v p50=%v", s.Min(), s.Max(), s.Percentile(50))
+	}
+	_ = s.Summary()
+	for i, v := range s.Samples() {
+		if v != ms(inserted[i]) {
+			t.Fatalf("samples reordered by order-statistic queries: %v", s.Samples())
+		}
+	}
+	// A later Add invalidates the sorted copy.
+	s.Add(ms(5))
+	if s.Min() != ms(5) {
+		t.Fatalf("Min after Add = %v, want 5ms", s.Min())
+	}
+	if got := s.Samples()[len(s.Samples())-1]; got != ms(5) {
+		t.Fatalf("last sample = %v, want 5ms (insertion order)", got)
+	}
+}
+
 func TestSeriesEmpty(t *testing.T) {
 	s := NewSeries("empty")
 	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.Stddev() != 0 {

@@ -1,73 +1,152 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
-// event is a scheduled callback. Ties on timestamp break on insertion
-// sequence so the engine is fully deterministic.
+// Event kinds. Delivery events are the engine's steady state and carry their
+// routing inline so dispatch needs no closure; timer events keep the general
+// func() path for protocol timers.
+const (
+	evTimer uint8 = iota
+	evDeliver
+)
+
+// event is a scheduled occurrence. Ties on timestamp break on insertion
+// sequence so the engine is fully deterministic. Events live by value in the
+// queue's arena, never individually on the heap: a delivery event is a plain
+// record (from/to/link/msg) and a timer event carries its callback.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	kind uint8
+	fn   func() // evTimer
+	from NodeID // evDeliver
+	to   NodeID // evDeliver
+	link *Link  // evDeliver
+	msg  Message
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
+// eventQueue is an index-based 4-ary min-heap ordered by (at, seq).
+//
+// Layout: events are stored by value in a slot arena; the heap itself orders
+// int32 slot indices, so sift operations move 4-byte indices instead of
+// multi-word event records. Freed slots go on a free-list and are reused by
+// later pushes, so a steady-state schedule/dispatch cycle performs zero heap
+// allocations once the arena has grown to the high-water mark.
+//
+// A 4-ary heap does the same work as a binary heap in half the tree height,
+// and the four children of a node share a cache line of indices — both
+// matter here because the event queue is the hottest structure in the
+// engine.
 type eventQueue struct {
-	h eventHeap
+	arena []event // slot storage, indexed by the heap entries
+	free  []int32 // arena slots available for reuse
+	heap  []int32 // heap-ordered arena indices
 }
 
-func (q *eventQueue) push(ev *event) { heap.Push(&q.h, ev) }
-
-func (q *eventQueue) pop() *event {
-	if len(q.h) == 0 {
-		return nil
+// alloc returns a free arena slot, growing the arena only when the free-list
+// is empty.
+func (q *eventQueue) alloc() int32 {
+	if n := len(q.free); n > 0 {
+		idx := q.free[n-1]
+		q.free = q.free[:n-1]
+		return idx
 	}
-	ev, ok := heap.Pop(&q.h).(*event)
-	if !ok {
-		return nil
-	}
-	return ev
+	q.arena = append(q.arena, event{})
+	return int32(len(q.arena) - 1)
 }
 
-func (q *eventQueue) peek() *event {
-	if len(q.h) == 0 {
-		return nil
-	}
-	return q.h[0]
+// release returns a slot to the free-list, dropping references the event
+// held so the arena does not retain callbacks or messages past dispatch.
+func (q *eventQueue) release(idx int32) {
+	q.arena[idx] = event{}
+	q.free = append(q.free, idx)
 }
 
-func (q *eventQueue) len() int { return len(q.h) }
-
-type eventHeap []*event
-
-var _ heap.Interface = (*eventHeap)(nil)
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders two arena slots by (at, seq).
+func (q *eventQueue) less(a, b int32) bool {
+	ea, eb := &q.arena[a], &q.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
 	}
-	return h[i].seq < h[j].seq
+	return ea.seq < eb.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("sim: eventHeap.Push received non-event")
-	}
-	*h = append(*h, ev)
+// push schedules an event value.
+func (q *eventQueue) push(ev event) {
+	idx := q.alloc()
+	q.arena[idx] = ev
+	q.heap = append(q.heap, idx)
+	q.siftUp(len(q.heap) - 1)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// peekAt reports the timestamp of the earliest event, if any.
+func (q *eventQueue) peekAt() (time.Duration, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.arena[q.heap[0]].at, true
+}
+
+// pop removes and returns the earliest event by value. The returned record
+// is fully detached: its arena slot is already back on the free-list.
+func (q *eventQueue) pop() (event, bool) {
+	if len(q.heap) == 0 {
+		return event{}, false
+	}
+	idx := q.heap[0]
+	ev := q.arena[idx]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.siftDown(0)
+	}
+	q.release(idx)
+	return ev, true
+}
+
+func (q *eventQueue) len() int { return len(q.heap) }
+
+func (q *eventQueue) siftUp(i int) {
+	h := q.heap
+	moved := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(moved, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = moved
+}
+
+func (q *eventQueue) siftDown(i int) {
+	h := q.heap
+	n := len(h)
+	moved := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !q.less(h[best], moved) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = moved
 }

@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -150,9 +151,9 @@ func (e *Env) HasLink(a, b NodeID) bool {
 	return ab && ba
 }
 
-// Neighbors returns the IDs of all nodes directly linked from id, in
-// deterministic (sorted by insertion-independent key) order is not needed by
-// callers; order is unspecified.
+// Neighbors returns the IDs of all nodes directly linked from id, sorted
+// lexicographically so the result is deterministic regardless of link
+// insertion order.
 func (e *Env) Neighbors(id NodeID) []NodeID {
 	var out []NodeID
 	for k := range e.links {
@@ -160,6 +161,7 @@ func (e *Env) Neighbors(id NodeID) []NodeID {
 			out = append(out, k.to)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -182,17 +184,30 @@ func (e *Env) Send(from, to NodeID, msg Message) {
 	if link.Jitter > 0 {
 		delay += time.Duration(e.rng.Int63n(int64(link.Jitter)))
 	}
-	e.schedule(e.now+delay, func() {
-		dst := e.nodes[to]
+	// Delivery is the engine's steady state: schedule a typed record rather
+	// than a closure so the hot path performs zero heap allocations.
+	e.seq++
+	e.queue.push(event{
+		at: e.now + delay, seq: e.seq, kind: evDeliver,
+		from: from, to: to, link: link, msg: msg,
+	})
+}
+
+// dispatch runs one popped event on the simulation goroutine.
+func (e *Env) dispatch(ev *event) {
+	if ev.kind == evDeliver {
+		dst := e.nodes[ev.to]
 		if dst == nil {
 			return
 		}
 		if e.tracer != nil {
-			e.tracer.Trace(e.now, from, to, link.Iface, msg)
+			e.tracer.Trace(e.now, ev.from, ev.to, ev.link.Iface, ev.msg)
 		}
 		e.delivered++
-		dst.Receive(e, from, link.Iface, msg)
-	})
+		dst.Receive(e, ev.from, ev.link.Iface, ev.msg)
+		return
+	}
+	ev.fn()
 }
 
 // Note records an application-level message in the trace without delivering
@@ -219,7 +234,7 @@ func (e *Env) After(d time.Duration, fn func()) {
 
 func (e *Env) schedule(at time.Duration, fn func()) {
 	e.seq++
-	e.queue.push(&event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, kind: evTimer, fn: fn})
 }
 
 // Run processes events until the queue is empty. It returns the virtual time
@@ -238,8 +253,8 @@ func (e *Env) RunUntil(deadline time.Duration) time.Duration {
 	e.running = true
 	defer func() { e.running = false }()
 	for {
-		ev := e.queue.peek()
-		if ev == nil {
+		at, ok := e.queue.peekAt()
+		if !ok {
 			// Idle time still passes: a bounded run leaves the clock at
 			// the deadline so time-based state (expiries, TTLs) observes
 			// the full interval.
@@ -248,29 +263,29 @@ func (e *Env) RunUntil(deadline time.Duration) time.Duration {
 			}
 			break
 		}
-		if deadline >= 0 && ev.at > deadline {
+		if deadline >= 0 && at > deadline {
 			e.now = deadline
 			break
 		}
-		e.queue.pop()
+		ev, _ := e.queue.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		ev.fn()
+		e.dispatch(&ev)
 	}
 	return e.now
 }
 
 // Step processes exactly one pending event, returning false if none remain.
 func (e *Env) Step() bool {
-	ev := e.queue.pop()
-	if ev == nil {
+	ev, ok := e.queue.pop()
+	if !ok {
 		return false
 	}
 	if ev.at > e.now {
 		e.now = ev.at
 	}
-	ev.fn()
+	e.dispatch(&ev)
 	return true
 }
 

@@ -321,6 +321,91 @@ func TestTieBreakProperty(t *testing.T) {
 	}
 }
 
+func TestRunUntilDeadlineExactlyOnEvent(t *testing.T) {
+	env := NewEnv(1)
+	var fired []time.Duration
+	env.After(5*time.Millisecond, func() { fired = append(fired, env.Now()) })
+	env.After(5*time.Millisecond, func() { fired = append(fired, env.Now()) })
+	env.After(5*time.Millisecond+time.Nanosecond, func() { fired = append(fired, env.Now()) })
+	// A deadline exactly on an event timestamp is inclusive: both 5ms
+	// events run, the 5ms+1ns event stays queued.
+	if now := env.RunUntil(5 * time.Millisecond); now != 5*time.Millisecond {
+		t.Fatalf("RunUntil returned %v, want 5ms", now)
+	}
+	if len(fired) != 2 || fired[0] != 5*time.Millisecond || fired[1] != 5*time.Millisecond {
+		t.Fatalf("fired = %v, want two events at 5ms", fired)
+	}
+	if env.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", env.Pending())
+	}
+	env.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v after Run, want three events", fired)
+	}
+}
+
+func TestRunUntilIdleEmptyQueueAdvancesToDeadline(t *testing.T) {
+	env := NewEnv(1)
+	// Repeated idle bounded runs each land exactly on their deadline; an
+	// earlier (already passed) deadline must not move the clock backwards.
+	if got := env.RunUntil(3 * time.Second); got != 3*time.Second {
+		t.Fatalf("first idle RunUntil returned %v", got)
+	}
+	if got := env.RunUntil(2 * time.Second); got != 3*time.Second {
+		t.Fatalf("stale deadline moved the clock: %v", got)
+	}
+	if got := env.RunUntil(7 * time.Second); got != 7*time.Second {
+		t.Fatalf("second idle RunUntil returned %v", got)
+	}
+	if env.Now() != 7*time.Second {
+		t.Fatalf("Now = %v, want 7s", env.Now())
+	}
+}
+
+func TestStepInterleavedWithRunUntil(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	for _, ev := range []struct {
+		name string
+		at   time.Duration
+	}{
+		{"a", 1 * time.Millisecond},
+		{"b", 2 * time.Millisecond},
+		{"c", 3 * time.Millisecond},
+		{"d", 9 * time.Millisecond},
+	} {
+		ev := ev
+		env.After(ev.at, func() { order = append(order, ev.name) })
+	}
+	// Step consumes the earliest event and advances the clock to it.
+	if !env.Step() {
+		t.Fatal("Step found no event")
+	}
+	if env.Now() != time.Millisecond {
+		t.Fatalf("Now after Step = %v, want 1ms", env.Now())
+	}
+	// A bounded run picks up from where Step left off.
+	if got := env.RunUntil(3 * time.Millisecond); got != 3*time.Millisecond {
+		t.Fatalf("RunUntil returned %v, want 3ms", got)
+	}
+	// Another Step drains the event past the previous deadline.
+	if !env.Step() {
+		t.Fatal("Step found no event after RunUntil")
+	}
+	if env.Now() != 9*time.Millisecond {
+		t.Fatalf("Now after final Step = %v, want 9ms", env.Now())
+	}
+	if env.Step() {
+		t.Fatal("Step on drained queue should return false")
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestRunUntilAdvancesIdleClock(t *testing.T) {
 	env := NewEnv(1)
 	if got := env.RunUntil(5 * time.Second); got != 5*time.Second {
