@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim bench-json
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-json
 
 all: check
 
@@ -32,6 +32,17 @@ bench:
 # BenchmarkSendDeliver and BenchmarkTimerChurn.
 bench-sim:
 	$(GO) test -run '^$$' -bench 'SendDeliver|TimerChurn' -benchmem ./internal/sim/
+
+# Per-codec allocation benchmarks on the pooled zero-copy path. The alloc
+# ceilings themselves are enforced by TestAllocCeilings in each package.
+bench-codec:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/wire/ ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gsm/
+
+# Full-stack registration throughput (ns/op, B/op, allocs/op), written to
+# BENCH_registration.json in the working dir for per-run tracking.
+bench-registration:
+	$(GO) run ./cmd/vgprs-bench -only registration -json
 
 # Machine-readable experiment results (BENCH_<id>.json in the working dir).
 bench-json:

@@ -297,3 +297,26 @@ func BenchmarkR1RegistrationStorm(b *testing.B) {
 		b.ReportMetric(float64(points[0].Blocked), "blocked")
 	}
 }
+
+// TestRegistrationAllocBudget is the allocation budget for the full
+// registration stack on the pooled codec path: building the standard 50-MS
+// topology and registering every MS must stay under 5,000 heap allocations
+// (down from 10,308 before the codecs reused buffers). The ~3% headroom
+// over the measured 4,861 absorbs Go-version drift in map growth.
+func TestRegistrationAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs steady-state measurement")
+	}
+	const budget = 5000
+	allocs := testing.AllocsPerRun(5, func() {
+		n := netsim.BuildVGPRS(netsim.VGPRSOptions{
+			Seed: 1, NumMS: 50, NoTrace: true,
+		})
+		if err := n.RegisterAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("50-MS registration allocated %.0f objects/op, budget %d", allocs, budget)
+	}
+}

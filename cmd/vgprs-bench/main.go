@@ -19,9 +19,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"vgprs/internal/experiments"
+	"vgprs/internal/netsim"
 )
 
 func main() {
@@ -45,7 +47,7 @@ func run(args []string) int {
 			wanted[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
-	want := func(id string) bool { return len(wanted) == 0 || wanted[id] }
+	want := func(id string) bool { return len(wanted) == 0 || wanted[strings.ToUpper(id)] }
 
 	type experiment struct {
 		id string
@@ -144,6 +146,10 @@ func run(args []string) int {
 			}
 			return experiments.R1Table(points), points, nil
 		}},
+		{"registration", func() (fmt.Stringer, any, error) {
+			r := runRegistrationBench(*seed)
+			return r, r, nil
+		}},
 	}
 
 	failed := 0
@@ -169,6 +175,58 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// registrationBenchMS is the population size the registration benchmark
+// drives, matching BenchmarkRegistrationThroughput in the test suite.
+const registrationBenchMS = 50
+
+// RegistrationBenchResult is the real-CPU cost of the registration
+// machinery on the pooled codec path — an engineering number that sizes the
+// simulator itself, not a paper reproduction.
+type RegistrationBenchResult struct {
+	Registrations int     `json:"registrations_per_op"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	RegsPerSec    float64 `json:"registrations_per_sec"`
+}
+
+// String renders the result as a small report table.
+func (r RegistrationBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "registration throughput (%d MS, pooled codec path)\n", r.Registrations)
+	fmt.Fprintf(&b, "  ns/op       %12d\n", r.NsPerOp)
+	fmt.Fprintf(&b, "  B/op        %12d\n", r.BytesPerOp)
+	fmt.Fprintf(&b, "  allocs/op   %12d\n", r.AllocsPerOp)
+	fmt.Fprintf(&b, "  regs/sec    %12.0f", r.RegsPerSec)
+	return b.String()
+}
+
+// runRegistrationBench measures full-stack registration cost with the
+// standard benchmark driver: build a topology, register every MS, repeat.
+func runRegistrationBench(seed int64) RegistrationBenchResult {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := netsim.BuildVGPRS(netsim.VGPRSOptions{
+				Seed: seed + int64(i), NumMS: registrationBenchMS, NoTrace: true,
+			})
+			if err := n.RegisterAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out := RegistrationBenchResult{
+		Registrations: registrationBenchMS,
+		NsPerOp:       res.NsPerOp(),
+		BytesPerOp:    res.AllocedBytesPerOp(),
+		AllocsPerOp:   res.AllocsPerOp(),
+	}
+	if res.NsPerOp() > 0 {
+		out.RegsPerSec = float64(registrationBenchMS) / (float64(res.NsPerOp()) / 1e9)
+	}
+	return out
 }
 
 // writeJSON writes one experiment's raw results to DIR/BENCH_<id>.json.

@@ -53,9 +53,27 @@ const (
 	ftDL
 )
 
-// Marshal encodes a Gb frame.
+// Marshal encodes a Gb frame, returning a fresh buffer the caller owns.
 func Marshal(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(32)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// Append encodes a Gb frame onto dst and returns the extended slice. On
+// error dst is returned unchanged.
+func Append(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encode(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encode(w *wire.Writer, msg sim.Message) error {
 	switch m := msg.(type) {
 	case ULUnitdata:
 		w.U8(ftUL)
@@ -70,20 +88,21 @@ func Marshal(msg sim.Message) ([]byte, error) {
 		w.String8(string(m.MS))
 		w.Bytes16(m.PDU)
 	default:
-		return nil, fmt.Errorf("gb: cannot marshal %T", msg)
+		return fmt.Errorf("gb: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // Unmarshal decodes a Gb frame.
 func Unmarshal(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	ft := r.U8()
 	var msg sim.Message
 	switch ft {
 	case ftUL:
 		m := ULUnitdata{TLLI: gsmid.TLLI(r.U32()), MS: sim.NodeID(r.String8())}
-		m.Cell.LAI = gsmid.UnmarshalLAI(r)
+		m.Cell.LAI = gsmid.UnmarshalLAI(&r)
 		m.Cell.CI = r.U16()
 		m.PDU = r.Bytes16()
 		msg = m

@@ -18,6 +18,21 @@ import (
 // shared state machine.
 type SendFunc func(env *sim.Env, tlli gsmid.TLLI, pdu []byte)
 
+// Host is the closure-free alternative to SendFunc/OnPacket/
+// OnActivationRequest: an owner that embeds or references its clients can
+// implement Host once instead of allocating three callbacks per client. The
+// VMSC hosts one client per registered subscriber, so this matters on its
+// registration path.
+type Host interface {
+	// SendLLC transmits an uplink LLC PDU (the SendFunc role).
+	SendLLC(env *sim.Env, tlli gsmid.TLLI, pdu []byte)
+	// PacketIn delivers a downlink IP packet on an NSAPI (the OnPacket role).
+	PacketIn(env *sim.Env, nsapi uint8, pkt ipnet.Packet)
+	// ActivationRequested handles a network-requested PDP activation (the
+	// OnActivationRequest role).
+	ActivationRequested(env *sim.Env, address string)
+}
+
 // Client is the GPRS protocol client: GPRS attach, PDP context
 // activation/deactivation, and IP send/receive over SNDCP. One Client
 // instance represents one subscriber; the VMSC hosts one per registered MS.
@@ -30,6 +45,7 @@ type Client struct {
 	Timeout time.Duration
 
 	send SendFunc
+	host Host
 
 	attached bool
 	ptmsi    gsmid.PTMSI
@@ -37,10 +53,11 @@ type Client struct {
 
 	contexts map[uint8]*ClientPDP
 
-	pendingAttach     func(ok bool)
+	pendingAttach     func(arg any, ok bool)
+	pendingAttachArg  any
 	pendingDetach     func()
 	pendingRAU        func()
-	pendingActivate   map[uint8]func(addr netip.Addr, ok bool)
+	pendingActivate   map[uint8]activatePending
 	pendingDeactivate map[uint8]func()
 
 	// OnPacket delivers downlink IP packets per NSAPI.
@@ -57,15 +74,45 @@ type ClientPDP struct {
 	QoS     gtp.QoSProfile
 }
 
-// NewClient returns a detached client.
+// activatePending is one outstanding activation: a package-level (or at
+// least closure-free) completion function plus its argument. The plain
+// ActivatePDP entry point adapts func(addr, ok) callbacks onto it; func
+// values are pointer-shaped, so boxing one into arg costs nothing.
+type activatePending struct {
+	fn  func(arg any, addr netip.Addr, ok bool)
+	arg any
+}
+
+// callActivateDone adapts a plain activation callback stored in arg.
+func callActivateDone(arg any, addr netip.Addr, ok bool) {
+	arg.(func(netip.Addr, bool))(addr, ok)
+}
+
+// callAttachDone adapts a plain attach callback stored in arg.
+func callAttachDone(arg any, ok bool) {
+	arg.(func(bool))(ok)
+}
+
+// NewClient returns a detached client. The per-NSAPI maps are created
+// lazily on first use: a VMSC builds one client per registering MS, and
+// three eager map allocations per subscriber add up on that path.
 func NewClient(imsi gsmid.IMSI, send SendFunc) *Client {
-	return &Client{
-		IMSI:              imsi,
-		send:              send,
-		contexts:          make(map[uint8]*ClientPDP),
-		pendingActivate:   make(map[uint8]func(netip.Addr, bool)),
-		pendingDeactivate: make(map[uint8]func()),
+	return &Client{IMSI: imsi, send: send}
+}
+
+// NewHostedClient returns a detached client whose transport and event
+// delivery go through host rather than per-client callbacks.
+func NewHostedClient(imsi gsmid.IMSI, host Host) *Client {
+	return &Client{IMSI: imsi, host: host}
+}
+
+// sendPDU routes an uplink PDU through the host or the send callback.
+func (c *Client) sendPDU(env *sim.Env, tlli gsmid.TLLI, pdu []byte) {
+	if c.host != nil {
+		c.host.SendLLC(env, tlli, pdu)
+		return
 	}
+	c.send(env, tlli, pdu)
 }
 
 // Attached reports whether GPRS attach has completed.
@@ -103,38 +150,67 @@ func (c *Client) ActiveContexts() int { return len(c.contexts) }
 
 // Attach starts GPRS attach; done fires with the outcome.
 func (c *Client) Attach(env *sim.Env, done func(ok bool)) error {
+	return c.AttachArg(env, callAttachDone, done)
+}
+
+// AttachArg is Attach with a closure-free completion: fn(arg, ok) fires with
+// the outcome. Callers driving many clients thread a per-subscriber record
+// through arg instead of allocating a callback per attach.
+func (c *Client) AttachArg(env *sim.Env, fn func(arg any, ok bool), arg any) error {
 	if c.attached {
 		return fmt.Errorf("gprs: client %s already attached", c.IMSI)
 	}
 	if c.pendingAttach != nil {
 		return fmt.Errorf("gprs: client %s attach already in progress", c.IMSI)
 	}
-	c.pendingAttach = done
+	c.pendingAttach, c.pendingAttachArg = fn, arg
 	pdu, err := WrapSM(AttachRequest{IMSI: c.IMSI})
 	if err != nil {
+		c.pendingAttach, c.pendingAttachArg = nil, nil
 		return err
 	}
-	c.send(env, c.TLLI(), pdu)
-	c.expire(env, func() bool { return c.pendingAttach != nil }, func() {
-		cb := c.pendingAttach
-		c.pendingAttach = nil
-		if cb != nil {
-			cb(false)
-		}
-	})
+	c.sendPDU(env, c.TLLI(), pdu)
+	if c.Timeout > 0 {
+		env.AfterArg(c.Timeout, expireAttach, c)
+	}
 	return nil
 }
 
-// expire schedules a transaction timeout when Timeout is configured.
-func (c *Client) expire(env *sim.Env, pending func() bool, onExpire func()) {
-	if c.Timeout == 0 {
+// finishAttach fires and clears the pending attach callback.
+func (c *Client) finishAttach(ok bool) {
+	fn, arg := c.pendingAttach, c.pendingAttachArg
+	if fn == nil {
 		return
 	}
-	env.After(c.Timeout, func() {
-		if pending() {
-			onExpire()
-		}
-	})
+	c.pendingAttach, c.pendingAttachArg = nil, nil
+	fn(arg, ok)
+}
+
+// expireAttach runs on the attach timeout timer. It is a package-level
+// function scheduled through AfterArg so arming the timer allocates
+// nothing.
+func expireAttach(arg any) {
+	arg.(*Client).finishAttach(false)
+}
+
+// activateExpiry carries the (client, NSAPI) pair an activation timeout
+// needs; one small record replaces the three closures the timer previously
+// cost.
+type activateExpiry struct {
+	c     *Client
+	nsapi uint8
+}
+
+func expireActivate(arg any) {
+	e := arg.(*activateExpiry)
+	p, ok := e.c.pendingActivate[e.nsapi]
+	if !ok {
+		return
+	}
+	delete(e.c.pendingActivate, e.nsapi)
+	if p.fn != nil {
+		p.fn(p.arg, netip.Addr{}, false)
+	}
 }
 
 // UpdateRoutingArea reports a new routing area to the SGSN (movement). The
@@ -148,7 +224,7 @@ func (c *Client) UpdateRoutingArea(env *sim.Env, rai gsmid.RAI, done func()) err
 	if err != nil {
 		return err
 	}
-	c.send(env, c.TLLI(), pdu)
+	c.sendPDU(env, c.TLLI(), pdu)
 	return nil
 }
 
@@ -162,7 +238,7 @@ func (c *Client) Detach(env *sim.Env, done func()) error {
 	if err != nil {
 		return err
 	}
-	c.send(env, c.TLLI(), pdu)
+	c.sendPDU(env, c.TLLI(), pdu)
 	return nil
 }
 
@@ -170,6 +246,13 @@ func (c *Client) Detach(env *sim.Env, done func()) error {
 // assigned address. requestedAddr requests a static address ("" = dynamic).
 func (c *Client) ActivatePDP(env *sim.Env, nsapi uint8, qos gtp.QoSProfile,
 	requestedAddr string, done func(addr netip.Addr, ok bool)) error {
+	return c.ActivatePDPArg(env, nsapi, qos, requestedAddr, callActivateDone, done)
+}
+
+// ActivatePDPArg is ActivatePDP with a closure-free completion:
+// fn(arg, addr, ok) fires with the assigned address.
+func (c *Client) ActivatePDPArg(env *sim.Env, nsapi uint8, qos gtp.QoSProfile,
+	requestedAddr string, fn func(arg any, addr netip.Addr, ok bool), arg any) error {
 	if !c.attached {
 		return fmt.Errorf("gprs: client %s must attach before PDP activation", c.IMSI)
 	}
@@ -179,19 +262,19 @@ func (c *Client) ActivatePDP(env *sim.Env, nsapi uint8, qos gtp.QoSProfile,
 	if _, pending := c.pendingActivate[nsapi]; pending {
 		return fmt.Errorf("gprs: client %s NSAPI %d activation in progress", c.IMSI, nsapi)
 	}
-	c.pendingActivate[nsapi] = done
+	if c.pendingActivate == nil {
+		c.pendingActivate = make(map[uint8]activatePending)
+	}
+	c.pendingActivate[nsapi] = activatePending{fn: fn, arg: arg}
 	pdu, err := WrapSM(ActivatePDPRequest{NSAPI: nsapi, QoS: qos, RequestedAddress: requestedAddr})
 	if err != nil {
+		delete(c.pendingActivate, nsapi)
 		return err
 	}
-	c.send(env, c.TLLI(), pdu)
-	c.expire(env, func() bool { _, p := c.pendingActivate[nsapi]; return p }, func() {
-		cb := c.pendingActivate[nsapi]
-		delete(c.pendingActivate, nsapi)
-		if cb != nil {
-			cb(netip.Addr{}, false)
-		}
-	})
+	c.sendPDU(env, c.TLLI(), pdu)
+	if c.Timeout > 0 {
+		env.AfterArg(c.Timeout, expireActivate, &activateExpiry{c: c, nsapi: nsapi})
+	}
 	return nil
 }
 
@@ -200,12 +283,15 @@ func (c *Client) DeactivatePDP(env *sim.Env, nsapi uint8, done func()) error {
 	if _, exists := c.contexts[nsapi]; !exists {
 		return fmt.Errorf("gprs: client %s NSAPI %d not active", c.IMSI, nsapi)
 	}
+	if c.pendingDeactivate == nil {
+		c.pendingDeactivate = make(map[uint8]func())
+	}
 	c.pendingDeactivate[nsapi] = done
 	pdu, err := WrapSM(DeactivatePDPRequest{NSAPI: nsapi})
 	if err != nil {
 		return err
 	}
-	c.send(env, c.TLLI(), pdu)
+	c.sendPDU(env, c.TLLI(), pdu)
 	return nil
 }
 
@@ -219,7 +305,7 @@ func (c *Client) SendIP(env *sim.Env, nsapi uint8, pkt ipnet.Packet) error {
 	if !pkt.Src.IsValid() {
 		pkt.Src = ctx.Address
 	}
-	c.send(env, c.TLLI(), WrapData(nsapi, pkt))
+	c.sendPDU(env, c.TLLI(), WrapData(nsapi, pkt))
 	return nil
 }
 
@@ -230,7 +316,9 @@ func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
 		return err
 	}
 	if parsed.IsData {
-		if c.OnPacket != nil {
+		if c.host != nil {
+			c.host.PacketIn(env, parsed.NSAPI, parsed.Packet)
+		} else if c.OnPacket != nil {
 			c.OnPacket(env, parsed.NSAPI, parsed.Packet)
 		}
 		return nil
@@ -239,18 +327,12 @@ func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
 	case AttachAccept:
 		c.attached = true
 		c.ptmsi = m.PTMSI
-		if done := c.pendingAttach; done != nil {
-			c.pendingAttach = nil
-			done(true)
-		}
+		c.finishAttach(true)
 	case AttachReject:
-		if done := c.pendingAttach; done != nil {
-			c.pendingAttach = nil
-			done(false)
-		}
+		c.finishAttach(false)
 	case DetachAccept:
 		c.attached = false
-		c.contexts = make(map[uint8]*ClientPDP)
+		c.contexts = nil
 		if done := c.pendingDetach; done != nil {
 			c.pendingDetach = nil
 			done()
@@ -260,19 +342,24 @@ func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
 		done := c.pendingActivate[m.NSAPI]
 		delete(c.pendingActivate, m.NSAPI)
 		if parseErr != nil {
-			if done != nil {
-				done(netip.Addr{}, false)
+			if done.fn != nil {
+				done.fn(done.arg, netip.Addr{}, false)
 			}
 			return fmt.Errorf("gprs: bad PDP address %q: %w", m.Address, parseErr)
 		}
+		if c.contexts == nil {
+			c.contexts = make(map[uint8]*ClientPDP)
+		}
 		c.contexts[m.NSAPI] = &ClientPDP{NSAPI: m.NSAPI, Address: addr, QoS: m.QoS}
-		if done != nil {
-			done(addr, true)
+		if done.fn != nil {
+			done.fn(done.arg, addr, true)
 		}
 	case ActivatePDPReject:
-		if done := c.pendingActivate[m.NSAPI]; done != nil {
+		if done, pending := c.pendingActivate[m.NSAPI]; pending {
 			delete(c.pendingActivate, m.NSAPI)
-			done(netip.Addr{}, false)
+			if done.fn != nil {
+				done.fn(done.arg, netip.Addr{}, false)
+			}
 		}
 	case DeactivatePDPAccept:
 		delete(c.contexts, m.NSAPI)
@@ -281,7 +368,9 @@ func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
 			done()
 		}
 	case RequestPDPActivation:
-		if c.OnActivationRequest != nil {
+		if c.host != nil {
+			c.host.ActivationRequested(env, m.Address)
+		} else if c.OnActivationRequest != nil {
 			c.OnActivationRequest(env, m.Address)
 		}
 	case RAUpdateAccept:

@@ -145,7 +145,7 @@ func (g *GGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 	case ipnet.Packet:
 		g.handleDownlink(env, m)
 	case sigmap.SendRoutingInfoForGPRSAck:
-		g.dm.Resolve(m.Invoke, m)
+		g.dm.Resolve(m.Invoke, msg)
 	}
 }
 

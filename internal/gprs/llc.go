@@ -5,6 +5,7 @@ import (
 
 	"vgprs/internal/ipnet"
 	"vgprs/internal/sim"
+	"vgprs/internal/wire"
 )
 
 // LLC service access points: signalling (GMM/SM) vs user data (SNDCP).
@@ -13,21 +14,25 @@ const (
 	sapiData       uint8 = 3
 )
 
-// WrapSM frames a GMM/SM message as an LLC PDU.
+// WrapSM frames a GMM/SM message as an LLC PDU. SAPI octet and message body
+// marshal into one exact-copy buffer via the pooled writer — no
+// intermediate body slice.
 func WrapSM(msg sim.Message) ([]byte, error) {
-	body, err := MarshalSM(msg)
-	if err != nil {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U8(sapiSignalling)
+	if err := encodeSM(w, msg); err != nil {
 		return nil, err
 	}
-	return append([]byte{sapiSignalling}, body...), nil
+	return w.CopyBytes(), nil
 }
 
-// WrapData frames an IP packet as an SNDCP LLC PDU on the given NSAPI.
+// WrapData frames an IP packet as an SNDCP LLC PDU on the given NSAPI. The
+// LLC header and IP encoding share one exact-size buffer.
 func WrapData(nsapi uint8, pkt ipnet.Packet) []byte {
-	body := pkt.Marshal()
-	out := make([]byte, 0, 2+len(body))
+	out := make([]byte, 0, 2+pkt.EncodedLen())
 	out = append(out, sapiData, nsapi)
-	return append(out, body...)
+	return pkt.AppendTo(out)
 }
 
 // PDU is a parsed LLC PDU: exactly one of SM or Packet is meaningful.

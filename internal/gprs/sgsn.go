@@ -44,7 +44,16 @@ type mmCtx struct {
 	ms   sim.NodeID
 	peer sim.NodeID
 	cell gsmid.CGI
-	pdp  map[uint8]*sgsnPDP
+	// pdp is created lazily on the first activation: every attach allocates
+	// an mmCtx, but attach-only subscribers never need the map.
+	pdp map[uint8]*sgsnPDP
+
+	// Attach-transaction state. The HLR dialogue threads the mmCtx itself
+	// through InvokeArg, so the attach procedure allocates no closures; the
+	// fields below carry what the completion callback needs.
+	sgsn       *SGSN
+	attachEnv  *sim.Env
+	attachTLLI gsmid.TLLI
 }
 
 // sgsnPDP is the SGSN's per-context state. Each context remembers the Gb
@@ -74,7 +83,7 @@ type SGSN struct {
 	byTID    map[gtp.TID]*mmCtx
 	nextPT   uint32
 	nextSeq  uint16
-	pending  map[uint16]func(env *sim.Env, resp sim.Message)
+	pending  map[uint16]gtpTxn
 	contexts int
 
 	ulPackets, dlPackets uint64
@@ -85,6 +94,24 @@ type SGSN struct {
 	echoAwaiting bool
 	echoMissed   int
 }
+
+// gtpTxn records one outstanding GTP request toward the GGSN. Pending
+// transactions are value-typed and dispatched by kind in resolve, so issuing
+// a create or delete request allocates nothing beyond the map slot.
+type gtpTxn struct {
+	kind  uint8 // txnActivate or txnDeactivate
+	nsapi uint8
+	peer  sim.NodeID
+	ms    sim.NodeID
+	tlli  gsmid.TLLI
+	tid   gtp.TID
+	ctx   *mmCtx
+}
+
+const (
+	txnActivate = iota + 1
+	txnDeactivate
+)
 
 var _ sim.Node = (*SGSN)(nil)
 
@@ -99,7 +126,7 @@ func NewSGSN(cfg SGSNConfig) *SGSN {
 		byTLLI:  make(map[gsmid.TLLI]*mmCtx),
 		byIMSI:  make(map[gsmid.IMSI]*mmCtx),
 		byTID:   make(map[gtp.TID]*mmCtx),
-		pending: make(map[uint16]func(*sim.Env, sim.Message)),
+		pending: make(map[uint16]gtpTxn),
 	}
 }
 
@@ -146,7 +173,7 @@ func (s *SGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 	case gtp.EchoResponse:
 		s.handleEchoResponse()
 	case sigmap.UpdateGPRSLocationAck:
-		s.dm.Resolve(m.Invoke, m)
+		s.dm.Resolve(m.Invoke, msg)
 	case sigmap.CancelLocation:
 		s.handleCancelLocation(env, from, m)
 	}
@@ -181,13 +208,19 @@ func (s *SGSN) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.Canc
 
 func (s *SGSN) resolve(env *sim.Env, seq uint16, resp sim.Message) {
 	s.mu.Lock()
-	cb, ok := s.pending[seq]
+	t, ok := s.pending[seq]
 	if ok {
 		delete(s.pending, seq)
 	}
 	s.mu.Unlock()
-	if ok {
-		cb(env, resp)
+	if !ok {
+		return
+	}
+	switch t.kind {
+	case txnActivate:
+		s.finishActivate(env, t, resp)
+	case txnDeactivate:
+		s.finishDeactivate(env, t)
 	}
 }
 
@@ -205,12 +238,16 @@ func (s *SGSN) reply(env *sim.Env, peer, ms sim.NodeID, tlli gsmid.TLLI, sm sim.
 }
 
 func (s *SGSN) handleUL(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata) {
-	parsed, err := ParsePDU(ul.PDU)
-	if err != nil {
+	// User data takes a fast path: the SNDCP payload bytes ARE the inner
+	// packet's wire form, so the SGSN relays them into the GTP tunnel
+	// without the decode/re-encode round trip (the GGSN validates on its
+	// end). Signalling still gets the full parse below.
+	if len(ul.PDU) >= 2 && ul.PDU[0] == sapiData {
+		s.handleUplinkData(env, ul, ul.PDU[1], ul.PDU[2:])
 		return
 	}
-	if parsed.IsData {
-		s.handleUplinkData(env, ul, parsed)
+	parsed, err := ParsePDU(ul.PDU)
+	if err != nil {
 		return
 	}
 	// Record the logical GMM/SM arrow for the decoded signalling message.
@@ -237,13 +274,15 @@ func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m A
 		ctx = &mmCtx{
 			imsi:  m.IMSI,
 			ptmsi: gsmid.PTMSI(s.nextPT),
-			pdp:   make(map[uint8]*sgsnPDP),
 		}
 		s.byIMSI[m.IMSI] = ctx
 	}
 	ctx.ms = ul.MS
 	ctx.peer = peer
 	ctx.cell = ul.Cell
+	ctx.sgsn = s
+	ctx.attachEnv = env
+	ctx.attachTLLI = ul.TLLI
 	// Index under both the TLLI the request came with and the local TLLI
 	// the client derives from its new P-TMSI.
 	s.byTLLI[ul.TLLI] = ctx
@@ -251,24 +290,28 @@ func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m A
 	ptmsi := ctx.ptmsi
 	s.mu.Unlock()
 
-	accept := func() {
-		s.reply(env, peer, ul.MS, ul.TLLI, AttachAccept{PTMSI: ptmsi})
-	}
 	if s.cfg.HLR == "" {
-		accept()
+		s.reply(env, peer, ul.MS, ul.TLLI, AttachAccept{PTMSI: ptmsi})
 		return
 	}
-	invoke := s.dm.Invoke(env, s.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
-		ack, isAck := resp.(sigmap.UpdateGPRSLocationAck)
-		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
-			s.reply(env, peer, ul.MS, ul.TLLI, AttachReject{Cause: SMCauseUnknownSubscriber})
-			return
-		}
-		accept()
-	})
+	invoke := s.dm.InvokeArg(env, s.cfg.MAPTimeout, attachHLRDone, ctx)
 	env.Send(s.cfg.ID, s.cfg.HLR, sigmap.UpdateGPRSLocation{
 		Invoke: invoke, IMSI: m.IMSI, SGSN: string(s.cfg.ID),
 	})
+}
+
+// attachHLRDone completes GPRS attach when the HLR answers (or the dialogue
+// times out). The mmCtx doubles as the transaction record.
+func attachHLRDone(arg any, resp sim.Message, ok bool) {
+	ctx := arg.(*mmCtx)
+	s := ctx.sgsn
+	env := ctx.attachEnv
+	ack, isAck := resp.(sigmap.UpdateGPRSLocationAck)
+	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+		s.reply(env, ctx.peer, ctx.ms, ctx.attachTLLI, AttachReject{Cause: SMCauseUnknownSubscriber})
+		return
+	}
+	s.reply(env, ctx.peer, ctx.ms, ctx.attachTLLI, AttachAccept{PTMSI: ctx.ptmsi})
 }
 
 func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
@@ -281,7 +324,7 @@ func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
 			tids = append(tids, pdp.tid)
 			s.contexts--
 		}
-		ctx.pdp = make(map[uint8]*sgsnPDP)
+		ctx.pdp = nil
 		delete(s.byIMSI, ctx.imsi)
 		delete(s.byTLLI, ul.TLLI)
 		delete(s.byTLLI, gsmid.LocalTLLI(ctx.ptmsi))
@@ -335,21 +378,9 @@ func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m
 	s.mu.Lock()
 	s.nextSeq++
 	seq := s.nextSeq
-	s.pending[seq] = func(env *sim.Env, resp sim.Message) {
-		cr, isCreate := resp.(gtp.CreatePDPResponse)
-		if !isCreate || !cr.Cause.Accepted() {
-			s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNetworkFailure})
-			return
-		}
-		s.mu.Lock()
-		ctx.pdp[m.NSAPI] = &sgsnPDP{
-			nsapi: m.NSAPI, tid: cr.TID, address: cr.Address, qos: cr.QoS,
-			peer: peer, ms: ul.MS,
-		}
-		s.byTID[cr.TID] = ctx
-		s.contexts++
-		s.mu.Unlock()
-		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPAccept{NSAPI: m.NSAPI, Address: cr.Address, QoS: cr.QoS})
+	s.pending[seq] = gtpTxn{
+		kind: txnActivate, nsapi: m.NSAPI,
+		peer: peer, ms: ul.MS, tlli: ul.TLLI, ctx: ctx,
 	}
 	s.mu.Unlock()
 
@@ -357,6 +388,26 @@ func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m
 		Seq: seq, IMSI: ctx.imsi, NSAPI: m.NSAPI, QoS: m.QoS,
 		SGSN: string(s.cfg.ID), RequestedAddress: m.RequestedAddress,
 	})
+}
+
+func (s *SGSN) finishActivate(env *sim.Env, t gtpTxn, resp sim.Message) {
+	cr, isCreate := resp.(gtp.CreatePDPResponse)
+	if !isCreate || !cr.Cause.Accepted() {
+		s.reply(env, t.peer, t.ms, t.tlli, ActivatePDPReject{NSAPI: t.nsapi, Cause: SMCauseNetworkFailure})
+		return
+	}
+	s.mu.Lock()
+	if t.ctx.pdp == nil {
+		t.ctx.pdp = make(map[uint8]*sgsnPDP)
+	}
+	t.ctx.pdp[t.nsapi] = &sgsnPDP{
+		nsapi: t.nsapi, tid: cr.TID, address: cr.Address, qos: cr.QoS,
+		peer: t.peer, ms: t.ms,
+	}
+	s.byTID[cr.TID] = t.ctx
+	s.contexts++
+	s.mu.Unlock()
+	s.reply(env, t.peer, t.ms, t.tlli, ActivatePDPAccept{NSAPI: t.nsapi, Address: cr.Address, QoS: cr.QoS})
 }
 
 func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m DeactivatePDPRequest) {
@@ -374,25 +425,30 @@ func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata,
 	s.mu.Lock()
 	s.nextSeq++
 	seq := s.nextSeq
-	s.pending[seq] = func(env *sim.Env, resp sim.Message) {
-		s.mu.Lock()
-		delete(ctx.pdp, m.NSAPI)
-		delete(s.byTID, pdp.tid)
-		s.contexts--
-		s.mu.Unlock()
-		s.reply(env, peer, ul.MS, ul.TLLI, DeactivatePDPAccept{NSAPI: m.NSAPI})
+	s.pending[seq] = gtpTxn{
+		kind: txnDeactivate, nsapi: m.NSAPI,
+		peer: peer, ms: ul.MS, tlli: ul.TLLI, tid: pdp.tid, ctx: ctx,
 	}
 	s.mu.Unlock()
 
 	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: pdp.tid})
 }
 
-func (s *SGSN) handleUplinkData(env *sim.Env, ul gb.ULUnitdata, parsed PDU) {
+func (s *SGSN) finishDeactivate(env *sim.Env, t gtpTxn) {
+	s.mu.Lock()
+	delete(t.ctx.pdp, t.nsapi)
+	delete(s.byTID, t.tid)
+	s.contexts--
+	s.mu.Unlock()
+	s.reply(env, t.peer, t.ms, t.tlli, DeactivatePDPAccept{NSAPI: t.nsapi})
+}
+
+func (s *SGSN) handleUplinkData(env *sim.Env, ul gb.ULUnitdata, nsapi uint8, payload []byte) {
 	s.mu.Lock()
 	ctx, ok := s.byTLLI[ul.TLLI]
 	var pdp *sgsnPDP
 	if ok {
-		pdp = ctx.pdp[parsed.NSAPI]
+		pdp = ctx.pdp[nsapi]
 	}
 	if pdp != nil {
 		s.ulPackets++
@@ -401,7 +457,7 @@ func (s *SGSN) handleUplinkData(env *sim.Env, ul gb.ULUnitdata, parsed PDU) {
 	if pdp == nil {
 		return
 	}
-	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.TPDU{TID: pdp.tid, Payload: parsed.Packet.Marshal()})
+	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.TPDU{TID: pdp.tid, Payload: payload})
 }
 
 func (s *SGSN) handleDownlinkTPDU(env *sim.Env, m gtp.TPDU) {

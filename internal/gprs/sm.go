@@ -223,9 +223,28 @@ func unmarshalQoS(r *wire.Reader) gtp.QoSProfile {
 	}
 }
 
-// MarshalSM encodes a GMM/SM message.
+// MarshalSM encodes a GMM/SM message, returning a fresh buffer the caller
+// owns.
 func MarshalSM(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(32)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encodeSM(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// AppendSM encodes a GMM/SM message onto dst and returns the extended
+// slice. On error dst is returned unchanged.
+func AppendSM(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encodeSM(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encodeSM(w *wire.Writer, msg sim.Message) error {
 	switch m := msg.(type) {
 	case AttachRequest:
 		w.U8(smAttachRequest)
@@ -272,14 +291,15 @@ func MarshalSM(msg sim.Message) ([]byte, error) {
 		gsmid.MarshalLAI(w, m.RAI.LAI)
 		w.U8(m.RAI.RAC)
 	default:
-		return nil, fmt.Errorf("gprs: cannot marshal %T", msg)
+		return fmt.Errorf("gprs: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // UnmarshalSM decodes a GMM/SM message.
 func UnmarshalSM(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	var msg sim.Message
 	switch op := r.U8(); op {
 	case smAttachRequest:
@@ -293,9 +313,9 @@ func UnmarshalSM(b []byte) (sim.Message, error) {
 	case smDetachAccept:
 		msg = DetachAccept{}
 	case smActivateRequest:
-		msg = ActivatePDPRequest{NSAPI: r.U8(), QoS: unmarshalQoS(r), RequestedAddress: r.String8()}
+		msg = ActivatePDPRequest{NSAPI: r.U8(), QoS: unmarshalQoS(&r), RequestedAddress: r.String8()}
 	case smActivateAccept:
-		msg = ActivatePDPAccept{NSAPI: r.U8(), Address: r.String8(), QoS: unmarshalQoS(r)}
+		msg = ActivatePDPAccept{NSAPI: r.U8(), Address: r.String8(), QoS: unmarshalQoS(&r)}
 	case smActivateReject:
 		msg = ActivatePDPReject{NSAPI: r.U8(), Cause: SMCause(r.U8())}
 	case smDeactivateRequest:
@@ -305,9 +325,9 @@ func UnmarshalSM(b []byte) (sim.Message, error) {
 	case smRequestActivation:
 		msg = RequestPDPActivation{Address: r.String8()}
 	case smRAUpdateRequest:
-		msg = RAUpdateRequest{RAI: gsmid.RAI{LAI: gsmid.UnmarshalLAI(r), RAC: r.U8()}}
+		msg = RAUpdateRequest{RAI: gsmid.RAI{LAI: gsmid.UnmarshalLAI(&r), RAC: r.U8()}}
 	case smRAUpdateAccept:
-		msg = RAUpdateAccept{RAI: gsmid.RAI{LAI: gsmid.UnmarshalLAI(r), RAC: r.U8()}}
+		msg = RAUpdateAccept{RAI: gsmid.RAI{LAI: gsmid.UnmarshalLAI(&r), RAC: r.U8()}}
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode %d", ErrBadMessage, op)
 	}

@@ -86,12 +86,12 @@ func (b *BSC) fromBTS(env *sim.Env, bts sim.NodeID, msg sim.Message) {
 		b.allocate(env, bts, m)
 	case ReleaseComplete:
 		b.free(m.MS)
-		env.Send(b.cfg.ID, b.cfg.MSC, WithLeg(msg, LegA))
+		env.Send(b.cfg.ID, b.cfg.MSC, relayLeg(env, msg, LegA))
 	case IMSIDetach:
 		// The detach indication is the MS's last transmission; its
 		// channel returns to idle immediately (no acknowledgement).
 		b.free(m.MS)
-		env.Send(b.cfg.ID, b.cfg.MSC, WithLeg(msg, LegA))
+		env.Send(b.cfg.ID, b.cfg.MSC, relayLeg(env, msg, LegA))
 	case LLCFrame:
 		if b.cfg.SGSN == "" {
 			return // no PCU installed
@@ -107,7 +107,7 @@ func (b *BSC) fromBTS(env *sim.Env, bts sim.NodeID, msg sim.Message) {
 			Leg: LegA, MS: m.MS, TargetCell: m.TargetCell,
 		})
 	default:
-		env.Send(b.cfg.ID, b.cfg.MSC, WithLeg(msg, LegA))
+		env.Send(b.cfg.ID, b.cfg.MSC, relayLeg(env, msg, LegA))
 	}
 }
 
@@ -117,7 +117,7 @@ func (b *BSC) fromMSC(env *sim.Env, msg sim.Message) {
 	case Paging:
 		// Fan paging out to every cell; only the serving BTS has the MS.
 		for _, bts := range b.cfg.BTSs {
-			env.Send(b.cfg.ID, bts, WithLeg(msg, LegAbis))
+			env.Send(b.cfg.ID, bts, relayLeg(env, msg, LegAbis))
 		}
 		return
 	case LocationUpdateAccept:
@@ -137,11 +137,11 @@ func (b *BSC) fromMSC(env *sim.Env, msg sim.Message) {
 	if !ok {
 		// Never heard from this MS: try every cell.
 		for _, cell := range b.cfg.BTSs {
-			env.Send(b.cfg.ID, cell, WithLeg(msg, LegAbis))
+			env.Send(b.cfg.ID, cell, relayLeg(env, msg, LegAbis))
 		}
 		return
 	}
-	env.Send(b.cfg.ID, bts, WithLeg(msg, LegAbis))
+	env.Send(b.cfg.ID, bts, relayLeg(env, msg, LegAbis))
 }
 
 // fromSGSN handles downlink Gb traffic (PCU function).

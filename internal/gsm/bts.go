@@ -32,14 +32,25 @@ func (b *BTS) ID() sim.NodeID { return b.cfg.ID }
 func (b *BTS) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
 	switch iface {
 	case "Um":
-		env.Send(b.cfg.ID, b.cfg.BSC, WithLeg(msg, LegAbis))
+		env.Send(b.cfg.ID, b.cfg.BSC, relayLeg(env, msg, LegAbis))
 	case "Abis":
 		ms := TargetMS(msg)
 		if ms == "" || !env.HasLink(b.cfg.ID, ms) {
 			return // MS not in this cell; paging elsewhere finds it
 		}
-		env.Send(b.cfg.ID, ms, WithLeg(msg, LegUm))
+		env.Send(b.cfg.ID, ms, relayLeg(env, msg, LegUm))
 	}
+}
+
+// relayLeg tags a relayed message with the leg it is about to cross. The tag
+// feeds only trace naming and wire headers — no protocol handler reads it —
+// so with no tracer installed the original message is forwarded untouched,
+// skipping the re-boxing copy WithLeg would make on every hop.
+func relayLeg(env *sim.Env, msg sim.Message, leg Leg) sim.Message {
+	if env.Tracer() == nil {
+		return msg
+	}
+	return WithLeg(msg, leg)
 }
 
 // WithLeg returns a copy of a radio-access message with the leg rewritten —

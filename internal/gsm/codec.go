@@ -75,9 +75,27 @@ func boolByte(b bool) uint8 {
 }
 
 // Marshal encodes a radio-access layer-3 message (or simulation carrier)
-// into its wire form.
+// into its wire form, returning a fresh buffer the caller owns.
 func Marshal(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(48)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// Append encodes a radio-access layer-3 message onto dst and returns the
+// extended slice. On error dst is returned unchanged.
+func Append(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encode(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encode(w *wire.Writer, msg sim.Message) error {
 	switch m := msg.(type) {
 	case ChannelRequest:
 		header(w, pdSim, mtChannelRequest, m.Leg, m.MS)
@@ -172,14 +190,15 @@ func Marshal(msg sim.Message) ([]byte, error) {
 		w.U8(boolByte(m.Downlink))
 		w.Bytes16(m.Payload)
 	default:
-		return nil, fmt.Errorf("gsm: cannot marshal %T", msg)
+		return fmt.Errorf("gsm: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // Unmarshal decodes a radio-access layer-3 message.
 func Unmarshal(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	pd := r.U8()
 	mt := r.U8()
 	leg := Leg(r.U8())
@@ -193,8 +212,8 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = ImmediateAssignment{Leg: leg, MS: ms, Channel: r.U16(), Rejected: r.U8() != 0}
 	case pd == pdMM && mt == mtLocationUpdateRequest:
 		m := LocationUpdate{Leg: leg, MS: ms}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
-		m.LAI = gsmid.UnmarshalLAI(r)
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
+		m.LAI = gsmid.UnmarshalLAI(&r)
 		msg = m
 	case pd == pdMM && mt == mtLocationUpdateAccept:
 		msg = LocationUpdateAccept{Leg: leg, MS: ms, TMSI: gsmid.TMSI(r.U32())}
@@ -202,11 +221,11 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = LocationUpdateReject{Leg: leg, MS: ms, Cause: r.U8()}
 	case pd == pdMM && mt == mtAuthRequest:
 		m := AuthRequest{Leg: leg, MS: ms}
-		copy(m.RAND[:], r.Raw(16))
+		r.Fill(m.RAND[:])
 		msg = m
 	case pd == pdMM && mt == mtAuthResponse:
 		m := AuthResponse{Leg: leg, MS: ms}
-		copy(m.SRES[:], r.Raw(4))
+		r.Fill(m.SRES[:])
 		msg = m
 	case pd == pdRR && mt == mtCipherModeCommand:
 		msg = CipherModeCommand{Leg: leg, MS: ms}
@@ -229,32 +248,32 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = ReleaseComplete{Leg: leg, MS: ms, CallRef: r.U32()}
 	case pd == pdMM && mt == mtIMSIDetach:
 		m := IMSIDetach{Leg: leg, MS: ms}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
 		msg = m
 	case pd == pdRR && mt == mtPagingRequest:
 		m := Paging{Leg: leg, MS: ms}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
 		msg = m
 	case pd == pdRR && mt == mtPagingResponse:
 		m := PagingResponse{Leg: leg, MS: ms}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
 		msg = m
 	case pd == pdSim && mt == mtTCHFrame:
 		msg = TCHFrame{Leg: leg, MS: ms, CallRef: r.U32(), Seq: r.U32(),
 			Downlink: r.U8() != 0, Payload: r.Bytes16()}
 	case pd == pdRR && mt == mtMeasurementReport:
 		m := MeasurementReport{Leg: leg, MS: ms}
-		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(&r)
 		m.TargetCell.CI = r.U16()
 		msg = m
 	case pd == pdRR && mt == mtHandoverRequired:
 		m := HandoverRequired{Leg: leg, MS: ms, CallRef: r.U32()}
-		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(&r)
 		m.TargetCell.CI = r.U16()
 		msg = m
 	case pd == pdRR && mt == mtHandoverCommand:
 		m := HandoverCommand{Leg: leg, MS: ms, CallRef: r.U32()}
-		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(&r)
 		m.TargetCell.CI = r.U16()
 		m.TargetBTS = sim.NodeID(r.String8())
 		m.Channel = r.U16()

@@ -239,7 +239,7 @@ func UnmarshalMobileIdentity(r *wire.Reader) MobileIdentity {
 
 // MarshalLAI appends a LAI's wire form: BCD MCC+MNC then the LAC.
 func MarshalLAI(w *wire.Writer, l LAI) {
-	w.BCD(l.MCC + l.MNC)
+	w.BCD2(l.MCC, l.MNC)
 	w.U16(l.LAC)
 }
 

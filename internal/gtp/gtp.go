@@ -7,8 +7,10 @@
 package gtp
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"vgprs/internal/gsmid"
 	"vgprs/internal/sim"
@@ -38,8 +40,19 @@ func MakeTID(imsi gsmid.IMSI, nsapi uint8) TID {
 // NSAPI extracts the NSAPI encoded in the TID.
 func (t TID) NSAPI() uint8 { return uint8(t >> 60) }
 
-// String formats the TID in hex.
-func (t TID) String() string { return fmt.Sprintf("TID-%016X", uint64(t)) }
+// String formats the TID in hex. Hand-rolled (not Sprintf) because tracing
+// formats every tunnelled message's TID on the hot path.
+func (t TID) String() string {
+	const hex = "0123456789ABCDEF"
+	var b [20]byte
+	copy(b[:], "TID-")
+	v := uint64(t)
+	for i := 19; i >= 4; i-- {
+		b[i] = hex[v&0xF]
+		v >>= 4
+	}
+	return string(b[:])
+}
 
 // MsgType is the GTP message type (GSM 09.60 §7.1).
 type MsgType uint8
@@ -89,7 +102,7 @@ func (c Cause) String() string {
 	case CauseMissingResource:
 		return "mandatory-ie-missing"
 	default:
-		return fmt.Sprintf("Cause(%d)", uint8(c))
+		return "Cause(" + strconv.Itoa(int(c)) + ")"
 	}
 }
 
@@ -127,8 +140,8 @@ func unmarshalHeader(r *wire.Reader) (Header, error) {
 		Seq:    r.U16(),
 		Flow:   r.U16(),
 	}
-	r.U8()   // SNDCP N-PDU
-	r.Raw(3) // spare
+	r.U8()    // SNDCP N-PDU
+	r.View(3) // spare
 	h.TID = TID(r.U64())
 	if err := r.Err(); err != nil {
 		return Header{}, fmt.Errorf("%w: header: %v", ErrBadMessage, err)
@@ -294,65 +307,86 @@ var (
 	_ sim.Message = PDUNotifyResponse{}
 )
 
-// Marshal encodes a GTP message with its v0 header.
+// Marshal encodes a GTP message with its v0 header, returning a fresh
+// buffer the caller owns.
 func Marshal(msg sim.Message) ([]byte, error) {
-	body := wire.NewWriter(64)
-	var h Header
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// Append encodes a GTP message onto dst and returns the extended slice. On
+// error dst is returned unchanged.
+func Append(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encode(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+// encode writes header and body in one pass over a single buffer: the
+// header goes out with Length zero, the body is appended behind it, and the
+// Length field is patched in place (octets 2-3 of the header) once the body
+// size is known. This replaces the old two-writer, copy-the-body scheme.
+func encode(w *wire.Writer, msg sim.Message) error {
+	start := w.Len()
 	switch m := msg.(type) {
 	case EchoRequest:
-		h = Header{Type: MsgEchoRequest, Seq: m.Seq}
+		marshalHeader(w, Header{Type: MsgEchoRequest, Seq: m.Seq})
 	case EchoResponse:
-		h = Header{Type: MsgEchoResponse, Seq: m.Seq}
+		marshalHeader(w, Header{Type: MsgEchoResponse, Seq: m.Seq})
 	case CreatePDPRequest:
-		h = Header{Type: MsgCreatePDPRequest, Seq: m.Seq}
-		body.BCD(string(m.IMSI))
-		body.U8(m.NSAPI)
-		marshalQoS(body, m.QoS)
-		body.String8(m.SGSN)
-		body.String8(m.RequestedAddress)
+		marshalHeader(w, Header{Type: MsgCreatePDPRequest, Seq: m.Seq})
+		w.BCD(string(m.IMSI))
+		w.U8(m.NSAPI)
+		marshalQoS(w, m.QoS)
+		w.String8(m.SGSN)
+		w.String8(m.RequestedAddress)
 		if m.NetworkInitiated {
-			body.U8(1)
+			w.U8(1)
 		} else {
-			body.U8(0)
+			w.U8(0)
 		}
 	case CreatePDPResponse:
-		h = Header{Type: MsgCreatePDPResponse, Seq: m.Seq, TID: m.TID}
-		body.U8(uint8(m.Cause))
-		body.String8(m.Address)
-		marshalQoS(body, m.QoS)
+		marshalHeader(w, Header{Type: MsgCreatePDPResponse, Seq: m.Seq, TID: m.TID})
+		w.U8(uint8(m.Cause))
+		w.String8(m.Address)
+		marshalQoS(w, m.QoS)
 	case DeletePDPRequest:
-		h = Header{Type: MsgDeletePDPRequest, Seq: m.Seq, TID: m.TID}
+		marshalHeader(w, Header{Type: MsgDeletePDPRequest, Seq: m.Seq, TID: m.TID})
 	case DeletePDPResponse:
-		h = Header{Type: MsgDeletePDPResponse, Seq: m.Seq}
-		body.U8(uint8(m.Cause))
+		marshalHeader(w, Header{Type: MsgDeletePDPResponse, Seq: m.Seq})
+		w.U8(uint8(m.Cause))
 	case PDUNotifyRequest:
-		h = Header{Type: MsgPDUNotifyRequest, Seq: m.Seq}
-		body.BCD(string(m.IMSI))
-		body.String8(m.Address)
+		marshalHeader(w, Header{Type: MsgPDUNotifyRequest, Seq: m.Seq})
+		w.BCD(string(m.IMSI))
+		w.String8(m.Address)
 	case PDUNotifyResponse:
-		h = Header{Type: MsgPDUNotifyResponse, Seq: m.Seq}
-		body.U8(uint8(m.Cause))
+		marshalHeader(w, Header{Type: MsgPDUNotifyResponse, Seq: m.Seq})
+		w.U8(uint8(m.Cause))
 	case TPDU:
-		h = Header{Type: MsgTPDU, TID: m.TID}
-		body.Raw(m.Payload)
+		marshalHeader(w, Header{Type: MsgTPDU, TID: m.TID})
+		w.Raw(m.Payload)
 	default:
-		return nil, fmt.Errorf("gtp: cannot marshal %T", msg)
+		return fmt.Errorf("gtp: cannot marshal %T", msg)
 	}
-	payload := body.Bytes()
-	if len(payload) > 0xFFFF {
-		return nil, fmt.Errorf("gtp: payload %d bytes exceeds 65535", len(payload))
+	payload := w.Len() - start - headerLen
+	if payload > 0xFFFF {
+		return fmt.Errorf("gtp: payload %d bytes exceeds 65535", payload)
 	}
-	h.Length = uint16(len(payload))
-	w := wire.NewWriter(headerLen + len(payload))
-	marshalHeader(w, h)
-	w.Raw(payload)
-	return w.Bytes(), nil
+	binary.BigEndian.PutUint16(w.Bytes()[start+2:], uint16(payload))
+	return nil
 }
 
 // Unmarshal decodes a GTP message.
 func Unmarshal(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
-	h, err := unmarshalHeader(r)
+	var r wire.Reader
+	r.Reset(b)
+	h, err := unmarshalHeader(&r)
 	if err != nil {
 		return nil, err
 	}
@@ -369,14 +403,14 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		m := CreatePDPRequest{Seq: h.Seq}
 		m.IMSI = gsmid.IMSI(r.BCD())
 		m.NSAPI = r.U8()
-		m.QoS = unmarshalQoS(r)
+		m.QoS = unmarshalQoS(&r)
 		m.SGSN = r.String8()
 		m.RequestedAddress = r.String8()
 		m.NetworkInitiated = r.U8() != 0
 		msg = m
 	case MsgCreatePDPResponse:
 		msg = CreatePDPResponse{Seq: h.Seq, TID: h.TID, Cause: Cause(r.U8()),
-			Address: r.String8(), QoS: unmarshalQoS(r)}
+			Address: r.String8(), QoS: unmarshalQoS(&r)}
 	case MsgDeletePDPRequest:
 		msg = DeletePDPRequest{Seq: h.Seq, TID: h.TID}
 	case MsgDeletePDPResponse:

@@ -59,8 +59,26 @@ type Endpoint struct {
 	// element sends to its router link; the VMSC sends into the MS's
 	// GPRS tunnel.
 	Send func(env *sim.Env, pkt ipnet.Packet)
+	// Via, when set, takes precedence over Send. An owner that manages
+	// many endpoints (the VMSC holds one per registered MS) implements
+	// Sender once instead of allocating a Send closure per endpoint.
+	Via Sender
 	// Dir resolves peer addresses for tracing (nil tolerated).
 	Dir *Directory
+}
+
+// Sender is the closure-free alternative to Endpoint.Send.
+type Sender interface {
+	SendIPPacket(env *sim.Env, pkt ipnet.Packet)
+}
+
+// transmit routes an outgoing packet through Via or Send.
+func (e *Endpoint) transmit(env *sim.Env, pkt ipnet.Packet) {
+	if e.Via != nil {
+		e.Via.SendIPPacket(env, pkt)
+		return
+	}
+	e.Send(env, pkt)
 }
 
 // SendRAS transmits a RAS message to a peer over UDP 1719 and notes the
@@ -71,7 +89,7 @@ func (e *Endpoint) SendRAS(env *sim.Env, to netip.Addr, msg sim.Message) {
 		return
 	}
 	env.Note(e.Node, e.Dir.Resolve(to), "RAS", msg)
-	e.Send(env, ipnet.Packet{
+	e.transmit(env, ipnet.Packet{
 		Src: e.Addr, Dst: to,
 		Proto:   ipnet.ProtoUDP,
 		SrcPort: ipnet.PortRAS, DstPort: ipnet.PortRAS,
@@ -87,7 +105,7 @@ func (e *Endpoint) SendQ931(env *sim.Env, to netip.Addr, msg sim.Message) {
 		return
 	}
 	env.Note(e.Node, e.Dir.Resolve(to), "H.225", msg)
-	e.Send(env, ipnet.Packet{
+	e.transmit(env, ipnet.Packet{
 		Src: e.Addr, Dst: to,
 		Proto:   ipnet.ProtoTCP,
 		SrcPort: ipnet.PortQ931, DstPort: ipnet.PortQ931,
@@ -97,7 +115,7 @@ func (e *Endpoint) SendQ931(env *sim.Env, to netip.Addr, msg sim.Message) {
 
 // SendRTP transmits a media packet to a peer media address.
 func (e *Endpoint) SendRTP(env *sim.Env, to q931.MediaAddr, body []byte) {
-	e.Send(env, ipnet.Packet{
+	e.transmit(env, ipnet.Packet{
 		Src: e.Addr, Dst: to.Addr,
 		Proto:   ipnet.ProtoUDP,
 		SrcPort: ipnet.PortRTP, DstPort: to.Port,

@@ -183,7 +183,7 @@ func (g *Gatekeeper) KnownIMSIs() int {
 // Receive implements sim.Node.
 func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
 	if ack, isMAP := msg.(sigmap.SendIMSIAck); isMAP {
-		g.dm.Resolve(ack.Invoke, ack)
+		g.dm.Resolve(ack.Invoke, msg)
 		return
 	}
 	pkt, ok := msg.(ipnet.Packet)
@@ -194,15 +194,13 @@ func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg si
 	if !ok || in.RAS == nil {
 		return
 	}
-	reply := func(m sim.Message) { g.ep.SendRAS(env, pkt.Src, m) }
-
 	switch m := in.RAS.(type) {
 	case RRQ:
 		if g.cfg.RequireIMSI && g.cfg.HLR != "" && g.isMobileAlias(m.Alias) {
-			g.resolveIMSIThen(env, m, reply)
+			g.resolveIMSIThen(env, pkt.Src, m)
 			return
 		}
-		g.handleRRQ(env, m, reply)
+		g.handleRRQ(env, pkt.Src, m)
 	case URQ:
 		g.mu.Lock()
 		if reg, exists := g.table[m.Alias]; exists &&
@@ -210,9 +208,9 @@ func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg si
 			delete(g.table, m.Alias)
 		}
 		g.mu.Unlock()
-		reply(UCF{Seq: m.Seq})
+		g.ep.SendRAS(env, pkt.Src, UCF{Seq: m.Seq})
 	case ARQ:
-		g.handleARQ(env, m, reply)
+		g.handleARQ(env, pkt.Src, m)
 	case DRQ:
 		g.mu.Lock()
 		if rec, exists := g.calls[gkCallKey{m.Alias, m.CallRef}]; exists && !rec.Ended {
@@ -240,16 +238,16 @@ func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg si
 			}
 		}
 		g.mu.Unlock()
-		reply(DCF{Seq: m.Seq})
+		g.ep.SendRAS(env, pkt.Src, DCF{Seq: m.Seq})
 	case LRQ:
 		g.mu.Lock()
 		reg, exists := g.lookupLive(m.Alias, env.Now())
 		g.mu.Unlock()
 		if !exists {
-			reply(LRJ{Seq: m.Seq, Reason: RejectCalledPartyNotRegistered})
+			g.ep.SendRAS(env, pkt.Src, LRJ{Seq: m.Seq, Reason: RejectCalledPartyNotRegistered})
 			return
 		}
-		reply(LCF{Seq: m.Seq, SignalAddr: reg.SignalAddr, SignalPort: reg.SignalPort})
+		g.ep.SendRAS(env, pkt.Src, LCF{Seq: m.Seq, SignalAddr: reg.SignalAddr, SignalPort: reg.SignalPort})
 	}
 }
 
@@ -269,22 +267,22 @@ func (g *Gatekeeper) isMobileAlias(alias gsmid.MSISDN) bool {
 
 // resolveIMSIThen is the TR 23.923 registration path: the gatekeeper
 // queries the HLR over GSM MAP, memorizes the IMSI, and only then confirms.
-func (g *Gatekeeper) resolveIMSIThen(env *sim.Env, m RRQ, reply func(sim.Message)) {
+func (g *Gatekeeper) resolveIMSIThen(env *sim.Env, src netip.Addr, m RRQ) {
 	invoke := g.dm.Invoke(env, g.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
 		ack, isAck := resp.(sigmap.SendIMSIAck)
 		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
-			reply(RRJ{Seq: m.Seq, Reason: RejectGenericData})
+			g.ep.SendRAS(env, src, RRJ{Seq: m.Seq, Reason: RejectGenericData})
 			return
 		}
 		g.mu.Lock()
 		g.imsis[m.Alias] = ack.IMSI
 		g.mu.Unlock()
-		g.handleRRQ(env, m, reply)
+		g.handleRRQ(env, src, m)
 	})
 	env.Send(g.cfg.ID, g.cfg.HLR, sigmap.SendIMSI{Invoke: invoke, MSISDN: m.Alias})
 }
 
-func (g *Gatekeeper) handleRRQ(env *sim.Env, m RRQ, reply func(sim.Message)) {
+func (g *Gatekeeper) handleRRQ(env *sim.Env, src netip.Addr, m RRQ) {
 	g.mu.Lock()
 	existing, dup := g.table[m.Alias]
 	if dup && g.expired(existing, env.Now()) {
@@ -295,14 +293,14 @@ func (g *Gatekeeper) handleRRQ(env *sim.Env, m RRQ, reply func(sim.Message)) {
 	// if it lapsed (or never existed), demand a full registration.
 	if m.KeepAlive && (!dup || existing.SignalAddr != m.SignalAddr) {
 		g.mu.Unlock()
-		reply(RRJ{Seq: m.Seq, Reason: RejectFullRegistrationRequired})
+		g.ep.SendRAS(env, src, RRJ{Seq: m.Seq, Reason: RejectFullRegistrationRequired})
 		return
 	}
 	// Re-registration from the same transport address refreshes the row;
 	// a different address claiming a registered alias is rejected.
 	if dup && existing.SignalAddr != m.SignalAddr {
 		g.mu.Unlock()
-		reply(RRJ{Seq: m.Seq, Reason: RejectDuplicateAlias})
+		g.ep.SendRAS(env, src, RRJ{Seq: m.Seq, Reason: RejectDuplicateAlias})
 		return
 	}
 	granted := g.grantTTL(m.TTLSeconds)
@@ -320,7 +318,7 @@ func (g *Gatekeeper) handleRRQ(env *sim.Env, m RRQ, reply func(sim.Message)) {
 		}
 	}
 	g.mu.Unlock()
-	reply(RCF{Seq: m.Seq, EndpointID: epID, TTLSeconds: granted})
+	g.ep.SendRAS(env, src, RCF{Seq: m.Seq, EndpointID: epID, TTLSeconds: granted})
 }
 
 // grantTTL computes the lifetime an RCF grants, in seconds: the
@@ -383,7 +381,7 @@ func (g *Gatekeeper) SweepExpired(now time.Duration) int {
 	return n
 }
 
-func (g *Gatekeeper) handleARQ(env *sim.Env, m ARQ, reply func(sim.Message)) {
+func (g *Gatekeeper) handleARQ(env *sim.Env, src netip.Addr, m ARQ) {
 	var response sim.Message
 
 	g.mu.Lock()
@@ -423,7 +421,7 @@ func (g *Gatekeeper) handleARQ(env *sim.Env, m ARQ, reply func(sim.Message)) {
 	}
 	g.mu.Unlock()
 
-	reply(response)
+	g.ep.SendRAS(env, src, response)
 }
 
 // routesToPSTN reports whether an unregistered called alias should be

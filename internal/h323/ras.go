@@ -251,36 +251,46 @@ const (
 )
 
 func marshalAddr(w *wire.Writer, addr netip.Addr, port uint16) {
-	if !addr.IsValid() {
-		w.U8(0)
-		return
+	w.Addr(addr)
+	if addr.IsValid() {
+		w.U16(port)
 	}
-	raw, _ := addr.MarshalBinary()
-	w.U8(uint8(len(raw)))
-	w.Raw(raw)
-	w.U16(port)
 }
 
 func unmarshalAddr(r *wire.Reader) (netip.Addr, uint16) {
-	n := int(r.U8())
-	if n == 0 {
+	addr := r.Addr()
+	if !addr.IsValid() {
 		return netip.Addr{}, 0
 	}
-	raw := r.Raw(n)
 	port := r.U16()
 	if r.Err() != nil {
-		return netip.Addr{}, 0
-	}
-	var addr netip.Addr
-	if err := addr.UnmarshalBinary(raw); err != nil {
 		return netip.Addr{}, 0
 	}
 	return addr, port
 }
 
-// MarshalRAS encodes a RAS message.
+// MarshalRAS encodes a RAS message, returning a fresh buffer the caller
+// owns.
 func MarshalRAS(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(48)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encodeRAS(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// AppendRAS encodes a RAS message onto dst and returns the extended slice.
+// On error dst is returned unchanged.
+func AppendRAS(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encodeRAS(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encodeRAS(w *wire.Writer, msg sim.Message) error {
 	switch m := msg.(type) {
 	case RRQ:
 		w.U8(opRRQ)
@@ -351,21 +361,22 @@ func MarshalRAS(msg sim.Message) ([]byte, error) {
 		w.U32(m.Seq)
 		w.U8(uint8(m.Reason))
 	default:
-		return nil, fmt.Errorf("h323: cannot marshal %T", msg)
+		return fmt.Errorf("h323: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // UnmarshalRAS decodes a RAS message.
 func UnmarshalRAS(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	op := r.U8()
 	seq := r.U32()
 	var msg sim.Message
 	switch op {
 	case opRRQ:
 		m := RRQ{Seq: seq, Alias: gsmid.MSISDN(r.BCD())}
-		m.SignalAddr, m.SignalPort = unmarshalAddr(r)
+		m.SignalAddr, m.SignalPort = unmarshalAddr(&r)
 		m.KeepAlive = r.U8() != 0
 		m.TTLSeconds = r.U16()
 		msg = m
@@ -375,7 +386,7 @@ func UnmarshalRAS(b []byte) (sim.Message, error) {
 		msg = RRJ{Seq: seq, Reason: RejectReason(r.U8())}
 	case opURQ:
 		m := URQ{Seq: seq, Alias: gsmid.MSISDN(r.BCD())}
-		m.SignalAddr, _ = unmarshalAddr(r)
+		m.SignalAddr, _ = unmarshalAddr(&r)
 		msg = m
 	case opUCF:
 		msg = UCF{Seq: seq}
@@ -388,7 +399,7 @@ func UnmarshalRAS(b []byte) (sim.Message, error) {
 		msg = m
 	case opACF:
 		m := ACF{Seq: seq}
-		m.SignalAddr, m.SignalPort = unmarshalAddr(r)
+		m.SignalAddr, m.SignalPort = unmarshalAddr(&r)
 		msg = m
 	case opARJ:
 		msg = ARJ{Seq: seq, Reason: RejectReason(r.U8())}
@@ -403,7 +414,7 @@ func UnmarshalRAS(b []byte) (sim.Message, error) {
 		msg = LRQ{Seq: seq, Alias: gsmid.MSISDN(r.BCD())}
 	case opLCF:
 		m := LCF{Seq: seq}
-		m.SignalAddr, m.SignalPort = unmarshalAddr(r)
+		m.SignalAddr, m.SignalPort = unmarshalAddr(&r)
 		msg = m
 	case opLRJ:
 		msg = LRJ{Seq: seq, Reason: RejectReason(r.U8())}

@@ -13,10 +13,12 @@ import (
 // preserves the protocol property that matters here: only parties holding Ki
 // can produce SRES for a given RAND, and both ends derive the same Kc.
 func GenerateTriplet(ki [16]byte, rand [16]byte) sigmap.AuthTriplet {
-	h := sha256.New()
-	h.Write(ki[:])
-	h.Write(rand[:])
-	digest := h.Sum(nil)
+	// Sum256 over a stack buffer keeps triplet generation allocation-free;
+	// sha256.New + Sum(nil) would heap-allocate the state and the digest.
+	var in [32]byte
+	copy(in[:16], ki[:])
+	copy(in[16:], rand[:])
+	digest := sha256.Sum256(in[:])
 
 	t := sigmap.AuthTriplet{RAND: rand}
 	copy(t.SRES[:], digest[0:4])

@@ -136,11 +136,11 @@ func (h *HLR) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Messa
 	case sigmap.SendIMSI:
 		h.handleSendIMSI(env, from, m)
 	case sigmap.InsertSubscriberDataAck:
-		h.dm.Resolve(m.Invoke, m)
+		h.dm.Resolve(m.Invoke, msg)
 	case sigmap.CancelLocationAck:
-		h.dm.Resolve(m.Invoke, m)
+		h.dm.Resolve(m.Invoke, msg)
 	case sigmap.ProvideRoamingNumberAck:
-		h.dm.Resolve(m.Invoke, m)
+		h.dm.Resolve(m.Invoke, msg)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 
 	"vgprs/internal/sim"
 	"vgprs/internal/wire"
@@ -35,7 +36,7 @@ func (p Proto) String() string {
 	case ProtoUDP:
 		return "UDP"
 	default:
-		return fmt.Sprintf("Proto(%d)", uint8(p))
+		return "Proto(" + strconv.Itoa(int(p)) + ")"
 	}
 }
 
@@ -58,22 +59,45 @@ type Packet struct {
 }
 
 // Name implements sim.Message; the name carries the protocol and ports so
-// protocol-stack traces (Fig 3 validation) show the layering.
+// protocol-stack traces (Fig 3 validation) show the layering. Hand-rolled
+// formatting: Name is called per traced message.
 func (p Packet) Name() string {
-	return fmt.Sprintf("IP/%s:%d->%d", p.Proto, p.SrcPort, p.DstPort)
+	var b [32]byte
+	out := append(b[:0], "IP/"...)
+	out = append(out, p.Proto.String()...)
+	out = append(out, ':')
+	out = strconv.AppendUint(out, uint64(p.SrcPort), 10)
+	out = append(out, "->"...)
+	out = strconv.AppendUint(out, uint64(p.DstPort), 10)
+	return string(out)
 }
 
 var _ sim.Message = Packet{}
 
-// Marshal encodes the packet.
-func (p Packet) Marshal() []byte {
-	w := wire.NewWriter(32 + len(p.Payload))
-	src, _ := p.Src.MarshalBinary()
-	dst, _ := p.Dst.MarshalBinary()
-	w.U8(uint8(len(src)))
-	w.Raw(src)
-	w.U8(uint8(len(dst)))
-	w.Raw(dst)
+// addrLen returns the encoded size of a length-prefixed address field.
+func addrLen(a netip.Addr) int {
+	switch {
+	case !a.IsValid():
+		return 1
+	case a.Is4():
+		return 5
+	default:
+		return 17
+	}
+}
+
+// EncodedLen returns the exact size of the packet's wire form, so callers
+// can size buffers without marshalling twice.
+func (p Packet) EncodedLen() int {
+	return addrLen(p.Src) + addrLen(p.Dst) + 5 + 2 + len(p.Payload)
+}
+
+// AppendTo appends the packet's wire form to dst and returns the extended
+// slice.
+func (p Packet) AppendTo(dst []byte) []byte {
+	w := wire.Wrap(dst)
+	w.Addr(p.Src)
+	w.Addr(p.Dst)
 	w.U8(uint8(p.Proto))
 	w.U16(p.SrcPort)
 	w.U16(p.DstPort)
@@ -81,29 +105,33 @@ func (p Packet) Marshal() []byte {
 	return w.Bytes()
 }
 
-// Unmarshal decodes a packet.
+// Marshal encodes the packet into an exact-size fresh buffer.
+func (p Packet) Marshal() []byte {
+	return p.AppendTo(make([]byte, 0, p.EncodedLen()))
+}
+
+// Unmarshal decodes a packet. The returned Payload aliases b rather than
+// copying it: packets are decoded on every hop of the GPRS tunnel path, and
+// the simulation's buffers are write-once (pooled writers hand out exact
+// copies), so the alias is safe and saves a per-hop payload allocation.
+// Callers that mutate or recycle b must copy Payload first.
 func Unmarshal(b []byte) (Packet, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	var p Packet
-	srcLen := int(r.U8())
-	srcRaw := r.Raw(srcLen)
-	dstLen := int(r.U8())
-	dstRaw := r.Raw(dstLen)
+	p.Src = r.Addr()
+	p.Dst = r.Addr()
 	p.Proto = Proto(r.U8())
 	p.SrcPort = r.U16()
 	p.DstPort = r.U16()
-	p.Payload = r.Bytes16()
+	if n := int(r.U16()); n > 0 {
+		p.Payload = r.View(n)
+	}
 	if err := r.Err(); err != nil {
 		return Packet{}, fmt.Errorf("%w: %v", ErrBadPacket, err)
 	}
 	if r.Remaining() != 0 {
 		return Packet{}, fmt.Errorf("%w: %d trailing bytes", ErrBadPacket, r.Remaining())
-	}
-	if err := p.Src.UnmarshalBinary(srcRaw); err != nil {
-		return Packet{}, fmt.Errorf("%w: src addr: %v", ErrBadPacket, err)
-	}
-	if err := p.Dst.UnmarshalBinary(dstRaw); err != nil {
-		return Packet{}, fmt.Errorf("%w: dst addr: %v", ErrBadPacket, err)
 	}
 	return p, nil
 }

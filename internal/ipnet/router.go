@@ -94,5 +94,7 @@ func (r *Router) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Me
 		r.mu.Unlock()
 		return
 	}
-	env.Send(r.id, next, pkt)
+	// Forward the original interface value: the packet is relayed
+	// unchanged, so re-boxing the Packet struct would be a pure allocation.
+	env.Send(r.id, next, msg)
 }

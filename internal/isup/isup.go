@@ -188,9 +188,28 @@ const (
 	mtRLC uint8 = 0x10
 )
 
-// Marshal encodes an ISUP message.
+// Marshal encodes an ISUP message, returning a fresh buffer the caller
+// owns.
 func Marshal(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(32)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// Append encodes an ISUP message onto dst and returns the extended slice.
+// On error dst is returned unchanged.
+func Append(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encode(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encode(w *wire.Writer, msg sim.Message) error {
 	switch m := msg.(type) {
 	case IAM:
 		w.U8(mtIAM)
@@ -216,14 +235,15 @@ func Marshal(msg sim.Message) ([]byte, error) {
 		w.U16(uint16(m.CIC))
 		w.U32(m.CallRef)
 	default:
-		return nil, fmt.Errorf("isup: cannot marshal %T", msg)
+		return fmt.Errorf("isup: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // Unmarshal decodes an ISUP message.
 func Unmarshal(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	mt := r.U8()
 	cic := CIC(r.U16())
 	ref := r.U32()

@@ -53,13 +53,17 @@ type Registrar struct {
 
 	dm *ss7.DialogueManager
 	// byIdentity finds the pending transaction when the VLR addresses the
-	// MS by mobile identity (Authenticate, SetCipherMode).
-	byIdentity map[string]*regTxn
+	// MS by mobile identity (Authenticate, SetCipherMode). MobileIdentity
+	// is comparable, so it keys the map directly — no String() formatting
+	// on the hot path.
+	byIdentity map[gsmid.MobileIdentity]*regTxn
 	// byMS finds it when the radio path answers (AuthResponse, ...).
 	byMS map[sim.NodeID]*regTxn
 }
 
 type regTxn struct {
+	r            *Registrar
+	env          *sim.Env
 	reg          Registration
 	vlrInvoke    ss7.InvokeID
 	authInvoke   ss7.InvokeID
@@ -74,7 +78,7 @@ func NewRegistrar(node, vlr sim.NodeID, onOutcome func(*sim.Env, Registration)) 
 		Timeout:    10 * time.Second,
 		OnOutcome:  onOutcome,
 		dm:         ss7.NewDialogueManager(),
-		byIdentity: make(map[string]*regTxn),
+		byIdentity: make(map[gsmid.MobileIdentity]*regTxn),
 		byMS:       make(map[sim.NodeID]*regTxn),
 	}
 }
@@ -87,7 +91,7 @@ func (r *Registrar) Handle(env *sim.Env, from sim.NodeID, msg sim.Message) bool 
 		r.start(env, from, m)
 		return true
 	case sigmap.Authenticate:
-		txn, ok := r.byIdentity[m.Identity.String()]
+		txn, ok := r.byIdentity[m.Identity]
 		if !ok {
 			return false
 		}
@@ -104,7 +108,7 @@ func (r *Registrar) Handle(env *sim.Env, from sim.NodeID, msg sim.Message) bool 
 		})
 		return true
 	case sigmap.SetCipherMode:
-		txn, ok := r.byIdentity[m.Identity.String()]
+		txn, ok := r.byIdentity[m.Identity]
 		if !ok {
 			return false
 		}
@@ -121,41 +125,44 @@ func (r *Registrar) Handle(env *sim.Env, from sim.NodeID, msg sim.Message) bool 
 		})
 		return true
 	case sigmap.UpdateLocationAreaAck:
-		return r.dm.Resolve(m.Invoke, m)
+		return r.dm.Resolve(m.Invoke, msg)
 	default:
 		return false
 	}
 }
 
 func (r *Registrar) start(env *sim.Env, bsc sim.NodeID, m gsm.LocationUpdate) {
-	txn := &regTxn{reg: Registration{
+	txn := &regTxn{r: r, env: env, reg: Registration{
 		MS: m.MS, BSC: bsc, LAI: m.LAI, Identity: m.Identity,
 	}}
-	key := m.Identity.String()
-	r.byIdentity[key] = txn
+	r.byIdentity[m.Identity] = txn
 	r.byMS[m.MS] = txn
 
-	finish := func(ack sigmap.UpdateLocationAreaAck, ok bool) {
-		delete(r.byIdentity, key)
-		delete(r.byMS, m.MS)
-		reg := txn.reg
-		if !ok {
-			reg.Cause = sigmap.CauseSystemFailure
-		} else {
-			reg.Cause = ack.Cause
-			reg.IMSI = ack.IMSI
-			reg.TMSI = ack.TMSI
-			reg.MSISDN = ack.MSISDN
-		}
-		if r.OnOutcome != nil {
-			r.OnOutcome(env, reg)
-		}
-	}
-	txn.vlrInvoke = r.dm.Invoke(env, r.Timeout, func(resp sim.Message, ok bool) {
-		ack, isAck := resp.(sigmap.UpdateLocationAreaAck)
-		finish(ack, ok && isAck)
-	})
+	txn.vlrInvoke = r.dm.InvokeArg(env, r.Timeout, regVLRDone, txn)
 	env.Send(r.Node, r.VLR, sigmap.UpdateLocationArea{
 		Invoke: txn.vlrInvoke, Identity: m.Identity, LAI: m.LAI, MSC: string(r.Node),
 	})
+}
+
+// regVLRDone completes the transaction when the VLR answers (or the invoke
+// times out). The transaction record threads through InvokeArg, so starting
+// a registration costs one allocation rather than a closure per step.
+func regVLRDone(arg any, resp sim.Message, ok bool) {
+	txn := arg.(*regTxn)
+	r := txn.r
+	ack, isAck := resp.(sigmap.UpdateLocationAreaAck)
+	delete(r.byIdentity, txn.reg.Identity)
+	delete(r.byMS, txn.reg.MS)
+	reg := txn.reg
+	if !ok || !isAck {
+		reg.Cause = sigmap.CauseSystemFailure
+	} else {
+		reg.Cause = ack.Cause
+		reg.IMSI = ack.IMSI
+		reg.TMSI = ack.TMSI
+		reg.MSISDN = ack.MSISDN
+	}
+	if r.OnOutcome != nil {
+		r.OnOutcome(txn.env, reg)
+	}
 }

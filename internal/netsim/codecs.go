@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sync"
+
 	"vgprs/internal/gb"
 	"vgprs/internal/gprs"
 	"vgprs/internal/gsm"
@@ -14,13 +16,28 @@ import (
 	"vgprs/internal/trace"
 )
 
+// sizeScratch recycles the encode buffer WireSize appends into; only the
+// length of the encoding is kept, so the bytes themselves never leave this
+// file.
+var sizeScratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
 // WireSize returns the encoded size of a message through its protocol's
 // wire codec, plus the codec family name. ok is false for message types
 // with no codec (none remain — every traced type encodes — but the
 // signature keeps callers honest). The experiment harness uses it to turn
 // traces into byte counts; the wire-through test uses the same dispatch to
-// verify round trips.
+// verify round trips. Encoding goes through the codecs' Append entry
+// points into a pooled scratch buffer, so sizing a trace does not allocate
+// per message.
 func WireSize(msg sim.Message) (n int, family string, ok bool) {
+	sp := sizeScratch.Get().(*[]byte)
+	defer sizeScratch.Put(sp)
+	scratch := (*sp)[:0]
+	var b []byte
+	var err error
 	switch m := msg.(type) {
 	case sigmap.UpdateLocationArea, sigmap.UpdateLocationAreaAck,
 		sigmap.UpdateLocation, sigmap.UpdateLocationAck,
@@ -39,58 +56,37 @@ func WireSize(msg sim.Message) (n int, family string, ok bool) {
 		sigmap.SendEndSignal, sigmap.SendEndSignalAck,
 		sigmap.CancelLocation, sigmap.CancelLocationAck,
 		sigmap.SendIMSI, sigmap.SendIMSIAck:
-		b, err := sigmap.Marshal(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "MAP", true
+		b, err = sigmap.Append(scratch, msg)
+		family = "MAP"
 	case q931.Setup, q931.CallProceeding, q931.Alerting, q931.Connect, q931.ReleaseComplete:
-		b, err := q931.Marshal(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "Q.931", true
+		b, err = q931.Append(scratch, msg)
+		family = "Q.931"
 	case isup.IAM, isup.ACM, isup.ANM, isup.REL, isup.RLC:
-		b, err := isup.Marshal(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "ISUP", true
+		b, err = isup.Append(scratch, msg)
+		family = "ISUP"
 	case gtp.CreatePDPRequest, gtp.CreatePDPResponse,
 		gtp.DeletePDPRequest, gtp.DeletePDPResponse,
 		gtp.PDUNotifyRequest, gtp.PDUNotifyResponse,
 		gtp.EchoRequest, gtp.EchoResponse, gtp.TPDU:
-		b, err := gtp.Marshal(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "GTP", true
+		b, err = gtp.Append(scratch, msg)
+		family = "GTP"
 	case gb.ULUnitdata, gb.DLUnitdata:
-		b, err := gb.Marshal(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "Gb", true
+		b, err = gb.Append(scratch, msg)
+		family = "Gb"
 	case ipnet.Packet:
-		return len(m.Marshal()), "IP", true
+		return m.EncodedLen(), "IP", true
 	case h323.RRQ, h323.RCF, h323.RRJ, h323.URQ, h323.UCF,
 		h323.ARQ, h323.ACF, h323.ARJ, h323.DRQ, h323.DCF,
 		h323.LRQ, h323.LCF, h323.LRJ:
-		b, err := h323.MarshalRAS(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "RAS", true
+		b, err = h323.AppendRAS(scratch, msg)
+		family = "RAS"
 	case gprs.AttachRequest, gprs.AttachAccept, gprs.AttachReject,
 		gprs.DetachRequest, gprs.DetachAccept,
 		gprs.ActivatePDPRequest, gprs.ActivatePDPAccept, gprs.ActivatePDPReject,
 		gprs.DeactivatePDPRequest, gprs.DeactivatePDPAccept,
 		gprs.RequestPDPActivation, gprs.RAUpdateRequest, gprs.RAUpdateAccept:
-		b, err := gprs.MarshalSM(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "GMM", true
+		b, err = gprs.AppendSM(scratch, msg)
+		family = "GMM"
 	case gsm.ChannelRequest, gsm.ImmediateAssignment, gsm.LocationUpdate,
 		gsm.LocationUpdateAccept, gsm.LocationUpdateReject,
 		gsm.AuthRequest, gsm.AuthResponse,
@@ -100,14 +96,18 @@ func WireSize(msg sim.Message) (n int, family string, ok bool) {
 		gsm.Paging, gsm.PagingResponse, gsm.TCHFrame,
 		gsm.MeasurementReport, gsm.HandoverRequired, gsm.HandoverCommand,
 		gsm.HandoverAccess, gsm.HandoverComplete, gsm.LLCFrame:
-		b, err := gsm.Marshal(msg)
-		if err != nil {
-			return 0, "", false
-		}
-		return len(b), "GSM", true
+		b, err = gsm.Append(scratch, msg)
+		family = "GSM"
 	default:
 		return 0, "", false
 	}
+	if err != nil {
+		return 0, "", false
+	}
+	if cap(b) > cap(*sp) {
+		*sp = b
+	}
+	return len(b), family, true
 }
 
 // WireBytesByIface sums the encoded size of every traced message, grouped

@@ -124,7 +124,7 @@ func (e *Exchange) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.
 	case isup.TrunkFrame:
 		e.relayVoice(env, from, m)
 	case sigmap.SendRoutingInformationAck:
-		e.dm.Resolve(m.Invoke, m)
+		e.dm.Resolve(m.Invoke, msg)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"strconv"
 
 	"vgprs/internal/gsmid"
 	"vgprs/internal/sim"
@@ -65,7 +66,7 @@ func (c Cause) String() string {
 	case CauseResourcesUnavail:
 		return "resources-unavailable"
 	default:
-		return fmt.Sprintf("Cause(%d)", uint8(c))
+		return "Cause(" + strconv.Itoa(int(c)) + ")"
 	}
 }
 
@@ -142,36 +143,46 @@ var (
 )
 
 func marshalMedia(w *wire.Writer, m MediaAddr) {
-	if !m.Addr.IsValid() {
-		w.U8(0)
-		return
+	w.Addr(m.Addr)
+	if m.Addr.IsValid() {
+		w.U16(m.Port)
 	}
-	raw, _ := m.Addr.MarshalBinary()
-	w.U8(uint8(len(raw)))
-	w.Raw(raw)
-	w.U16(m.Port)
 }
 
 func unmarshalMedia(r *wire.Reader) (MediaAddr, error) {
-	n := int(r.U8())
-	if n == 0 {
-		return MediaAddr{}, nil
+	addr := r.Addr()
+	if !addr.IsValid() {
+		return MediaAddr{}, r.Err()
 	}
-	raw := r.Raw(n)
 	port := r.U16()
 	if r.Err() != nil {
 		return MediaAddr{}, r.Err()
 	}
-	var addr netip.Addr
-	if err := addr.UnmarshalBinary(raw); err != nil {
-		return MediaAddr{}, err
-	}
 	return MediaAddr{Addr: addr, Port: port}, nil
 }
 
-// Marshal encodes a Q.931 message.
+// Marshal encodes a Q.931 message, returning a fresh buffer the caller
+// owns.
 func Marshal(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(48)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// Append encodes a Q.931 message onto dst and returns the extended slice.
+// On error dst is returned unchanged.
+func Append(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encode(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encode(w *wire.Writer, msg sim.Message) error {
 	w.U8(protocolDiscriminator)
 	switch m := msg.(type) {
 	case Setup:
@@ -195,14 +206,15 @@ func Marshal(msg sim.Message) ([]byte, error) {
 		w.U8(mtReleaseComplete)
 		w.U8(uint8(m.Cause))
 	default:
-		return nil, fmt.Errorf("q931: cannot marshal %T", msg)
+		return fmt.Errorf("q931: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // Unmarshal decodes a Q.931 message.
 func Unmarshal(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	if pd := r.U8(); pd != protocolDiscriminator {
 		return nil, fmt.Errorf("%w: protocol discriminator %#x", ErrBadMessage, pd)
 	}
@@ -214,7 +226,7 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		m := Setup{CallRef: callRef}
 		m.Called = gsmid.MSISDN(r.BCD())
 		m.Calling = gsmid.MSISDN(r.BCD())
-		media, err := unmarshalMedia(r)
+		media, err := unmarshalMedia(&r)
 		if err != nil {
 			return nil, fmt.Errorf("%w: media: %v", ErrBadMessage, err)
 		}
@@ -226,7 +238,7 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = Alerting{CallRef: callRef}
 	case mtConnect:
 		m := Connect{CallRef: callRef}
-		media, err := unmarshalMedia(r)
+		media, err := unmarshalMedia(&r)
 		if err != nil {
 			return nil, fmt.Errorf("%w: media: %v", ErrBadMessage, err)
 		}

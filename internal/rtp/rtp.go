@@ -45,10 +45,10 @@ type Packet struct {
 // Name implements sim.Message.
 func (Packet) Name() string { return "RTP" }
 
-// Marshal encodes the packet with the RFC 3550 fixed header (V=2, no
-// padding, no extension, no CSRC).
-func (p Packet) Marshal() []byte {
-	w := wire.NewWriter(12 + len(p.Payload))
+// AppendTo appends the packet's wire form (RFC 3550 fixed header: V=2, no
+// padding, no extension, no CSRC) to dst and returns the extended slice.
+func (p Packet) AppendTo(dst []byte) []byte {
+	w := wire.Wrap(dst)
 	w.U8(0x80) // V=2
 	b2 := p.PayloadType & 0x7F
 	if p.Marker {
@@ -62,9 +62,15 @@ func (p Packet) Marshal() []byte {
 	return w.Bytes()
 }
 
+// Marshal encodes the packet into an exact-size fresh buffer.
+func (p Packet) Marshal() []byte {
+	return p.AppendTo(make([]byte, 0, 12+len(p.Payload)))
+}
+
 // Unmarshal decodes an RTP packet.
 func Unmarshal(b []byte) (Packet, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	v := r.U8()
 	if r.Err() == nil && v>>6 != 2 {
 		return Packet{}, fmt.Errorf("%w: version %d", ErrBadPacket, v>>6)

@@ -49,10 +49,29 @@ const (
 	opPrepareSubsequentHandoverAck
 )
 
-// Marshal encodes a MAP operation to its wire form. It returns an error for
-// message types outside this package.
+// Marshal encodes a MAP operation to its wire form, returning a fresh
+// buffer the caller owns. It returns an error for message types outside
+// this package.
 func Marshal(msg sim.Message) ([]byte, error) {
-	w := wire.NewWriter(64)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := encode(w, msg); err != nil {
+		return nil, err
+	}
+	return w.CopyBytes(), nil
+}
+
+// Append encodes a MAP operation onto dst and returns the extended slice.
+// On error dst is returned unchanged.
+func Append(dst []byte, msg sim.Message) ([]byte, error) {
+	w := wire.Wrap(dst)
+	if err := encode(&w, msg); err != nil {
+		return dst, err
+	}
+	return w.Bytes(), nil
+}
+
+func encode(w *wire.Writer, msg sim.Message) error {
 	switch m := msg.(type) {
 	case UpdateLocationArea:
 		w.U8(opUpdateLocationArea)
@@ -102,7 +121,7 @@ func Marshal(msg sim.Message) ([]byte, error) {
 		w.U32(uint32(m.Invoke))
 		w.U8(uint8(m.Cause))
 		if len(m.Triplets) > 255 {
-			return nil, fmt.Errorf("sigmap: %d triplets exceeds 255", len(m.Triplets))
+			return fmt.Errorf("sigmap: %d triplets exceeds 255", len(m.Triplets))
 		}
 		w.U8(uint8(len(m.Triplets)))
 		for _, tr := range m.Triplets {
@@ -234,22 +253,23 @@ func Marshal(msg sim.Message) ([]byte, error) {
 		w.U8(uint8(m.Cause))
 		w.BCD(string(m.IMSI))
 	default:
-		return nil, fmt.Errorf("sigmap: cannot marshal %T", msg)
+		return fmt.Errorf("sigmap: cannot marshal %T", msg)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // Unmarshal decodes a MAP operation from its wire form.
 func Unmarshal(b []byte) (sim.Message, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	op := r.U8()
 	invoke := ss7.InvokeID(r.U32())
 	var msg sim.Message
 	switch op {
 	case opUpdateLocationArea:
 		m := UpdateLocationArea{Invoke: invoke}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
-		m.LAI = gsmid.UnmarshalLAI(r)
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
+		m.LAI = gsmid.UnmarshalLAI(&r)
 		m.MSC = r.String8()
 		msg = m
 	case opUpdateLocationAreaAck:
@@ -273,7 +293,7 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = InsertSubscriberData{
 			Invoke:  invoke,
 			IMSI:    gsmid.IMSI(r.BCD()),
-			Profile: unmarshalProfile(r),
+			Profile: unmarshalProfile(&r),
 		}
 	case opInsertSubscriberDataAck:
 		msg = InsertSubscriberDataAck{Invoke: invoke}
@@ -285,18 +305,20 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = SendAuthenticationInfo{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD()), Count: r.U8()}
 	case opSendAuthenticationInfoAck:
 		m := SendAuthenticationInfoAck{Invoke: invoke, Cause: Cause(r.U8())}
-		n := int(r.U8())
-		for i := 0; i < n; i++ {
-			var tr AuthTriplet
-			copy(tr.RAND[:], r.Raw(16))
-			copy(tr.SRES[:], r.Raw(4))
-			copy(tr.Kc[:], r.Raw(8))
-			m.Triplets = append(m.Triplets, tr)
+		// One exact-size allocation for the whole vector; Fill decodes each
+		// fixed-width field straight into it with no intermediate copies.
+		if n := int(r.U8()); n > 0 {
+			m.Triplets = make([]AuthTriplet, n)
+			for i := range m.Triplets {
+				r.Fill(m.Triplets[i].RAND[:])
+				r.Fill(m.Triplets[i].SRES[:])
+				r.Fill(m.Triplets[i].Kc[:])
+			}
 		}
 		msg = m
 	case opSendInfoForOutgoingCall:
 		m := SendInfoForOutgoingCall{Invoke: invoke}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
 		m.Called = gsmid.MSISDN(r.BCD())
 		msg = m
 	case opSendInfoForOutgoingCallAck:
@@ -324,7 +346,7 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		}
 	case opPrepareHandover:
 		m := PrepareHandover{Invoke: invoke, IMSI: gsmid.IMSI(r.BCD()), CallRef: r.U32()}
-		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(&r)
 		m.TargetCell.CI = r.U16()
 		msg = m
 	case opPrepareHandoverAck:
@@ -336,12 +358,12 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		}
 	case opPrepareSubsequentHandover:
 		m := PrepareSubsequentHandover{Invoke: invoke, CallRef: r.U32()}
-		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(&r)
 		m.TargetCell.CI = r.U16()
 		msg = m
 	case opPrepareSubsequentHandoverAck:
 		m := PrepareSubsequentHandoverAck{Invoke: invoke, Cause: Cause(r.U8()), CallRef: r.U32()}
-		m.TargetCell.LAI = gsmid.UnmarshalLAI(r)
+		m.TargetCell.LAI = gsmid.UnmarshalLAI(&r)
 		m.TargetCell.CI = r.U16()
 		m.TargetBTS = r.String8()
 		m.RadioChannel = r.U16()
@@ -374,17 +396,17 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		msg = UpdateGPRSLocationAck{Invoke: invoke, Cause: Cause(r.U8())}
 	case opAuthenticate:
 		m := Authenticate{Invoke: invoke}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
-		copy(m.RAND[:], r.Raw(16))
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
+		r.Fill(m.RAND[:])
 		msg = m
 	case opAuthenticateAck:
 		m := AuthenticateAck{Invoke: invoke, Cause: Cause(r.U8())}
-		copy(m.SRES[:], r.Raw(4))
+		r.Fill(m.SRES[:])
 		msg = m
 	case opSetCipherMode:
 		m := SetCipherMode{Invoke: invoke}
-		m.Identity = gsmid.UnmarshalMobileIdentity(r)
-		copy(m.Kc[:], r.Raw(8))
+		m.Identity = gsmid.UnmarshalMobileIdentity(&r)
+		r.Fill(m.Kc[:])
 		msg = m
 	case opSetCipherModeAck:
 		msg = SetCipherModeAck{Invoke: invoke, Cause: Cause(r.U8())}

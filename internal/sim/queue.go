@@ -9,6 +9,7 @@ import (
 // func() path for protocol timers.
 const (
 	evTimer uint8 = iota
+	evTimerArg
 	evDeliver
 )
 
@@ -17,14 +18,16 @@ const (
 // queue's arena, never individually on the heap: a delivery event is a plain
 // record (from/to/link/msg) and a timer event carries its callback.
 type event struct {
-	at   time.Duration
-	seq  uint64
-	kind uint8
-	fn   func() // evTimer
-	from NodeID // evDeliver
-	to   NodeID // evDeliver
-	link *Link  // evDeliver
-	msg  Message
+	at    time.Duration
+	seq   uint64
+	kind  uint8
+	fn    func()    // evTimer
+	argFn func(any) // evTimerArg
+	arg   any       // evTimerArg
+	from  NodeID    // evDeliver
+	to    NodeID    // evDeliver
+	link  *Link     // evDeliver
+	msg   Message
 }
 
 // eventQueue is an index-based 4-ary min-heap ordered by (at, seq).

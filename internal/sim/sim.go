@@ -207,6 +207,10 @@ func (e *Env) dispatch(ev *event) {
 		dst.Receive(e, ev.from, ev.link.Iface, ev.msg)
 		return
 	}
+	if ev.kind == evTimerArg {
+		ev.argFn(ev.arg)
+		return
+	}
 	ev.fn()
 }
 
@@ -235,6 +239,18 @@ func (e *Env) After(d time.Duration, fn func()) {
 func (e *Env) schedule(at time.Duration, fn func()) {
 	e.seq++
 	e.queue.push(event{at: at, seq: e.seq, kind: evTimer, fn: fn})
+}
+
+// AfterArg schedules fn(arg) to run at Now()+d. Unlike After it takes a
+// plain function plus its argument, so callers with many outstanding timers
+// (the MAP dialogue manager) can schedule a package-level function without
+// allocating a fresh closure per timer.
+func (e *Env) AfterArg(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	e.queue.push(event{at: e.now + d, seq: e.seq, kind: evTimerArg, argFn: fn, arg: arg})
 }
 
 // Run processes events until the queue is empty. It returns the virtual time

@@ -21,17 +21,69 @@ type InvokeID uint32
 type DialogueManager struct {
 	next    InvokeID
 	pending map[InvokeID]*pendingInvoke
+	// freeList recycles invoke records. An element under a MAP-heavy
+	// procedure issues several invokes per transaction; reusing records
+	// (and scheduling expiry through sim.Env.AfterArg with a package
+	// function) makes Invoke allocation-free at steady state.
+	freeList []*pendingInvoke
 }
 
 type pendingInvoke struct {
+	d  *DialogueManager
+	id InvokeID
+	// Exactly one of done (Invoke) or doneArg+arg (InvokeArg) is set.
 	done     func(msg sim.Message, ok bool)
-	expired  bool
+	doneArg  func(arg any, msg sim.Message, ok bool)
+	arg      any
 	resolved bool
+	hasTimer bool
 }
 
 // NewDialogueManager returns an empty manager.
 func NewDialogueManager() *DialogueManager {
 	return &DialogueManager{pending: make(map[InvokeID]*pendingInvoke)}
+}
+
+func (d *DialogueManager) get() *pendingInvoke {
+	if len(d.freeList) == 0 {
+		// Records recycle only after their expiry timers fire, so a burst
+		// of invokes (one registration wave) drains the list faster than it
+		// refills. Allocating records a slab at a time keeps the per-invoke
+		// heap cost at 1/32 of an allocation even mid-burst.
+		slab := make([]pendingInvoke, 32)
+		for i := range slab {
+			d.freeList = append(d.freeList, &slab[i])
+		}
+	}
+	n := len(d.freeList)
+	p := d.freeList[n-1]
+	d.freeList = d.freeList[:n-1]
+	return p
+}
+
+func (d *DialogueManager) put(p *pendingInvoke) {
+	*p = pendingInvoke{}
+	d.freeList = append(d.freeList, p)
+}
+
+// expireInvoke runs when an invoke's timeout timer fires. A record resolved
+// before its deadline is only recycled here, because until the timer fires
+// the event queue still references it.
+func expireInvoke(arg any) {
+	p := arg.(*pendingInvoke)
+	d := p.d
+	if p.resolved {
+		d.put(p)
+		return
+	}
+	delete(d.pending, p.id)
+	done, doneArg, cbArg := p.done, p.doneArg, p.arg
+	d.put(p)
+	if doneArg != nil {
+		doneArg(cbArg, nil, false)
+		return
+	}
+	done(nil, false)
 }
 
 // Invoke allocates an invoke ID and registers done to be called with the
@@ -40,17 +92,29 @@ func NewDialogueManager() *DialogueManager {
 func (d *DialogueManager) Invoke(env *sim.Env, timeout time.Duration, done func(msg sim.Message, ok bool)) InvokeID {
 	d.next++
 	id := d.next
-	p := &pendingInvoke{done: done}
+	p := d.get()
+	p.d, p.id, p.done = d, id, done
 	d.pending[id] = p
 	if timeout > 0 {
-		env.After(timeout, func() {
-			if p.resolved {
-				return
-			}
-			p.expired = true
-			delete(d.pending, id)
-			p.done(nil, false)
-		})
+		p.hasTimer = true
+		env.AfterArg(timeout, expireInvoke, p)
+	}
+	return id
+}
+
+// InvokeArg is Invoke for callers that route completion through a
+// package-level function plus a transaction argument: fn(arg, msg, ok).
+// Procedure chains that would otherwise allocate a closure per step can
+// thread one transaction record through all their invokes.
+func (d *DialogueManager) InvokeArg(env *sim.Env, timeout time.Duration, fn func(arg any, msg sim.Message, ok bool), arg any) InvokeID {
+	d.next++
+	id := d.next
+	p := d.get()
+	p.d, p.id, p.doneArg, p.arg = d, id, fn, arg
+	d.pending[id] = p
+	if timeout > 0 {
+		p.hasTimer = true
+		env.AfterArg(timeout, expireInvoke, p)
 	}
 	return id
 }
@@ -63,9 +127,21 @@ func (d *DialogueManager) Resolve(id InvokeID, msg sim.Message) bool {
 	if !ok {
 		return false
 	}
-	p.resolved = true
 	delete(d.pending, id)
-	p.done(msg, true)
+	done, doneArg, cbArg := p.done, p.doneArg, p.arg
+	if p.hasTimer {
+		// The expiry event still holds the record; drop the callbacks now
+		// and let expireInvoke recycle it.
+		p.resolved = true
+		p.done, p.doneArg, p.arg = nil, nil, nil
+	} else {
+		d.put(p)
+	}
+	if doneArg != nil {
+		doneArg(cbArg, msg, true)
+		return true
+	}
+	done(msg, true)
 	return true
 }
 

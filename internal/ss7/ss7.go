@@ -63,9 +63,10 @@ type MSU struct {
 // ErrBadMSU is returned when an MSU fails to decode.
 var ErrBadMSU = errors.New("ss7: malformed MSU")
 
-// Marshal encodes the MSU.
-func (m MSU) Marshal() []byte {
-	w := wire.NewWriter(8 + len(m.Payload))
+// AppendTo appends the MSU's wire form to dst and returns the extended
+// slice.
+func (m MSU) AppendTo(dst []byte) []byte {
+	w := wire.Wrap(dst)
 	w.U16(uint16(m.OPC))
 	w.U16(uint16(m.DPC))
 	w.U8(m.SLS)
@@ -74,9 +75,15 @@ func (m MSU) Marshal() []byte {
 	return w.Bytes()
 }
 
+// Marshal encodes the MSU into an exact-size fresh buffer.
+func (m MSU) Marshal() []byte {
+	return m.AppendTo(make([]byte, 0, 8+len(m.Payload)))
+}
+
 // UnmarshalMSU decodes an MSU.
 func UnmarshalMSU(b []byte) (MSU, error) {
-	r := wire.NewReader(b)
+	var r wire.Reader
+	r.Reset(b)
 	m := MSU{
 		OPC:     PointCode(r.U16()),
 		DPC:     PointCode(r.U16()),

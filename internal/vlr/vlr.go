@@ -141,16 +141,19 @@ func (v *VLR) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Messa
 	}
 }
 
+// resolveAck routes a MAP response to its pending invoke. The original
+// interface value rides through to Resolve so the type switch does not
+// re-box the message.
 func (v *VLR) resolveAck(msg sim.Message) {
 	switch m := msg.(type) {
 	case sigmap.SendAuthenticationInfoAck:
-		v.dm.Resolve(m.Invoke, m)
+		v.dm.Resolve(m.Invoke, msg)
 	case sigmap.UpdateLocationAck:
-		v.dm.Resolve(m.Invoke, m)
+		v.dm.Resolve(m.Invoke, msg)
 	case sigmap.AuthenticateAck:
-		v.dm.Resolve(m.Invoke, m)
+		v.dm.Resolve(m.Invoke, msg)
 	case sigmap.SetCipherModeAck:
-		v.dm.Resolve(m.Invoke, m)
+		v.dm.Resolve(m.Invoke, msg)
 	}
 }
 
@@ -171,101 +174,129 @@ func (v *VLR) resolveIdentity(id gsmid.MobileIdentity) (gsmid.IMSI, bool) {
 	}
 }
 
+// ulaTxn is the state of one location-update transaction. One record rides
+// through every MAP invoke in the chain (via DialogueManager.InvokeArg), so
+// the whole procedure costs a single allocation instead of a closure per
+// step.
+type ulaTxn struct {
+	v         *VLR
+	env       *sim.Env
+	msc       sim.NodeID
+	m         sigmap.UpdateLocationArea
+	imsi      gsmid.IMSI
+	challenge sigmap.AuthTriplet
+	ciphered  bool
+}
+
+func (t *ulaTxn) reject(cause sigmap.Cause) {
+	t.env.Send(t.v.cfg.ID, t.msc, sigmap.UpdateLocationAreaAck{Invoke: t.m.Invoke, Cause: cause})
+}
+
 // handleUpdateLocationArea drives paper steps 1.1-1.2 on the network side:
 //
 //	fetch auth vectors -> authenticate MS (via MSC) -> start ciphering ->
 //	MAP_UPDATE_LOCATION to HLR (profile arrives via InsertSubscriberData)
 //	-> allocate TMSI -> MAP_UPDATE_LOCATION_AREA_ack to the MSC.
 func (v *VLR) handleUpdateLocationArea(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea) {
-	reject := func(cause sigmap.Cause) {
-		env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: cause})
-	}
+	t := &ulaTxn{v: v, env: env, msc: msc, m: m}
 	imsi, ok := v.resolveIdentity(m.Identity)
 	if !ok {
-		reject(sigmap.CauseUnknownSubscriber)
+		t.reject(sigmap.CauseUnknownSubscriber)
 		return
 	}
+	t.imsi = imsi
 
 	if v.cfg.AuthDisabled {
-		v.updateHLRAndConfirm(env, msc, m, imsi, false)
+		t.updateHLRAndConfirm()
 		return
 	}
 
-	saiInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
-		ack, isAck := resp.(sigmap.SendAuthenticationInfoAck)
-		if !ok || !isAck || ack.Cause != sigmap.CauseNone || len(ack.Triplets) == 0 {
-			reject(sigmap.CauseSystemFailure)
-			return
-		}
-		v.authenticate(env, msc, m, imsi, ack.Triplets)
-	})
+	saiInvoke := v.dm.InvokeArg(env, v.cfg.MAPTimeout, ulaAuthInfoDone, t)
 	env.Send(v.cfg.ID, v.cfg.HLR, sigmap.SendAuthenticationInfo{
 		Invoke: saiInvoke, IMSI: imsi, Count: 3,
 	})
 }
 
-// authenticate runs the challenge-response through the MSC, then ciphering,
-// then proceeds to the HLR location update.
-func (v *VLR) authenticate(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea,
-	imsi gsmid.IMSI, triplets []sigmap.AuthTriplet) {
-	reject := func(cause sigmap.Cause) {
-		env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: cause})
+// ulaAuthInfoDone receives the HLR's auth vectors and starts the
+// challenge-response through the MSC.
+func ulaAuthInfoDone(arg any, resp sim.Message, ok bool) {
+	t := arg.(*ulaTxn)
+	ack, isAck := resp.(sigmap.SendAuthenticationInfoAck)
+	if !ok || !isAck || ack.Cause != sigmap.CauseNone || len(ack.Triplets) == 0 {
+		t.reject(sigmap.CauseSystemFailure)
+		return
 	}
-	challenge := triplets[0]
-	authInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
-		ack, isAck := resp.(sigmap.AuthenticateAck)
-		if !ok || !isAck || ack.Cause != sigmap.CauseNone || ack.SRES != challenge.SRES {
-			reject(sigmap.CauseNotAllowed)
-			return
-		}
-		cipherInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
-			cAck, isC := resp.(sigmap.SetCipherModeAck)
-			if !ok || !isC || cAck.Cause != sigmap.CauseNone {
-				reject(sigmap.CauseSystemFailure)
-				return
-			}
-			v.updateHLRAndConfirm(env, msc, m, imsi, true)
-		})
-		env.Send(v.cfg.ID, msc, sigmap.SetCipherMode{
-			Invoke: cipherInvoke, Identity: m.Identity, Kc: challenge.Kc,
-		})
-	})
-	env.Send(v.cfg.ID, msc, sigmap.Authenticate{
-		Invoke: authInvoke, Identity: m.Identity, RAND: challenge.RAND,
+	v := t.v
+	t.challenge = ack.Triplets[0]
+	authInvoke := v.dm.InvokeArg(t.env, v.cfg.MAPTimeout, ulaAuthenticateDone, t)
+	t.env.Send(v.cfg.ID, t.msc, sigmap.Authenticate{
+		Invoke: authInvoke, Identity: t.m.Identity, RAND: t.challenge.RAND,
 	})
 	// Remaining triplets are cached for later transactions.
 	v.mu.Lock()
-	if ctx := v.byIMSI[imsi]; ctx != nil {
-		ctx.Triplets = append(ctx.Triplets, triplets[1:]...)
+	if ctx := v.byIMSI[t.imsi]; ctx != nil {
+		ctx.Triplets = append(ctx.Triplets, ack.Triplets[1:]...)
 	}
 	v.mu.Unlock()
 }
 
+// ulaAuthenticateDone verifies SRES and starts ciphering.
+func ulaAuthenticateDone(arg any, resp sim.Message, ok bool) {
+	t := arg.(*ulaTxn)
+	ack, isAck := resp.(sigmap.AuthenticateAck)
+	if !ok || !isAck || ack.Cause != sigmap.CauseNone || ack.SRES != t.challenge.SRES {
+		t.reject(sigmap.CauseNotAllowed)
+		return
+	}
+	v := t.v
+	cipherInvoke := v.dm.InvokeArg(t.env, v.cfg.MAPTimeout, ulaCipherDone, t)
+	t.env.Send(v.cfg.ID, t.msc, sigmap.SetCipherMode{
+		Invoke: cipherInvoke, Identity: t.m.Identity, Kc: t.challenge.Kc,
+	})
+}
+
+// ulaCipherDone confirms ciphering and proceeds to the HLR update.
+func ulaCipherDone(arg any, resp sim.Message, ok bool) {
+	t := arg.(*ulaTxn)
+	cAck, isC := resp.(sigmap.SetCipherModeAck)
+	if !ok || !isC || cAck.Cause != sigmap.CauseNone {
+		t.reject(sigmap.CauseSystemFailure)
+		return
+	}
+	t.ciphered = true
+	t.updateHLRAndConfirm()
+}
+
 // updateHLRAndConfirm performs the HLR update and completes the location
 // update toward the MSC.
-func (v *VLR) updateHLRAndConfirm(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea,
-	imsi gsmid.IMSI, ciphered bool) {
-	ulInvoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
-		ack, isAck := resp.(sigmap.UpdateLocationAck)
-		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
-			cause := sigmap.CauseSystemFailure
-			if isAck {
-				cause = ack.Cause
-			}
-			env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: cause})
-			return
-		}
-		tmsi := v.createContext(imsi, m.LAI, m.MSC, ciphered)
-		v.mu.Lock()
-		msisdn := v.byIMSI[imsi].Profile.MSISDN
-		v.mu.Unlock()
-		env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{
-			Invoke: m.Invoke, Cause: sigmap.CauseNone, IMSI: imsi, TMSI: tmsi,
-			MSISDN: msisdn,
-		})
+func (t *ulaTxn) updateHLRAndConfirm() {
+	v := t.v
+	ulInvoke := v.dm.InvokeArg(t.env, v.cfg.MAPTimeout, ulaHLRDone, t)
+	t.env.Send(v.cfg.ID, v.cfg.HLR, sigmap.UpdateLocation{
+		Invoke: ulInvoke, IMSI: t.imsi, VLR: string(v.cfg.ID), MSC: t.m.MSC,
 	})
-	env.Send(v.cfg.ID, v.cfg.HLR, sigmap.UpdateLocation{
-		Invoke: ulInvoke, IMSI: imsi, VLR: string(v.cfg.ID), MSC: m.MSC,
+}
+
+// ulaHLRDone installs the MM context and answers the MSC.
+func ulaHLRDone(arg any, resp sim.Message, ok bool) {
+	t := arg.(*ulaTxn)
+	v := t.v
+	ack, isAck := resp.(sigmap.UpdateLocationAck)
+	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+		cause := sigmap.CauseSystemFailure
+		if isAck {
+			cause = ack.Cause
+		}
+		t.reject(cause)
+		return
+	}
+	tmsi := v.createContext(t.imsi, t.m.LAI, t.m.MSC, t.ciphered)
+	v.mu.Lock()
+	msisdn := v.byIMSI[t.imsi].Profile.MSISDN
+	v.mu.Unlock()
+	t.env.Send(v.cfg.ID, t.msc, sigmap.UpdateLocationAreaAck{
+		Invoke: t.m.Invoke, Cause: sigmap.CauseNone, IMSI: t.imsi, TMSI: tmsi,
+		MSISDN: msisdn,
 	})
 }
 

@@ -88,7 +88,7 @@ func (v *VMSC) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 
 // handleIP dispatches IP packets arriving through an MS's PDP contexts.
 func (v *VMSC) handleIP(env *sim.Env, entry *msEntry, pkt ipnet.Packet) {
-	if entry.endpoint == nil {
+	if entry.endpoint.Via == nil {
 		return
 	}
 	in, ok := entry.endpoint.Classify(pkt)
@@ -123,17 +123,77 @@ func (v *VMSC) handleRAS(env *sim.Env, msg sim.Message) {
 	default:
 		return
 	}
-	if done, ok := v.pendingRAS[seq]; ok {
+	if p, ok := v.pendingRAS[seq]; ok {
 		delete(v.pendingRAS, seq)
-		done(env, msg)
+		p.fn(env, p.arg, msg)
 	}
 }
 
+// rasPending is one outstanding RAS transaction: a package-level completion
+// function plus its argument (no closure per transaction). env is kept for
+// the timeout path, which has no live env of its own.
+type rasPending struct {
+	fn  func(env *sim.Env, arg any, msg sim.Message)
+	arg any
+	env *sim.Env
+}
+
+// rasTimer carries the (VMSC, seq) pair a RAS timeout needs. Records are
+// slab-allocated and recycled when their timer fires, so arming a RAS
+// timeout costs 1/32 of an allocation at steady state.
+type rasTimer struct {
+	v   *VMSC
+	seq uint32
+}
+
+func (v *VMSC) getRASTimer(seq uint32) *rasTimer {
+	if len(v.rasTimerFree) == 0 {
+		slab := make([]rasTimer, 32)
+		for i := range slab {
+			v.rasTimerFree = append(v.rasTimerFree, &slab[i])
+		}
+	}
+	n := len(v.rasTimerFree)
+	t := v.rasTimerFree[n-1]
+	v.rasTimerFree = v.rasTimerFree[:n-1]
+	t.v, t.seq = v, seq
+	return t
+}
+
+// rasExpire times out an unanswered RAS transaction: the completion fires
+// with a nil message — callers treat that as failure, so a dead gatekeeper
+// (or severed tunnel) fails procedures instead of wedging them.
+func rasExpire(arg any) {
+	t := arg.(*rasTimer)
+	v, seq := t.v, t.seq
+	t.v, t.seq = nil, 0
+	v.rasTimerFree = append(v.rasTimerFree, t)
+	p, pending := v.pendingRAS[seq]
+	if !pending {
+		return
+	}
+	delete(v.pendingRAS, seq)
+	p.fn(p.env, p.arg, nil)
+}
+
+// rasArg registers fn(env, arg, msg) as the completion for the RAS
+// transaction with sequence seq. The caller sends the request itself (the
+// message carries seq); an unanswered transaction times out after
+// MAPTimeout.
+func (v *VMSC) rasArg(env *sim.Env, seq uint32, fn func(env *sim.Env, arg any, msg sim.Message), arg any) {
+	v.pendingRAS[seq] = rasPending{fn: fn, arg: arg, env: env}
+	env.AfterArg(v.cfg.MAPTimeout, rasExpire, v.getRASTimer(seq))
+}
+
+// rasCallPlain adapts a plain func(env, msg) callback stored in arg.
+func rasCallPlain(env *sim.Env, arg any, msg sim.Message) {
+	arg.(func(*sim.Env, sim.Message))(env, msg)
+}
+
 // ras sends a RAS request through the MS's signalling context and registers
-// done for the answer. An unanswered transaction times out after MAPTimeout
-// and fires done with a nil message — callers treat that as failure, so a
-// dead gatekeeper (or severed tunnel) fails procedures instead of wedging
-// them.
+// done for the answer; a nil answer means timeout. Cold paths use this
+// closure-flavoured form; the registration hot path goes through rasArg
+// directly.
 func (v *VMSC) ras(env *sim.Env, entry *msEntry, msg sim.Message, done func(*sim.Env, sim.Message)) {
 	if done != nil {
 		var seq uint32
@@ -147,13 +207,7 @@ func (v *VMSC) ras(env *sim.Env, entry *msEntry, msg sim.Message, done func(*sim
 		case h323.URQ:
 			seq = m.Seq
 		}
-		v.pendingRAS[seq] = done
-		env.After(v.cfg.MAPTimeout, func() {
-			if cb, pending := v.pendingRAS[seq]; pending {
-				delete(v.pendingRAS, seq)
-				cb(env, nil)
-			}
-		})
+		v.rasArg(env, seq, rasCallPlain, done)
 	}
 	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, msg)
 }

@@ -35,7 +35,7 @@ func (v *VMSC) onVLROutcome(env *sim.Env, reg msc.Registration) {
 
 	entry, exists := v.entries[reg.IMSI]
 	if !exists {
-		entry = &msEntry{imsi: reg.IMSI}
+		entry = &msEntry{v: v, imsi: reg.IMSI}
 		v.entries[reg.IMSI] = entry
 	}
 	entry.tmsi = reg.TMSI
@@ -45,98 +45,130 @@ func (v *VMSC) onVLROutcome(env *sim.Env, reg msc.Registration) {
 	v.byMS[reg.MS] = entry
 	v.setMSISDN(entry, reg.MSISDN)
 
-	accept := func() {
-		env.Send(v.cfg.ID, entry.bsc, gsm.LocationUpdateAccept{
-			Leg: gsm.LegA, MS: entry.ms, TMSI: entry.tmsi,
-		})
-	}
-
 	if entry.registered {
 		// Re-registration (location update due to movement, paper §3
 		// closing remark): the GPRS and H.323 state already exists.
-		accept()
+		v.acceptLU(env, entry)
 		return
-	}
-
-	fail := func(stage string) {
-		v.stats.RegisterFailers++
-		if v.cfg.Hooks.OnMSRegisterFailed != nil {
-			v.cfg.Hooks.OnMSRegisterFailed(entry.imsi, stage)
-		}
-		env.Send(v.cfg.ID, entry.bsc, gsm.LocationUpdateReject{
-			Leg: gsm.LegA, MS: entry.ms, Cause: 1,
-		})
 	}
 
 	if entry.client == nil {
 		entry.client = v.newClient(entry)
 	}
 
+	// The chain below (attach → PDP → gatekeeper) threads the entry itself
+	// through package-level completion callbacks; entry.regEnv carries the
+	// env between steps.
+	entry.regEnv = env
+	entry.regAnnounce = true
+
 	// Step 1.3a: GPRS attach, just like a GPRS MS.
-	if err := entry.client.Attach(env, func(ok bool) {
-		if !ok {
-			fail("gprs-attach")
-			return
-		}
-		v.activateSignallingPDP(env, entry, accept, fail)
-	}); err != nil {
-		fail("gprs-attach")
+	if err := entry.client.AttachArg(env, regAttachDone, entry); err != nil {
+		v.failRegistration(env, entry, "gprs-attach")
 	}
+}
+
+// acceptLU answers the radio path with Location Update Accept (step 1.6).
+func (v *VMSC) acceptLU(env *sim.Env, entry *msEntry) {
+	env.Send(v.cfg.ID, entry.bsc, gsm.LocationUpdateAccept{
+		Leg: gsm.LegA, MS: entry.ms, TMSI: entry.tmsi,
+	})
+}
+
+// failRegistration reports a failed stage and rejects toward the MS.
+func (v *VMSC) failRegistration(env *sim.Env, entry *msEntry, stage string) {
+	v.stats.RegisterFailers++
+	if v.cfg.Hooks.OnMSRegisterFailed != nil {
+		v.cfg.Hooks.OnMSRegisterFailed(entry.imsi, stage)
+	}
+	env.Send(v.cfg.ID, entry.bsc, gsm.LocationUpdateReject{
+		Leg: gsm.LegA, MS: entry.ms, Cause: 1,
+	})
+}
+
+// regAttachDone continues the registration chain after GPRS attach.
+func regAttachDone(arg any, ok bool) {
+	entry := arg.(*msEntry)
+	v, env := entry.v, entry.regEnv
+	if !ok {
+		v.failRegistration(env, entry, "gprs-attach")
+		return
+	}
+	v.activateSignallingPDP(env, entry)
 }
 
 // activateSignallingPDP runs step 1.3b: a low-priority PDP context dedicated
 // to H.323 signalling.
-func (v *VMSC) activateSignallingPDP(env *sim.Env, entry *msEntry, accept func(), fail func(string)) {
-	err := entry.client.ActivatePDP(env, NSAPISignalling, gtp.SignallingQoS(),
-		v.staticAddrFor(entry.imsi),
-		func(addr netip.Addr, ok bool) {
-			if !ok {
-				fail("pdp-activation")
-				return
-			}
-			entry.addr = addr
-			entry.endpoint = v.endpointFor(entry)
-			if v.cfg.Dir != nil {
-				v.cfg.Dir.Bind(addr, v.cfg.ID)
-			}
-			v.registerWithGatekeeper(env, entry, accept, fail)
-		})
+func (v *VMSC) activateSignallingPDP(env *sim.Env, entry *msEntry) {
+	err := entry.client.ActivatePDPArg(env, NSAPISignalling, gtp.SignallingQoS(),
+		v.staticAddrFor(entry.imsi), regSigPDPDone, entry)
 	if err != nil {
-		fail("pdp-activation")
+		v.failRegistration(env, entry, "pdp-activation")
 	}
+}
+
+// regSigPDPDone continues the chain once the signalling context is up.
+func regSigPDPDone(arg any, addr netip.Addr, ok bool) {
+	entry := arg.(*msEntry)
+	v, env := entry.v, entry.regEnv
+	if !ok {
+		v.failRegistration(env, entry, "pdp-activation")
+		return
+	}
+	entry.addr = addr
+	v.setupEndpoint(entry)
+	if v.cfg.Dir != nil {
+		v.cfg.Dir.Bind(addr, v.cfg.ID)
+	}
+	v.registerWithGatekeeper(env, entry, true)
 }
 
 // registerWithGatekeeper runs steps 1.4-1.5: RAS RRQ carrying the MS's
 // MSISDN as alias and the PDP address as transport address; the RCF
-// completes the MS table entry.
-func (v *VMSC) registerWithGatekeeper(env *sim.Env, entry *msEntry, accept func(), fail func(string)) {
+// completes the MS table entry. announce controls whether completion
+// answers the radio path (initial registration) or stays silent (keepalive
+// re-registration).
+func (v *VMSC) registerWithGatekeeper(env *sim.Env, entry *msEntry, announce bool) {
+	entry.regEnv = env
+	entry.regAnnounce = announce
 	v.nextRAS++
 	seq := v.nextRAS
-	v.ras(env, entry, h323.RRQ{
+	v.rasArg(env, seq, regRRQDone, entry)
+	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, h323.RRQ{
 		Seq: seq, Alias: entry.msisdn,
 		SignalAddr: entry.addr, SignalPort: ipnet.PortQ931,
-	}, func(env *sim.Env, msg sim.Message) {
-		if _, confirmed := msg.(h323.RCF); !confirmed { // RRJ or timeout
-			fail("gatekeeper-registration")
-			return
-		}
-		entry.registered = true
-		v.byMSISDN[entry.msisdn] = entry
-		v.stats.Registrations++
-		if v.cfg.DeactivateIdlePDP {
-			// The §6 ablation: drop the signalling context while idle
-			// (TR 23.923-style resource saving).
-			v.deactivateSignalling(env, entry, func() {
-				v.finishRegistration(env, entry, accept)
-			})
-			return
-		}
-		v.finishRegistration(env, entry, accept)
 	})
 }
 
-func (v *VMSC) finishRegistration(env *sim.Env, entry *msEntry, accept func()) {
-	accept()
+// regRRQDone completes the registration when the gatekeeper answers (or the
+// RAS transaction times out).
+func regRRQDone(env *sim.Env, arg any, msg sim.Message) {
+	entry := arg.(*msEntry)
+	v := entry.v
+	if _, confirmed := msg.(h323.RCF); !confirmed { // RRJ or timeout
+		if entry.regAnnounce {
+			v.failRegistration(env, entry, "gatekeeper-registration")
+		}
+		return
+	}
+	entry.registered = true
+	v.byMSISDN[entry.msisdn] = entry
+	v.stats.Registrations++
+	if v.cfg.DeactivateIdlePDP {
+		// The §6 ablation: drop the signalling context while idle
+		// (TR 23.923-style resource saving).
+		v.deactivateSignalling(env, entry, func() {
+			v.finishRegistration(env, entry)
+		})
+		return
+	}
+	v.finishRegistration(env, entry)
+}
+
+func (v *VMSC) finishRegistration(env *sim.Env, entry *msEntry) {
+	if entry.regAnnounce {
+		v.acceptLU(env, entry)
+	}
 	if v.cfg.Hooks.OnMSRegistered != nil {
 		v.cfg.Hooks.OnMSRegistered(entry.imsi, entry.addr)
 	}
@@ -190,7 +222,7 @@ func (v *VMSC) setMSISDN(entry *msEntry, msisdn gsmid.MSISDN) {
 func (v *VMSC) ProvisionMSISDN(imsi gsmid.IMSI, msisdn gsmid.MSISDN) {
 	entry, ok := v.entries[imsi]
 	if !ok {
-		entry = &msEntry{imsi: imsi}
+		entry = &msEntry{v: v, imsi: imsi}
 		v.entries[imsi] = entry
 	}
 	v.setMSISDN(entry, msisdn)
@@ -261,7 +293,7 @@ func (v *VMSC) deregister(env *sim.Env, entry *msEntry) {
 		if !ok {
 			return
 		}
-		entry.endpoint = v.endpointFor(entry)
+		v.setupEndpoint(entry)
 		unregister()
 	})
 }
@@ -297,7 +329,7 @@ func (v *VMSC) StartKeepAlive(env *sim.Env, interval time.Duration) {
 			}, func(env *sim.Env, msg sim.Message) {
 				rrj, isRRJ := msg.(h323.RRJ)
 				if isRRJ && rrj.Reason == h323.RejectFullRegistrationRequired {
-					v.registerWithGatekeeper(env, entry, func() {}, func(string) {})
+					v.registerWithGatekeeper(env, entry, false)
 				}
 			})
 		}

@@ -115,8 +115,10 @@ type VMSC struct {
 	byMS     map[sim.NodeID]*msEntry
 	byMSISDN map[gsmid.MSISDN]*msEntry
 
-	pendingRAS map[uint32]func(env *sim.Env, msg sim.Message)
+	pendingRAS map[uint32]rasPending
 	nextRAS    uint32
+	// rasTimerFree recycles RAS timeout records (see rasExpire).
+	rasTimerFree []*rasTimer
 
 	// hoCalls indexes handed-over calls by the anchor-allocated trunk
 	// call reference (Q.931 references are resolved per MS entry, since
@@ -142,8 +144,14 @@ type Stats struct {
 }
 
 // msEntry is one row of the MS table: the MM context plus the virtual GPRS
-// client holding the PDP contexts, plus the per-MS H.323 endpoint.
+// client holding the PDP contexts, plus the per-MS H.323 endpoint. The entry
+// itself is the hub of the per-MS machinery: it hosts the GPRS client
+// (gprs.Host), carries the H.323 endpoint's traffic (h323.Sender), and
+// threads through the registration chain's completion callbacks — so one
+// registering subscriber costs one entry allocation instead of a closure
+// per wired-up callback.
 type msEntry struct {
+	v      *VMSC
 	imsi   gsmid.IMSI
 	msisdn gsmid.MSISDN
 	tmsi   gsmid.TMSI
@@ -151,13 +159,63 @@ type msEntry struct {
 	ms     sim.NodeID
 	bsc    sim.NodeID
 
-	client     *gprs.Client
-	addr       netip.Addr
-	endpoint   *h323.Endpoint
+	client *gprs.Client
+	addr   netip.Addr
+	// endpoint is valid once endpoint.Via is set (after the signalling PDP
+	// context comes up).
+	endpoint   h323.Endpoint
 	registered bool
 	voiceUp    bool
 
+	// regEnv and regAnnounce are registration-transaction state: the env
+	// the in-flight registration runs under, and whether its completion
+	// answers the radio path (initial registration) or stays silent
+	// (keepalive-driven re-registration).
+	regEnv      *sim.Env
+	regAnnounce bool
+
 	call *vCall
+}
+
+// SendLLC implements gprs.Host: uplink LLC PDUs go straight onto the Gb
+// interface — the VMSC-specific twist on the shared gprs.Client state
+// machine.
+func (e *msEntry) SendLLC(env *sim.Env, tlli gsmid.TLLI, pdu []byte) {
+	env.Send(e.v.cfg.ID, e.v.cfg.SGSN, gbUL(tlli, e.ms, e.v.cfg.Cell, pdu))
+}
+
+// PacketIn implements gprs.Host: downlink IP packets feed the H.323 side.
+func (e *msEntry) PacketIn(env *sim.Env, nsapi uint8, pkt ipnet.Packet) {
+	e.v.handleIP(env, e, pkt)
+}
+
+// ActivationRequested implements gprs.Host: a network-requested PDP
+// activation (DeactivateIdlePDP mode) brings the signalling context back so
+// an incoming Setup can reach us.
+func (e *msEntry) ActivationRequested(env *sim.Env, address string) {
+	if _, active := e.client.Context(NSAPISignalling); active {
+		return
+	}
+	_ = e.client.ActivatePDPArg(env, NSAPISignalling, gtp.SignallingQoS(), address,
+		reactivateSigDone, e)
+}
+
+// reactivateSigDone records the re-activated signalling context's address.
+func reactivateSigDone(arg any, addr netip.Addr, ok bool) {
+	if ok {
+		arg.(*msEntry).addr = addr
+	}
+}
+
+// SendIPPacket implements h323.Sender: the per-MS endpoint's traffic routes
+// through the MS's PDP contexts, choosing the voice context for RTP when it
+// is up — the traffic-flow-template role of GPRS.
+func (e *msEntry) SendIPPacket(env *sim.Env, pkt ipnet.Packet) {
+	nsapi := NSAPISignalling
+	if e.voiceUp && (pkt.DstPort == ipnet.PortRTP || pkt.SrcPort == ipnet.PortRTP) {
+		nsapi = NSAPIVoice
+	}
+	_ = e.client.SendIP(env, nsapi, pkt)
 }
 
 type callState uint8
@@ -225,7 +283,7 @@ func New(cfg Config) *VMSC {
 		entries:    make(map[gsmid.IMSI]*msEntry),
 		byMS:       make(map[sim.NodeID]*msEntry),
 		byMSISDN:   make(map[gsmid.MSISDN]*msEntry),
-		pendingRAS: make(map[uint32]func(*sim.Env, sim.Message)),
+		pendingRAS: make(map[uint32]rasPending),
 		hoCalls:    make(map[uint32]*vCall),
 	}
 	v.registrar = msc.NewRegistrar(cfg.ID, cfg.VLR, v.onVLROutcome)
@@ -268,47 +326,21 @@ func (v *VMSC) staticAddrFor(imsi gsmid.IMSI) string {
 	return v.cfg.StaticAddrs[imsi]
 }
 
-// newClient builds the virtual GPRS client for an MS. The transport sends
-// LLC PDUs straight onto the Gb interface — the VMSC-specific twist on the
-// shared gprs.Client state machine.
+// newClient builds the virtual GPRS client for an MS, hosted by the entry
+// itself (no per-client callback closures).
 func (v *VMSC) newClient(entry *msEntry) *gprs.Client {
-	client := gprs.NewClient(entry.imsi, func(env *sim.Env, tlli gsmid.TLLI, pdu []byte) {
-		env.Send(v.cfg.ID, v.cfg.SGSN, gbUL(tlli, entry.ms, v.cfg.Cell, pdu))
-	})
+	client := gprs.NewHostedClient(entry.imsi, entry)
 	client.Timeout = v.cfg.MAPTimeout
-	client.OnPacket = func(env *sim.Env, nsapi uint8, pkt ipnet.Packet) {
-		v.handleIP(env, entry, pkt)
-	}
-	client.OnActivationRequest = func(env *sim.Env, address string) {
-		// Network-requested activation (DeactivateIdlePDP mode): bring
-		// the signalling context back so the incoming Setup can reach us.
-		if _, active := entry.client.Context(NSAPISignalling); active {
-			return
-		}
-		_ = entry.client.ActivatePDP(env, NSAPISignalling, gtp.SignallingQoS(), address,
-			func(addr netip.Addr, ok bool) {
-				if ok {
-					entry.addr = addr
-				}
-			})
-	}
 	return client
 }
 
-// endpointFor builds the per-MS H.323 endpoint. Its Send routes packets
-// through the MS's PDP contexts, choosing the voice context for RTP when it
-// is up — the traffic-flow-template role of GPRS.
-func (v *VMSC) endpointFor(entry *msEntry) *h323.Endpoint {
-	return &h323.Endpoint{
+// setupEndpoint (re)initialises the per-MS H.323 endpoint in place; the
+// entry routes its traffic (h323.Sender), so no closures are allocated.
+func (v *VMSC) setupEndpoint(entry *msEntry) {
+	entry.endpoint = h323.Endpoint{
 		Node: v.cfg.ID,
 		Addr: entry.addr,
 		Dir:  v.cfg.Dir,
-		Send: func(env *sim.Env, pkt ipnet.Packet) {
-			nsapi := NSAPISignalling
-			if entry.voiceUp && (pkt.DstPort == ipnet.PortRTP || pkt.SrcPort == ipnet.PortRTP) {
-				nsapi = NSAPIVoice
-			}
-			_ = entry.client.SendIP(env, nsapi, pkt)
-		},
+		Via:  entry,
 	}
 }

@@ -6,12 +6,35 @@
 // All protocol messages (MAP, ISUP, GTP, Q.931, RAS, RTP, GSM L3) marshal
 // through these helpers so the figure-flow reproduction exercises real byte
 // encodings end to end, not just Go structs.
+//
+// # Buffer ownership
+//
+// The encode path is allocation-light by design and therefore explicit about
+// who owns which bytes:
+//
+//   - Writer.Bytes ALIASES the writer's internal buffer. It is valid only
+//     until the next write, Reset, or PutWriter; callers that retain the
+//     encoding (message payloads, queued PDUs) must use CopyBytes or Take
+//     instead.
+//   - CopyBytes returns a fresh exact-size copy the caller owns outright —
+//     the safe default at pooled call sites.
+//   - Take detaches the accumulated buffer from the writer and hands it to
+//     the caller; the writer is left empty. Use it when the writer is not
+//     pooled and the buffer would be copied anyway.
+//   - GetWriter/PutWriter recycle writers through a sync.Pool. A writer must
+//     not be used after PutWriter, and bytes obtained from its Bytes must
+//     not outlive the Put.
+//   - Wrap builds a Writer that appends to a caller-owned slice, enabling
+//     AppendTo-style codec entry points that marshal into one buffer across
+//     protocol layers with zero intermediate copies.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net/netip"
+	"sync"
 )
 
 // ErrShortBuffer is returned when a decode runs off the end of the input.
@@ -20,6 +43,9 @@ var ErrShortBuffer = errors.New("wire: short buffer")
 // ErrBadDigit is returned when a BCD field contains a non-digit nibble or a
 // digit string contains a non-digit byte.
 var ErrBadDigit = errors.New("wire: invalid BCD digit")
+
+// ErrBadAddr is returned when an address field has an impossible length.
+var ErrBadAddr = errors.New("wire: invalid address length")
 
 // Writer accumulates big-endian binary output. The zero value is ready to
 // use.
@@ -32,9 +58,40 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
+// Wrap returns a Writer that appends to dst, so codecs can marshal into a
+// caller-owned buffer (the AppendTo pattern). The returned Writer is a
+// value: keep it on the stack and read the grown slice back with Bytes.
+func Wrap(dst []byte) Writer { return Writer{buf: dst} }
+
+// Reset truncates the writer to empty while keeping its capacity, readying
+// it for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Bytes returns the accumulated output. The returned slice aliases the
-// writer's buffer; callers that keep writing must copy it first.
+// writer's buffer: it is invalidated by further writes, Reset, or PutWriter.
+// Callers that retain the encoding must use CopyBytes or Take.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// CopyBytes returns an exact-size copy of the accumulated output that the
+// caller owns. This is the safe way to extract an encoding from a pooled
+// writer.
+func (w *Writer) CopyBytes() []byte {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// Take detaches the accumulated buffer from the writer and returns it; the
+// writer is left empty (and, if pooled, will re-grow on next use). The
+// caller owns the returned slice outright.
+func (w *Writer) Take() []byte {
+	b := w.buf
+	w.buf = nil
+	return b
+}
 
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
@@ -85,9 +142,53 @@ func (w *Writer) TLV(tag uint8, value []byte) {
 	w.buf = append(w.buf, value...)
 }
 
+// Addr appends a netip address as a one-byte length (0 for an unset address,
+// 4 for IPv4, 16 for IPv6) followed by the raw address bytes. Zones are not
+// encoded.
+func (w *Writer) Addr(a netip.Addr) {
+	switch {
+	case !a.IsValid():
+		w.U8(0)
+	case a.Is4():
+		b := a.As4()
+		w.U8(4)
+		w.buf = append(w.buf, b[:]...)
+	default:
+		b := a.As16()
+		w.U8(16)
+		w.buf = append(w.buf, b[:]...)
+	}
+}
+
+// writerPool recycles Writers across encode calls; see GetWriter.
+var writerPool = sync.Pool{New: func() any { return NewWriter(128) }}
+
+// maxPooledCap bounds the buffer capacity a writer may bring back into the
+// pool, so one huge message does not pin memory for the process lifetime.
+const maxPooledCap = 1 << 16
+
+// GetWriter returns a reset Writer from the package pool. Pair it with
+// PutWriter. Encodings extracted from a pooled writer must be copied out
+// (CopyBytes) before the Put: Bytes aliases the pooled buffer.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not touch w — or any
+// slice obtained from its Bytes — afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledCap {
+		w.buf = nil
+	}
+	writerPool.Put(w)
+}
+
 // Reader consumes big-endian binary input with bounds checking. Decoding
 // functions call its accessors and check Err once at the end ("handle errors
-// once").
+// once"). The zero value is an empty reader; Reset re-points an existing
+// reader (typically a stack value) at a new buffer without allocating.
 type Reader struct {
 	buf []byte
 	off int
@@ -96,6 +197,14 @@ type Reader struct {
 
 // NewReader returns a Reader over b. The reader does not copy b.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset re-points the reader at b and clears its state. Decoders declare a
+// stack Reader value and Reset it onto the input to avoid heap allocation.
+func (r *Reader) Reset(b []byte) {
+	r.buf = b
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first error encountered, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -154,27 +263,48 @@ func (r *Reader) U64() uint64 {
 	return v
 }
 
-// Raw reads n bytes, returning a copy so the decoded message does not alias
-// the network buffer. Zero-length reads return nil (nil is a valid slice),
-// so empty fields round-trip to their zero value.
-func (r *Reader) Raw(n int) []byte {
+// view returns the next n bytes without copying and advances past them. The
+// slice aliases the reader's input.
+func (r *Reader) view(n int) []byte {
 	if n < 0 || r.err != nil || r.off+n > len(r.buf) {
 		r.fail()
 		return nil
 	}
-	if n == 0 {
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// View returns the next n bytes WITHOUT copying and advances past them. The
+// returned slice aliases the reader's input buffer: it is only valid while
+// the input is, and must not be retained in decoded messages. Use Raw for an
+// owned copy.
+func (r *Reader) View(n int) []byte { return r.view(n) }
+
+// Fill copies exactly len(dst) bytes into dst with no intermediate
+// allocation — the fixed-size-field counterpart of Raw (RAND, SRES, Kc).
+// On a short buffer dst is left untouched and the error is recorded.
+func (r *Reader) Fill(dst []byte) {
+	copy(dst, r.view(len(dst)))
+}
+
+// Raw reads n bytes, returning a copy so the decoded message does not alias
+// the network buffer. Zero-length reads return nil (nil is a valid slice),
+// so empty fields round-trip to their zero value.
+func (r *Reader) Raw(n int) []byte {
+	v := r.view(n)
+	if len(v) == 0 {
 		return nil
 	}
 	out := make([]byte, n)
-	copy(out, r.buf[r.off:])
-	r.off += n
+	copy(out, v)
 	return out
 }
 
 // String8 reads a one-byte length-prefixed string.
 func (r *Reader) String8() string {
 	n := int(r.U8())
-	return string(r.Raw(n))
+	return string(r.view(n))
 }
 
 // Bytes16 reads a two-byte length-prefixed byte slice.
@@ -188,6 +318,27 @@ func (r *Reader) TLV() (tag uint8, value []byte) {
 	tag = r.U8()
 	n := int(r.U8())
 	return tag, r.Raw(n)
+}
+
+// Addr reads an address written by Writer.Addr. A zero length yields the
+// invalid (unset) address; lengths other than 0, 4, or 16 are an error.
+func (r *Reader) Addr() netip.Addr {
+	n := int(r.U8())
+	if n == 0 || r.err != nil {
+		return netip.Addr{}
+	}
+	raw := r.view(n)
+	if r.err != nil {
+		return netip.Addr{}
+	}
+	a, ok := netip.AddrFromSlice(raw)
+	if !ok {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: %d bytes", ErrBadAddr, n)
+		}
+		return netip.Addr{}
+	}
+	return a
 }
 
 // Rest returns a copy of all unread bytes and advances to the end.

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"net/netip"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -244,4 +245,239 @@ func TestQuickBytes16RoundTrip(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestBytesAliasesWriterBuffer(t *testing.T) {
+	// The documented contract: Bytes aliases the internal buffer, so writes
+	// after Bytes() can be observed through (or relocate away from) the
+	// returned slice. CopyBytes must be immune to that.
+	w := NewWriter(8)
+	w.U8(1)
+	alias := w.Bytes()
+	copied := w.CopyBytes()
+	w.Reset()
+	w.U8(2)
+	if alias[0] != 2 {
+		t.Fatalf("Bytes did not alias the buffer: alias[0] = %d", alias[0])
+	}
+	if copied[0] != 1 {
+		t.Fatalf("CopyBytes aliased the buffer: copied[0] = %d", copied[0])
+	}
+}
+
+func TestCopyBytesExactSize(t *testing.T) {
+	w := NewWriter(64)
+	w.U32(0xAABBCCDD)
+	got := w.CopyBytes()
+	if len(got) != 4 || cap(got) != 4 {
+		t.Fatalf("CopyBytes len/cap = %d/%d, want 4/4", len(got), cap(got))
+	}
+	if w.Len() != 4 {
+		t.Fatalf("CopyBytes must not disturb the writer; Len = %d", w.Len())
+	}
+}
+
+func TestCopyBytesEmpty(t *testing.T) {
+	w := NewWriter(8)
+	if got := w.CopyBytes(); got != nil {
+		t.Fatalf("CopyBytes on empty writer = %v, want nil", got)
+	}
+}
+
+func TestTakeDetachesBuffer(t *testing.T) {
+	w := NewWriter(8)
+	w.U16(0x0102)
+	b := w.Take()
+	if !bytes.Equal(b, []byte{0x01, 0x02}) {
+		t.Fatalf("Take = % X", b)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("writer not empty after Take: Len = %d", w.Len())
+	}
+	// Writing after Take must not corrupt the taken slice.
+	w.U16(0xFFFF)
+	if !bytes.Equal(b, []byte{0x01, 0x02}) {
+		t.Fatalf("taken slice mutated by later writes: % X", b)
+	}
+}
+
+func TestGetPutWriterReuse(t *testing.T) {
+	w := GetWriter()
+	w.U64(42)
+	PutWriter(w)
+	w2 := GetWriter()
+	if w2.Len() != 0 {
+		t.Fatalf("pooled writer not reset: Len = %d", w2.Len())
+	}
+	w2.U8(7)
+	if got := w2.Bytes(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("pooled writer wrote % X", got)
+	}
+	PutWriter(w2)
+}
+
+func TestPutWriterDropsOversizedBuffer(t *testing.T) {
+	w := GetWriter()
+	w.Raw(make([]byte, maxPooledCap+1))
+	PutWriter(w)
+	// Not observable directly through the pool, but the writer we just
+	// returned must have shed its giant buffer.
+	if w.buf != nil {
+		t.Fatal("oversized buffer retained on Put")
+	}
+}
+
+func TestWrapAppendsToCallerBuffer(t *testing.T) {
+	dst := make([]byte, 0, 16)
+	dst = append(dst, 0xEE)
+	w := Wrap(dst)
+	w.U16(0x1234)
+	got := w.Bytes()
+	want := []byte{0xEE, 0x12, 0x34}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Wrap bytes = % X, want % X", got, want)
+	}
+	if &got[0] != &dst[0] {
+		t.Fatal("Wrap reallocated despite sufficient capacity")
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	var r Reader
+	r.Reset([]byte{0x01})
+	_ = r.U32() // force an error
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	r.Reset([]byte{0xAB, 0xCD})
+	if r.Err() != nil {
+		t.Fatalf("Reset did not clear error: %v", r.Err())
+	}
+	if got := r.U16(); got != 0xABCD {
+		t.Fatalf("U16 after Reset = %#x", got)
+	}
+}
+
+func TestViewAliasesInput(t *testing.T) {
+	src := []byte{1, 2, 3}
+	r := NewReader(src)
+	v := r.View(2)
+	src[0] = 99
+	if v[0] != 99 {
+		t.Fatal("View must alias the input buffer")
+	}
+	if r.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestFillCopiesExactly(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4, 5})
+	var dst [4]byte
+	r.Fill(dst[:])
+	if dst != [4]byte{1, 2, 3, 4} {
+		t.Fatalf("Fill = %v", dst)
+	}
+	if r.Remaining() != 1 || r.Err() != nil {
+		t.Fatalf("Remaining = %d, Err = %v", r.Remaining(), r.Err())
+	}
+}
+
+func TestFillShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	var dst [4]byte
+	r.Fill(dst[:])
+	if !errors.Is(r.Err(), ErrShortBuffer) {
+		t.Fatalf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	if dst != [4]byte{} {
+		t.Fatalf("dst written on short buffer: %v", dst)
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	addrs := []netip.Addr{
+		{},
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("2001:db8::1"),
+	}
+	w := NewWriter(64)
+	for _, a := range addrs {
+		w.Addr(a)
+	}
+	r := NewReader(w.Bytes())
+	for _, want := range addrs {
+		if got := r.Addr(); got != want {
+			t.Errorf("Addr round trip = %v, want %v", got, want)
+		}
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("Err = %v, Remaining = %d", r.Err(), r.Remaining())
+	}
+}
+
+func TestAddrRejectsBadLength(t *testing.T) {
+	r := NewReader([]byte{3, 1, 2, 3})
+	_ = r.Addr()
+	if !errors.Is(r.Err(), ErrBadAddr) {
+		t.Fatalf("Err = %v, want ErrBadAddr", r.Err())
+	}
+}
+
+func TestPooledEncodeZeroWriterAllocs(t *testing.T) {
+	// The pooled encode pattern: GetWriter + encode + CopyBytes + PutWriter
+	// must cost exactly one allocation (the returned copy) at steady state.
+	avg := testing.AllocsPerRun(200, func() {
+		w := GetWriter()
+		w.U32(0xDEADBEEF)
+		w.BCD("466923123456789")
+		_ = w.CopyBytes()
+		PutWriter(w)
+	})
+	if avg > 1 {
+		t.Fatalf("pooled encode allocs/op = %.1f, want <= 1", avg)
+	}
+}
+
+func TestReaderValueZeroAlloc(t *testing.T) {
+	buf := []byte{0xAB, 0x12, 0x34, 1, 2, 3, 4}
+	avg := testing.AllocsPerRun(200, func() {
+		var r Reader
+		r.Reset(buf)
+		_ = r.U8()
+		_ = r.U16()
+		var dst [4]byte
+		r.Fill(dst[:])
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("value reader allocs/op = %.1f, want 0", avg)
+	}
+}
+
+func TestBCD2MatchesConcatenation(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"466", "92"}, {"466", "920"}, {"", "12345"}, {"12345", ""},
+		{"", ""}, {"1", "2"},
+	}
+	for _, c := range cases {
+		var w1, w2 Writer
+		w1.BCD(c.a + c.b)
+		w2.BCD2(c.a, c.b)
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Errorf("BCD2(%q, %q) = % X, want % X", c.a, c.b, w2.Bytes(), w1.Bytes())
+		}
+	}
+}
+
+func TestBCD2RejectsNonDigits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BCD2 with a non-digit did not panic")
+		}
+	}()
+	var w Writer
+	w.BCD2("12", "x4")
 }
