@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-json
+# Packages with a wire-format FuzzDecode target and a committed seed corpus
+# under testdata/fuzz/.
+FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/
+
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-json fuzz-smoke fuzz
 
 all: check
 
@@ -17,12 +21,27 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sweep runner fans experiment points across worker goroutines; keep the
-# race detector on the packages that schedule or execute that work.
+# The sweep runner fans experiment points across worker goroutines (and
+# drives the netsim chaos scenarios from them); keep the race detector on
+# the packages that schedule or execute that work.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/netsim/...
 
 check: vet build test race
+
+# Short coverage-guided fuzz pass over every wire decoder, seeded from the
+# committed corpora. CI runs this; it is a smoke test for decoder panics,
+# not a soak.
+fuzz-smoke:
+	@for pkg in $(FUZZ_PKGS); do \
+		$(GO) test $$pkg -fuzz=FuzzDecode -fuzztime=10s || exit 1; \
+	done
+
+# Longer local fuzzing session per decoder.
+fuzz:
+	@for pkg in $(FUZZ_PKGS); do \
+		$(GO) test $$pkg -fuzz=FuzzDecode -fuzztime=5m || exit 1; \
+	done
 
 # Full benchmark suite (paper artifacts + engine micro-benchmarks).
 bench:

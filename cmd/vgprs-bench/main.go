@@ -146,6 +146,14 @@ func run(args []string) int {
 			}
 			return experiments.R1Table(points), points, nil
 		}},
+		{"loss", func() (fmt.Stringer, any, error) {
+			points, err := experiments.RunLossSweep(*seed,
+				[]float64{0, 0.05, 0.10, 0.20}, 20)
+			if err != nil {
+				return nil, nil, err
+			}
+			return experiments.LossTable(points), points, nil
+		}},
 		{"registration", func() (fmt.Stringer, any, error) {
 			r := runRegistrationBench(*seed)
 			return r, r, nil

@@ -297,3 +297,34 @@ func TestA3RadioLatencySweep(t *testing.T) {
 	}
 	t.Logf("\n%s", A3Table(points))
 }
+
+func TestLossSweepShape(t *testing.T) {
+	points, err := RunLossSweep(1, []float64{0, 0.10}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 rates x 2 scenarios)", len(points))
+	}
+	for _, p := range points {
+		if p.Seeds != 3 {
+			t.Fatalf("%+v: seeds = %d, want 3", p, p.Seeds)
+		}
+		if p.Succeeded != p.Seeds {
+			t.Fatalf("%.0f%% %s: %d/%d succeeded (%s)", p.Rate*100,
+				p.Scenario, p.Succeeded, p.Seeds, p.FailureExamples)
+		}
+		if p.Rate == 0 && p.Retransmits != 0 {
+			t.Fatalf("lossless %s: %d retransmits, want 0", p.Scenario, p.Retransmits)
+		}
+		if p.Rate > 0 && p.Retransmits == 0 {
+			t.Fatalf("lossy %s: no retransmits recorded", p.Scenario)
+		}
+		if p.MeanElapsedNs <= 0 || p.MaxElapsedNs < p.MeanElapsedNs {
+			t.Fatalf("%+v: implausible elapsed stats", p)
+		}
+	}
+	if LossTable(points).String() == "" {
+		t.Fatal("empty loss table")
+	}
+}

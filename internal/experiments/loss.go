@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vgprs/internal/metrics"
+	"vgprs/internal/netsim"
+)
+
+// The loss experiment quantifies signalling-plane fault tolerance: it runs
+// the chaos harness's registration and MS-to-MS call-setup scenarios over a
+// seed sweep at several uniform per-link loss rates on the core signalling
+// links, reporting eventual-success rates, retransmission cost, and the
+// virtual-time price of recovery. The 10% column is the acceptance bar —
+// every seed must succeed within the documented retry budget.
+
+// LossPoint is the aggregated outcome of one (rate, scenario) cell.
+type LossPoint struct {
+	Rate            float64 `json:"loss_rate"`
+	Scenario        string  `json:"scenario"` // "registration" or "call-setup"
+	Seeds           int     `json:"seeds"`
+	Succeeded       int     `json:"succeeded"`
+	Retransmits     uint64  `json:"retransmits_total"`
+	MaxRetransmits  uint64  `json:"retransmits_max_per_run"`
+	MeanElapsedNs   int64   `json:"mean_elapsed_ns"`
+	MaxElapsedNs    int64   `json:"max_elapsed_ns"`
+	FailureExamples string  `json:"failure_examples,omitempty"`
+}
+
+// RunLossSweep measures eventual success under uniform signalling loss for
+// both chaos scenarios at each rate, across seedsPerRate deterministic
+// seeds derived from seed.
+func RunLossSweep(seed int64, rates []float64, seedsPerRate int) ([]LossPoint, error) {
+	type cell struct {
+		rate     float64
+		scenario string
+	}
+	var cells []cell
+	for _, rate := range rates {
+		cells = append(cells,
+			cell{rate, "registration"},
+			cell{rate, "call-setup"})
+	}
+	return runSweep(cells, func(c cell) (LossPoint, error) {
+		p := LossPoint{Rate: c.rate, Scenario: c.scenario, Seeds: seedsPerRate}
+		var totalElapsed time.Duration
+		for i := 0; i < seedsPerRate; i++ {
+			runSeed := seed + int64(i)*1009
+			plan := netsim.UniformLossPlan(c.rate)
+			var res netsim.ChaosResult
+			var err error
+			if c.scenario == "registration" {
+				res, err = netsim.RunChaosRegistration(runSeed, plan)
+			} else {
+				res, err = netsim.RunChaosCall(runSeed, plan)
+			}
+			if err == nil {
+				p.Succeeded++
+			} else if p.FailureExamples == "" {
+				p.FailureExamples = err.Error()
+			}
+			p.Retransmits += res.Retransmits
+			if res.Retransmits > p.MaxRetransmits {
+				p.MaxRetransmits = res.Retransmits
+			}
+			totalElapsed += res.Elapsed
+			if int64(res.Elapsed) > p.MaxElapsedNs {
+				p.MaxElapsedNs = int64(res.Elapsed)
+			}
+		}
+		p.MeanElapsedNs = int64(totalElapsed) / int64(seedsPerRate)
+		return p, nil
+	})
+}
+
+// LossTable renders the loss sweep.
+func LossTable(points []LossPoint) *metrics.Table {
+	t := metrics.NewTable(
+		"LOSS: signalling fault tolerance (uniform loss on core links)",
+		"loss", "scenario", "success", "retx total", "retx max/run", "mean time", "max time")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", p.Rate*100),
+			p.Scenario,
+			fmt.Sprintf("%d/%d", p.Succeeded, p.Seeds),
+			fmt.Sprintf("%d", p.Retransmits),
+			fmt.Sprintf("%d", p.MaxRetransmits),
+			metrics.FormatDuration(time.Duration(p.MeanElapsedNs)),
+			metrics.FormatDuration(time.Duration(p.MaxElapsedNs)),
+		)
+	}
+	return t
+}

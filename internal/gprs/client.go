@@ -1,6 +1,7 @@
 package gprs
 
 import (
+	"errors"
 	"fmt"
 	"net/netip"
 	"time"
@@ -9,6 +10,14 @@ import (
 	"vgprs/internal/gtp"
 	"vgprs/internal/ipnet"
 	"vgprs/internal/sim"
+)
+
+// Typed errors surfaced (via Client.LastError) when a GMM/SM transaction
+// exhausts its retransmission budget without an answer.
+var (
+	ErrAttachTimeout     = errors.New("gprs: attach timed out")
+	ErrActivateTimeout   = errors.New("gprs: PDP activation timed out")
+	ErrDeactivateTimeout = errors.New("gprs: PDP deactivation timed out")
 )
 
 // SendFunc transmits an uplink LLC PDU for the client. A radio-attached
@@ -39,10 +48,16 @@ type Host interface {
 type Client struct {
 	IMSI gsmid.IMSI
 
-	// Timeout bounds each attach/activation/deactivation transaction;
-	// an unanswered request fires its callback with failure. Zero
-	// disables expiry (useful for single-procedure tests).
+	// Timeout is the per-attempt RTO for attach/activation/deactivation
+	// transactions: an unanswered request is retransmitted with the RTO
+	// doubled each time until Retries is exhausted, then the callback
+	// fires with failure and LastError reports the typed cause. Zero
+	// disables expiry entirely (useful for single-procedure tests).
 	Timeout time.Duration
+	// Retries is the retransmission budget per transaction. Zero means
+	// the default (3); negative disables retransmission so the first
+	// unanswered attempt fails at Timeout.
+	Retries int
 
 	send SendFunc
 	host Host
@@ -58,7 +73,25 @@ type Client struct {
 	pendingDetach     func()
 	pendingRAU        func()
 	pendingActivate   map[uint8]activatePending
-	pendingDeactivate map[uint8]func()
+	pendingDeactivate map[uint8]deactivatePending
+
+	// Attach retransmission state. The PDU is retained until the
+	// transaction resolves; expireAttach re-sends it with a doubled RTO
+	// until the budget runs out. attachTimerArmed keeps the invariant of
+	// at most one outstanding attach timer per client.
+	attachEnv        *sim.Env
+	attachPDU        []byte
+	attachRTO        time.Duration
+	attachRetries    int
+	attachTimerArmed bool
+
+	// activateGen disambiguates timer records across successive
+	// activations of the same NSAPI: a stale timer whose generation no
+	// longer matches the pending entry is ignored.
+	activateGen uint32
+
+	retransmits uint64
+	lastErr     error
 
 	// OnPacket delivers downlink IP packets per NSAPI.
 	OnPacket func(env *sim.Env, nsapi uint8, pkt ipnet.Packet)
@@ -77,10 +110,28 @@ type ClientPDP struct {
 // activatePending is one outstanding activation: a package-level (or at
 // least closure-free) completion function plus its argument. The plain
 // ActivatePDP entry point adapts func(addr, ok) callbacks onto it; func
-// values are pointer-shaped, so boxing one into arg costs nothing.
+// values are pointer-shaped, so boxing one into arg costs nothing. The
+// retained request PDU and RTO state drive retransmission on timeout.
 type activatePending struct {
 	fn  func(arg any, addr netip.Addr, ok bool)
 	arg any
+
+	env     *sim.Env
+	pdu     []byte
+	rto     time.Duration
+	retries int
+	gen     uint32
+}
+
+// deactivatePending mirrors activatePending for context tear-down.
+type deactivatePending struct {
+	fn func()
+
+	env     *sim.Env
+	pdu     []byte
+	rto     time.Duration
+	retries int
+	gen     uint32
 }
 
 // callActivateDone adapts a plain activation callback stored in arg.
@@ -114,6 +165,26 @@ func (c *Client) sendPDU(env *sim.Env, tlli gsmid.TLLI, pdu []byte) {
 	}
 	c.send(env, tlli, pdu)
 }
+
+// retryBudget resolves the Retries field: zero means the default of 3,
+// negative disables retransmission.
+func (c *Client) retryBudget() int {
+	switch {
+	case c.Retries > 0:
+		return c.Retries
+	case c.Retries < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+// Retransmits reports how many GMM/SM PDUs this client has retransmitted.
+func (c *Client) Retransmits() uint64 { return c.retransmits }
+
+// LastError returns the typed error from the most recent transaction that
+// exhausted its retransmission budget (nil if none has).
+func (c *Client) LastError() error { return c.lastErr }
 
 // Attached reports whether GPRS attach has completed.
 func (c *Client) Attached() bool { return c.attached }
@@ -171,13 +242,19 @@ func (c *Client) AttachArg(env *sim.Env, fn func(arg any, ok bool), arg any) err
 	}
 	c.sendPDU(env, c.TLLI(), pdu)
 	if c.Timeout > 0 {
-		env.AfterArg(c.Timeout, expireAttach, c)
+		c.attachEnv, c.attachPDU = env, pdu
+		c.attachRTO, c.attachRetries = c.Timeout, c.retryBudget()
+		if !c.attachTimerArmed {
+			c.attachTimerArmed = true
+			env.AfterArg(c.Timeout, expireAttach, c)
+		}
 	}
 	return nil
 }
 
 // finishAttach fires and clears the pending attach callback.
 func (c *Client) finishAttach(ok bool) {
+	c.attachEnv, c.attachPDU = nil, nil
 	fn, arg := c.pendingAttach, c.pendingAttachArg
 	if fn == nil {
 		return
@@ -186,30 +263,92 @@ func (c *Client) finishAttach(ok bool) {
 	fn(arg, ok)
 }
 
-// expireAttach runs on the attach timeout timer. It is a package-level
+// expireAttach runs on the attach RTO timer. It is a package-level
 // function scheduled through AfterArg so arming the timer allocates
-// nothing.
+// nothing; retransmission re-arms with the same receiver, keeping at
+// most one outstanding attach timer.
 func expireAttach(arg any) {
-	arg.(*Client).finishAttach(false)
+	c := arg.(*Client)
+	if c.pendingAttach == nil || c.attachPDU == nil {
+		c.attachTimerArmed = false
+		return
+	}
+	if c.attachRetries > 0 {
+		c.attachRetries--
+		c.retransmits++
+		c.attachRTO = sim.NextRTO(c.attachRTO, c.Timeout)
+		c.sendPDU(c.attachEnv, c.TLLI(), c.attachPDU)
+		c.attachEnv.AfterArg(c.attachRTO, expireAttach, c)
+		return
+	}
+	c.attachTimerArmed = false
+	c.lastErr = ErrAttachTimeout
+	c.finishAttach(false)
 }
 
-// activateExpiry carries the (client, NSAPI) pair an activation timeout
-// needs; one small record replaces the three closures the timer previously
-// cost.
+// activateExpiry carries the (client, NSAPI, generation) triple an
+// activation timeout needs; one small record replaces the three closures
+// the timer previously cost. The generation lets a stale timer from a
+// previous activation of the same NSAPI step aside.
 type activateExpiry struct {
 	c     *Client
 	nsapi uint8
+	gen   uint32
 }
 
 func expireActivate(arg any) {
 	e := arg.(*activateExpiry)
 	p, ok := e.c.pendingActivate[e.nsapi]
-	if !ok {
+	if !ok || p.gen != e.gen {
+		return
+	}
+	if p.retries > 0 {
+		p.retries--
+		p.rto = sim.NextRTO(p.rto, e.c.Timeout)
+		e.c.pendingActivate[e.nsapi] = p
+		e.c.retransmits++
+		e.c.sendPDU(p.env, e.c.TLLI(), p.pdu)
+		p.env.AfterArg(p.rto, expireActivate, e)
 		return
 	}
 	delete(e.c.pendingActivate, e.nsapi)
+	e.c.lastErr = ErrActivateTimeout
 	if p.fn != nil {
 		p.fn(p.arg, netip.Addr{}, false)
+	}
+}
+
+// deactivateExpiry mirrors activateExpiry for context tear-down timers.
+type deactivateExpiry struct {
+	c     *Client
+	nsapi uint8
+	gen   uint32
+}
+
+func expireDeactivate(arg any) {
+	e := arg.(*deactivateExpiry)
+	p, ok := e.c.pendingDeactivate[e.nsapi]
+	if !ok || p.gen != e.gen {
+		return
+	}
+	if p.retries > 0 {
+		p.retries--
+		p.rto = sim.NextRTO(p.rto, e.c.Timeout)
+		e.c.pendingDeactivate[e.nsapi] = p
+		e.c.retransmits++
+		e.c.sendPDU(p.env, e.c.TLLI(), p.pdu)
+		p.env.AfterArg(p.rto, expireDeactivate, e)
+		return
+	}
+	// Budget exhausted: tear the context down locally anyway — the
+	// network side reclaims its half via its own supervision — and
+	// surface the typed error while still completing the callback so
+	// the caller's clear-down never hangs.
+	delete(e.c.pendingDeactivate, e.nsapi)
+	delete(e.c.contexts, e.nsapi)
+	e.c.lastErr = ErrDeactivateTimeout
+	if p.fn != nil {
+		p.fn()
 	}
 }
 
@@ -265,15 +404,18 @@ func (c *Client) ActivatePDPArg(env *sim.Env, nsapi uint8, qos gtp.QoSProfile,
 	if c.pendingActivate == nil {
 		c.pendingActivate = make(map[uint8]activatePending)
 	}
-	c.pendingActivate[nsapi] = activatePending{fn: fn, arg: arg}
 	pdu, err := WrapSM(ActivatePDPRequest{NSAPI: nsapi, QoS: qos, RequestedAddress: requestedAddr})
 	if err != nil {
-		delete(c.pendingActivate, nsapi)
 		return err
+	}
+	c.activateGen++
+	c.pendingActivate[nsapi] = activatePending{
+		fn: fn, arg: arg,
+		env: env, pdu: pdu, rto: c.Timeout, retries: c.retryBudget(), gen: c.activateGen,
 	}
 	c.sendPDU(env, c.TLLI(), pdu)
 	if c.Timeout > 0 {
-		env.AfterArg(c.Timeout, expireActivate, &activateExpiry{c: c, nsapi: nsapi})
+		env.AfterArg(c.Timeout, expireActivate, &activateExpiry{c: c, nsapi: nsapi, gen: c.activateGen})
 	}
 	return nil
 }
@@ -283,15 +425,25 @@ func (c *Client) DeactivatePDP(env *sim.Env, nsapi uint8, done func()) error {
 	if _, exists := c.contexts[nsapi]; !exists {
 		return fmt.Errorf("gprs: client %s NSAPI %d not active", c.IMSI, nsapi)
 	}
-	if c.pendingDeactivate == nil {
-		c.pendingDeactivate = make(map[uint8]func())
+	if _, pending := c.pendingDeactivate[nsapi]; pending {
+		return fmt.Errorf("gprs: client %s NSAPI %d deactivation in progress", c.IMSI, nsapi)
 	}
-	c.pendingDeactivate[nsapi] = done
+	if c.pendingDeactivate == nil {
+		c.pendingDeactivate = make(map[uint8]deactivatePending)
+	}
 	pdu, err := WrapSM(DeactivatePDPRequest{NSAPI: nsapi})
 	if err != nil {
 		return err
 	}
+	c.activateGen++
+	c.pendingDeactivate[nsapi] = deactivatePending{
+		fn: done,
+		env: env, pdu: pdu, rto: c.Timeout, retries: c.retryBudget(), gen: c.activateGen,
+	}
 	c.sendPDU(env, c.TLLI(), pdu)
+	if c.Timeout > 0 {
+		env.AfterArg(c.Timeout, expireDeactivate, &deactivateExpiry{c: c, nsapi: nsapi, gen: c.activateGen})
+	}
 	return nil
 }
 
@@ -363,9 +515,11 @@ func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
 		}
 	case DeactivatePDPAccept:
 		delete(c.contexts, m.NSAPI)
-		if done := c.pendingDeactivate[m.NSAPI]; done != nil {
+		if done, pending := c.pendingDeactivate[m.NSAPI]; pending {
 			delete(c.pendingDeactivate, m.NSAPI)
-			done()
+			if done.fn != nil {
+				done.fn()
+			}
 		}
 	case RequestPDPActivation:
 		if c.host != nil {

@@ -24,8 +24,11 @@ type GGSNConfig struct {
 	// step 1.3: "the IMSI of the MS is used by the GGSN to retrieve the
 	// HLR record to obtain information such as IP address".
 	HLR sim.NodeID
-	// MAPTimeout bounds Gc dialogues. Zero means 5 seconds.
-	MAPTimeout time.Duration
+	// SigRTO is the initial retransmission timeout for Gc dialogues; it
+	// doubles on every retry. Zero means 1 second.
+	SigRTO time.Duration
+	// SigRetries bounds retransmissions per dialogue. Zero means 3.
+	SigRetries int
 	// NetworkInitiatedActivation enables the TR 23.923 MT path: downlink
 	// packets for a provisioned static address with no context trigger a
 	// PDU Notification toward the subscriber's SGSN (found via Gc).
@@ -62,8 +65,20 @@ type GGSN struct {
 	static  map[netip.Addr]gsmid.IMSI
 	queued  map[netip.Addr][]ipnet.Packet
 	nextSeq uint16
+	// pendingCreate dedupes in-flight context creations while the Gc
+	// lookup runs: the SGSN retransmits CreatePDPRequest with the same
+	// sequence number, and a duplicate must not spawn a second HLR
+	// dialogue.
+	pendingCreate map[createKey]struct{}
 
 	ulPackets, dlPackets, dropped uint64
+}
+
+// createKey identifies one in-flight PDP creation by requesting SGSN and
+// GTP sequence number (retransmissions reuse both).
+type createKey struct {
+	sgsn sim.NodeID
+	seq  uint16
 }
 
 var _ sim.Node = (*GGSN)(nil)
@@ -74,23 +89,30 @@ func NewGGSN(cfg GGSNConfig) *GGSN {
 	if cfg.PoolPrefix == "" {
 		cfg.PoolPrefix = "10.1.1.0"
 	}
-	if cfg.MAPTimeout == 0 {
-		cfg.MAPTimeout = 5 * time.Second
+	if cfg.SigRTO == 0 {
+		cfg.SigRTO = time.Second
+	}
+	if cfg.SigRetries == 0 {
+		cfg.SigRetries = 3
 	}
 	pool, err := ipnet.NewPool(cfg.PoolPrefix)
 	if err != nil {
 		panic(err)
 	}
 	return &GGSN{
-		cfg:    cfg,
-		pool:   pool,
-		dm:     ss7.NewDialogueManager(),
-		byTID:  make(map[gtp.TID]*ggsnPDP),
-		byAddr: make(map[netip.Addr]gtp.TID),
-		static: make(map[netip.Addr]gsmid.IMSI),
-		queued: make(map[netip.Addr][]ipnet.Packet),
+		cfg:           cfg,
+		pool:          pool,
+		dm:            ss7.NewDialogueManager(),
+		byTID:         make(map[gtp.TID]*ggsnPDP),
+		byAddr:        make(map[netip.Addr]gtp.TID),
+		static:        make(map[netip.Addr]gsmid.IMSI),
+		queued:        make(map[netip.Addr][]ipnet.Packet),
+		pendingCreate: make(map[createKey]struct{}),
 	}
 }
+
+// Retransmits returns the number of MAP request PDUs this GGSN has re-sent.
+func (g *GGSN) Retransmits() uint64 { return g.dm.Retransmits() }
 
 // ID implements sim.Node.
 func (g *GGSN) ID() sim.NodeID { return g.cfg.ID }
@@ -164,14 +186,30 @@ func (g *GGSN) handleCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPReques
 		finish("")
 		return
 	}
-	invoke := g.dm.Invoke(env, g.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+	// A retransmitted CreatePDPRequest (same SGSN, same sequence number)
+	// while the Gc lookup is in flight is dropped; the pending lookup will
+	// answer it.
+	key := createKey{sgsn: sgsn, seq: m.Seq}
+	g.mu.Lock()
+	if _, busy := g.pendingCreate[key]; busy {
+		g.mu.Unlock()
+		return
+	}
+	g.pendingCreate[key] = struct{}{}
+	g.mu.Unlock()
+	invoke := g.dm.InvokeRetry(func(resp sim.Message, ok bool) {
+		g.mu.Lock()
+		delete(g.pendingCreate, key)
+		g.mu.Unlock()
 		static := ""
 		if ack, isAck := resp.(sigmap.SendRoutingInfoForGPRSAck); ok && isAck && ack.Cause == sigmap.CauseNone {
 			static = ack.StaticPDPAddress
 		}
 		finish(static)
 	})
-	env.Send(g.cfg.ID, g.cfg.HLR, sigmap.SendRoutingInfoForGPRS{Invoke: invoke, IMSI: m.IMSI})
+	g.dm.Transmit(env, invoke, g.cfg.ID, g.cfg.HLR,
+		sigmap.SendRoutingInfoForGPRS{Invoke: invoke, IMSI: m.IMSI},
+		g.cfg.SigRTO, g.cfg.SigRetries)
 }
 
 func (g *GGSN) finishCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPRequest, staticAddr string) {
@@ -197,10 +235,20 @@ func (g *GGSN) finishCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPReques
 	tid := gtp.MakeTID(m.IMSI, m.NSAPI)
 	negotiated := gtp.Negotiate(m.QoS, g.cfg.MaxKbps)
 	g.mu.Lock()
-	if _, exists := g.byTID[tid]; exists {
+	if existing, exists := g.byTID[tid]; exists {
 		g.mu.Unlock()
 		if dynamic {
 			g.pool.Release(addr)
+		}
+		if existing.sgsn == sgsn {
+			// Retransmitted create whose response was lost: re-acknowledge
+			// the context already installed instead of failing it (GSM
+			// 09.60 §7.4.1 treats a repeated request as the same one).
+			env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{
+				Seq: m.Seq, Cause: gtp.CauseAccepted, TID: tid,
+				Address: existing.address.String(), QoS: existing.qos,
+			})
+			return
 		}
 		env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{Seq: m.Seq, Cause: gtp.CauseSystemFailure})
 		return
@@ -305,7 +353,7 @@ func (g *GGSN) handleDownlink(env *sim.Env, pkt ipnet.Packet) {
 		return
 	}
 	// Gc: find the serving SGSN, then ask it to have the MS activate.
-	invoke := g.dm.Invoke(env, g.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+	invoke := g.dm.InvokeRetry(func(resp sim.Message, ok bool) {
 		ack, isAck := resp.(sigmap.SendRoutingInfoForGPRSAck)
 		if !ok || !isAck || ack.Cause != sigmap.CauseNone || ack.SGSN == "" {
 			g.mu.Lock()
@@ -322,5 +370,7 @@ func (g *GGSN) handleDownlink(env *sim.Env, pkt ipnet.Packet) {
 			Seq: seq, IMSI: imsi, Address: pkt.Dst.String(),
 		})
 	})
-	env.Send(g.cfg.ID, g.cfg.HLR, sigmap.SendRoutingInfoForGPRS{Invoke: invoke, IMSI: imsi})
+	g.dm.Transmit(env, invoke, g.cfg.ID, g.cfg.HLR,
+		sigmap.SendRoutingInfoForGPRS{Invoke: invoke, IMSI: imsi},
+		g.cfg.SigRTO, g.cfg.SigRetries)
 }

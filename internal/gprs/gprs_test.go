@@ -687,6 +687,7 @@ func TestPathSupervisionDetectsGGSNOutage(t *testing.T) {
 func TestClientTimeoutsFireOnDeadNetwork(t *testing.T) {
 	f := newCoreFixture(t, GGSNConfig{}, SGSNConfig{})
 	f.ms.Client.Timeout = 2 * time.Second
+	f.ms.Client.Retries = -1 // single-attempt expiry; retransmission has its own tests
 
 	um := f.env.LinkBetween("MS-1", "BTS-1")
 	um.Down = true

@@ -19,8 +19,12 @@ type SGSNConfig struct {
 	GGSN sim.NodeID
 	// HLR, when set, receives MAP_UPDATE_GPRS_LOCATION at attach (Gr).
 	HLR sim.NodeID
-	// MAPTimeout bounds HLR dialogues. Zero means 5s.
-	MAPTimeout time.Duration
+	// SigRTO is the initial retransmission timeout for both the Gr MAP
+	// dialogues and Gn GTP transactions this SGSN originates; it doubles
+	// on every retry. Zero means 1 second.
+	SigRTO time.Duration
+	// SigRetries bounds retransmissions per transaction. Zero means 3.
+	SigRetries int
 	// MaxContexts bounds concurrently active PDP contexts (the resource
 	// the paper's §6 PDP-residency trade-off is about). Zero means
 	// unlimited.
@@ -54,6 +58,9 @@ type mmCtx struct {
 	sgsn       *SGSN
 	attachEnv  *sim.Env
 	attachTLLI gsmid.TLLI
+	// attachPending dedupes in-flight attaches: a retransmitted
+	// AttachRequest must not spawn a second HLR dialogue.
+	attachPending bool
 }
 
 // sgsnPDP is the SGSN's per-context state. Each context remembers the Gb
@@ -88,6 +95,13 @@ type SGSN struct {
 
 	ulPackets, dlPackets uint64
 
+	// GTP retransmission: timer records are slab-allocated and recycled
+	// like the dialogue manager's, so arming a retry timer per transaction
+	// stays allocation-free at steady state. gtpRetransmits counts re-sent
+	// request PDUs.
+	gtpTimerFree   []*gtpTimer
+	gtpRetransmits uint64
+
 	// GTP path supervision state (see SGSNConfig.EchoInterval).
 	supervising  bool
 	pathDown     bool
@@ -99,26 +113,118 @@ type SGSN struct {
 // transactions are value-typed and dispatched by kind in resolve, so issuing
 // a create or delete request allocates nothing beyond the map slot.
 type gtpTxn struct {
-	kind  uint8 // txnActivate or txnDeactivate
+	kind  uint8 // txnActivate, txnDeactivate or txnCleanup
 	nsapi uint8
 	peer  sim.NodeID
 	ms    sim.NodeID
 	tlli  gsmid.TLLI
 	tid   gtp.TID
 	ctx   *mmCtx
+
+	// Retransmission state: the request PDU is re-sent with doubled RTO
+	// each time its timer fires while the transaction is still pending.
+	env         *sim.Env
+	req         sim.Message
+	rto         time.Duration
+	retriesLeft int
 }
 
 const (
 	txnActivate = iota + 1
 	txnDeactivate
+	// txnCleanup is a GGSN-side tunnel teardown with no GMM reply (detach
+	// and HLR-cancel paths); it is retransmitted like the others so a lost
+	// DeletePDPRequest does not leak the tunnel.
+	txnCleanup
 )
+
+// gtpTimer is the slab-recycled argument for GTP retransmission timers; it
+// locates the pending transaction by sequence number. A record is recycled
+// only when its armed timer fires with the transaction already resolved —
+// until then the event queue still references it.
+type gtpTimer struct {
+	s   *SGSN
+	seq uint16
+}
+
+func (s *SGSN) getGTPTimer(seq uint16) *gtpTimer {
+	if len(s.gtpTimerFree) == 0 {
+		slab := make([]gtpTimer, 32)
+		for i := range slab {
+			s.gtpTimerFree = append(s.gtpTimerFree, &slab[i])
+		}
+	}
+	n := len(s.gtpTimerFree)
+	g := s.gtpTimerFree[n-1]
+	s.gtpTimerFree = s.gtpTimerFree[:n-1]
+	g.s, g.seq = s, seq
+	return g
+}
+
+func (s *SGSN) putGTPTimer(g *gtpTimer) {
+	*g = gtpTimer{}
+	s.gtpTimerFree = append(s.gtpTimerFree, g)
+}
+
+// armGTP registers the pending transaction, transmits its request toward
+// the GGSN and arms the retransmission timer.
+func (s *SGSN) armGTP(env *sim.Env, seq uint16, t gtpTxn, req sim.Message) {
+	t.env, t.req = env, req
+	t.rto, t.retriesLeft = s.cfg.SigRTO, s.cfg.SigRetries
+	s.mu.Lock()
+	s.pending[seq] = t
+	s.mu.Unlock()
+	env.Send(s.cfg.ID, s.cfg.GGSN, req)
+	env.AfterArg(t.rto, gtpExpire, s.getGTPTimer(seq))
+}
+
+// gtpExpire runs when a GTP retransmission timer fires. While budget
+// remains the request is re-sent with the RTO doubled; once exhausted the
+// transaction fails gracefully: activations are rejected back to the
+// client, deactivations tear down locally, cleanups are abandoned.
+func gtpExpire(arg any) {
+	g := arg.(*gtpTimer)
+	s := g.s
+	s.mu.Lock()
+	t, ok := s.pending[g.seq]
+	if !ok {
+		s.putGTPTimer(g)
+		s.mu.Unlock()
+		return
+	}
+	if t.retriesLeft > 0 {
+		t.retriesLeft--
+		t.rto = sim.NextRTO(t.rto, s.cfg.SigRTO)
+		s.pending[g.seq] = t
+		s.gtpRetransmits++
+		s.mu.Unlock()
+		t.env.Send(s.cfg.ID, s.cfg.GGSN, t.req)
+		t.env.AfterArg(t.rto, gtpExpire, g)
+		return
+	}
+	delete(s.pending, g.seq)
+	s.putGTPTimer(g)
+	s.mu.Unlock()
+	switch t.kind {
+	case txnActivate:
+		s.reply(t.env, t.peer, t.ms, t.tlli, ActivatePDPReject{NSAPI: t.nsapi, Cause: SMCauseNetworkFailure})
+	case txnDeactivate:
+		// The GGSN is unreachable: release the context locally so the
+		// subscriber is not stuck holding a dead tunnel (the GGSN side is
+		// reclaimed by its own teardown paths on re-attach).
+		s.finishDeactivate(t.env, t)
+	}
+}
 
 var _ sim.Node = (*SGSN)(nil)
 
 // NewSGSN returns an SGSN.
 func NewSGSN(cfg SGSNConfig) *SGSN {
-	if cfg.MAPTimeout == 0 {
-		cfg.MAPTimeout = 5 * time.Second
+	if cfg.SigRTO == 0 {
+		cfg.SigRTO = time.Second
+	}
+	if cfg.SigRetries == 0 {
+		cfg.SigRetries = 3
 	}
 	return &SGSN{
 		cfg:     cfg,
@@ -153,6 +259,14 @@ func (s *SGSN) Forwarded() (ul, dl uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ulPackets, s.dlPackets
+}
+
+// Retransmits returns the number of signalling request PDUs (MAP + GTP)
+// this SGSN has re-sent.
+func (s *SGSN) Retransmits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dm.Retransmits() + s.gtpRetransmits
 }
 
 // Receive implements sim.Node.
@@ -197,13 +311,20 @@ func (s *SGSN) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.Canc
 	}
 	s.mu.Unlock()
 	for _, tid := range tids {
-		s.mu.Lock()
-		s.nextSeq++
-		seq := s.nextSeq
-		s.mu.Unlock()
-		env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: tid})
+		s.cleanupTunnel(env, tid)
 	}
 	env.Send(s.cfg.ID, from, sigmap.CancelLocationAck{Invoke: m.Invoke})
+}
+
+// cleanupTunnel tears a GGSN-side tunnel down with retransmission but no
+// GMM reply (detach and HLR-cancel paths).
+func (s *SGSN) cleanupTunnel(env *sim.Env, tid gtp.TID) {
+	s.mu.Lock()
+	s.nextSeq++
+	seq := s.nextSeq
+	s.mu.Unlock()
+	s.armGTP(env, seq, gtpTxn{kind: txnCleanup, tid: tid},
+		gtp.DeletePDPRequest{Seq: seq, TID: tid})
 }
 
 func (s *SGSN) resolve(env *sim.Env, seq uint16, resp sim.Message) {
@@ -277,6 +398,12 @@ func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m A
 		}
 		s.byIMSI[m.IMSI] = ctx
 	}
+	// A retransmitted AttachRequest while the HLR dialogue is in flight
+	// must not spawn a second one; the pending dialogue will answer.
+	if ctx.attachPending {
+		s.mu.Unlock()
+		return
+	}
 	ctx.ms = ul.MS
 	ctx.peer = peer
 	ctx.cell = ul.Cell
@@ -288,16 +415,19 @@ func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m A
 	s.byTLLI[ul.TLLI] = ctx
 	s.byTLLI[gsmid.LocalTLLI(ctx.ptmsi)] = ctx
 	ptmsi := ctx.ptmsi
+	if s.cfg.HLR != "" {
+		ctx.attachPending = true
+	}
 	s.mu.Unlock()
 
 	if s.cfg.HLR == "" {
 		s.reply(env, peer, ul.MS, ul.TLLI, AttachAccept{PTMSI: ptmsi})
 		return
 	}
-	invoke := s.dm.InvokeArg(env, s.cfg.MAPTimeout, attachHLRDone, ctx)
-	env.Send(s.cfg.ID, s.cfg.HLR, sigmap.UpdateGPRSLocation{
+	invoke := s.dm.InvokeRetryArg(attachHLRDone, ctx)
+	s.dm.Transmit(env, invoke, s.cfg.ID, s.cfg.HLR, sigmap.UpdateGPRSLocation{
 		Invoke: invoke, IMSI: m.IMSI, SGSN: string(s.cfg.ID),
-	})
+	}, s.cfg.SigRTO, s.cfg.SigRetries)
 }
 
 // attachHLRDone completes GPRS attach when the HLR answers (or the dialogue
@@ -306,6 +436,9 @@ func attachHLRDone(arg any, resp sim.Message, ok bool) {
 	ctx := arg.(*mmCtx)
 	s := ctx.sgsn
 	env := ctx.attachEnv
+	s.mu.Lock()
+	ctx.attachPending = false
+	s.mu.Unlock()
 	ack, isAck := resp.(sigmap.UpdateGPRSLocationAck)
 	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
 		s.reply(env, ctx.peer, ctx.ms, ctx.attachTLLI, AttachReject{Cause: SMCauseUnknownSubscriber})
@@ -336,11 +469,7 @@ func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
 	// Tear the tunnels down at the GGSN too, or a later re-attach would
 	// collide with the stale TIDs (GSM 03.60 detach deletes all contexts).
 	for _, tid := range tids {
-		s.mu.Lock()
-		s.nextSeq++
-		seq := s.nextSeq
-		s.mu.Unlock()
-		env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: tid})
+		s.cleanupTunnel(env, tid)
 	}
 	s.reply(env, ctx.peer, ul.MS, ul.TLLI, DetachAccept{})
 }
@@ -348,27 +477,39 @@ func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
 func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m ActivatePDPRequest) {
 	s.mu.Lock()
 	ctx, ok := s.byTLLI[ul.TLLI]
-	var full, dup bool
+	var full, inFlight bool
+	var dup *sgsnPDP
 	if ok {
-		_, dup = ctx.pdp[m.NSAPI]
+		dup = ctx.pdp[m.NSAPI]
 		full = s.cfg.MaxContexts > 0 && s.contexts >= s.cfg.MaxContexts
+		// A retransmitted ActivatePDPRequest while the GTP create is in
+		// flight must not issue a second CreatePDPRequest.
+		for _, t := range s.pending {
+			if t.kind == txnActivate && t.tlli == ul.TLLI && t.nsapi == m.NSAPI {
+				inFlight = true
+				break
+			}
+		}
 	}
-	s.mu.Unlock()
-
-	s.mu.Lock()
 	pathDown := s.pathDown
 	s.mu.Unlock()
 
 	switch {
 	case !ok:
 		return // not attached: no reply channel is even known
+	case inFlight:
+		return // duplicate of a pending activation: the original will answer
 	case pathDown:
 		// Path supervision has declared the GGSN unreachable: fail fast
 		// instead of letting the create request vanish into the tunnel.
 		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNetworkFailure})
 		return
-	case dup:
-		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseDuplicateNSAPI})
+	case dup != nil:
+		// The NSAPI is already active: this is a retransmission whose
+		// Accept was lost. Re-ack with the existing binding — rejecting
+		// here would turn one dropped downlink frame into a permanent
+		// activation failure.
+		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPAccept{NSAPI: m.NSAPI, Address: dup.address, QoS: dup.qos})
 		return
 	case full:
 		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNoResources})
@@ -378,13 +519,12 @@ func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m
 	s.mu.Lock()
 	s.nextSeq++
 	seq := s.nextSeq
-	s.pending[seq] = gtpTxn{
-		kind: txnActivate, nsapi: m.NSAPI,
-		peer: peer, ms: ul.MS, tlli: ul.TLLI, ctx: ctx,
-	}
 	s.mu.Unlock()
 
-	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.CreatePDPRequest{
+	s.armGTP(env, seq, gtpTxn{
+		kind: txnActivate, nsapi: m.NSAPI,
+		peer: peer, ms: ul.MS, tlli: ul.TLLI, ctx: ctx,
+	}, gtp.CreatePDPRequest{
 		Seq: seq, IMSI: ctx.imsi, NSAPI: m.NSAPI, QoS: m.QoS,
 		SGSN: string(s.cfg.ID), RequestedAddress: m.RequestedAddress,
 	})
@@ -414,24 +554,36 @@ func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata,
 	s.mu.Lock()
 	ctx, ok := s.byTLLI[ul.TLLI]
 	var pdp *sgsnPDP
+	var inFlight bool
 	if ok {
 		pdp = ctx.pdp[m.NSAPI]
+		for _, t := range s.pending {
+			if t.kind == txnDeactivate && t.tlli == ul.TLLI && t.nsapi == m.NSAPI {
+				inFlight = true
+				break
+			}
+		}
 	}
 	s.mu.Unlock()
-	if !ok || pdp == nil {
+	if !ok || inFlight {
+		return
+	}
+	if pdp == nil {
+		// Already deactivated: the Accept was lost and this is the
+		// client's retransmission. Re-ack so its timer stops.
+		s.reply(env, peer, ul.MS, ul.TLLI, DeactivatePDPAccept{NSAPI: m.NSAPI})
 		return
 	}
 
 	s.mu.Lock()
 	s.nextSeq++
 	seq := s.nextSeq
-	s.pending[seq] = gtpTxn{
-		kind: txnDeactivate, nsapi: m.NSAPI,
-		peer: peer, ms: ul.MS, tlli: ul.TLLI, tid: pdp.tid, ctx: ctx,
-	}
 	s.mu.Unlock()
 
-	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.DeletePDPRequest{Seq: seq, TID: pdp.tid})
+	s.armGTP(env, seq, gtpTxn{
+		kind: txnDeactivate, nsapi: m.NSAPI,
+		peer: peer, ms: ul.MS, tlli: ul.TLLI, tid: pdp.tid, ctx: ctx,
+	}, gtp.DeletePDPRequest{Seq: seq, TID: pdp.tid})
 }
 
 func (s *SGSN) finishDeactivate(env *sim.Env, t gtpTxn) {

@@ -239,10 +239,19 @@ func (g *Gateway) handleQ931(env *sim.Env, pkt ipnet.Packet, msg sim.Message) {
 	case q931.Alerting:
 		env.Send(g.cfg.ID, call.exchange, isup.ACM{CIC: call.cic, CallRef: call.ref})
 	case q931.Connect:
+		// Ack every copy so the answering side's T313 stops; a lost ack
+		// means the peer retransmits, so the count must dedupe.
+		g.ep.SendQ931(env, pkt.Src, q931.ConnectAck{CallRef: ref})
+		if call.answered {
+			return
+		}
 		call.remoteMed = m.Media
 		call.answered = true
 		g.voipCompleted++
 		env.Send(g.cfg.ID, call.exchange, isup.ANM{CIC: call.cic, CallRef: call.ref})
+	case q931.ConnectAck:
+		// The gateway answers on ISUP ANM without a Q.931 retransmit
+		// timer; nothing to stop.
 	case q931.ReleaseComplete:
 		g.disengage(env, call)
 		g.drop(call)
@@ -270,6 +279,9 @@ func (g *Gateway) handleTrunkREL(env *sim.Env, from sim.NodeID, m isup.REL) {
 // the local exchange.
 func (g *Gateway) handleOutboundSetup(env *sim.Env, pkt ipnet.Packet, m q931.Setup) {
 	if _, dup := g.byQ931[gwQKey{pkt.Src, m.CallRef}]; dup {
+		// Retransmitted Setup: the original CallProceeding may have been
+		// lost, so re-ack to stop the caller's T303.
+		g.ep.SendQ931(env, pkt.Src, q931.CallProceeding{CallRef: m.CallRef})
 		return
 	}
 	refuse := func() {

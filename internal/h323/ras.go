@@ -37,6 +37,9 @@ const (
 	RejectResourceUnavailable
 	RejectGenericData
 	RejectFullRegistrationRequired
+	// RejectTimeout is a local synthetic reason: the RAS transaction
+	// exhausted its retransmission budget without any gatekeeper answer.
+	RejectTimeout
 )
 
 // String names the reason.
@@ -56,6 +59,8 @@ func (r RejectReason) String() string {
 		return "full registration required"
 	case RejectGenericData:
 		return "generic-data"
+	case RejectTimeout:
+		return "transaction-timeout"
 	default:
 		return fmt.Sprintf("RejectReason(%d)", uint8(r))
 	}

@@ -85,6 +85,18 @@ type TerminalConfig struct {
 	// traffic through a GPRS PDP context instead of a LAN.
 	Transport func(env *sim.Env, pkt ipnet.Packet)
 
+	// SigRTO enables RAS and Q.931 fault tolerance: an unanswered
+	// request is retransmitted with the RTO doubling each time until
+	// SigRetries is exhausted, then the procedure fails cleanly (RAS
+	// completions see a nil message; calls release with
+	// recovery-on-timer-expiry). Zero keeps the legacy behaviour: no
+	// timers, a lost answer hangs the transaction.
+	SigRTO time.Duration
+	// SigRetries is the per-transaction retransmission budget. Zero
+	// means the default (3); negative disables retransmission so the
+	// transaction fails at the first unanswered RTO.
+	SigRetries int
+
 	Hooks TerminalHooks
 }
 
@@ -105,6 +117,15 @@ type termCall struct {
 	outgoing  bool
 	mediaSeq  uint16
 	sending   bool
+
+	// Q.931 retransmission state (T303 for Setup, T313 for Connect): a
+	// nil q931Msg means no cycle is running; q931Gen guards stale timers
+	// from an earlier cycle on the same call.
+	q931Msg     sim.Message
+	q931Env     *sim.Env
+	q931RTO     time.Duration
+	q931Retries int
+	q931Gen     uint32
 }
 
 // Terminal is an H.323 terminal: a native VoIP endpoint on the external
@@ -113,13 +134,14 @@ type Terminal struct {
 	cfg TerminalConfig
 	ep  *Endpoint
 
-	registered bool
-	keepAlive  bool
-	endpointID string
-	nextSeq    uint32
-	nextRef    uint16
-	pendingRAS map[uint32]func(env *sim.Env, msg sim.Message)
-	calls      map[uint16]*termCall
+	registered  bool
+	keepAlive   bool
+	endpointID  string
+	nextSeq     uint32
+	nextRef     uint16
+	pendingRAS  map[uint32]termRASPending
+	calls       map[uint16]*termCall
+	retransmits uint64
 
 	// Media is the RTP receive-side statistics collector.
 	Media *rtp.Receiver
@@ -134,7 +156,7 @@ func NewTerminal(cfg TerminalConfig) *Terminal {
 	}
 	t := &Terminal{
 		cfg:        cfg,
-		pendingRAS: make(map[uint32]func(*sim.Env, sim.Message)),
+		pendingRAS: make(map[uint32]termRASPending),
 		calls:      make(map[uint16]*termCall),
 		Media:      rtp.NewReceiver(),
 	}
@@ -199,9 +221,71 @@ func (t *Terminal) ActiveCalls() int {
 	return n
 }
 
+// termRASPending is one outstanding RAS transaction. With SigRTO enabled,
+// msg is retained for retransmission; on budget exhaustion the completion
+// fires with a nil message.
+type termRASPending struct {
+	fn  func(env *sim.Env, msg sim.Message)
+	env *sim.Env
+	msg sim.Message
+
+	rto     time.Duration
+	retries int
+}
+
+// termRASTimer carries the (terminal, seq) pair a RAS RTO timer needs.
+type termRASTimer struct {
+	t   *Terminal
+	seq uint32
+}
+
+func termRASExpire(arg any) {
+	r := arg.(*termRASTimer)
+	t := r.t
+	p, ok := t.pendingRAS[r.seq]
+	if !ok {
+		return
+	}
+	if p.retries > 0 {
+		p.retries--
+		p.rto = sim.NextRTO(p.rto, t.cfg.SigRTO)
+		t.pendingRAS[r.seq] = p
+		t.retransmits++
+		t.ep.SendRAS(p.env, t.cfg.Gatekeeper, p.msg)
+		p.env.AfterArg(p.rto, termRASExpire, r)
+		return
+	}
+	delete(t.pendingRAS, r.seq)
+	p.fn(p.env, nil)
+}
+
+// sigRetries resolves the configured retransmission budget (zero = 3,
+// negative = none).
+func (t *Terminal) sigRetries() int {
+	switch {
+	case t.cfg.SigRetries > 0:
+		return t.cfg.SigRetries
+	case t.cfg.SigRetries < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+// Retransmits reports how many RAS and Q.931 requests this terminal has
+// re-sent.
+func (t *Terminal) Retransmits() uint64 { return t.retransmits }
+
 func (t *Terminal) ras(env *sim.Env, msg sim.Message, done func(*sim.Env, sim.Message)) {
 	if done != nil {
-		t.pendingRAS[rasSeq(msg)] = done
+		seq := rasSeq(msg)
+		p := termRASPending{fn: done, env: env}
+		if t.cfg.SigRTO > 0 {
+			p.msg = msg
+			p.rto, p.retries = t.cfg.SigRTO, t.sigRetries()
+			env.AfterArg(p.rto, termRASExpire, &termRASTimer{t: t, seq: seq})
+		}
+		t.pendingRAS[seq] = p
 	}
 	t.ep.SendRAS(env, t.cfg.Gatekeeper, msg)
 }
@@ -240,6 +324,11 @@ func (t *Terminal) Register(env *sim.Env) {
 		case RRJ:
 			if t.cfg.Hooks.OnRegisterFailed != nil {
 				t.cfg.Hooks.OnRegisterFailed(m.Reason)
+			}
+		case nil:
+			// Retransmission budget exhausted without any answer.
+			if t.cfg.Hooks.OnRegisterFailed != nil {
+				t.cfg.Hooks.OnRegisterFailed(RejectTimeout)
 			}
 		}
 	})
@@ -295,7 +384,7 @@ func (t *Terminal) Call(env *sim.Env, called gsmid.MSISDN) (uint16, error) {
 		case ACF:
 			call.remoteSig = m.SignalAddr
 			call.state = CallSetupSent
-			t.ep.SendQ931(env, m.SignalAddr, q931.Setup{
+			t.armQ931(env, call, q931.Setup{
 				CallRef: ref, Called: called, Calling: t.cfg.Alias,
 				Media: q931.MediaAddr{Addr: t.cfg.Addr, Port: ipnet.PortRTP},
 			})
@@ -303,6 +392,12 @@ func (t *Terminal) Call(env *sim.Env, called gsmid.MSISDN) (uint16, error) {
 			call.state = CallCleared
 			if t.cfg.Hooks.OnRejected != nil {
 				t.cfg.Hooks.OnRejected(ref, m.Reason)
+			}
+		case nil:
+			// Admission never answered: fail the call attempt cleanly.
+			call.state = CallCleared
+			if t.cfg.Hooks.OnRejected != nil {
+				t.cfg.Hooks.OnRejected(ref, RejectTimeout)
 			}
 		}
 	})
@@ -316,7 +411,7 @@ func (t *Terminal) Answer(env *sim.Env, ref uint16) {
 		return
 	}
 	call.state = CallConnected
-	t.ep.SendQ931(env, call.remoteSig, q931.Connect{
+	t.armQ931(env, call, q931.Connect{
 		CallRef: call.wireRef,
 		Media:   q931.MediaAddr{Addr: t.cfg.Addr, Port: ipnet.PortRTP},
 	})
@@ -340,6 +435,7 @@ func (t *Terminal) Hangup(env *sim.Env, ref uint16) error {
 func (t *Terminal) finishCall(env *sim.Env, call *termCall) {
 	call.state = CallCleared
 	call.sending = false
+	call.q931Msg = nil // stop any retransmission cycle
 	t.nextSeq++
 	t.ras(env, DRQ{Seq: t.nextSeq, Alias: t.cfg.Alias, CallRef: call.wireRef, Peer: call.remote}, nil)
 	if t.cfg.Hooks.OnReleased != nil {
@@ -385,10 +481,55 @@ func (t *Terminal) handleRAS(env *sim.Env, msg sim.Message) {
 	default:
 		return
 	}
-	if done, ok := t.pendingRAS[seq]; ok {
+	if p, ok := t.pendingRAS[seq]; ok {
 		delete(t.pendingRAS, seq)
-		done(env, msg)
+		p.fn(env, msg)
 	}
+}
+
+// --- Q.931 retransmission (T303 for Setup, T313 for Connect) ---
+
+// termQ931Timer is the timer record for one Q.931 retransmission cycle.
+type termQ931Timer struct {
+	t    *Terminal
+	call *termCall
+	gen  uint32
+}
+
+// armQ931 sends a Q.931 message that expects an answer and, with SigRTO
+// enabled, starts its retransmission cycle.
+func (t *Terminal) armQ931(env *sim.Env, call *termCall, msg sim.Message) {
+	t.ep.SendQ931(env, call.remoteSig, msg)
+	if t.cfg.SigRTO <= 0 {
+		return
+	}
+	call.q931Gen++
+	call.q931Msg, call.q931Env = msg, env
+	call.q931RTO, call.q931Retries = t.cfg.SigRTO, t.sigRetries()
+	env.AfterArg(t.cfg.SigRTO, termQ931Expire, &termQ931Timer{t: t, call: call, gen: call.q931Gen})
+}
+
+func termQ931Expire(arg any) {
+	r := arg.(*termQ931Timer)
+	call := r.call
+	if call.q931Msg == nil || call.q931Gen != r.gen || call.state == CallCleared {
+		return
+	}
+	if call.q931Retries > 0 {
+		call.q931Retries--
+		call.q931RTO = sim.NextRTO(call.q931RTO, r.t.cfg.SigRTO)
+		r.t.retransmits++
+		r.t.ep.SendQ931(call.q931Env, call.remoteSig, call.q931Msg)
+		call.q931Env.AfterArg(call.q931RTO, termQ931Expire, r)
+		return
+	}
+	// Budget exhausted: release the call cleanly on both sides rather
+	// than hang in a signalling state forever.
+	call.q931Msg = nil
+	r.t.ep.SendQ931(call.q931Env, call.remoteSig, q931.ReleaseComplete{
+		CallRef: call.wireRef, Cause: q931.CauseRecoveryOnTimerExpiry,
+	})
+	r.t.finishCall(call.q931Env, call)
 }
 
 func (t *Terminal) handleQ931(env *sim.Env, pkt ipnet.Packet, msg sim.Message) {
@@ -398,22 +539,38 @@ func (t *Terminal) handleQ931(env *sim.Env, pkt ipnet.Packet, msg sim.Message) {
 	case q931.CallProceeding:
 		if call := t.findCall(pkt.Src, m.CallRef); call != nil && call.state == CallSetupSent {
 			call.state = CallProceeding
+			call.q931Msg = nil // far end holds our Setup; stop T303
 		}
 	case q931.Alerting:
-		if call := t.findCall(pkt.Src, m.CallRef); call != nil {
+		// Guard against a late duplicate regressing an answered call.
+		if call := t.findCall(pkt.Src, m.CallRef); call != nil &&
+			(call.state == CallSetupSent || call.state == CallProceeding) {
 			call.state = CallAlerting
+			call.q931Msg = nil // stop T303
 			if t.cfg.Hooks.OnAlerting != nil {
 				t.cfg.Hooks.OnAlerting(call.ref)
 			}
 		}
 	case q931.Connect:
 		if call := t.findCall(pkt.Src, m.CallRef); call != nil {
+			// Acknowledge every copy so the answerer's T313 stops;
+			// process only the first.
+			t.ep.SendQ931(env, call.remoteSig, q931.ConnectAck{CallRef: call.wireRef})
+			if call.state == CallConnected {
+				return
+			}
 			call.state = CallConnected
+			call.q931Msg = nil // stop T303
 			call.remoteMed = m.Media
 			t.startMedia(env, call)
 			if t.cfg.Hooks.OnConnected != nil {
 				t.cfg.Hooks.OnConnected(call.ref)
 			}
+		}
+	case q931.ConnectAck:
+		// The caller saw our Connect: stop T313.
+		if call := t.findCall(pkt.Src, m.CallRef); call != nil {
+			call.q931Msg = nil
 		}
 	case q931.ReleaseComplete:
 		if call := t.findCall(pkt.Src, m.CallRef); call != nil && call.state != CallCleared {
@@ -474,6 +631,12 @@ func (t *Terminal) handleIncomingSetup(env *sim.Env, pkt ipnet.Packet, m q931.Se
 			// Step 2.5's failure arm: release the call.
 			t.ep.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
 				CallRef: call.wireRef, Cause: q931.CauseResourcesUnavail,
+			})
+			call.state = CallCleared
+		case nil:
+			// Admission never answered: release toward the caller.
+			t.ep.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+				CallRef: call.wireRef, Cause: q931.CauseRecoveryOnTimerExpiry,
 			})
 			call.state = CallCleared
 		}

@@ -48,10 +48,12 @@ type Record struct {
 type Config struct {
 	// ID is the node identifier, e.g. "HLR-TW".
 	ID sim.NodeID
-	// MAPTimeout bounds each outstanding MAP dialogue the HLR originates
-	// (InsertSubscriberData, ProvideRoamingNumber, CancelLocation).
-	// Zero means 5 seconds.
-	MAPTimeout time.Duration
+	// SigRTO is the initial retransmission timeout for each MAP dialogue
+	// the HLR originates (InsertSubscriberData, ProvideRoamingNumber,
+	// CancelLocation); it doubles on every retry. Zero means 1 second.
+	SigRTO time.Duration
+	// SigRetries bounds retransmissions per dialogue. Zero means 3.
+	SigRetries int
 }
 
 // HLR is the home location register node.
@@ -68,8 +70,11 @@ var _ sim.Node = (*HLR)(nil)
 
 // New returns an HLR with no subscribers.
 func New(cfg Config) *HLR {
-	if cfg.MAPTimeout == 0 {
-		cfg.MAPTimeout = 5 * time.Second
+	if cfg.SigRTO == 0 {
+		cfg.SigRTO = time.Second
+	}
+	if cfg.SigRetries == 0 {
+		cfg.SigRetries = 3
 	}
 	return &HLR{
 		cfg:      cfg,
@@ -81,6 +86,9 @@ func New(cfg Config) *HLR {
 
 // ID implements sim.Node.
 func (h *HLR) ID() sim.NodeID { return h.cfg.ID }
+
+// Retransmits returns the number of MAP request PDUs this HLR has re-sent.
+func (h *HLR) Retransmits() uint64 { return h.dm.Retransmits() }
 
 // Provision adds a subscriber. It returns an error on duplicate IMSI or
 // MSISDN.
@@ -168,22 +176,22 @@ func (h *HLR) handleUpdateLocation(env *sim.Env, from sim.NodeID, m sigmap.Updat
 	}
 
 	if oldVLR != "" && oldVLR != m.VLR && env.HasLink(h.cfg.ID, sim.NodeID(oldVLR)) {
-		cancelInvoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(sim.Message, bool) {})
-		env.Send(h.cfg.ID, sim.NodeID(oldVLR), sigmap.CancelLocation{
+		cancelInvoke := h.dm.InvokeRetry(func(sim.Message, bool) {})
+		h.dm.Transmit(env, cancelInvoke, h.cfg.ID, sim.NodeID(oldVLR), sigmap.CancelLocation{
 			Invoke: cancelInvoke, IMSI: m.IMSI,
-		})
+		}, h.cfg.SigRTO, h.cfg.SigRetries)
 	}
 
-	isdInvoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(_ sim.Message, ok bool) {
+	isdInvoke := h.dm.InvokeRetry(func(_ sim.Message, ok bool) {
 		cause := sigmap.CauseNone
 		if !ok {
 			cause = sigmap.CauseSystemFailure
 		}
 		env.Send(h.cfg.ID, from, sigmap.UpdateLocationAck{Invoke: m.Invoke, Cause: cause})
 	})
-	env.Send(h.cfg.ID, from, sigmap.InsertSubscriberData{
+	h.dm.Transmit(env, isdInvoke, h.cfg.ID, from, sigmap.InsertSubscriberData{
 		Invoke: isdInvoke, IMSI: m.IMSI, Profile: profile,
-	})
+	}, h.cfg.SigRTO, h.cfg.SigRetries)
 }
 
 func (h *HLR) handleSendAuthInfo(env *sim.Env, from sim.NodeID, m sigmap.SendAuthenticationInfo) {
@@ -244,7 +252,7 @@ func (h *HLR) handleSendRoutingInfo(env *sim.Env, from sim.NodeID, m sigmap.Send
 		return
 	}
 
-	prnInvoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+	prnInvoke := h.dm.InvokeRetry(func(resp sim.Message, ok bool) {
 		ack := sigmap.SendRoutingInformationAck{Invoke: m.Invoke, Cause: sigmap.CauseSystemFailure}
 		if ok {
 			if prn, isPRN := resp.(sigmap.ProvideRoamingNumberAck); isPRN {
@@ -254,9 +262,9 @@ func (h *HLR) handleSendRoutingInfo(env *sim.Env, from sim.NodeID, m sigmap.Send
 		}
 		env.Send(h.cfg.ID, from, ack)
 	})
-	env.Send(h.cfg.ID, sim.NodeID(vlr), sigmap.ProvideRoamingNumber{
+	h.dm.Transmit(env, prnInvoke, h.cfg.ID, sim.NodeID(vlr), sigmap.ProvideRoamingNumber{
 		Invoke: prnInvoke, IMSI: imsi, GMSC: string(from),
-	})
+	}, h.cfg.SigRTO, h.cfg.SigRetries)
 }
 
 // handleSendIMSI resolves MSISDN -> IMSI. Serving it to an H.323 gatekeeper
@@ -293,10 +301,10 @@ func (h *HLR) handleUpdateGPRSLocation(env *sim.Env, from sim.NodeID, m sigmap.U
 	// Inter-SGSN mobility (GSM 03.60 §6.9.1): the HLR cancels the old
 	// SGSN's MM and PDP contexts when a new SGSN takes over.
 	if ok && oldSGSN != "" && oldSGSN != m.SGSN && env.HasLink(h.cfg.ID, sim.NodeID(oldSGSN)) {
-		invoke := h.dm.Invoke(env, h.cfg.MAPTimeout, func(sim.Message, bool) {})
-		env.Send(h.cfg.ID, sim.NodeID(oldSGSN), sigmap.CancelLocation{
+		invoke := h.dm.InvokeRetry(func(sim.Message, bool) {})
+		h.dm.Transmit(env, invoke, h.cfg.ID, sim.NodeID(oldSGSN), sigmap.CancelLocation{
 			Invoke: invoke, IMSI: m.IMSI,
-		})
+		}, h.cfg.SigRTO, h.cfg.SigRetries)
 	}
 	env.Send(h.cfg.ID, from, sigmap.UpdateGPRSLocationAck{Invoke: m.Invoke, Cause: cause})
 }

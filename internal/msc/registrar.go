@@ -46,8 +46,12 @@ type Registrar struct {
 	Node sim.NodeID
 	// VLR is the attached visitor location register.
 	VLR sim.NodeID
-	// Timeout bounds the whole transaction. Zero means 10 seconds.
-	Timeout time.Duration
+	// RTO is the initial retransmission timeout for the UpdateLocationArea
+	// invoke toward the VLR; it doubles on every retry. Zero means 1 second.
+	RTO time.Duration
+	// Retries bounds UpdateLocationArea retransmissions before the
+	// transaction fails with CauseSystemFailure. Zero means 3.
+	Retries int
 	// OnOutcome fires when the VLR accepts or rejects the update.
 	OnOutcome func(env *sim.Env, reg Registration)
 
@@ -75,13 +79,18 @@ func NewRegistrar(node, vlr sim.NodeID, onOutcome func(*sim.Env, Registration)) 
 	return &Registrar{
 		Node:       node,
 		VLR:        vlr,
-		Timeout:    10 * time.Second,
+		RTO:        time.Second,
+		Retries:    3,
 		OnOutcome:  onOutcome,
 		dm:         ss7.NewDialogueManager(),
 		byIdentity: make(map[gsmid.MobileIdentity]*regTxn),
 		byMS:       make(map[sim.NodeID]*regTxn),
 	}
 }
+
+// Retransmits returns the number of MAP request PDUs this registrar has
+// re-sent toward its VLR.
+func (r *Registrar) Retransmits() uint64 { return r.dm.Retransmits() }
 
 // Handle processes a message if it belongs to a location-update
 // transaction, reporting whether it was consumed.
@@ -132,16 +141,21 @@ func (r *Registrar) Handle(env *sim.Env, from sim.NodeID, msg sim.Message) bool 
 }
 
 func (r *Registrar) start(env *sim.Env, bsc sim.NodeID, m gsm.LocationUpdate) {
+	// A retransmitted LocationUpdate from the radio side must not spawn a
+	// second VLR transaction while the first is in flight.
+	if _, busy := r.byMS[m.MS]; busy {
+		return
+	}
 	txn := &regTxn{r: r, env: env, reg: Registration{
 		MS: m.MS, BSC: bsc, LAI: m.LAI, Identity: m.Identity,
 	}}
 	r.byIdentity[m.Identity] = txn
 	r.byMS[m.MS] = txn
 
-	txn.vlrInvoke = r.dm.InvokeArg(env, r.Timeout, regVLRDone, txn)
-	env.Send(r.Node, r.VLR, sigmap.UpdateLocationArea{
+	txn.vlrInvoke = r.dm.InvokeRetryArg(regVLRDone, txn)
+	r.dm.Transmit(env, txn.vlrInvoke, r.Node, r.VLR, sigmap.UpdateLocationArea{
 		Invoke: txn.vlrInvoke, Identity: m.Identity, LAI: m.LAI, MSC: string(r.Node),
-	})
+	}, r.RTO, r.Retries)
 }
 
 // regVLRDone completes the transaction when the VLR answers (or the invoke

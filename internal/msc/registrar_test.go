@@ -34,7 +34,7 @@ func TestRegistrarVLRTimeoutFails(t *testing.T) {
 	r := NewRegistrar("MSC-1", "VLR-SILENT", func(_ *sim.Env, reg Registration) {
 		outcome = &reg
 	})
-	r.Timeout = 2 * time.Second
+	r.RTO = 100 * time.Millisecond
 	owner := &registrarOwner{id: "MSC-1", r: r}
 	vlr := &silentVLR{id: "VLR-SILENT"}
 	bsc := &bscStub{id: "BSC-1"}

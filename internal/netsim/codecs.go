@@ -58,7 +58,8 @@ func WireSize(msg sim.Message) (n int, family string, ok bool) {
 		sigmap.SendIMSI, sigmap.SendIMSIAck:
 		b, err = sigmap.Append(scratch, msg)
 		family = "MAP"
-	case q931.Setup, q931.CallProceeding, q931.Alerting, q931.Connect, q931.ReleaseComplete:
+	case q931.Setup, q931.CallProceeding, q931.Alerting, q931.Connect,
+		q931.ConnectAck, q931.ReleaseComplete:
 		b, err = q931.Append(scratch, msg)
 		family = "Q.931"
 	case isup.IAM, isup.ACM, isup.ANM, isup.REL, isup.RLC:

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/netip"
+	"time"
 
 	"vgprs/internal/gprs"
 	"vgprs/internal/sim"
@@ -21,15 +22,19 @@ type gprsCoreConfig struct {
 	PoolPrefix     string
 	MaxContexts    int
 	NetworkInit    bool
+	SigRTO         time.Duration
+	SigRetries     int
 }
 
 func buildGPRSCore(cfg gprsCoreConfig) (*gprs.SGSN, *gprs.GGSN) {
 	sgsn := gprs.NewSGSN(gprs.SGSNConfig{
 		ID: cfg.SGSNID, GGSN: cfg.GGSNID, HLR: cfg.HLR, MaxContexts: cfg.MaxContexts,
+		SigRTO: cfg.SigRTO, SigRetries: cfg.SigRetries,
 	})
 	ggsn := gprs.NewGGSN(gprs.GGSNConfig{
 		ID: cfg.GGSNID, PoolPrefix: cfg.PoolPrefix, Gi: cfg.Gi, HLR: cfg.HLR,
 		NetworkInitiatedActivation: cfg.NetworkInit,
+		SigRTO:                     cfg.SigRTO, SigRetries: cfg.SigRetries,
 	})
 	return sgsn, ggsn
 }

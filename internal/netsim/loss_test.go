@@ -8,9 +8,9 @@ import (
 )
 
 // TestMediaSurvivesPacketLoss injects loss on the Gn tunnel link and checks
-// that the call survives, the RTP receiver measures the loss, and
-// signalling (which in this build has no retransmission layer) still
-// completed before the loss was enabled.
+// that the call survives and the RTP receiver measures the loss. Media
+// frames are deliberately unprotected — only the signalling planes
+// retransmit (see chaos_test.go for loss on those).
 func TestMediaSurvivesPacketLoss(t *testing.T) {
 	n := BuildVGPRS(VGPRSOptions{Seed: 3, Talk: true})
 	if err := n.RegisterAll(); err != nil {
@@ -42,10 +42,11 @@ func TestMediaSurvivesPacketLoss(t *testing.T) {
 	if ratio < 0.03 || ratio > 0.25 {
 		t.Fatalf("loss ratio = %.3f (lost %d of %d), want near 0.10", ratio, lost, expected)
 	}
-	// The call is still up and clearable (clearing crosses the lossy
-	// link; this build has no signalling retransmission, so clear from
-	// the MS side after healing the link — which also documents the
-	// limitation).
+	// The call is still up and clearable. Clearing crosses this link and
+	// the H.225 release collapses into a single unacknowledged
+	// ReleaseComplete — the one signalling message with no
+	// retransmission timer — so heal the link first; chaos_test.go
+	// covers the planes that do retransmit.
 	n.Env.LinkBetween("SGSN-1", "GGSN-1").Loss = 0
 	if err := ms.Hangup(n.Env); err != nil {
 		t.Fatal(err)

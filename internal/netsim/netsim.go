@@ -90,6 +90,23 @@ type VGPRSOptions struct {
 	// VMSCMutate, when set, adjusts the VMSC configuration before
 	// construction (scenario extensions add handover targets and trunks).
 	VMSCMutate func(*vmsc.Config)
+	// TerminalMutate, when set, adjusts each terminal's configuration
+	// before construction (the chaos harness arms RAS/Q.931
+	// retransmission here).
+	TerminalMutate func(*h323.TerminalConfig)
+	// Sig, when set, overrides the signalling retransmission profile of
+	// every network element at once. The chaos harness uses it to swap
+	// the conservative defaults for a loss-tolerant profile.
+	Sig *SigProfile
+}
+
+// SigProfile is a network-wide signalling retransmission profile: RTO and
+// Retries drive the single-hop MAP/GTP/GMM planes, H323Retries the RAS and
+// Q.931 planes whose PDUs tunnel across many links end-to-end.
+type SigProfile struct {
+	RTO         time.Duration
+	Retries     int
+	H323Retries int
 }
 
 // VGPRSNet is a fully wired vGPRS network (Fig 2(b)).
@@ -172,11 +189,17 @@ func BuildVGPRS(opts VGPRSOptions) *VGPRSNet {
 
 	n := &VGPRSNet{Env: env, Rec: rec, Dir: dir}
 
+	var sig SigProfile
+	if opts.Sig != nil {
+		sig = *opts.Sig
+	}
+
 	// GSM core databases.
-	n.HLR = hlr.New(hlr.Config{ID: "HLR"})
+	n.HLR = hlr.New(hlr.Config{ID: "HLR", SigRTO: sig.RTO, SigRetries: sig.Retries})
 	n.VLR = vlr.New(vlr.Config{
 		ID: "VLR-1", HLR: "HLR", HomeCountryCode: "886", MSRNPrefix: "88690000",
 		AuthDisabled: opts.AuthDisabled,
+		SigRTO:       sig.RTO, SigRetries: sig.Retries,
 	})
 
 	// GPRS core.
@@ -185,6 +208,7 @@ func BuildVGPRS(opts VGPRSOptions) *VGPRSNet {
 		PoolPrefix:  "10.1.1.0",
 		NetworkInit: opts.DeactivateIdlePDP,
 		MaxContexts: opts.SGSNMaxContexts,
+		SigRTO:      sig.RTO, SigRetries: sig.Retries,
 	})
 	n.SGSN = SGSNHandle{sgsn}
 	n.GGSN = GGSNHandle{ggsn}
@@ -208,6 +232,9 @@ func BuildVGPRS(opts VGPRSOptions) *VGPRSNet {
 		Gatekeeper: gkAddr, Dir: dir,
 		DeactivateIdlePDP: opts.DeactivateIdlePDP,
 		StaticAddrs:       staticAddrs,
+		SigRTO:            sig.RTO,
+		SigRetries:        sig.Retries,
+		H323Retries:       sig.H323Retries,
 	}
 	if opts.VMSCMutate != nil {
 		opts.VMSCMutate(&vcfg)
@@ -271,12 +298,17 @@ func BuildVGPRS(opts VGPRSOptions) *VGPRSNet {
 	for i := 0; i < opts.NumTerminals; i++ {
 		termID := sim.NodeID(fmt.Sprintf("TERM-%d", i+1))
 		addr := ipnet.MustAddr(terminalAddr(i))
-		term := h323.NewTerminal(h323.TerminalConfig{
+		tcfg := h323.TerminalConfig{
 			ID: termID, Alias: TerminalAlias(i), Addr: addr,
 			Router: "GI", Gatekeeper: gkAddr, Dir: dir,
 			AutoAnswer: true, AnswerDelay: opts.AutoAnswerDelay,
-			Talk: opts.Talk,
-		})
+			Talk:   opts.Talk,
+			SigRTO: sig.RTO, SigRetries: sig.H323Retries,
+		}
+		if opts.TerminalMutate != nil {
+			opts.TerminalMutate(&tcfg)
+		}
+		term := h323.NewTerminal(tcfg)
 		n.Terminals = append(n.Terminals, term)
 		n.Router.AddHost(addr, termID)
 		dir.Bind(addr, termID)

@@ -115,7 +115,8 @@ func roundTripMessage(t *testing.T, msg sim.Message) (string, bool) {
 		}
 		got, err := sigmap.Unmarshal(b)
 		return requireEqual("MAP", got, err)
-	case q931.Setup, q931.CallProceeding, q931.Alerting, q931.Connect, q931.ReleaseComplete:
+	case q931.Setup, q931.CallProceeding, q931.Alerting, q931.Connect,
+		q931.ConnectAck, q931.ReleaseComplete:
 		b, err := q931.Marshal(msg)
 		if err != nil {
 			t.Fatalf("Q.931 marshal %s: %v", msg.Name(), err)

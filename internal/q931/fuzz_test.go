@@ -1,0 +1,53 @@
+package q931
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"vgprs/internal/sim"
+)
+
+// FuzzDecode hammers Unmarshal with arbitrary bytes. The decoder must never
+// panic, and any message it accepts must survive a marshal/unmarshal round
+// trip unchanged — the property the VMSC's and terminals' Q.931
+// retransmission timers rely on when a setup message is re-encoded.
+func FuzzDecode(f *testing.F) {
+	media := MediaAddr{Addr: netip.MustParseAddr("10.2.0.7"), Port: 30000}
+	for _, msg := range []sim.Message{
+		Setup{CallRef: 1, Called: "886920000002", Calling: "886920000001", Media: media},
+		Setup{CallRef: 2, Called: "886920000002"},
+		CallProceeding{CallRef: 1},
+		Alerting{CallRef: 1},
+		Connect{CallRef: 1, Media: media},
+		ConnectAck{CallRef: 1},
+		ReleaseComplete{CallRef: 1, Cause: CauseNormal},
+	} {
+		b, err := Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x05})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-marshal: %v", msg, err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshalled %T does not decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(back, msg) {
+			t.Fatalf("round trip changed message:\n got %#v\nwant %#v", back, msg)
+		}
+	})
+}

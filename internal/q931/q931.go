@@ -34,6 +34,7 @@ const (
 	mtCallProceeding  uint8 = 0x02
 	mtSetup           uint8 = 0x05
 	mtConnect         uint8 = 0x07
+	mtConnectAck      uint8 = 0x0F
 	mtReleaseComplete uint8 = 0x5A
 )
 
@@ -42,12 +43,13 @@ type Cause uint8
 
 // Release causes (ITU-T Q.850 values for the ones with standard codes).
 const (
-	CauseNormal           Cause = 16
-	CauseUserBusy         Cause = 17
-	CauseNoAnswer         Cause = 19
-	CauseRejected         Cause = 21
-	CauseUnreachable      Cause = 3
-	CauseResourcesUnavail Cause = 47
+	CauseNormal                Cause = 16
+	CauseUserBusy              Cause = 17
+	CauseNoAnswer              Cause = 19
+	CauseRejected              Cause = 21
+	CauseUnreachable           Cause = 3
+	CauseResourcesUnavail      Cause = 47
+	CauseRecoveryOnTimerExpiry Cause = 102
 )
 
 // String names the cause.
@@ -65,6 +67,8 @@ func (c Cause) String() string {
 		return "no-route-to-destination"
 	case CauseResourcesUnavail:
 		return "resources-unavailable"
+	case CauseRecoveryOnTimerExpiry:
+		return "recovery-on-timer-expiry"
 	default:
 		return "Cause(" + strconv.Itoa(int(c)) + ")"
 	}
@@ -123,6 +127,17 @@ type Connect struct {
 // Name implements sim.Message.
 func (Connect) Name() string { return "Q.931 Connect" }
 
+// ConnectAck acknowledges Connect (Q.931 CONNECT ACKNOWLEDGE). It lets the
+// answering side stop its T313 retransmission timer: without it, a Connect
+// lost in the packet core would leave the answerer retransmitting forever
+// while the caller already talks.
+type ConnectAck struct {
+	CallRef uint16
+}
+
+// Name implements sim.Message.
+func (ConnectAck) Name() string { return "Q.931 Connect Acknowledge" }
+
 // ReleaseComplete clears the call (paper step 3.2; H.225 collapses the
 // Q.931 release sequence into this single message).
 type ReleaseComplete struct {
@@ -139,6 +154,7 @@ var (
 	_ sim.Message = CallProceeding{}
 	_ sim.Message = Alerting{}
 	_ sim.Message = Connect{}
+	_ sim.Message = ConnectAck{}
 	_ sim.Message = ReleaseComplete{}
 )
 
@@ -201,6 +217,9 @@ func encode(w *wire.Writer, msg sim.Message) error {
 		w.U16(m.CallRef)
 		w.U8(mtConnect)
 		marshalMedia(w, m.Media)
+	case ConnectAck:
+		w.U16(m.CallRef)
+		w.U8(mtConnectAck)
 	case ReleaseComplete:
 		w.U16(m.CallRef)
 		w.U8(mtReleaseComplete)
@@ -244,6 +263,8 @@ func Unmarshal(b []byte) (sim.Message, error) {
 		}
 		m.Media = media
 		msg = m
+	case mtConnectAck:
+		msg = ConnectAck{CallRef: callRef}
 	case mtReleaseComplete:
 		msg = ReleaseComplete{CallRef: callRef, Cause: Cause(r.U8())}
 	default:
@@ -268,6 +289,8 @@ func CallRefOf(msg sim.Message) (uint16, bool) {
 	case Alerting:
 		return m.CallRef, true
 	case Connect:
+		return m.CallRef, true
+	case ConnectAck:
 		return m.CallRef, true
 	case ReleaseComplete:
 		return m.CallRef, true

@@ -1,0 +1,67 @@
+package sigmap
+
+import (
+	"reflect"
+	"testing"
+
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+)
+
+// FuzzDecode hammers Unmarshal with arbitrary bytes. The decoder must never
+// panic, and any MAP message it accepts must survive a marshal/unmarshal
+// round trip unchanged — the property the SS7 dialogue retransmission path
+// relies on when an invoke is re-encoded from its decoded form.
+func FuzzDecode(f *testing.F) {
+	lai := gsmid.LAI{MCC: "466", MNC: "92", LAC: 0x10}
+	for _, msg := range []sim.Message{
+		UpdateLocationArea{
+			Invoke:   1,
+			Identity: gsmid.ByIMSI("466920000000001"),
+			LAI:      lai,
+			MSC:      "VMSC-1",
+		},
+		UpdateLocationAreaAck{
+			Invoke: 1, IMSI: "466920000000001", TMSI: 0xAB12, MSISDN: "886920000001",
+		},
+		UpdateLocation{Invoke: 2, IMSI: "466920000000001", VLR: "VLR-1", MSC: "VMSC-1"},
+		UpdateLocationAck{Invoke: 2},
+		InsertSubscriberData{Invoke: 3, IMSI: "466920000000001",
+			Profile: SubscriberProfile{MSISDN: "886920000001"}},
+		CancelLocation{Invoke: 4, IMSI: "466920000000001"},
+		SendAuthenticationInfo{Invoke: 5, IMSI: "466920000000001"},
+		SendRoutingInformation{Invoke: 6, MSISDN: "886920000001"},
+		ProvideRoamingNumber{Invoke: 7, IMSI: "466920000000001"},
+		SendIMSI{Invoke: 8, MSISDN: "886920000001"},
+		SendRoutingInfoForGPRS{Invoke: 9, IMSI: "466920000000001"},
+		UpdateGPRSLocation{Invoke: 10, IMSI: "466920000000001", SGSN: "SGSN-1"},
+		UpdateGPRSLocationAck{Invoke: 10, Cause: CauseUnknownSubscriber},
+	} {
+		b, err := Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-marshal: %v", msg, err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshalled %T does not decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(back, msg) {
+			t.Fatalf("round trip changed message:\n got %#v\nwant %#v", back, msg)
+		}
+	})
+}

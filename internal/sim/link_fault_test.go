@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// captureTracer records every Trace call as "iface:msg" strings.
+type captureTracer struct {
+	lines []string
+}
+
+func (c *captureTracer) Trace(at time.Duration, from, to NodeID, iface string, msg Message) {
+	c.lines = append(c.lines, fmt.Sprintf("%s:%s", iface, msg.Name()))
+}
+
+// TestLinkFaultSemantics is the table-driven contract for Loss/Down/Dup
+// interplay on a single link: what gets delivered, what gets dropped, and
+// what the tracer records.
+func TestLinkFaultSemantics(t *testing.T) {
+	cases := []struct {
+		name      string
+		loss      float64
+		dup       float64
+		down      bool
+		sent      int
+		wantGot   int    // exact delivery count
+		wantTrace string // expected first trace line, "" to skip
+	}{
+		{name: "clean", sent: 3, wantGot: 3, wantTrace: "test:m"},
+		{name: "loss-1-drops-all", loss: 1, sent: 3, wantGot: 0, wantTrace: "drop:test:m"},
+		{name: "down-drops-all", down: true, sent: 3, wantGot: 0, wantTrace: "drop:test:m"},
+		{name: "down-wins-over-clean-loss", down: true, loss: 0, sent: 2, wantGot: 0, wantTrace: "drop:test:m"},
+		{name: "dup-1-doubles", dup: 1, sent: 3, wantGot: 6, wantTrace: "test:m"},
+		{name: "down-wins-over-dup", down: true, dup: 1, sent: 3, wantGot: 0, wantTrace: "drop:test:m"},
+		{name: "loss-1-wins-over-dup", loss: 1, dup: 1, sent: 3, wantGot: 0, wantTrace: "drop:test:m"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env, _, b := newPair(t, time.Millisecond)
+			tr := &captureTracer{}
+			env.SetTracer(tr)
+			link := env.LinkBetween("a", "b")
+			link.Loss = tc.loss
+			link.Dup = tc.dup
+			link.Down = tc.down
+			for i := 0; i < tc.sent; i++ {
+				env.Send("a", "b", testMsg{"m"})
+			}
+			env.Run()
+			if len(b.got) != tc.wantGot {
+				t.Fatalf("delivered %d messages, want %d", len(b.got), tc.wantGot)
+			}
+			if tc.wantTrace != "" {
+				if len(tr.lines) == 0 {
+					t.Fatalf("no trace lines recorded, want first %q", tc.wantTrace)
+				}
+				if tr.lines[0] != tc.wantTrace {
+					t.Fatalf("first trace line %q, want %q", tr.lines[0], tc.wantTrace)
+				}
+			}
+		})
+	}
+}
+
+// TestDupLinkDuplicatesProportionally checks the duplication probability is
+// honoured statistically.
+func TestDupLinkDuplicatesProportionally(t *testing.T) {
+	env, _, b := newPair(t, time.Millisecond)
+	env.LinkBetween("a", "b").Dup = 0.5
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		env.Send("a", "b", testMsg{"m"})
+	}
+	env.Run()
+	got := len(b.got)
+	if got < sent+sent*4/10 || got > sent+sent*6/10 {
+		t.Fatalf("delivered %d of %d sent with 50%% duplication, want ~%d", got, sent, sent+sent/2)
+	}
+}
+
+// TestDupDeliveriesGetOwnJitter checks that each duplicated copy draws its
+// own jitter, so copies arrive at distinct times (with overwhelming
+// probability under a fixed seed).
+func TestDupDeliveriesGetOwnJitter(t *testing.T) {
+	env, _, b := newPair(t, time.Millisecond)
+	link := env.LinkBetween("a", "b")
+	link.Dup = 1
+	link.Jitter = time.Millisecond
+	env.Send("a", "b", testMsg{"m"})
+	env.Run()
+	if len(b.got) != 2 {
+		t.Fatalf("delivered %d copies, want 2", len(b.got))
+	}
+	if b.gotAt[0] == b.gotAt[1] {
+		t.Fatalf("both copies arrived at %v; want distinct jitter draws", b.gotAt[0])
+	}
+}
+
+// TestFaultyLinkSeedStable checks drop/dup patterns are a pure function of
+// the seed: two runs with the same seed produce identical delivery
+// sequences, and a different seed produces a different one.
+func TestFaultyLinkSeedStable(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		env := NewEnv(seed)
+		a := &recorderNode{id: "a"}
+		b := &recorderNode{id: "b"}
+		env.AddNode(a)
+		env.AddNode(b)
+		ab, _ := env.Connect("a", "b", "test", time.Millisecond)
+		ab.Loss = 0.3
+		ab.Dup = 0.3
+		ab.Jitter = time.Millisecond
+		for i := 0; i < 200; i++ {
+			env.Send("a", "b", testMsg{"m"})
+		}
+		env.Run()
+		return b.gotAt
+	}
+	first := run(7)
+	again := run(7)
+	if len(first) != len(again) {
+		t.Fatalf("same seed delivered %d then %d messages", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("same seed: delivery %d at %v then %v", i, first[i], again[i])
+		}
+	}
+	other := run(8)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical delivery sequences")
+	}
+}

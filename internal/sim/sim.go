@@ -84,6 +84,12 @@ type Link struct {
 	// Down marks the link as failed; sends over a down link are dropped
 	// (and still traced with the "drop:" prefix on the interface name).
 	Down bool
+	// Dup, when positive, duplicates each (non-dropped) delivery
+	// independently with this probability (0..1): the message is delivered
+	// twice, each copy with its own jitter draw. Receivers must treat
+	// signalling PDUs idempotently, which is exactly what the chaos tests
+	// exercise.
+	Dup float64
 }
 
 // NewEnv creates an empty simulation environment seeded for reproducibility.
@@ -180,17 +186,26 @@ func (e *Env) Send(from, to NodeID, msg Message) {
 		}
 		return
 	}
-	delay := link.Latency
-	if link.Jitter > 0 {
-		delay += time.Duration(e.rng.Int63n(int64(link.Jitter)))
+	// Fault draws happen in a fixed order (loss, then duplication, then one
+	// jitter draw per copy) so a seeded run replays identically.
+	copies := 1
+	if link.Dup > 0 && e.rng.Float64() < link.Dup {
+		copies = 2
 	}
-	// Delivery is the engine's steady state: schedule a typed record rather
-	// than a closure so the hot path performs zero heap allocations.
-	e.seq++
-	e.queue.push(event{
-		at: e.now + delay, seq: e.seq, kind: evDeliver,
-		from: from, to: to, link: link, msg: msg,
-	})
+	for i := 0; i < copies; i++ {
+		delay := link.Latency
+		if link.Jitter > 0 {
+			delay += time.Duration(e.rng.Int63n(int64(link.Jitter)))
+		}
+		// Delivery is the engine's steady state: schedule a typed record
+		// rather than a closure so the hot path performs zero heap
+		// allocations.
+		e.seq++
+		e.queue.push(event{
+			at: e.now + delay, seq: e.seq, kind: evDeliver,
+			from: from, to: to, link: link, msg: msg,
+		})
+	}
 }
 
 // dispatch runs one popped event on the simulation goroutine.
@@ -251,6 +266,34 @@ func (e *Env) AfterArg(d time.Duration, fn func(any), arg any) {
 	}
 	e.seq++
 	e.queue.push(event{at: e.now + d, seq: e.seq, kind: evTimerArg, argFn: fn, arg: arg})
+}
+
+// NextRTO advances a retransmission timeout one step: binary exponential
+// backoff capped at 8x the initial value (TCP-style bounded backoff, so
+// large retry budgets keep probing instead of going silent for the rest of
+// the run). Every retransmitting plane in the stack paces itself with this
+// so budgets compose predictably.
+func NextRTO(cur, initial time.Duration) time.Duration {
+	next := cur * 2
+	if max := initial * 8; next > max {
+		return max
+	}
+	return next
+}
+
+// RetryDeadline returns the virtual time between a request's first
+// transmission and its retry budget exhausting, for a schedule of retries
+// retransmissions paced by NextRTO from the given initial RTO. For budgets
+// of three or fewer this is the classic (2^(retries+1)-1)*rto; beyond that
+// the cap makes it linear.
+func RetryDeadline(rto time.Duration, retries int) time.Duration {
+	var total time.Duration
+	cur := rto
+	for i := 0; i <= retries; i++ {
+		total += cur
+		cur = NextRTO(cur, rto)
+	}
+	return total
 }
 
 // Run processes events until the queue is empty. It returns the virtual time

@@ -1,6 +1,7 @@
 package ss7
 
 import (
+	"errors"
 	"time"
 
 	"vgprs/internal/sim"
@@ -8,6 +9,11 @@ import (
 
 // InvokeID correlates a MAP invoke with its result, like a TCAP invoke ID.
 type InvokeID uint32
+
+// ErrTimeout is the typed error surfaced when an invoke exhausts its timeout
+// or retransmission budget without a response. Procedure layers wrap it into
+// their own failure causes; tests assert on it with errors.Is.
+var ErrTimeout = errors.New("ss7: dialogue timed out")
 
 // DialogueManager tracks outstanding MAP invokes for one network element.
 // Callers register a completion callback per invoke; a response routed back
@@ -26,6 +32,10 @@ type DialogueManager struct {
 	// (and scheduling expiry through sim.Env.AfterArg with a package
 	// function) makes Invoke allocation-free at steady state.
 	freeList []*pendingInvoke
+	// retransmits counts request PDUs re-sent by the retry timer across the
+	// manager's lifetime. The chaos harness sums it across elements to bound
+	// per-procedure retry counts.
+	retransmits uint64
 }
 
 type pendingInvoke struct {
@@ -37,6 +47,16 @@ type pendingInvoke struct {
 	arg      any
 	resolved bool
 	hasTimer bool
+
+	// Retransmission state, set by Transmit: the request PDU is re-sent
+	// with doubled RTO each time the retry timer fires unresolved, until
+	// retriesLeft hits zero.
+	env         *sim.Env
+	from, to    sim.NodeID
+	msg         sim.Message
+	rto         time.Duration
+	rto0        time.Duration // initial RTO; bounds the backoff at 8x
+	retriesLeft int
 }
 
 // NewDialogueManager returns an empty manager.
@@ -119,6 +139,79 @@ func (d *DialogueManager) InvokeArg(env *sim.Env, timeout time.Duration, fn func
 	return id
 }
 
+// retryInvoke runs when a retransmitting invoke's RTO timer fires. Like
+// expireInvoke, a record resolved before the deadline is only recycled here.
+// While budget remains, the stored request PDU is re-sent and the timer
+// re-armed with the RTO doubled (binary exponential backoff); once the
+// budget is exhausted the invoke fails exactly like a timeout.
+func retryInvoke(arg any) {
+	p := arg.(*pendingInvoke)
+	d := p.d
+	if p.resolved {
+		d.put(p)
+		return
+	}
+	if p.retriesLeft > 0 {
+		p.retriesLeft--
+		d.retransmits++
+		p.env.Send(p.from, p.to, p.msg)
+		p.rto = sim.NextRTO(p.rto, p.rto0)
+		p.env.AfterArg(p.rto, retryInvoke, p)
+		return
+	}
+	delete(d.pending, p.id)
+	done, doneArg, cbArg := p.done, p.doneArg, p.arg
+	d.put(p)
+	if doneArg != nil {
+		doneArg(cbArg, nil, false)
+		return
+	}
+	done(nil, false)
+}
+
+// InvokeRetry allocates an invoke ID for a retransmitting dialogue: the
+// caller must follow immediately with exactly one Transmit carrying the
+// request PDU, which arms the retry timer. Like Invoke, done fires exactly
+// once — with the response, or with (nil, false) after the retry budget is
+// exhausted.
+func (d *DialogueManager) InvokeRetry(done func(msg sim.Message, ok bool)) InvokeID {
+	d.next++
+	id := d.next
+	p := d.get()
+	p.d, p.id, p.done = d, id, done
+	d.pending[id] = p
+	return id
+}
+
+// InvokeRetryArg is InvokeRetry routing completion through a package-level
+// function plus a transaction argument, like InvokeArg.
+func (d *DialogueManager) InvokeRetryArg(fn func(arg any, msg sim.Message, ok bool), arg any) InvokeID {
+	d.next++
+	id := d.next
+	p := d.get()
+	p.d, p.id, p.doneArg, p.arg = d, id, fn, arg
+	d.pending[id] = p
+	return id
+}
+
+// Transmit sends the request PDU for an invoke allocated with
+// InvokeRetry/InvokeRetryArg and arms its retransmission timer: if no
+// Resolve arrives within rto the same PDU is re-sent with the RTO doubled,
+// up to retries re-sends. Responders must therefore treat a repeated invoke
+// ID idempotently. When the budget runs out the completion callback fires
+// with (nil, false).
+func (d *DialogueManager) Transmit(env *sim.Env, id InvokeID, from, to sim.NodeID, msg sim.Message, rto time.Duration, retries int) {
+	p, ok := d.pending[id]
+	if !ok {
+		return
+	}
+	p.env, p.from, p.to, p.msg = env, from, to, msg
+	p.rto, p.rto0, p.retriesLeft = rto, rto, retries
+	p.hasTimer = true
+	env.Send(from, to, msg)
+	env.AfterArg(rto, retryInvoke, p)
+}
+
 // Resolve delivers a response for the given invoke ID. It reports whether an
 // outstanding invoke was found (late responses after timeout return false
 // and are dropped, mirroring TCAP behaviour).
@@ -130,10 +223,11 @@ func (d *DialogueManager) Resolve(id InvokeID, msg sim.Message) bool {
 	delete(d.pending, id)
 	done, doneArg, cbArg := p.done, p.doneArg, p.arg
 	if p.hasTimer {
-		// The expiry event still holds the record; drop the callbacks now
-		// and let expireInvoke recycle it.
+		// The expiry event still holds the record; drop the callbacks (and
+		// any retained request PDU) now and let the timer function recycle
+		// it.
 		p.resolved = true
-		p.done, p.doneArg, p.arg = nil, nil, nil
+		p.done, p.doneArg, p.arg, p.msg = nil, nil, nil, nil
 	} else {
 		d.put(p)
 	}
@@ -147,3 +241,11 @@ func (d *DialogueManager) Resolve(id InvokeID, msg sim.Message) bool {
 
 // Outstanding returns the number of unresolved invokes.
 func (d *DialogueManager) Outstanding() int { return len(d.pending) }
+
+// Retransmits returns the number of request PDUs re-sent by retry timers.
+func (d *DialogueManager) Retransmits() uint64 { return d.retransmits }
+
+// FreeLen returns the current length of the record free list. Leak tests
+// use it to assert that every timer record is recycled once all dialogues
+// have concluded and their timers fired.
+func (d *DialogueManager) FreeLen() int { return len(d.freeList) }

@@ -48,8 +48,12 @@ type Config struct {
 	// MSRNLifetime bounds how long an allocated roaming number stays
 	// valid awaiting the incoming IAM. Zero means 30 seconds.
 	MSRNLifetime time.Duration
-	// MAPTimeout bounds dialogues this VLR originates. Zero means 5s.
-	MAPTimeout time.Duration
+	// SigRTO is the initial retransmission timeout for MAP dialogues this
+	// VLR originates; it doubles on every retry. Zero means 1 second.
+	SigRTO time.Duration
+	// SigRetries bounds retransmissions per dialogue before it fails.
+	// Zero means 3.
+	SigRetries int
 	// AuthDisabled skips the challenge-response and ciphering phases
 	// (used by ablation benches to isolate their latency contribution).
 	AuthDisabled bool
@@ -66,14 +70,30 @@ type VLR struct {
 	msrn     map[gsmid.MSISDN]gsmid.IMSI
 	nextTMSI uint32
 	nextMSRN uint32
+
+	// pendingULA dedupes in-flight location updates: the MSC retransmits
+	// UpdateLocationArea with the same invoke ID, and a duplicate must not
+	// spawn a parallel authentication chain (TMSI churn, doubled HLR
+	// updates). Driven only from the sim goroutine.
+	pendingULA map[ulaKey]struct{}
+}
+
+// ulaKey identifies one in-flight location-update transaction by its
+// originating MSC and MAP invoke ID (retransmissions reuse both).
+type ulaKey struct {
+	msc    sim.NodeID
+	invoke ss7.InvokeID
 }
 
 var _ sim.Node = (*VLR)(nil)
 
 // New returns an empty VLR.
 func New(cfg Config) *VLR {
-	if cfg.MAPTimeout == 0 {
-		cfg.MAPTimeout = 5 * time.Second
+	if cfg.SigRTO == 0 {
+		cfg.SigRTO = time.Second
+	}
+	if cfg.SigRetries == 0 {
+		cfg.SigRetries = 3
 	}
 	if cfg.MSRNLifetime == 0 {
 		cfg.MSRNLifetime = 30 * time.Second
@@ -82,13 +102,17 @@ func New(cfg Config) *VLR {
 		cfg.MSRNPrefix = "88690000"
 	}
 	return &VLR{
-		cfg:    cfg,
-		dm:     ss7.NewDialogueManager(),
-		byIMSI: make(map[gsmid.IMSI]*MMContext),
-		byTMSI: make(map[gsmid.TMSI]gsmid.IMSI),
-		msrn:   make(map[gsmid.MSISDN]gsmid.IMSI),
+		cfg:        cfg,
+		dm:         ss7.NewDialogueManager(),
+		byIMSI:     make(map[gsmid.IMSI]*MMContext),
+		byTMSI:     make(map[gsmid.TMSI]gsmid.IMSI),
+		msrn:       make(map[gsmid.MSISDN]gsmid.IMSI),
+		pendingULA: make(map[ulaKey]struct{}),
 	}
 }
+
+// Retransmits returns the number of MAP request PDUs this VLR has re-sent.
+func (v *VLR) Retransmits() uint64 { return v.dm.Retransmits() }
 
 // ID implements sim.Node.
 func (v *VLR) ID() sim.NodeID { return v.cfg.ID }
@@ -188,7 +212,12 @@ type ulaTxn struct {
 	ciphered  bool
 }
 
+func (t *ulaTxn) finish() {
+	delete(t.v.pendingULA, ulaKey{msc: t.msc, invoke: t.m.Invoke})
+}
+
 func (t *ulaTxn) reject(cause sigmap.Cause) {
+	t.finish()
 	t.env.Send(t.v.cfg.ID, t.msc, sigmap.UpdateLocationAreaAck{Invoke: t.m.Invoke, Cause: cause})
 }
 
@@ -198,23 +227,31 @@ func (t *ulaTxn) reject(cause sigmap.Cause) {
 //	MAP_UPDATE_LOCATION to HLR (profile arrives via InsertSubscriberData)
 //	-> allocate TMSI -> MAP_UPDATE_LOCATION_AREA_ack to the MSC.
 func (v *VLR) handleUpdateLocationArea(env *sim.Env, msc sim.NodeID, m sigmap.UpdateLocationArea) {
+	// The MSC retransmits a lost UpdateLocationArea with the same invoke
+	// ID; a duplicate of an in-flight transaction is dropped here — the
+	// original chain will answer it.
+	key := ulaKey{msc: msc, invoke: m.Invoke}
+	if _, busy := v.pendingULA[key]; busy {
+		return
+	}
 	t := &ulaTxn{v: v, env: env, msc: msc, m: m}
 	imsi, ok := v.resolveIdentity(m.Identity)
 	if !ok {
-		t.reject(sigmap.CauseUnknownSubscriber)
+		t.env.Send(v.cfg.ID, msc, sigmap.UpdateLocationAreaAck{Invoke: m.Invoke, Cause: sigmap.CauseUnknownSubscriber})
 		return
 	}
 	t.imsi = imsi
+	v.pendingULA[key] = struct{}{}
 
 	if v.cfg.AuthDisabled {
 		t.updateHLRAndConfirm()
 		return
 	}
 
-	saiInvoke := v.dm.InvokeArg(env, v.cfg.MAPTimeout, ulaAuthInfoDone, t)
-	env.Send(v.cfg.ID, v.cfg.HLR, sigmap.SendAuthenticationInfo{
+	saiInvoke := v.dm.InvokeRetryArg(ulaAuthInfoDone, t)
+	v.dm.Transmit(env, saiInvoke, v.cfg.ID, v.cfg.HLR, sigmap.SendAuthenticationInfo{
 		Invoke: saiInvoke, IMSI: imsi, Count: 3,
-	})
+	}, v.cfg.SigRTO, v.cfg.SigRetries)
 }
 
 // ulaAuthInfoDone receives the HLR's auth vectors and starts the
@@ -228,10 +265,10 @@ func ulaAuthInfoDone(arg any, resp sim.Message, ok bool) {
 	}
 	v := t.v
 	t.challenge = ack.Triplets[0]
-	authInvoke := v.dm.InvokeArg(t.env, v.cfg.MAPTimeout, ulaAuthenticateDone, t)
-	t.env.Send(v.cfg.ID, t.msc, sigmap.Authenticate{
+	authInvoke := v.dm.InvokeRetryArg(ulaAuthenticateDone, t)
+	v.dm.Transmit(t.env, authInvoke, v.cfg.ID, t.msc, sigmap.Authenticate{
 		Invoke: authInvoke, Identity: t.m.Identity, RAND: t.challenge.RAND,
-	})
+	}, v.cfg.SigRTO, v.cfg.SigRetries)
 	// Remaining triplets are cached for later transactions.
 	v.mu.Lock()
 	if ctx := v.byIMSI[t.imsi]; ctx != nil {
@@ -249,10 +286,10 @@ func ulaAuthenticateDone(arg any, resp sim.Message, ok bool) {
 		return
 	}
 	v := t.v
-	cipherInvoke := v.dm.InvokeArg(t.env, v.cfg.MAPTimeout, ulaCipherDone, t)
-	t.env.Send(v.cfg.ID, t.msc, sigmap.SetCipherMode{
+	cipherInvoke := v.dm.InvokeRetryArg(ulaCipherDone, t)
+	v.dm.Transmit(t.env, cipherInvoke, v.cfg.ID, t.msc, sigmap.SetCipherMode{
 		Invoke: cipherInvoke, Identity: t.m.Identity, Kc: t.challenge.Kc,
-	})
+	}, v.cfg.SigRTO, v.cfg.SigRetries)
 }
 
 // ulaCipherDone confirms ciphering and proceeds to the HLR update.
@@ -271,10 +308,10 @@ func ulaCipherDone(arg any, resp sim.Message, ok bool) {
 // update toward the MSC.
 func (t *ulaTxn) updateHLRAndConfirm() {
 	v := t.v
-	ulInvoke := v.dm.InvokeArg(t.env, v.cfg.MAPTimeout, ulaHLRDone, t)
-	t.env.Send(v.cfg.ID, v.cfg.HLR, sigmap.UpdateLocation{
+	ulInvoke := v.dm.InvokeRetryArg(ulaHLRDone, t)
+	v.dm.Transmit(t.env, ulInvoke, v.cfg.ID, v.cfg.HLR, sigmap.UpdateLocation{
 		Invoke: ulInvoke, IMSI: t.imsi, VLR: string(v.cfg.ID), MSC: t.m.MSC,
-	})
+	}, v.cfg.SigRTO, v.cfg.SigRetries)
 }
 
 // ulaHLRDone installs the MM context and answers the MSC.
@@ -294,6 +331,7 @@ func ulaHLRDone(arg any, resp sim.Message, ok bool) {
 	v.mu.Lock()
 	msisdn := v.byIMSI[t.imsi].Profile.MSISDN
 	v.mu.Unlock()
+	t.finish()
 	t.env.Send(v.cfg.ID, t.msc, sigmap.UpdateLocationAreaAck{
 		Invoke: t.m.Invoke, Cause: sigmap.CauseNone, IMSI: t.imsi, TMSI: tmsi,
 		MSISDN: msisdn,

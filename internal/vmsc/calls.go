@@ -131,11 +131,18 @@ func (v *VMSC) handleRAS(env *sim.Env, msg sim.Message) {
 
 // rasPending is one outstanding RAS transaction: a package-level completion
 // function plus its argument (no closure per transaction). env is kept for
-// the timeout path, which has no live env of its own.
+// the timeout path, which has no live env of its own. entry and msg drive
+// retransmission: the request is re-sent with a doubled RTO until the
+// budget runs out, then the completion fires with a nil message.
 type rasPending struct {
-	fn  func(env *sim.Env, arg any, msg sim.Message)
-	arg any
-	env *sim.Env
+	fn    func(env *sim.Env, arg any, msg sim.Message)
+	arg   any
+	env   *sim.Env
+	entry *msEntry
+	msg   sim.Message
+
+	rto         time.Duration
+	retriesLeft int
 }
 
 // rasTimer carries the (VMSC, seq) pair a RAS timeout needs. Records are
@@ -160,15 +167,27 @@ func (v *VMSC) getRASTimer(seq uint32) *rasTimer {
 	return t
 }
 
-// rasExpire times out an unanswered RAS transaction: the completion fires
-// with a nil message — callers treat that as failure, so a dead gatekeeper
-// (or severed tunnel) fails procedures instead of wedging them.
+// rasExpire runs an unanswered RAS transaction's RTO timer. While budget
+// remains, the retained request is retransmitted with a doubled RTO,
+// re-arming the SAME slab record (the exactly-one-outstanding-timer
+// invariant keeps the free list balanced). On exhaustion the completion
+// fires with a nil message — callers treat that as failure, so a dead
+// gatekeeper (or severed tunnel) fails procedures instead of wedging them.
 func rasExpire(arg any) {
 	t := arg.(*rasTimer)
 	v, seq := t.v, t.seq
+	p, pending := v.pendingRAS[seq]
+	if pending && p.retriesLeft > 0 && p.msg != nil && p.entry != nil {
+		p.retriesLeft--
+		p.rto = sim.NextRTO(p.rto, v.cfg.SigRTO)
+		v.pendingRAS[seq] = p
+		v.rasRetransmits++
+		p.entry.endpoint.SendRAS(p.env, v.cfg.Gatekeeper, p.msg)
+		p.env.AfterArg(p.rto, rasExpire, t)
+		return
+	}
 	t.v, t.seq = nil, 0
 	v.rasTimerFree = append(v.rasTimerFree, t)
-	p, pending := v.pendingRAS[seq]
 	if !pending {
 		return
 	}
@@ -178,11 +197,16 @@ func rasExpire(arg any) {
 
 // rasArg registers fn(env, arg, msg) as the completion for the RAS
 // transaction with sequence seq. The caller sends the request itself (the
-// message carries seq); an unanswered transaction times out after
-// MAPTimeout.
-func (v *VMSC) rasArg(env *sim.Env, seq uint32, fn func(env *sim.Env, arg any, msg sim.Message), arg any) {
-	v.pendingRAS[seq] = rasPending{fn: fn, arg: arg, env: env}
-	env.AfterArg(v.cfg.MAPTimeout, rasExpire, v.getRASTimer(seq))
+// message carries seq); entry and msg let the RTO timer retransmit it. An
+// unanswered transaction is retried per the SigRTO/SigRetries schedule and
+// then fails with a nil message.
+func (v *VMSC) rasArg(env *sim.Env, seq uint32, entry *msEntry, msg sim.Message,
+	fn func(env *sim.Env, arg any, msg sim.Message), arg any) {
+	v.pendingRAS[seq] = rasPending{
+		fn: fn, arg: arg, env: env, entry: entry, msg: msg,
+		rto: v.cfg.SigRTO, retriesLeft: v.cfg.H323Retries,
+	}
+	env.AfterArg(v.cfg.SigRTO, rasExpire, v.getRASTimer(seq))
 }
 
 // rasCallPlain adapts a plain func(env, msg) callback stored in arg.
@@ -207,9 +231,51 @@ func (v *VMSC) ras(env *sim.Env, entry *msEntry, msg sim.Message, done func(*sim
 		case h323.URQ:
 			seq = m.Seq
 		}
-		v.rasArg(env, seq, rasCallPlain, done)
+		v.rasArg(env, seq, entry, msg, rasCallPlain, done)
 	}
 	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, msg)
+}
+
+// --- Q.931 retransmission (T303 for Setup, T313 for Connect) ---
+
+// q931Retry is the timer record for one Q.931 retransmission cycle.
+type q931Retry struct {
+	v    *VMSC
+	call *vCall
+	gen  uint32
+}
+
+// armQ931 sends a Q.931 message that expects an answer and starts its
+// retransmission cycle: re-sent with doubling RTO until an answer stops the
+// cycle (stopQ931) or the budget runs out, which tears the call down.
+func (v *VMSC) armQ931(env *sim.Env, call *vCall, msg sim.Message) {
+	call.entry.endpoint.SendQ931(env, call.remoteSig, msg)
+	call.q931Gen++
+	call.q931Msg = msg
+	call.q931RTO, call.q931Retries = v.cfg.SigRTO, v.cfg.H323Retries
+	env.AfterArg(v.cfg.SigRTO, q931Expire, &q931Retry{v: v, call: call, gen: call.q931Gen})
+}
+
+// stopQ931 ends the call's current retransmission cycle (answer arrived).
+func (v *VMSC) stopQ931(call *vCall) { call.q931Msg = nil }
+
+func q931Expire(arg any) {
+	r := arg.(*q931Retry)
+	call := r.call
+	if call.q931Msg == nil || call.q931Gen != r.gen {
+		return
+	}
+	if call.q931Retries > 0 {
+		call.q931Retries--
+		call.q931RTO = sim.NextRTO(call.q931RTO, r.v.cfg.SigRTO)
+		r.v.q931Retransmits++
+		call.entry.endpoint.SendQ931(call.env, call.remoteSig, call.q931Msg)
+		call.env.AfterArg(call.q931RTO, q931Expire, r)
+		return
+	}
+	// Budget exhausted: clear the call everywhere rather than hang.
+	call.q931Msg = nil
+	r.v.clearCall(call.env, call, true)
 }
 
 // --- Mobile-originated calls (Fig 5, steps 2.1-2.9) ---
@@ -222,32 +288,39 @@ func (v *VMSC) handleMOSetup(env *sim.Env, bsc sim.NodeID, t gsm.Setup) {
 	}
 	v.nextRAS++ // Q.931 references share the VMSC-wide sequence space
 	call := &vCall{
-		entry: entry, ref: uint16(v.nextRAS), radioRef: t.CallRef,
-		state: callRouting, mobileOriginated: true,
+		entry: entry, env: env, ref: uint16(v.nextRAS), radioRef: t.CallRef,
+		state: callRouting, mobileOriginated: true, remote: t.Called,
 	}
 	entry.call = call
 	v.active++
 
 	// Step 2.2: ask the VLR whether the call is allowed, then check the
 	// routing path to the GGSN (the PDP context record — already active
-	// in vGPRS, which is the point of the §6 comparison).
-	invoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
-		ack, isAck := resp.(sigmap.SendInfoForOutgoingCallAck)
-		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+	// in vGPRS, which is the point of the §6 comparison). The invoke is
+	// retransmitted on loss per the SigRTO schedule.
+	invoke := v.dm.InvokeRetryArg(moSIFOCDone, call)
+	v.dm.Transmit(env, invoke, v.cfg.ID, v.cfg.VLR, sigmap.SendInfoForOutgoingCall{
+		Invoke: invoke, Identity: gsmid.ByTMSI(entry.tmsi), Called: t.Called,
+	}, v.cfg.SigRTO, v.cfg.SigRetries)
+}
+
+// moSIFOCDone continues an MO call after the VLR authorises it (or the
+// retried dialogue finally fails).
+func moSIFOCDone(arg any, resp sim.Message, ok bool) {
+	call := arg.(*vCall)
+	v, env := call.entry.v, call.env
+	ack, isAck := resp.(sigmap.SendInfoForOutgoingCallAck)
+	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+		v.clearCall(env, call, true)
+		return
+	}
+	v.setMSISDN(call.entry, ack.MSISDN)
+	v.ensureSignallingPDP(env, call.entry, func(ok bool) {
+		if !ok {
 			v.clearCall(env, call, true)
 			return
 		}
-		v.setMSISDN(entry, ack.MSISDN)
-		v.ensureSignallingPDP(env, entry, func(ok bool) {
-			if !ok {
-				v.clearCall(env, call, true)
-				return
-			}
-			v.admitMOCall(env, call, t.Called)
-		})
-	})
-	env.Send(v.cfg.ID, v.cfg.VLR, sigmap.SendInfoForOutgoingCall{
-		Invoke: invoke, Identity: gsmid.ByTMSI(entry.tmsi), Called: t.Called,
+		v.admitMOCall(env, call, call.remote)
 	})
 }
 
@@ -266,8 +339,9 @@ func (v *VMSC) admitMOCall(env *sim.Env, call *vCall, called gsmid.MSISDN) {
 		}
 		call.remoteSig = m.SignalAddr
 		call.state = callDelivering
-		// Step 2.4: Q.931 Setup through the GGSN to the terminal.
-		entry.endpoint.SendQ931(env, m.SignalAddr, q931.Setup{
+		// Step 2.4: Q.931 Setup through the GGSN to the terminal,
+		// retransmitted (T303) until the far end acknowledges.
+		v.armQ931(env, call, q931.Setup{
 			CallRef: call.ref, Called: called, Calling: entry.msisdn,
 			Media: q931.MediaAddr{Addr: entry.addr, Port: ipnet.PortRTP},
 		})
@@ -279,11 +353,18 @@ func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg si
 	case q931.Setup:
 		v.handleMTSetup(env, entry, pkt, m)
 	case q931.CallProceeding:
-		// Step 2.4 tail: no more routing information expected.
+		// Step 2.4 tail: no more routing information expected — the far
+		// end holds our Setup, so its retransmission cycle can stop.
+		if call := entry.call; call != nil && call.ref == m.CallRef && call.mobileOriginated {
+			v.stopQ931(call)
+		}
 	case q931.Alerting:
 		// Step 2.7: relay the alerting indication down the radio path to
-		// trigger ringback at the MS.
-		if call := entry.call; call != nil && call.ref == m.CallRef && call.mobileOriginated {
+		// trigger ringback at the MS. A late duplicate must not regress
+		// an answered call, hence the state guard.
+		if call := entry.call; call != nil && call.ref == m.CallRef &&
+			call.mobileOriginated && call.state == callDelivering {
+			v.stopQ931(call)
 			call.state = callAlerting
 			env.Send(v.cfg.ID, call.entry.bsc, gsm.Alerting{
 				Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
@@ -291,13 +372,26 @@ func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg si
 		}
 	case q931.Connect:
 		// Step 2.8 + 2.9: answer reaches the MS; then activate the
-		// real-time voice PDP context.
+		// real-time voice PDP context. Every copy is acknowledged (the
+		// answerer retransmits Connect until it sees the ack); only the
+		// first is processed.
 		if call := entry.call; call != nil && call.ref == m.CallRef && call.mobileOriginated {
+			entry.endpoint.SendQ931(env, call.remoteSig, q931.ConnectAck{CallRef: m.CallRef})
+			if call.answered {
+				return
+			}
+			call.answered = true
+			v.stopQ931(call)
 			call.remoteMed = m.Media
 			env.Send(v.cfg.ID, call.entry.bsc, gsm.Connect{
 				Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
 			})
 			v.activateVoicePDP(env, call)
+		}
+	case q931.ConnectAck:
+		// The far end saw our Connect (MT answer): stop T313.
+		if call := entry.call; call != nil && call.ref == m.CallRef {
+			v.stopQ931(call)
 		}
 	case q931.ReleaseComplete:
 		// Far party cleared (or step 3.2's mirror for MT calls).
@@ -314,13 +408,21 @@ func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg si
 // GGSN on the MS's signalling PDP context.
 func (v *VMSC) handleMTSetup(env *sim.Env, entry *msEntry, pkt ipnet.Packet, m q931.Setup) {
 	if entry.call != nil {
+		if entry.call.ref == m.CallRef && entry.call.remoteSig == pkt.Src {
+			// A retransmitted Setup for the call already in progress:
+			// re-acknowledge so the caller's T303 stops; killing the
+			// call with UserBusy here would fail every MT call whose
+			// first CallProceeding was lost.
+			entry.endpoint.SendQ931(env, pkt.Src, q931.CallProceeding{CallRef: m.CallRef})
+			return
+		}
 		entry.endpoint.SendQ931(env, pkt.Src, q931.ReleaseComplete{
 			CallRef: m.CallRef, Cause: q931.CauseUserBusy,
 		})
 		return
 	}
 	call := &vCall{
-		entry: entry, ref: m.CallRef, radioRef: uint32(m.CallRef),
+		entry: entry, env: env, ref: m.CallRef, radioRef: uint32(m.CallRef),
 		state: callPaging, remote: m.Calling, remoteSig: pkt.Src, remoteMed: m.Media,
 	}
 	entry.call = call
@@ -394,8 +496,9 @@ func (v *VMSC) radioConnect(env *sim.Env, t gsm.Connect) {
 		return
 	}
 	call := entry.call
-	// Step 4.7: Connect toward the caller, with the MS's media address.
-	entry.endpoint.SendQ931(env, call.remoteSig, q931.Connect{
+	// Step 4.7: Connect toward the caller, with the MS's media address,
+	// retransmitted (T313) until the caller's ConnectAck.
+	v.armQ931(env, call, q931.Connect{
 		CallRef: call.ref,
 		Media:   q931.MediaAddr{Addr: entry.addr, Port: ipnet.PortRTP},
 	})
@@ -514,6 +617,7 @@ func (v *VMSC) clearCall(env *sim.Env, call *vCall, radio bool) {
 }
 
 func (v *VMSC) forget(call *vCall) {
+	v.stopQ931(call) // a live retry timer must not resurrect the call
 	v.stats.CallsReleased++
 	if v.cfg.Hooks.OnCallReleased != nil {
 		v.cfg.Hooks.OnCallReleased(call.entry.imsi)

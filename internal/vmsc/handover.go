@@ -32,7 +32,7 @@ func (v *VMSC) handoverRequired(env *sim.Env, t gsm.HandoverRequired) {
 	call.hoRef = hoRef
 	v.hoCalls[hoRef] = call
 
-	invoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+	invoke := v.dm.Invoke(env, v.sigDeadline(), func(resp sim.Message, ok bool) {
 		ack, isAck := resp.(sigmap.PrepareHandoverAck)
 		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
 			delete(v.hoCalls, hoRef)
@@ -140,7 +140,7 @@ func (v *VMSC) subsequentHandover(env *sim.Env, from sim.NodeID, t sigmap.Prepar
 	// Third MSC: prepare it exactly like a first handover, but the
 	// handover command travels through the relay, and the old trunk lives
 	// until the new target confirms the MS's arrival.
-	invoke := v.dm.Invoke(env, v.cfg.MAPTimeout, func(resp sim.Message, ok bool) {
+	invoke := v.dm.Invoke(env, v.sigDeadline(), func(resp sim.Message, ok bool) {
 		ack, isAck := resp.(sigmap.PrepareHandoverAck)
 		if !ok || !isAck || ack.Cause != sigmap.CauseNone {
 			refuse()

@@ -133,11 +133,12 @@ func (v *VMSC) registerWithGatekeeper(env *sim.Env, entry *msEntry, announce boo
 	entry.regAnnounce = announce
 	v.nextRAS++
 	seq := v.nextRAS
-	v.rasArg(env, seq, regRRQDone, entry)
-	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, h323.RRQ{
+	msg := h323.RRQ{
 		Seq: seq, Alias: entry.msisdn,
 		SignalAddr: entry.addr, SignalPort: ipnet.PortQ931,
-	})
+	}
+	v.rasArg(env, seq, entry, msg, regRRQDone, entry)
+	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, msg)
 }
 
 // regRRQDone completes the registration when the gatekeeper answers (or the

@@ -90,8 +90,20 @@ type Config struct {
 	StaticAddrs map[gsmid.IMSI]string
 	// PagingTimeout bounds the wait for paging responses. Zero = 5 s.
 	PagingTimeout time.Duration
-	// MAPTimeout bounds MAP and RAS transactions. Zero = 5 s.
-	MAPTimeout time.Duration
+	// SigRTO is the initial retransmission timeout for MAP, RAS and
+	// Q.931 transactions; it doubles on each retry, capped at 8x. Zero
+	// = 1 s.
+	SigRTO time.Duration
+	// SigRetries is the per-transaction retransmission budget. Zero
+	// means the default (3); negative disables retransmission.
+	SigRetries int
+	// H323Retries is a separate budget for the RAS and Q.931 planes,
+	// whose PDUs tunnel through the whole GPRS stack and so cross far
+	// more lossy hops end-to-end than the single-hop MAP links (H.225
+	// rides TCP in real deployments, so a transport-grade budget here
+	// is the honest model). Zero inherits SigRetries; negative
+	// disables retransmission.
+	H323Retries int
 	// TranscodeCost is the vocoder's per-frame processing delay in each
 	// direction. Zero means codec.TranscodeCost (500µs). The A2 ablation
 	// sweeps it to show how vocoder placement at the VMSC prices into
@@ -119,6 +131,10 @@ type VMSC struct {
 	nextRAS    uint32
 	// rasTimerFree recycles RAS timeout records (see rasExpire).
 	rasTimerFree []*rasTimer
+	// rasRetransmits and q931Retransmits count re-sent signalling
+	// requests (fault-tolerance observability).
+	rasRetransmits  uint64
+	q931Retransmits uint64
 
 	// hoCalls indexes handed-over calls by the anchor-allocated trunk
 	// call reference (Q.931 references are resolved per MS entry, since
@@ -232,12 +248,27 @@ const (
 // vCall is one call through the VMSC.
 type vCall struct {
 	entry *msEntry
+	// env is the simulation the call runs under, kept for retry timers
+	// and retried-dialogue completions that have no live env of their own.
+	env *sim.Env
 	// ref is the Q.931 call reference on the H.323 leg.
 	ref uint16
 	// radioRef is the call reference on the A-interface leg.
 	radioRef         uint32
 	state            callState
 	mobileOriginated bool
+	// answered dedupes retransmitted Q.931 Connects: the answer is
+	// processed once, later copies are only re-acknowledged.
+	answered bool
+
+	// Q.931 retransmission state (T303 for Setup, T313 for Connect):
+	// the in-flight message, its current RTO and remaining budget. A nil
+	// q931Msg means no retransmission cycle is running; q931Gen guards
+	// stale timers from a previous cycle on the same call.
+	q931Msg     sim.Message
+	q931RTO     time.Duration
+	q931Retries int
+	q931Gen     uint32
 	// remote is the far party's alias (dialled number on MO, calling
 	// party on MT) — the gatekeeper's DRQ matching needs it.
 	remote    gsmid.MSISDN
@@ -274,8 +305,20 @@ func New(cfg Config) *VMSC {
 	if cfg.PagingTimeout == 0 {
 		cfg.PagingTimeout = 5 * time.Second
 	}
-	if cfg.MAPTimeout == 0 {
-		cfg.MAPTimeout = 5 * time.Second
+	if cfg.SigRTO == 0 {
+		cfg.SigRTO = time.Second
+	}
+	switch {
+	case cfg.SigRetries == 0:
+		cfg.SigRetries = 3
+	case cfg.SigRetries < 0:
+		cfg.SigRetries = 0
+	}
+	switch {
+	case cfg.H323Retries == 0:
+		cfg.H323Retries = cfg.SigRetries
+	case cfg.H323Retries < 0:
+		cfg.H323Retries = 0
 	}
 	v := &VMSC{
 		cfg:        cfg,
@@ -287,6 +330,8 @@ func New(cfg Config) *VMSC {
 		hoCalls:    make(map[uint32]*vCall),
 	}
 	v.registrar = msc.NewRegistrar(cfg.ID, cfg.VLR, v.onVLROutcome)
+	v.registrar.RTO = cfg.SigRTO
+	v.registrar.Retries = cfg.SigRetries
 	v.hoTarget = msc.NewHandoverTarget(cfg.ID, "88697")
 	return v
 }
@@ -330,8 +375,33 @@ func (v *VMSC) staticAddrFor(imsi gsmid.IMSI) string {
 // itself (no per-client callback closures).
 func (v *VMSC) newClient(entry *msEntry) *gprs.Client {
 	client := gprs.NewHostedClient(entry.imsi, entry)
-	client.Timeout = v.cfg.MAPTimeout
+	client.Timeout = v.cfg.SigRTO
+	client.Retries = v.cfg.SigRetries
+	if client.Retries == 0 {
+		client.Retries = -1 // cfg 0 is post-normalisation "no retries"
+	}
 	return client
+}
+
+// sigDeadline is the worst-case transaction lifetime under the capped RTO
+// schedule (attempts at 0, T, 3T, 7T…). One-shot MAP dialogues that do not
+// retransmit (the handover legs) use it so their timeout matches the
+// retried planes' failure horizon.
+func (v *VMSC) sigDeadline() time.Duration {
+	return sim.RetryDeadline(v.cfg.SigRTO, v.cfg.SigRetries)
+}
+
+// Retransmits reports the total signalling retransmissions this VMSC has
+// performed across its MAP, RAS and Q.931 planes (GPRS GMM/SM retries are
+// counted by the per-MS clients).
+func (v *VMSC) Retransmits() uint64 {
+	total := v.dm.Retransmits() + v.rasRetransmits + v.q931Retransmits
+	for _, entry := range v.entries {
+		if entry.client != nil {
+			total += entry.client.Retransmits()
+		}
+	}
+	return total
 }
 
 // setupEndpoint (re)initialises the per-MS H.323 endpoint in place; the

@@ -117,7 +117,7 @@ func TestRegistrationFailsWhenGatekeeperUnreachable(t *testing.T) {
 	n := netsim.BuildVGPRS(netsim.VGPRSOptions{
 		Seed: 1,
 		VMSCMutate: func(cfg *vmsc.Config) {
-			cfg.MAPTimeout = 2 * time.Second
+			cfg.SigRTO = 500 * time.Millisecond
 			cfg.Hooks.OnMSRegisterFailed = func(_ gsmid.IMSI, stage string) {
 				failedStage = stage
 			}

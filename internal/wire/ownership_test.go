@@ -1,0 +1,119 @@
+package wire_test
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"vgprs/internal/gb"
+	"vgprs/internal/gprs"
+	"vgprs/internal/gsm"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/h323"
+	"vgprs/internal/isup"
+	"vgprs/internal/q931"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/wire"
+)
+
+// The retransmission paths retain marshalled PDUs across timer events (the
+// GPRS client's attach/activate PDUs, most directly) and re-send them after
+// arbitrary other traffic has churned the writer pool. That is only sound
+// if every codec's Marshal/Wrap returns a buffer the caller owns — never
+// the pooled writer's internal slice, which the next GetWriter will
+// recycle and overwrite. This test is the audit: a Marshal result must
+// survive aggressive pool churn bit-for-bit. A codec that switches from
+// CopyBytes to Bytes on its pooled writer fails here deterministically.
+
+// churnPool recycles pooled writers while scribbling junk over at least n
+// bytes of each, so any buffer still aliased into the pool is corrupted.
+func churnPool(n int) {
+	for i := 0; i < 8; i++ {
+		w := wire.GetWriter()
+		for j := 0; j < n+64; j++ {
+			w.U8(0xA5)
+		}
+		wire.PutWriter(w)
+	}
+}
+
+func TestMarshalledPDUsSurvivePoolChurn(t *testing.T) {
+	lai := gsmid.LAI{MCC: "466", MNC: "92", LAC: 0x10}
+	media := q931.MediaAddr{Addr: netip.MustParseAddr("10.2.0.7"), Port: 30000}
+	cases := []struct {
+		name    string
+		marshal func() ([]byte, error)
+	}{
+		{"sigmap", func() ([]byte, error) {
+			return sigmap.Marshal(sigmap.UpdateLocation{
+				Invoke: 1, IMSI: "466920000000001", VLR: "VLR-1", MSC: "VMSC-1",
+			})
+		}},
+		{"gtp", func() ([]byte, error) {
+			return gtp.Marshal(gtp.CreatePDPRequest{
+				Seq: 2, IMSI: "466920000000001", NSAPI: 5,
+				QoS: gtp.SignallingQoS(), SGSN: "SGSN-1",
+			})
+		}},
+		{"q931", func() ([]byte, error) {
+			return q931.Marshal(q931.Setup{
+				CallRef: 1, Called: "886920000002", Calling: "886920000001", Media: media,
+			})
+		}},
+		{"gb", func() ([]byte, error) {
+			return gb.Marshal(gb.ULUnitdata{
+				TLLI: gsmid.LocalTLLI(0x1234), MS: "MS-1",
+				Cell: gsmid.CGI{LAI: lai, CI: 7}, PDU: []byte{1, 2, 3},
+			})
+		}},
+		{"gprs-llc", func() ([]byte, error) {
+			return gprs.WrapSM(gprs.AttachRequest{IMSI: "466920000000001"})
+		}},
+		{"gsm", func() ([]byte, error) {
+			return gsm.Marshal(gsm.LocationUpdate{
+				MS: "MS-1", Identity: gsmid.ByIMSI("466920000000001"), LAI: lai,
+			})
+		}},
+		{"isup", func() ([]byte, error) {
+			return isup.Marshal(isup.IAM{CIC: 9, Called: "886920000002", Calling: "886920000001"})
+		}},
+		{"h323-ras", func() ([]byte, error) {
+			return h323.MarshalRAS(h323.RRQ{Seq: 3, Alias: "886920000001", SignalPort: 1720})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pdu, err := tc.marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]byte(nil), pdu...)
+			churnPool(len(pdu))
+			for _, other := range cases {
+				if _, err := other.marshal(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(pdu, want) {
+				t.Fatalf("marshalled PDU mutated by pool churn:\n got %x\nwant %x", pdu, want)
+			}
+		})
+	}
+}
+
+// TestWrapBytesAliasesCallerBuffer pins the other half of the contract:
+// Wrap/Bytes extends the caller's buffer in place (that is the point — the
+// zero-copy append path), so retransmission state must never be built with
+// Append onto a buffer that is later recycled. The aliasing itself is the
+// documented behaviour this test asserts.
+func TestWrapBytesAliasesCallerBuffer(t *testing.T) {
+	dst := make([]byte, 0, 64)
+	out, err := gb.Append(dst, gb.DLUnitdata{TLLI: 1, MS: "MS-1", PDU: []byte{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || &out[0] != &dst[0:1][0] {
+		t.Fatal("Append did not extend the caller's buffer in place")
+	}
+}
