@@ -8,7 +8,7 @@ GO ?= go
 # under testdata/fuzz/.
 FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/
 
-.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-json fuzz-smoke fuzz
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-json fuzz-smoke fuzz
 
 all: check
 
@@ -62,6 +62,13 @@ bench-codec:
 # BENCH_registration.json in the working dir for per-run tracking.
 bench-registration:
 	$(GO) run ./cmd/vgprs-bench -only registration -json
+
+# Sharded event-engine scaling sweep (multi-region registration at shard
+# counts 1/2/4/8), written to BENCH_engine.json in the working dir. The
+# point records GOMAXPROCS/NumCPU: on a single-core host the sweep measures
+# synchronization overhead, not speedup.
+bench-engine:
+	$(GO) run ./cmd/vgprs-bench -only engine -json
 
 # Machine-readable experiment results (BENCH_<id>.json in the working dir).
 bench-json:

@@ -11,6 +11,7 @@
 package vgprs_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -268,6 +269,32 @@ func BenchmarkRegistrationThroughput(b *testing.B) {
 	b.ReportMetric(50, "registrations/op")
 }
 
+// BenchmarkShardedRegistrationThroughput measures the sharded engine on the
+// multi-region topology at increasing shard counts. Topology construction is
+// excluded from the timed section so the number isolates event processing
+// plus synchronization windows. On a multi-core host the higher shard counts
+// should scale; with GOMAXPROCS=1 the shards time-share and the benchmark
+// instead reports the (bounded) synchronization overhead.
+func BenchmarkShardedRegistrationThroughput(b *testing.B) {
+	const regions, msPerRegion = 4, 50
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n := netsim.BuildMultiRegion(netsim.MultiRegionOptions{
+					Seed: int64(i + 1), Regions: regions,
+					MSPerRegion: msPerRegion, Shards: shards, NoTrace: true,
+				})
+				b.StartTimer()
+				if err := n.RegisterAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(regions*msPerRegion), "registrations/op")
+		})
+	}
+}
+
 // BenchmarkTRRegistrationThroughput is the TR-side equivalent.
 func BenchmarkTRRegistrationThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -300,14 +327,17 @@ func BenchmarkR1RegistrationStorm(b *testing.B) {
 
 // TestRegistrationAllocBudget is the allocation budget for the full
 // registration stack on the pooled codec path: building the standard 50-MS
-// topology and registering every MS must stay under 5,000 heap allocations
-// (down from 10,308 before the codecs reused buffers). The ~3% headroom
-// over the measured 4,861 absorbs Go-version drift in map growth.
+// topology and registering every MS must stay under 5,200 heap allocations
+// (down from 10,308 before the codecs reused buffers). The measured cost is
+// 4,980 — 4,861 on the pooled path plus ~2 allocations per node for the
+// lazily-created per-node RNG streams the sharded engine's determinism
+// contract requires — and the ~4% headroom absorbs Go-version drift in map
+// growth.
 func TestRegistrationAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation budget needs steady-state measurement")
 	}
-	const budget = 5000
+	const budget = 5200
 	allocs := testing.AllocsPerRun(5, func() {
 		n := netsim.BuildVGPRS(netsim.VGPRSOptions{
 			Seed: 1, NumMS: 50, NoTrace: true,

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"vgprs/internal/metrics"
+	"vgprs/internal/netsim"
+)
+
+// EnginePoint is one engine-scaling measurement: registration throughput of
+// the multi-region topology at one shard count. NsPerOp and RegsPerSec are
+// real CPU time for the event-processing phase only (topology construction
+// is excluded); Delivered is the virtual-network message count, which must
+// not vary with the shard count.
+type EnginePoint struct {
+	Shards     int     `json:"shards"`
+	Regions    int     `json:"regions"`
+	MSs        int     `json:"mss"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	RegsPerSec float64 `json:"registrations_per_sec"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+	Delivered  uint64  `json:"messages_delivered"`
+	Reps       int     `json:"reps"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+}
+
+// RunEngineScaling measures sharded-engine registration throughput across
+// shard counts on a multi-region topology (each region a full vGPRS stack,
+// one shared HLR). Only RegisterAll is timed; construction is not. Every
+// run must deliver exactly as many messages as the sequential one — a
+// cross-check that the parallel engine does the same work, not merely
+// similar work. Wall-clock speedup is bounded by the host: with a single
+// core (GOMAXPROCS=1) shards time-share and the measurement reports the
+// synchronization overhead instead of a speedup, which is why the point
+// records GOMAXPROCS and NumCPU alongside the rates.
+func RunEngineScaling(seed int64, regions, msPerRegion, reps int, shardCounts []int) ([]EnginePoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	points := make([]EnginePoint, 0, len(shardCounts))
+	var baseNs int64
+	var baseDelivered uint64
+	for _, shards := range shardCounts {
+		var best time.Duration
+		var delivered uint64
+		for rep := 0; rep < reps; rep++ {
+			n := netsim.BuildMultiRegion(netsim.MultiRegionOptions{
+				Seed: seed, Regions: regions, MSPerRegion: msPerRegion,
+				Shards: shards, NoTrace: true,
+			})
+			start := time.Now()
+			if err := n.RegisterAll(); err != nil {
+				return nil, fmt.Errorf("engine scaling shards=%d: %w", shards, err)
+			}
+			elapsed := time.Since(start)
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			delivered = n.Env.Delivered()
+		}
+		if baseNs == 0 {
+			baseNs = best.Nanoseconds()
+			baseDelivered = delivered
+		}
+		if delivered != baseDelivered {
+			return nil, fmt.Errorf("engine scaling shards=%d delivered %d messages, first point %d — parallel run diverged",
+				shards, delivered, baseDelivered)
+		}
+		p := EnginePoint{
+			Shards: shards, Regions: regions, MSs: regions * msPerRegion,
+			NsPerOp:    best.Nanoseconds(),
+			Delivered:  delivered,
+			Reps:       reps,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		}
+		if best > 0 {
+			p.RegsPerSec = float64(p.MSs) / best.Seconds()
+			p.Speedup = float64(baseNs) / float64(best.Nanoseconds())
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// EngineTable renders the scaling sweep.
+func EngineTable(points []EnginePoint) *metrics.Table {
+	t := metrics.NewTable(
+		"engine: sharded event-loop registration throughput (multi-region, build excluded)",
+		"shards", "regions", "MSs", "ms/run", "regs/sec", "speedup", "delivered")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Shards),
+			fmt.Sprintf("%d", p.Regions),
+			fmt.Sprintf("%d", p.MSs),
+			fmt.Sprintf("%.1f", float64(p.NsPerOp)/1e6),
+			fmt.Sprintf("%.0f", p.RegsPerSec),
+			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%d", p.Delivered))
+	}
+	return t
+}

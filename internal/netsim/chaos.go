@@ -42,6 +42,12 @@ type FaultPlan []LinkFault
 // Apply schedules every fault in the plan on env. It returns an error if a
 // fault references a link the topology does not have — a scripting bug,
 // surfaced rather than silently ignored.
+//
+// Under sharding, a link's fault fields are read by the sending shard, so a
+// fault's engage/heal toggles run on the shard owning the link (scheduled
+// with AfterNode on endpoint A); both endpoints must therefore live on the
+// same shard. The default BuildVGPRS partition keeps every core signalling
+// link on shard 0, so core fault plans shard transparently.
 func (p FaultPlan) Apply(env *sim.Env) error {
 	for i := range p {
 		f := p[i]
@@ -50,23 +56,27 @@ func (p FaultPlan) Apply(env *sim.Env) error {
 		if ab == nil || ba == nil {
 			return fmt.Errorf("netsim: fault plan references missing link %s<->%s", f.A, f.B)
 		}
-		engage := func() {
+		if env.ShardCount() > 1 && env.ShardOf(f.A) != env.ShardOf(f.B) {
+			return fmt.Errorf("netsim: fault plan targets cross-shard link %s<->%s (shards %d/%d); faults must stay within one shard",
+				f.A, f.B, env.ShardOf(f.A), env.ShardOf(f.B))
+		}
+		engage := func(*sim.Env) {
 			for _, l := range [2]*sim.Link{ab, ba} {
 				l.Loss, l.Dup, l.Down = f.Loss, f.Dup, f.Down
 			}
 		}
-		heal := func() {
+		heal := func(*sim.Env) {
 			for _, l := range [2]*sim.Link{ab, ba} {
 				l.Loss, l.Dup, l.Down = 0, 0, false
 			}
 		}
 		if f.From <= 0 {
-			engage()
+			engage(nil)
 		} else {
-			env.After(f.From, engage)
+			env.AfterNode(f.A, f.From, engage)
 		}
 		if f.Until > 0 {
-			env.After(f.Until, heal)
+			env.AfterNode(f.A, f.Until, heal)
 		}
 	}
 	return nil
@@ -164,13 +174,16 @@ func ChaosSigProfile() *SigProfile {
 }
 
 // chaosNet builds a BuildVGPRS network with the chaos retransmission
-// profile armed on every plane and the fault plan applied at t=0.
-func chaosNet(seed int64, numMS int, plan FaultPlan) (*VGPRSNet, error) {
+// profile armed on every plane and the fault plan applied at t=0. A shards
+// value above 1 runs the scenario on the sharded engine with the default
+// core/radio partition.
+func chaosNet(seed int64, numMS, shards int, plan FaultPlan) (*VGPRSNet, error) {
 	n := BuildVGPRS(VGPRSOptions{
 		Seed:    seed,
 		NumMS:   numMS,
 		NoTrace: true,
 		Sig:     ChaosSigProfile(),
+		Shards:  shards,
 	})
 	if err := plan.Apply(n.Env); err != nil {
 		return nil, err
@@ -226,7 +239,14 @@ func (n *VGPRSNet) registered() bool {
 // failed registration is returned as a *ProcedureError; the network never
 // hangs either way.
 func RunChaosRegistration(seed int64, plan FaultPlan) (ChaosResult, error) {
-	n, err := chaosNet(seed, 1, plan)
+	return RunChaosRegistrationSharded(seed, plan, 1)
+}
+
+// RunChaosRegistrationSharded is RunChaosRegistration on a sharded engine.
+// Results are identical at any shard count — the determinism tests compare
+// them directly.
+func RunChaosRegistrationSharded(seed int64, plan FaultPlan, shards int) (ChaosResult, error) {
+	n, err := chaosNet(seed, 1, shards, plan)
 	if err != nil {
 		return ChaosResult{}, err
 	}
@@ -257,7 +277,12 @@ func RunChaosRegistration(seed int64, plan FaultPlan) (ChaosResult, error) {
 // within the window. Failures come back as *ProcedureError. Elapsed covers
 // dial to conversation, excluding the registration phase.
 func RunChaosCall(seed int64, plan FaultPlan) (ChaosResult, error) {
-	n, err := chaosNet(seed, 2, plan)
+	return RunChaosCallSharded(seed, plan, 1)
+}
+
+// RunChaosCallSharded is RunChaosCall on a sharded engine.
+func RunChaosCallSharded(seed int64, plan FaultPlan, shards int) (ChaosResult, error) {
+	n, err := chaosNet(seed, 2, shards, plan)
 	if err != nil {
 		return ChaosResult{}, err
 	}

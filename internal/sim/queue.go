@@ -13,14 +13,17 @@ const (
 	evDeliver
 )
 
-// event is a scheduled occurrence. Ties on timestamp break on insertion
-// sequence so the engine is fully deterministic. Events live by value in the
-// queue's arena, never individually on the heap: a delivery event is a plain
-// record (from/to/link/msg) and a timer event carries its callback.
+// event is a scheduled occurrence. Ties on timestamp break on the event key
+// (seq): the scheduling context's index in the high bits, its private
+// emission counter below, so the total order is identical at any shard
+// count. Events live by value in the queue's arena, never individually on
+// the heap: a delivery event is a plain record (from/to/link/msg) and a
+// timer event carries its callback.
 type event struct {
 	at    time.Duration
 	seq   uint64
 	kind  uint8
+	ctx   int32     // context the event dispatches in (destination node, or scheduler for timers)
 	fn    func()    // evTimer
 	argFn func(any) // evTimerArg
 	arg   any       // evTimerArg
@@ -90,6 +93,16 @@ func (q *eventQueue) peekAt() (time.Duration, bool) {
 		return 0, false
 	}
 	return q.arena[q.heap[0]].at, true
+}
+
+// peekKey reports the full (timestamp, key) order of the earliest event, if
+// any — the cross-shard comparison Step uses to find the global minimum.
+func (q *eventQueue) peekKey() (time.Duration, uint64, bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	ev := &q.arena[q.heap[0]]
+	return ev.at, ev.seq, true
 }
 
 // pop removes and returns the earliest event by value. The returned record
