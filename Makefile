@@ -6,9 +6,9 @@ GO ?= go
 
 # Packages with a wire-format FuzzDecode target and a committed seed corpus
 # under testdata/fuzz/.
-FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/
+FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/ ./internal/isup/ ./internal/rtp/
 
-.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-json fuzz-smoke fuzz
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-json fuzz-smoke fuzz soak soak-short
 
 all: check
 
@@ -70,6 +70,20 @@ bench-registration:
 bench-engine:
 	$(GO) run ./cmd/vgprs-bench -only engine -json
 
+# Scenario workload sweep (mobility churn, flash crowd, day-in-the-life),
+# written to BENCH_scenarios.json in the working dir.
+bench-scenarios:
+	$(GO) run ./cmd/vgprs-bench -only scenarios -json
+
 # Machine-readable experiment results (BENCH_<id>.json in the working dir).
 bench-json:
 	$(GO) run ./cmd/vgprs-bench -json
+
+# Full day-in-the-life soak (4 simulated hours) with the leak gate.
+soak:
+	$(GO) test ./internal/netsim/scenario/ -run TestDaySoak -v
+
+# Reduced soak for CI: same invariants, shorter simulated day, race
+# detector on.
+soak-short:
+	$(GO) test -race -short ./internal/netsim/scenario/ -v

@@ -166,6 +166,13 @@ func run(args []string) int {
 			}
 			return experiments.EngineTable(points), points, nil
 		}},
+		{"scenarios", func() (fmt.Stringer, any, error) {
+			points, err := experiments.RunScenarioSweep(*seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return experiments.ScenarioTable(points), points, nil
+		}},
 	}
 
 	failed := 0

@@ -219,6 +219,23 @@ func (c *Client) Context(nsapi uint8) (ClientPDP, bool) {
 // ActiveContexts returns the number of active PDP contexts.
 func (c *Client) ActiveContexts() int { return len(c.contexts) }
 
+// PendingTransactions counts GMM/SM transactions still awaiting an answer
+// (attach, detach, RAU, and per-NSAPI activate/deactivate). A quiesced
+// client reports zero; soak tests assert on it to catch leaked callbacks.
+func (c *Client) PendingTransactions() int {
+	n := len(c.pendingActivate) + len(c.pendingDeactivate)
+	if c.pendingAttach != nil {
+		n++
+	}
+	if c.pendingDetach != nil {
+		n++
+	}
+	if c.pendingRAU != nil {
+		n++
+	}
+	return n
+}
+
 // Attach starts GPRS attach; done fires with the outcome.
 func (c *Client) Attach(env *sim.Env, done func(ok bool)) error {
 	return c.AttachArg(env, callAttachDone, done)
@@ -485,6 +502,25 @@ func (c *Client) HandleDownlink(env *sim.Env, pdu []byte) error {
 	case DetachAccept:
 		c.attached = false
 		c.contexts = nil
+		// Detach implicitly aborts every in-flight context transaction —
+		// the SGSN has dropped the subscriber record, so no accept or
+		// reject will ever arrive. Fail the activations and complete the
+		// deactivations (their contexts are gone either way), in NSAPI
+		// order so completion order is deterministic.
+		for nsapi := 0; nsapi < 256; nsapi++ {
+			if p, ok := c.pendingActivate[uint8(nsapi)]; ok {
+				delete(c.pendingActivate, uint8(nsapi))
+				if p.fn != nil {
+					p.fn(p.arg, netip.Addr{}, false)
+				}
+			}
+			if p, ok := c.pendingDeactivate[uint8(nsapi)]; ok {
+				delete(c.pendingDeactivate, uint8(nsapi))
+				if p.fn != nil {
+					p.fn()
+				}
+			}
+		}
 		if done := c.pendingDetach; done != nil {
 			c.pendingDetach = nil
 			done()

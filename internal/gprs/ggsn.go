@@ -114,6 +114,13 @@ func NewGGSN(cfg GGSNConfig) *GGSN {
 // Retransmits returns the number of MAP request PDUs this GGSN has re-sent.
 func (g *GGSN) Retransmits() uint64 { return g.dm.Retransmits() }
 
+// PendingCreates returns in-flight context creations still waiting on the
+// Gc static-address lookup. Zero at quiescence.
+func (g *GGSN) PendingCreates() int { return len(g.pendingCreate) }
+
+// OutstandingDialogues returns un-answered MAP invokes toward the HLR.
+func (g *GGSN) OutstandingDialogues() int { return g.dm.Outstanding() }
+
 // ID implements sim.Node.
 func (g *GGSN) ID() sim.NodeID { return g.cfg.ID }
 

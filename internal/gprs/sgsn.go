@@ -261,6 +261,18 @@ func (s *SGSN) Forwarded() (ul, dl uint64) {
 	return s.ulPackets, s.dlPackets
 }
 
+// PendingTransactions returns the number of outstanding GTP transactions
+// toward the GGSN (creates, deletes and cleanups still awaiting a response
+// or a retry-budget verdict). Zero at quiescence.
+func (s *SGSN) PendingTransactions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// OutstandingDialogues returns un-answered MAP invokes toward the HLR.
+func (s *SGSN) OutstandingDialogues() int { return s.dm.Outstanding() }
+
 // Retransmits returns the number of signalling request PDUs (MAP + GTP)
 // this SGSN has re-sent.
 func (s *SGSN) Retransmits() uint64 {
@@ -306,6 +318,7 @@ func (s *SGSN) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.Canc
 			tids = append(tids, pdp.tid)
 			s.contexts--
 		}
+		ctx.pdp = nil
 		delete(s.byIMSI, m.IMSI)
 		delete(s.byTLLI, gsmid.LocalTLLI(ctx.ptmsi))
 	}
@@ -537,6 +550,16 @@ func (s *SGSN) finishActivate(env *sim.Env, t gtpTxn, resp sim.Message) {
 		return
 	}
 	s.mu.Lock()
+	if s.byIMSI[t.ctx.imsi] != t.ctx {
+		// The subscriber detached (or the HLR cancelled it) while the
+		// create was in flight: installing the context now would leak it
+		// permanently — nothing ever detaches a context the MM maps no
+		// longer reference. Reclaim the freshly built GGSN-side tunnel
+		// instead and stay silent; there is no subscriber to answer.
+		s.mu.Unlock()
+		s.cleanupTunnel(env, cr.TID)
+		return
+	}
 	if t.ctx.pdp == nil {
 		t.ctx.pdp = make(map[uint8]*sgsnPDP)
 	}
@@ -588,9 +611,16 @@ func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata,
 
 func (s *SGSN) finishDeactivate(env *sim.Env, t gtpTxn) {
 	s.mu.Lock()
-	delete(t.ctx.pdp, t.nsapi)
-	delete(s.byTID, t.tid)
-	s.contexts--
+	// A detach or HLR cancel that raced the in-flight delete has already
+	// released this context and decremented the counter; decrementing
+	// again would drift s.contexts negative and miscount forever after.
+	if s.byIMSI[t.ctx.imsi] == t.ctx {
+		if _, held := t.ctx.pdp[t.nsapi]; held {
+			delete(t.ctx.pdp, t.nsapi)
+			delete(s.byTID, t.tid)
+			s.contexts--
+		}
+	}
 	s.mu.Unlock()
 	s.reply(env, t.peer, t.ms, t.tlli, DeactivatePDPAccept{NSAPI: t.nsapi})
 }

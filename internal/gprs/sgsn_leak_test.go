@@ -1,0 +1,112 @@
+package gprs
+
+import (
+	"net/netip"
+	"testing"
+
+	"vgprs/internal/gtp"
+)
+
+// These tests pin the idempotent-responder leak fixes the scenario soak
+// surfaced: a GTP completion that arrives after its subscriber is gone must
+// not resurrect state, and a detach racing an in-flight deactivate must not
+// corrupt the context count.
+
+// stepUntil advances the event queue one event at a time until cond holds,
+// failing if the queue drains first. It lets a test freeze the network at a
+// precise mid-procedure instant.
+func (f *coreFixture) stepUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for !cond() {
+		if !f.env.Step() {
+			t.Fatalf("event queue drained before %s", what)
+		}
+	}
+}
+
+// TestDetachDuringCreateDoesNotLeakContext detaches the subscriber while
+// the SGSN's CreatePDPContext is still in flight to the GGSN. The late
+// CreatePDPResponse must not re-install the context for the now-departed
+// subscriber — before the fix it did, leaking the SGSN context and the
+// GGSN tunnel permanently.
+func TestDetachDuringCreateDoesNotLeakContext(t *testing.T) {
+	f := newCoreFixture(t, GGSNConfig{}, SGSNConfig{})
+	f.attach(t)
+
+	if err := f.ms.Client.ActivatePDP(f.env, 5, gtp.SignallingQoS(), "",
+		func(netip.Addr, bool) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze at the vulnerable instant: the SGSN holds a pending GTP
+	// transaction (CreatePDP sent, response not yet back).
+	f.stepUntil(t, "SGSN created its GTP transaction", func() bool {
+		return f.sgsn.PendingTransactions() > 0
+	})
+	if err := f.ms.Client.Detach(f.env, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	f.env.Run()
+
+	if got := f.sgsn.Attached(); got != 0 {
+		t.Fatalf("attached subscribers after detach = %d, want 0", got)
+	}
+	if got := f.sgsn.ActiveContexts(); got != 0 {
+		t.Fatalf("SGSN contexts after detach = %d, want 0 (late create re-installed state)", got)
+	}
+	if got := f.ggsn.ActiveContexts(); got != 0 {
+		t.Fatalf("GGSN tunnels after detach = %d, want 0 (stale create not reclaimed)", got)
+	}
+	if got := f.sgsn.PendingTransactions(); got != 0 {
+		t.Fatalf("SGSN pending transactions = %d, want 0", got)
+	}
+	if got := f.ggsn.PendingCreates(); got != 0 {
+		t.Fatalf("GGSN pending creates = %d, want 0", got)
+	}
+
+	// The subscriber must be able to come back clean.
+	f.attach(t)
+	f.activate(t, 5, gtp.SignallingQoS(), "")
+	if got := f.sgsn.ActiveContexts(); got != 1 {
+		t.Fatalf("contexts after re-attach = %d, want 1", got)
+	}
+}
+
+// TestDetachRacingDeactivateKeepsCountsConsistent starts a clean PDP
+// deactivation, then detaches before the GGSN's DeletePDPResponse returns.
+// The detach tears the context down by itself; the late delete completion
+// must notice and not decrement the context count a second time — before
+// the fix the count went negative and every later capacity check was
+// skewed.
+func TestDetachRacingDeactivateKeepsCountsConsistent(t *testing.T) {
+	f := newCoreFixture(t, GGSNConfig{}, SGSNConfig{MaxContexts: 1})
+	f.attach(t)
+	f.activate(t, 5, gtp.SignallingQoS(), "")
+
+	if err := f.ms.Client.DeactivatePDP(f.env, 5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	f.stepUntil(t, "SGSN sent DeletePDP", func() bool {
+		return f.sgsn.PendingTransactions() > 0
+	})
+	if err := f.ms.Client.Detach(f.env, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	f.env.Run()
+
+	if got := f.sgsn.ActiveContexts(); got != 0 {
+		t.Fatalf("SGSN contexts = %d, want 0 (double decrement?)", got)
+	}
+	if got := f.sgsn.PendingTransactions(); got != 0 {
+		t.Fatalf("SGSN pending transactions = %d, want 0", got)
+	}
+
+	// MaxContexts is 1: if the race double-decremented, the count went
+	// negative and this admission would succeed even with a phantom
+	// context; if it leaked, the admission would be refused. Either way a
+	// clean re-attach plus one activation is the discriminating probe.
+	f.attach(t)
+	f.activate(t, 5, gtp.SignallingQoS(), "")
+	if got := f.sgsn.ActiveContexts(); got != 1 {
+		t.Fatalf("contexts after re-attach = %d, want 1", got)
+	}
+}

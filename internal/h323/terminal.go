@@ -276,6 +276,9 @@ func (t *Terminal) sigRetries() int {
 // re-sent.
 func (t *Terminal) Retransmits() uint64 { return t.retransmits }
 
+// PendingRAS returns RAS transactions still awaiting a gatekeeper answer.
+func (t *Terminal) PendingRAS() int { return len(t.pendingRAS) }
+
 func (t *Terminal) ras(env *sim.Env, msg sim.Message, done func(*sim.Env, sim.Message)) {
 	if done != nil {
 		seq := rasSeq(msg)

@@ -90,6 +90,9 @@ func (h *HLR) ID() sim.NodeID { return h.cfg.ID }
 // Retransmits returns the number of MAP request PDUs this HLR has re-sent.
 func (h *HLR) Retransmits() uint64 { return h.dm.Retransmits() }
 
+// OutstandingDialogues returns un-answered MAP invokes this HLR has open.
+func (h *HLR) OutstandingDialogues() int { return h.dm.Outstanding() }
+
 // Provision adds a subscriber. It returns an error on duplicate IMSI or
 // MSISDN.
 func (h *HLR) Provision(s Subscriber) error {

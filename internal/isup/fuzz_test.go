@@ -1,0 +1,52 @@
+package isup
+
+import (
+	"reflect"
+	"testing"
+
+	"vgprs/internal/sim"
+)
+
+// FuzzDecode hammers Unmarshal with arbitrary bytes. The decoder must never
+// panic, and any message it accepts must survive a marshal/unmarshal round
+// trip unchanged — the property trunk signalling relies on when a PDU is
+// re-encoded from its decoded form. (TrunkFrame is deliberately absent: it
+// has no wire codec; voice frames ride the trunk as in-memory messages.)
+func FuzzDecode(f *testing.F) {
+	for _, msg := range []sim.Message{
+		IAM{CIC: 7, Called: "886912345678", Calling: "044781234567", CallRef: 0xDEAD},
+		IAM{CIC: 0, Called: "", Calling: "", CallRef: 0},
+		ACM{CIC: 7, CallRef: 0xDEAD},
+		ANM{CIC: 1, CallRef: 1},
+		REL{CIC: 7, CallRef: 0xDEAD, Cause: CauseUserBusy},
+		REL{CIC: 0xFFFF, CallRef: 0xFFFFFFFF, Cause: ReleaseCause(0xFF)},
+		RLC{CIC: 7, CallRef: 0xDEAD},
+	} {
+		b, err := Marshal(msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{mtIAM})
+	f.Add([]byte{0xFF, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-marshal: %v", msg, err)
+		}
+		back, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshalled %T does not decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(back, msg) {
+			t.Fatalf("round trip changed message:\n got %#v\nwant %#v", back, msg)
+		}
+	})
+}

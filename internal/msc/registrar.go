@@ -92,6 +92,10 @@ func NewRegistrar(node, vlr sim.NodeID, onOutcome func(*sim.Env, Registration)) 
 // re-sent toward its VLR.
 func (r *Registrar) Retransmits() uint64 { return r.dm.Retransmits() }
 
+// Pending returns in-flight location-update transactions plus un-answered
+// MAP invokes toward the VLR. Zero at quiescence.
+func (r *Registrar) Pending() int { return len(r.byMS) + r.dm.Outstanding() }
+
 // Handle processes a message if it belongs to a location-update
 // transaction, reporting whether it was consumed.
 func (r *Registrar) Handle(env *sim.Env, from sim.NodeID, msg sim.Message) bool {

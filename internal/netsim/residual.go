@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Residual is a snapshot of every transient signalling record a network
+// still holds: pending transactions, open MAP dialogues, RAS exchanges in
+// flight. A drained network — every call hung up, every procedure answered
+// — must report an empty Residual; the scenario soaks assert exactly that,
+// so any state a procedure forgets to release shows up by name instead of
+// as a slow memory climb.
+type Residual struct {
+	Items []ResidualItem
+}
+
+// ResidualItem names one non-zero transient-state counter.
+type ResidualItem struct {
+	Node  string
+	Kind  string
+	Count int
+}
+
+// add records a counter only when it is non-zero, keeping Items a pure
+// violation list.
+func (r *Residual) add(node, kind string, count int) {
+	if count != 0 {
+		r.Items = append(r.Items, ResidualItem{Node: node, Kind: kind, Count: count})
+	}
+}
+
+// Total sums every leaked record.
+func (r *Residual) Total() int {
+	total := 0
+	for _, it := range r.Items {
+		total += it.Count
+	}
+	return total
+}
+
+// String renders the violation list, one counter per line.
+func (r *Residual) String() string {
+	if len(r.Items) == 0 {
+		return "no residual state"
+	}
+	var b strings.Builder
+	for i, it := range r.Items {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s: %d %s", it.Node, it.Count, it.Kind)
+	}
+	return b.String()
+}
+
+// Residual snapshots the transient state of every stateful element in the
+// base topology. Durable state (registrations, attached subscribers, idle
+// PDP contexts) is deliberately excluded — it is supposed to survive
+// between procedures; only in-flight records count.
+func (n *VGPRSNet) Residual() Residual {
+	var r Residual
+	r.add("VMSC-1", "pending transactions", n.VMSC.PendingTransactions())
+	r.add("VMSC-1", "active calls", n.VMSC.ActiveCalls())
+	r.add("VMSC-1", "handoff trunk calls", n.VMSC.HandoffCalls())
+	r.add("VLR-1", "pending location updates", n.VLR.PendingUpdates())
+	r.add("VLR-1", "open dialogues", n.VLR.OutstandingDialogues())
+	r.add("VLR-1", "outstanding MSRNs", n.VLR.OutstandingMSRNs())
+	r.add("HLR", "open dialogues", n.HLR.OutstandingDialogues())
+	r.add("SGSN-1", "pending GTP transactions", n.SGSN.PendingTransactions())
+	r.add("SGSN-1", "open dialogues", n.SGSN.OutstandingDialogues())
+	r.add("GGSN-1", "pending creates", n.GGSN.PendingCreates())
+	r.add("GGSN-1", "open dialogues", n.GGSN.OutstandingDialogues())
+	r.add("BSC-1", "channels in use", n.BSC.ChannelsInUse())
+	for i, term := range n.Terminals {
+		id := fmt.Sprintf("TERM-%d", i+1)
+		r.add(id, "pending RAS", term.PendingRAS())
+		r.add(id, "active calls", term.ActiveCalls())
+	}
+	return r
+}
+
+// Residual extends the base snapshot with the second service area.
+func (n *TwoVMSCNet) Residual() Residual {
+	r := n.VGPRSNet.Residual()
+	r.add("VMSC-2", "pending transactions", n.VMSC2.PendingTransactions())
+	r.add("VMSC-2", "active calls", n.VMSC2.ActiveCalls())
+	r.add("VMSC-2", "handoff trunk calls", n.VMSC2.HandoffCalls())
+	r.add("VLR-2", "pending location updates", n.VLR2.PendingUpdates())
+	r.add("VLR-2", "open dialogues", n.VLR2.OutstandingDialogues())
+	r.add("VLR-2", "outstanding MSRNs", n.VLR2.OutstandingMSRNs())
+	r.add("SGSN-2", "pending GTP transactions", n.SGSN2.PendingTransactions())
+	r.add("SGSN-2", "open dialogues", n.SGSN2.OutstandingDialogues())
+	r.add("BSC-2", "channels in use", n.BSC2.ChannelsInUse())
+	return r
+}

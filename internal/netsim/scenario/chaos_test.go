@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vgprs/internal/netsim"
+)
+
+// TestFlashCrowdOutageRecovery runs the flash crowd under a transient core
+// outage — the VLR<->HLR link is down for the storm's first five seconds —
+// at shard counts 1, 2 and 4. The chaos retry budgets must ride out the
+// outage (everyone recovers), and the run must stay byte-identical across
+// shard counts.
+func TestFlashCrowdOutageRecovery(t *testing.T) {
+	plan := TransientCoreOutage(5 * time.Second)
+	var base *FlashCrowdResult
+	for _, shards := range shardCounts {
+		res, err := RunFlashCrowd(FlashCrowdConfig{
+			Seed: 21, Shards: shards, NumMS: 8, Plan: plan, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Recovered != 8 || res.Exhausted != 0 {
+			t.Fatalf("shards=%d: population did not ride out the outage: %+v", shards, res)
+		}
+		if res.Retransmits == 0 {
+			t.Fatalf("shards=%d: outage produced no retransmits — fault plan inert", shards)
+		}
+		if res.RecoveryTime < 5*time.Second {
+			t.Fatalf("shards=%d: recovery time %v predates the heal", shards, res.RecoveryTime)
+		}
+		if base == nil {
+			r := res
+			base = &r
+			continue
+		}
+		compareFingerprints(t, "flash-crowd outage", shards, base.Fingerprint, res.Fingerprint)
+		if base.RecoveryTime != res.RecoveryTime || base.Retransmits != res.Retransmits {
+			t.Errorf("shards=%d: metrics diverge: base %+v, got %+v", shards, *base, res)
+		}
+	}
+}
+
+// TestFlashCrowdExhaustionIsCleanAndTyped leaves the VMSC<->VLR link down
+// for good: every re-registration must exhaust its retry budget, fail as a
+// typed *netsim.ProcedureError, and leave zero residual transaction state —
+// identically at every shard count.
+func TestFlashCrowdExhaustionIsCleanAndTyped(t *testing.T) {
+	plan := netsim.FaultPlan{
+		{A: "VMSC-1", B: "VLR-1", Down: true},
+	}
+	var base *FlashCrowdResult
+	for _, shards := range shardCounts {
+		res, err := RunFlashCrowd(FlashCrowdConfig{
+			Seed: 22, Shards: shards, NumMS: 6, Plan: plan, Trace: true,
+		})
+		if err == nil {
+			t.Fatalf("shards=%d: expected budget exhaustion, got %+v", shards, res)
+		}
+		var perr *netsim.ProcedureError
+		if !errors.As(err, &perr) {
+			t.Fatalf("shards=%d: error is %T (%v), want *netsim.ProcedureError", shards, err, err)
+		}
+		if perr.Procedure != "flash-crowd" || perr.Seed != 22 {
+			t.Fatalf("shards=%d: wrong error identity: %+v", shards, perr)
+		}
+		if res.Exhausted != 6 || res.Recovered != 0 {
+			t.Fatalf("shards=%d: partition wrong under total outage: %+v", shards, res)
+		}
+		// The leak gate still applies to failures: exhausted procedures
+		// must tear down their transactions, not abandon them.
+		if res.Residual != 0 {
+			t.Fatalf("shards=%d: exhausted registrations leaked %d records", shards, res.Residual)
+		}
+		if base == nil {
+			r := res
+			base = &r
+			continue
+		}
+		compareFingerprints(t, "flash-crowd exhaustion", shards, base.Fingerprint, res.Fingerprint)
+	}
+}
+
+// TestFlashCrowdRejectsCrossShardFaultPlan pins the scripting guard: a
+// fault plan touching a link whose endpoints live on different shards must
+// be rejected loudly, not silently mis-applied.
+func TestFlashCrowdRejectsCrossShardFaultPlan(t *testing.T) {
+	_, err := RunFlashCrowd(FlashCrowdConfig{
+		Seed: 23, Shards: 2, NumMS: 2, Plan: netsim.FaultPlan{
+			// The A interface straddles the radio/core partition: BSC-1
+			// lives on shard 1, VMSC-1 on shard 0.
+			{A: "BSC-1", B: "VMSC-1", Down: true},
+		},
+	})
+	if err == nil {
+		t.Fatal("cross-shard fault plan was accepted")
+	}
+}

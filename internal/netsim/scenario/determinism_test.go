@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// shardCounts are the engine configurations every scenario must agree
+// across, byte for byte.
+var shardCounts = []int{1, 2, 4}
+
+// firstTraceDiff locates the first divergent trace line for a readable
+// failure message.
+func firstTraceDiff(a, b string) string {
+	if a == b {
+		return ""
+	}
+	la, lb := 0, 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			ctx := i - 80
+			if ctx < 0 {
+				ctx = 0
+			}
+			end := i + 120
+			if end > len(a) {
+				end = len(a)
+			}
+			endB := i + 120
+			if endB > len(b) {
+				endB = len(b)
+			}
+			return fmt.Sprintf("first divergence at byte %d (lines %d vs %d):\n  a: …%q\n  b: …%q",
+				i, la, lb, a[ctx:end], b[ctx:endB])
+		}
+		if a[i] == '\n' {
+			la++
+			lb++
+		}
+	}
+	return fmt.Sprintf("traces are prefixes of each other (len %d vs %d)", len(a), len(b))
+}
+
+// compareFingerprints asserts two runs produced identical outcomes.
+func compareFingerprints(t *testing.T, label string, shards int, base, got *Fingerprint) {
+	t.Helper()
+	if base.Delivered != got.Delivered {
+		t.Errorf("%s shards=%d: delivered %d, want %d", label, shards, got.Delivered, base.Delivered)
+	}
+	if base.Now != got.Now {
+		t.Errorf("%s shards=%d: final time %v, want %v", label, shards, got.Now, base.Now)
+	}
+	if base.Entries != got.Entries {
+		t.Errorf("%s shards=%d: trace entries %d, want %d", label, shards, got.Entries, base.Entries)
+	}
+	if base.Trace != got.Trace {
+		t.Errorf("%s shards=%d: trace diverges: %s", label, shards, firstTraceDiff(base.Trace, got.Trace))
+	}
+}
+
+func TestMobilityDeterministicAcrossShards(t *testing.T) {
+	for _, policy := range []MobilityPolicy{PolicyDistance, PolicyThreshold} {
+		t.Run(policy.String(), func(t *testing.T) {
+			var base *MobilityResult
+			for _, shards := range shardCounts {
+				res, err := RunMobility(MobilityConfig{
+					Seed: 7, Shards: shards, NumMS: 4,
+					Duration: 3 * time.Minute, Policy: policy,
+					StormEvery: 90 * time.Second, Trace: true,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if res.Moves == 0 || res.PolicyUpdates == 0 {
+					t.Fatalf("shards=%d: inert run: %+v", shards, res)
+				}
+				if res.HandoffAttempts == 0 || res.Handovers == 0 {
+					t.Fatalf("shards=%d: no handoffs exercised: %+v", shards, res)
+				}
+				if base == nil {
+					r := res
+					base = &r
+					continue
+				}
+				compareFingerprints(t, "mobility", shards, base.Fingerprint, res.Fingerprint)
+				if base.Moves != res.Moves || base.PolicyUpdates != res.PolicyUpdates ||
+					base.Relocations != res.Relocations || base.Handovers != res.Handovers {
+					t.Errorf("shards=%d: metrics diverge: base %+v, got %+v", shards, *base, res)
+				}
+			}
+		})
+	}
+}
+
+func TestFlashCrowdDeterministicAcrossShards(t *testing.T) {
+	var base *FlashCrowdResult
+	for _, shards := range shardCounts {
+		res, err := RunFlashCrowd(FlashCrowdConfig{
+			Seed: 11, Shards: shards, NumMS: 8, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Recovered != 8 || res.Exhausted != 0 {
+			t.Fatalf("shards=%d: recovery incomplete: %+v", shards, res)
+		}
+		if res.RecoveryTime <= 0 {
+			t.Fatalf("shards=%d: zero recovery time", shards)
+		}
+		if base == nil {
+			r := res
+			base = &r
+			continue
+		}
+		compareFingerprints(t, "flash-crowd", shards, base.Fingerprint, res.Fingerprint)
+		if base.RecoveryTime != res.RecoveryTime || base.Retransmits != res.Retransmits {
+			t.Errorf("shards=%d: metrics diverge: base %+v, got %+v", shards, *base, res)
+		}
+	}
+}
+
+func TestDayDeterministicAcrossShards(t *testing.T) {
+	var base *DayResult
+	for _, shards := range shardCounts {
+		res, err := RunDay(DayConfig{
+			Seed: 3, Shards: shards, NumMS: 4, DataMS: 1,
+			Duration: 10 * time.Minute, HeapWindow: 5 * time.Minute, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Calls == 0 || res.DataEchoes == 0 {
+			t.Fatalf("shards=%d: inert run: %+v", shards, res)
+		}
+		if res.MSCalls == 0 || res.BreakoutCalls == 0 || res.RoamerCalls == 0 || res.FallbackCalls == 0 {
+			t.Fatalf("shards=%d: a traffic class never connected: %+v", shards, res)
+		}
+		if res.Relocations == 0 || res.PowerCycles == 0 {
+			t.Fatalf("shards=%d: churn classes inert: %+v", shards, res)
+		}
+		if base == nil {
+			r := res
+			base = &r
+			continue
+		}
+		compareFingerprints(t, "day", shards, base.Fingerprint, res.Fingerprint)
+		if base.Calls != res.Calls || base.DataEchoes != res.DataEchoes ||
+			base.RoamerCalls != res.RoamerCalls || base.FallbackCalls != res.FallbackCalls {
+			t.Errorf("shards=%d: metrics diverge: base %+v, got %+v", shards, *base, res)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// soakDuration picks the simulated length: the full default for regular
+// runs, a reduced (but still multi-window) slice under -short so the CI
+// soak-short job exercises the same invariants quickly.
+func soakDuration(t *testing.T) (time.Duration, time.Duration) {
+	if testing.Short() {
+		return time.Hour, 15 * time.Minute
+	}
+	return 4 * time.Hour, 30 * time.Minute
+}
+
+// TestDaySoakLeakProof is the soak gate: a day-in-the-life run long enough
+// to shake out state leaks must end with zero residual transient state and
+// a flat post-GC heap across the final two sampling windows.
+func TestDaySoakLeakProof(t *testing.T) {
+	dur, window := soakDuration(t)
+	res, err := RunDay(DayConfig{
+		Seed: 42, NumMS: 6, DataMS: 2,
+		Duration: dur, HeapWindow: window,
+	})
+	if err != nil {
+		t.Fatalf("soak failed: %v", err)
+	}
+	if res.Residual != 0 {
+		t.Fatalf("residual transient state after drain:\n%s", res.ResidualDetail)
+	}
+	if res.Calls == 0 || res.DataEchoes == 0 || res.PowerCycles == 0 {
+		t.Fatalf("soak was inert: %+v", res)
+	}
+	if len(res.HeapWindows) < 3 {
+		t.Fatalf("want >= 3 heap windows, got %d (%v)", len(res.HeapWindows), res.HeapWindows)
+	}
+
+	// Steady state: the last window must not have grown materially over
+	// the one before it. Post-GC HeapAlloc jitters with goroutine stacks
+	// and allocator slack, so allow the larger of 5% or 512 KiB.
+	prev := res.HeapWindows[len(res.HeapWindows)-2]
+	last := res.HeapWindows[len(res.HeapWindows)-1]
+	if last > prev {
+		growth := last - prev
+		slack := prev / 20
+		if slack < 512*1024 {
+			slack = 512 * 1024
+		}
+		if growth > slack {
+			t.Fatalf("heap grew %d bytes between final windows (%d -> %d); full series: %v",
+				growth, prev, last, res.HeapWindows)
+		}
+	}
+	t.Logf("soak: %v simulated, %d calls (%d failures), %d data echoes, %d relocations, %d power cycles, heap windows %v",
+		dur, res.Calls, res.CallFailures, res.DataEchoes, res.Relocations, res.PowerCycles, res.HeapWindows)
+}
+
+// TestDaySoakShardedMatchesSerial reruns a shorter soak at shard counts 1
+// and 4 and requires identical workload outcomes — the soak must not be a
+// single-engine special case.
+func TestDaySoakShardedMatchesSerial(t *testing.T) {
+	dur := time.Hour
+	if testing.Short() {
+		dur = 20 * time.Minute
+	}
+	var base *DayResult
+	for _, shards := range []int{1, 4} {
+		res, err := RunDay(DayConfig{
+			Seed: 42, NumMS: 6, DataMS: 2, Shards: shards,
+			Duration: dur, HeapWindow: dur / 3,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if base == nil {
+			r := res
+			base = &r
+			continue
+		}
+		if base.Fingerprint.Delivered != res.Fingerprint.Delivered ||
+			base.Fingerprint.Now != res.Fingerprint.Now {
+			t.Errorf("shards=%d: engine outcome diverged: %+v vs %+v",
+				shards, *base.Fingerprint, *res.Fingerprint)
+		}
+		if base.Calls != res.Calls || base.CallFailures != res.CallFailures ||
+			base.DataEchoes != res.DataEchoes || base.Relocations != res.Relocations {
+			t.Errorf("shards=%d: workload diverged: base %+v, got %+v", shards, *base, res)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package rtp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode hammers Unmarshal with arbitrary bytes. The decoder must never
+// panic, and any packet it accepts must survive a marshal/unmarshal round
+// trip with identical decoded fields — the media plane re-encodes packets
+// it has decoded when relaying between legs. The comparison is
+// decoded-vs-redecoded rather than input-vs-output bytes: the header bits
+// the Packet struct does not model (padding, the exact version byte) are
+// normalised by Marshal, legitimately.
+func FuzzDecode(f *testing.F) {
+	for _, p := range []Packet{
+		{PayloadType: PayloadTypeGSM, Seq: 1, Timestamp: TimestampStep, SSRC: 0xCAFE,
+			Payload: []byte{0xD0, 0x01, 0x02}},
+		{PayloadType: 0x7F, Marker: true, Seq: 0xFFFF, Timestamp: 0xFFFFFFFF,
+			SSRC: 0xFFFFFFFF, Payload: nil},
+		{},
+	} {
+		f.Add(p.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x40, 0x00}) // wrong version
+	f.Add([]byte{0x80, 0x03, 0x00, 0x01, 0x00, 0x00, 0x00, 0xA0, 0x00, 0x00, 0xCA, 0xFE})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		back, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("re-marshalled packet does not decode: %v", err)
+		}
+		// Normalise the nil-vs-empty payload distinction: the wire form
+		// cannot express it.
+		if len(p.Payload) == 0 {
+			p.Payload = nil
+		}
+		if len(back.Payload) == 0 {
+			back.Payload = nil
+		}
+		if !reflect.DeepEqual(back, p) {
+			t.Fatalf("round trip changed packet:\n got %#v\nwant %#v", back, p)
+		}
+	})
+}

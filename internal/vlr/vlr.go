@@ -114,6 +114,13 @@ func New(cfg Config) *VLR {
 // Retransmits returns the number of MAP request PDUs this VLR has re-sent.
 func (v *VLR) Retransmits() uint64 { return v.dm.Retransmits() }
 
+// PendingUpdates returns in-flight location-update transactions (not yet
+// answered toward the requesting MSC). Zero at quiescence.
+func (v *VLR) PendingUpdates() int { return len(v.pendingULA) }
+
+// OutstandingDialogues returns un-answered MAP invokes this VLR has open.
+func (v *VLR) OutstandingDialogues() int { return v.dm.Outstanding() }
+
 // ID implements sim.Node.
 func (v *VLR) ID() sim.NodeID { return v.cfg.ID }
 

@@ -449,7 +449,7 @@ func (v *VMSC) handleMTSetup(env *sim.Env, entry *msEntry, pkt ipnet.Packet, m q
 			Leg: gsm.LegA, MS: entry.ms, Identity: gsmid.ByTMSI(entry.tmsi),
 		})
 		env.After(v.cfg.PagingTimeout, func() {
-			if call.state == callPaging {
+			if call.state == callPaging && !call.released {
 				entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
 					CallRef: call.ref, Cause: q931.CauseNoAnswer,
 				})
@@ -617,6 +617,10 @@ func (v *VMSC) clearCall(env *sim.Env, call *vCall, radio bool) {
 }
 
 func (v *VMSC) forget(call *vCall) {
+	if call.released {
+		return
+	}
+	call.released = true
 	v.stopQ931(call) // a live retry timer must not resurrect the call
 	v.stats.CallsReleased++
 	if v.cfg.Hooks.OnCallReleased != nil {

@@ -260,6 +260,11 @@ type vCall struct {
 	// answered dedupes retransmitted Q.931 Connects: the answer is
 	// processed once, later copies are only re-acknowledged.
 	answered bool
+	// released marks a call already passed to forget. Release can reach a
+	// call from two directions at once (a far-end ReleaseComplete racing
+	// the paging timeout, say); the second path must be a no-op or the
+	// active-call count and release stats double-book.
+	released bool
 
 	// Q.931 retransmission state (T303 for Setup, T313 for Connect):
 	// the in-flight message, its current RTO and remaining budget. A nil
@@ -361,6 +366,27 @@ func (v *VMSC) Entry(imsi gsmid.IMSI) (addr netip.Addr, registered bool, ok bool
 
 // ActiveCalls returns the number of calls in progress.
 func (v *VMSC) ActiveCalls() int { return v.active }
+
+// PendingRAS returns RAS transactions still awaiting a gatekeeper answer.
+func (v *VMSC) PendingRAS() int { return len(v.pendingRAS) }
+
+// HandoffCalls returns calls currently relayed over an E-interface trunk
+// (this VMSC as the anchor of an inter-system handover).
+func (v *VMSC) HandoffCalls() int { return len(v.hoCalls) }
+
+// PendingTransactions sums every transient signalling record this VMSC
+// holds: open MAP dialogues, in-flight location updates at the registrar,
+// RAS transactions, and the per-MS GPRS clients' GMM/SM transactions. A
+// quiesced VMSC reports zero; the scenario soak asserts on it.
+func (v *VMSC) PendingTransactions() int {
+	n := v.dm.Outstanding() + v.registrar.Pending() + len(v.pendingRAS)
+	for _, entry := range v.entries {
+		if entry.client != nil {
+			n += entry.client.PendingTransactions()
+		}
+	}
+	return n
+}
 
 // staticAddrFor returns the provisioned static PDP address for an IMSI in
 // DeactivateIdlePDP mode ("" = dynamic).
