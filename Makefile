@@ -8,7 +8,7 @@ GO ?= go
 # under testdata/fuzz/.
 FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/ ./internal/isup/ ./internal/rtp/
 
-.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-json fuzz-smoke fuzz soak soak-short
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-scale bench-json fuzz-smoke fuzz soak soak-short
 
 all: check
 
@@ -74,6 +74,14 @@ bench-engine:
 # written to BENCH_scenarios.json in the working dir.
 bench-scenarios:
 	$(GO) run ./cmd/vgprs-bench -only scenarios -json
+
+# Slab-backed core scale point (bytes/subscriber, attach and call-setup
+# throughput at full residency), written to BENCH_scale.json in the working
+# dir. CI runs the 100k point; the committed artifact also carries 500k and
+# 1M (make bench-scale SCALE_SUBS=100000,500000,1000000).
+SCALE_SUBS ?= 100000
+bench-scale:
+	$(GO) run ./cmd/vgprs-bench -only scale -scale-subs $(SCALE_SUBS) -json
 
 # Machine-readable experiment results (BENCH_<id>.json in the working dir).
 bench-json:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -37,6 +38,8 @@ func run(args []string) int {
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	jsonOut := fs.Bool("json", false, "also write per-experiment results to BENCH_<id>.json")
 	outDir := fs.String("out", ".", "directory for -json output files")
+	scaleSubs := fs.String("scale-subs", "100000",
+		"comma-separated population sizes for the scale experiment")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -173,6 +176,17 @@ func run(args []string) int {
 			}
 			return experiments.ScenarioTable(points), points, nil
 		}},
+		{"scale", func() (fmt.Stringer, any, error) {
+			sizes, err := parseSizes(*scaleSubs)
+			if err != nil {
+				return nil, nil, err
+			}
+			points, err := experiments.RunScaleSweep(*seed, sizes)
+			if err != nil {
+				return nil, nil, err
+			}
+			return experiments.ScaleTable(points), points, nil
+		}},
 	}
 
 	failed := 0
@@ -259,6 +273,19 @@ func runRegistrationBench(seed int64) RegistrationBenchResult {
 		out.RegsPerSec = float64(registrationBenchMS) / (float64(res.NsPerOp()) / 1e9)
 	}
 	return out
+}
+
+// parseSizes parses the -scale-subs population list.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scale-subs entry %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // writeJSON writes one experiment's raw results to DIR/BENCH_<id>.json.

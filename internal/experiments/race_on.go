@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the scale
+// tests shrink their populations under it (the detector multiplies both
+// memory and runtime by close to an order of magnitude).
+const raceEnabled = true

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"vgprs/internal/gb"
+	"vgprs/internal/gprs"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/gtp"
+	"vgprs/internal/hlr"
+	"vgprs/internal/metrics"
+	"vgprs/internal/sigmap"
+	"vgprs/internal/sim"
+	"vgprs/internal/ss7"
+	"vgprs/internal/vlr"
+)
+
+// ScalePoint is one population size of the million-subscriber scale
+// experiment: memory residency and signalling throughput of the core
+// databases (HLR, VLR, SGSN, GGSN) with the whole population attached.
+type ScalePoint struct {
+	Subs int `json:"subs"`
+
+	// Flat attach: register + GPRS-attach + activate the signalling PDP
+	// for every subscriber, wave by wave.
+	AttachWallSec float64 `json:"attach_wall_sec"`
+	AttachPerSec  float64 `json:"attach_per_sec"`
+
+	// Memory accounting: heap delta between a post-warm-wave baseline and
+	// full population, both after runtime.GC (see DESIGN.md §8).
+	WarmSubs       int     `json:"warm_subs"`
+	HeapDeltaBytes uint64  `json:"heap_delta_bytes"`
+	BytesPerSub    float64 `json:"bytes_per_sub"`
+
+	// Peak residency across the four core databases.
+	Registered int `json:"registered_vlr"`
+	Attached   int `json:"attached_sgsn"`
+	ActivePDP  int `json:"active_pdp_ggsn"`
+	Rejects    int `json:"rejects"`
+
+	// Call-setup signalling throughput with the full population resident:
+	// MAP SIFOC authorizations against slab-backed VLR state.
+	CallSetupOps    int     `json:"call_setup_ops"`
+	CallSetupPerSec float64 `json:"call_setup_per_sec"`
+
+	// Mobility churn: every subscriber re-registers (new LAI) and
+	// re-attaches on a fresh foreign TLLI.
+	ChurnOps    int     `json:"churn_ops"`
+	ChurnPerSec float64 `json:"churn_per_sec"`
+
+	// After detach-all + cancel-all: live records still resident (must be
+	// zero — the slab free-lists fully recycle) and the storage audit.
+	DetachLeftover int `json:"detach_leftover"`
+	SlabImbalance  int `json:"slab_imbalance"`
+}
+
+// scaleQoS is the signalling-PDP profile every scale subscriber activates.
+var scaleQoS = gtp.QoSProfile{Precedence: 2, DelayClass: 4, PeakThroughputKbps: 64}
+
+// scaleCell is the single cell the load driver reports for every attach.
+var scaleCell = gsmid.CGI{LAI: gsmid.LAI{MCC: "466", MNC: "92", LAC: 1}, CI: 1}
+
+const scaleWave = 10_000
+
+// scaleDriver is the load-generator node: it plays every VMSC at once —
+// the Gb peer for attach/activate and the MAP client for location updates —
+// so the measured state is purely the core databases'. All its per-
+// subscriber bookkeeping (the P-TMSI table) is allocated up front, before
+// the memory baseline, so the heap delta belongs to the nodes under test.
+type scaleDriver struct {
+	sgsn, vlr sim.NodeID
+	n         int
+	ptmsis    []uint32
+	accepts   int
+	rejects   int
+	callAcks  int
+}
+
+func (d *scaleDriver) ID() sim.NodeID { return "LOAD" }
+
+func (d *scaleDriver) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	switch m := msg.(type) {
+	case gb.DLUnitdata:
+		pdu, err := gprs.ParsePDU(m.PDU)
+		if err != nil {
+			return
+		}
+		switch sm := pdu.SM.(type) {
+		case gprs.AttachAccept:
+			// Foreign TLLIs are issued as round*n + i + 1, so the
+			// subscriber index follows from the TLLI alone.
+			idx := (int(uint32(m.TLLI)) - 1) % d.n
+			first := d.ptmsis[idx] == 0
+			d.ptmsis[idx] = uint32(sm.PTMSI)
+			if first {
+				d.accepts++
+				out, err := gprs.WrapSM(gprs.ActivatePDPRequest{NSAPI: 5, QoS: scaleQoS})
+				if err != nil {
+					return
+				}
+				env.Send(d.ID(), d.sgsn, gb.ULUnitdata{
+					TLLI: gsmid.LocalTLLI(sm.PTMSI), MS: d.ID(), Cell: scaleCell, PDU: out,
+				})
+			}
+		case gprs.AttachReject:
+			d.rejects++
+		case gprs.ActivatePDPReject:
+			d.rejects++
+			_ = sm
+		}
+	case sigmap.SendInfoForOutgoingCallAck:
+		d.callAcks++
+	}
+}
+
+func scaleIMSI(i int) gsmid.IMSI     { return gsmid.IMSI(fmt.Sprintf("46692%010d", i+1)) }
+func scaleMSISDN(i int) gsmid.MSISDN { return gsmid.MSISDN(fmt.Sprintf("8869%08d", i+1)) }
+
+// RunScale attaches `subs` subscribers to a core-only topology and measures
+// bytes/subscriber, attach throughput, call-setup throughput at full
+// residency, mobility-churn throughput, and full detach recycling.
+func RunScale(seed int64, subs int) (ScalePoint, error) {
+	if subs < 4 {
+		return ScalePoint{}, fmt.Errorf("experiments: scale needs at least 4 subscribers, got %d", subs)
+	}
+	env := sim.NewEnv(seed)
+	h := hlr.New(hlr.Config{ID: "HLR"})
+	v := vlr.New(vlr.Config{
+		ID: "VLR-1", HLR: "HLR", HomeCountryCode: "886", MSRNPrefix: "88690000",
+		AuthDisabled: true,
+	})
+	sgsn := gprs.NewSGSN(gprs.SGSNConfig{ID: "SGSN-1", GGSN: "GGSN-1", HLR: "HLR"})
+	ggsn := gprs.NewGGSN(gprs.GGSNConfig{
+		ID: "GGSN-1", PoolPrefix: "10.0.0.0", PoolSize: subs + 2, HLR: "HLR",
+	})
+	d := &scaleDriver{sgsn: "SGSN-1", vlr: "VLR-1", n: subs, ptmsis: make([]uint32, subs)}
+	for _, node := range []sim.Node{h, v, sgsn, ggsn, d} {
+		env.AddNode(node)
+	}
+	const lat = 50 * time.Microsecond
+	env.Connect("LOAD", "VLR-1", "B", lat)
+	env.Connect("LOAD", "SGSN-1", "Gb", lat)
+	env.Connect("VLR-1", "HLR", "D", lat)
+	env.Connect("SGSN-1", "HLR", "Gr", lat)
+	env.Connect("SGSN-1", "GGSN-1", "Gn", lat)
+	env.Connect("GGSN-1", "HLR", "Gc", lat)
+
+	var p ScalePoint
+	p.Subs = subs
+
+	// attachWave provisions and fully registers subscribers [lo, hi):
+	// MAP location update into the VLR, GPRS attach into the SGSN (the
+	// driver chains the PDP activation on accept), quiesce.
+	attachWave := func(lo, hi, round int) error {
+		for i := lo; i < hi; i++ {
+			imsi := scaleIMSI(i)
+			if round == 0 {
+				if err := h.Provision(hlr.Subscriber{
+					IMSI: imsi, MSISDN: scaleMSISDN(i), Ki: [16]byte{byte(i), byte(i >> 8), 0x5A},
+					Profile: sigmap.SubscriberProfile{
+						MSISDN: scaleMSISDN(i), InternationalAllowed: true, VoIPQoS: 1,
+					},
+				}); err != nil {
+					return err
+				}
+			}
+			lai := scaleCell.LAI
+			lai.LAC = uint16(1 + round%2)
+			env.Send("LOAD", "VLR-1", sigmap.UpdateLocationArea{
+				Invoke:   ss7.InvokeID(i + 1),
+				Identity: gsmid.MobileIdentity{Kind: gsmid.IdentityIMSI, IMSI: imsi},
+				LAI:      lai, MSC: "LOAD",
+			})
+			out, err := gprs.WrapSM(gprs.AttachRequest{IMSI: imsi})
+			if err != nil {
+				return err
+			}
+			env.Send("LOAD", "SGSN-1", gb.ULUnitdata{
+				TLLI: gsmid.TLLI(uint32(round*subs + i + 1)),
+				MS:   "LOAD", Cell: scaleCell, PDU: out,
+			})
+		}
+		env.Run()
+		return nil
+	}
+
+	// Flat attach, wave by wave. The first wave warms every pool and
+	// table the harness itself owns (event queue capacity, dialogue maps,
+	// wire buffers); the baseline is read after it so the delta measures
+	// per-subscriber state, not amortised infrastructure.
+	warm := subs / 10
+	if warm < 2 {
+		warm = 2
+	}
+	if warm > scaleWave {
+		warm = scaleWave
+	}
+	start := time.Now()
+	if err := attachWave(0, warm, 0); err != nil {
+		return p, err
+	}
+	var base runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&base)
+	for lo := warm; lo < subs; lo += scaleWave {
+		hi := lo + scaleWave
+		if hi > subs {
+			hi = subs
+		}
+		if err := attachWave(lo, hi, 0); err != nil {
+			return p, err
+		}
+	}
+	p.AttachWallSec = time.Since(start).Seconds()
+	var full runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&full)
+	p.WarmSubs = warm
+	if full.HeapAlloc > base.HeapAlloc {
+		p.HeapDeltaBytes = full.HeapAlloc - base.HeapAlloc
+	}
+	p.BytesPerSub = float64(p.HeapDeltaBytes) / float64(subs-warm)
+	p.AttachPerSec = float64(subs) / p.AttachWallSec
+
+	p.Registered = v.Registered()
+	p.Attached = sgsn.Attached()
+	p.ActivePDP = ggsn.ActiveContexts()
+	p.Rejects = d.rejects
+	if p.Registered != subs || p.Attached != subs || p.ActivePDP != subs {
+		return p, fmt.Errorf("experiments: scale population incomplete: VLR %d SGSN %d GGSN %d of %d (%d rejects)",
+			p.Registered, p.Attached, p.ActivePDP, subs, d.rejects)
+	}
+
+	// Call-setup signalling with the full population resident: sample
+	// SIFOC authorizations spread across the subscriber range.
+	callOps := subs
+	if callOps > 20_000 {
+		callOps = 20_000
+	}
+	stride := subs / callOps
+	start = time.Now()
+	for done := 0; done < callOps; {
+		hi := done + scaleWave
+		if hi > callOps {
+			hi = callOps
+		}
+		for k := done; k < hi; k++ {
+			env.Send("LOAD", "VLR-1", sigmap.SendInfoForOutgoingCall{
+				Invoke:   ss7.InvokeID(k + 1),
+				Identity: gsmid.MobileIdentity{Kind: gsmid.IdentityIMSI, IMSI: scaleIMSI(k * stride)},
+				Called:   "88620000001",
+			})
+		}
+		done = hi
+		env.Run()
+	}
+	p.CallSetupOps = callOps
+	p.CallSetupPerSec = float64(callOps) / time.Since(start).Seconds()
+
+	// Mobility churn: one full round — every subscriber re-registers in
+	// the other location area and re-attaches on a fresh foreign TLLI
+	// (the path that used to leak stale TLLI index entries).
+	start = time.Now()
+	for lo := 0; lo < subs; lo += scaleWave {
+		hi := lo + scaleWave
+		if hi > subs {
+			hi = subs
+		}
+		if err := attachWave(lo, hi, 1); err != nil {
+			return p, err
+		}
+	}
+	p.ChurnOps = subs
+	p.ChurnPerSec = float64(subs) / time.Since(start).Seconds()
+
+	// Detach-all + cancel-all, then audit: every slab slot must be back
+	// on its free-list and every index entry gone.
+	for lo := 0; lo < subs; lo += scaleWave {
+		hi := lo + scaleWave
+		if hi > subs {
+			hi = subs
+		}
+		for i := lo; i < hi; i++ {
+			out, err := gprs.WrapSM(gprs.DetachRequest{})
+			if err != nil {
+				return p, err
+			}
+			env.Send("LOAD", "SGSN-1", gb.ULUnitdata{
+				TLLI: gsmid.LocalTLLI(gsmid.PTMSI(d.ptmsis[i])),
+				MS:   "LOAD", Cell: scaleCell, PDU: out,
+			})
+			env.Send("LOAD", "VLR-1", sigmap.CancelLocation{
+				Invoke: ss7.InvokeID(i + 1), IMSI: scaleIMSI(i),
+			})
+		}
+		env.Run()
+	}
+	p.DetachLeftover = v.Registered() + sgsn.Attached() + sgsn.ActiveContexts() + ggsn.ActiveContexts()
+	p.SlabImbalance = v.SlabImbalance() + h.SlabImbalance() + sgsn.SlabImbalance() + ggsn.SlabImbalance()
+	return p, nil
+}
+
+// RunScaleSweep runs RunScale at each population size.
+func RunScaleSweep(seed int64, sizes []int) ([]ScalePoint, error) {
+	var points []ScalePoint
+	for _, n := range sizes {
+		pt, err := RunScale(seed, n)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// ScaleTable renders the sweep.
+func ScaleTable(points []ScalePoint) *metrics.Table {
+	t := metrics.NewTable(
+		"SCALE: slab-backed core residency and throughput",
+		"subscribers", "bytes/sub", "attach/s", "call setup/s", "churn/s", "leftover", "imbalance")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Subs),
+			fmt.Sprintf("%.0f", p.BytesPerSub),
+			fmt.Sprintf("%.0f", p.AttachPerSec),
+			fmt.Sprintf("%.0f", p.CallSetupPerSec),
+			fmt.Sprintf("%.0f", p.ChurnPerSec),
+			fmt.Sprintf("%d", p.DetachLeftover),
+			fmt.Sprintf("%d", p.SlabImbalance),
+		)
+	}
+	return t
+}

@@ -1,6 +1,7 @@
 package gprs
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"vgprs/internal/ipnet"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 	"vgprs/internal/ss7"
 )
 
@@ -18,6 +20,10 @@ type GGSNConfig struct {
 	ID sim.NodeID
 	// PoolPrefix is the dynamic PDP address range base, e.g. "10.1.1.0".
 	PoolPrefix string
+	// PoolSize is the dynamic address pool capacity. Zero means the
+	// classic 254-host /24; large-population sweeps size it to the
+	// subscriber count.
+	PoolSize int
 	// Gi is the external packet-network router (the PSDN / H.323 LAN).
 	Gi sim.NodeID
 	// HLR, when set, is queried over Gc during PDP activation — paper
@@ -38,17 +44,27 @@ type GGSNConfig struct {
 	MaxKbps uint16
 }
 
-// ggsnPDP is the GGSN's per-context record — the paper's step 1.3 lists its
-// fields: "IMSI, IP address, QoS profile negotiated, SGSN address, and so
-// on".
-type ggsnPDP struct {
-	imsi    gsmid.IMSI
+// ggsnShards is the slab fan-out; contexts spread by TID hash.
+const ggsnShards = 8
+
+// maxQueuedPerAddr bounds the packets parked per destination address while
+// network-initiated activation runs. A paging burst beyond the cap drops
+// the overflow (counted in QueueDrops) instead of pinning memory for the
+// life of the PDP context.
+const maxQueuedPerAddr = 32
+
+// ggsnRec is the GGSN's slab-resident per-context record — the paper's
+// step 1.3 lists its fields: "IMSI, IP address, QoS profile negotiated,
+// SGSN address, and so on". Fixed size, pointer-free: the IMSI is
+// BCD-packed and the SGSN an interned symbol.
+type ggsnRec struct {
+	imsi    gsmid.PackedDigits
 	nsapi   uint8
+	dynamic bool
 	tid     gtp.TID
-	sgsn    sim.NodeID
+	sgsn    uint32 // symbol in GGSN.names
 	address netip.Addr
 	qos     gtp.QoSProfile
-	dynamic bool
 }
 
 // GGSN is the gateway GPRS support node: the anchor between GTP tunnels and
@@ -60,8 +76,10 @@ type GGSN struct {
 	dm   *ss7.DialogueManager
 
 	mu      sync.Mutex
-	byTID   map[gtp.TID]*ggsnPDP
-	byAddr  map[netip.Addr]gtp.TID
+	recs    *slab.Sharded[ggsnRec]
+	byTID   *slab.Index[uint64]
+	byAddr  *slab.Index[netip.Addr]
+	names   slab.Syms[string] // SGSN node names
 	static  map[netip.Addr]gsmid.IMSI
 	queued  map[netip.Addr][]ipnet.Packet
 	nextSeq uint16
@@ -72,6 +90,7 @@ type GGSN struct {
 	pendingCreate map[createKey]struct{}
 
 	ulPackets, dlPackets, dropped uint64
+	queueDrops                    uint64
 }
 
 // createKey identifies one in-flight PDP creation by requesting SGSN and
@@ -82,6 +101,13 @@ type createKey struct {
 }
 
 var _ sim.Node = (*GGSN)(nil)
+
+// hashAddr mixes a netip.Addr for the byAddr index.
+func hashAddr(a netip.Addr) uint64 {
+	b := a.As16()
+	return slab.HashUint64(binary.LittleEndian.Uint64(b[:8]) ^
+		slab.HashUint64(binary.LittleEndian.Uint64(b[8:])))
+}
 
 // NewGGSN returns a GGSN. It panics on an invalid pool prefix (topology
 // construction error).
@@ -95,7 +121,7 @@ func NewGGSN(cfg GGSNConfig) *GGSN {
 	if cfg.SigRetries == 0 {
 		cfg.SigRetries = 3
 	}
-	pool, err := ipnet.NewPool(cfg.PoolPrefix)
+	pool, err := ipnet.NewPoolSize(cfg.PoolPrefix, cfg.PoolSize)
 	if err != nil {
 		panic(err)
 	}
@@ -103,8 +129,9 @@ func NewGGSN(cfg GGSNConfig) *GGSN {
 		cfg:           cfg,
 		pool:          pool,
 		dm:            ss7.NewDialogueManager(),
-		byTID:         make(map[gtp.TID]*ggsnPDP),
-		byAddr:        make(map[netip.Addr]gtp.TID),
+		recs:          slab.NewSharded[ggsnRec](ggsnShards),
+		byTID:         slab.NewIndex[uint64](slab.HashUint64),
+		byAddr:        slab.NewIndex[netip.Addr](hashAddr),
 		static:        make(map[netip.Addr]gsmid.IMSI),
 		queued:        make(map[netip.Addr][]ipnet.Packet),
 		pendingCreate: make(map[createKey]struct{}),
@@ -137,18 +164,18 @@ func (g *GGSN) ProvisionStatic(addr netip.Addr, imsi gsmid.IMSI) {
 func (g *GGSN) ActiveContexts() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.byTID)
+	return g.recs.Len()
 }
 
 // AddressOf returns the PDP address of a context by TID.
 func (g *GGSN) AddressOf(tid gtp.TID) (netip.Addr, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	ctx, ok := g.byTID[tid]
-	if !ok {
+	r := g.recs.Get(g.byTID.Get(uint64(tid)))
+	if r == nil {
 		return netip.Addr{}, false
 	}
-	return ctx.address, true
+	return r.address, true
 }
 
 // Stats returns (uplink, downlink, dropped) packet counts.
@@ -156,6 +183,55 @@ func (g *GGSN) Stats() (ul, dl, dropped uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.ulPackets, g.dlPackets, g.dropped
+}
+
+// QueueDrops returns the number of downlink packets rejected because a
+// destination's activation queue was already at maxQueuedPerAddr.
+func (g *GGSN) QueueDrops() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queueDrops
+}
+
+// QueuedPackets returns the number of downlink packets currently parked
+// awaiting network-initiated activation. Zero at quiescence.
+func (g *GGSN) QueuedPackets() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, q := range g.queued {
+		n += len(q)
+	}
+	return n
+}
+
+// SlabImbalance audits the slab storage: per-shard occupancy must balance
+// and both indexes must resolve to live records that agree with the key.
+// Non-zero means a context leaked or was lost.
+func (g *GGSN) SlabImbalance() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	imb := 0
+	perShard := make([]int, ggsnShards)
+	g.byTID.Range(func(k uint64, h slab.Handle) bool {
+		r := g.recs.Get(h)
+		if r == nil || uint64(r.tid) != k {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		return true
+	})
+	for _, a := range g.recs.Audit() {
+		imb += a.Imbalance() + abs(perShard[a.Shard]-a.Live)
+	}
+	g.byAddr.Range(func(k netip.Addr, h slab.Handle) bool {
+		if r := g.recs.Get(h); r == nil || r.address != k {
+			imb++
+		}
+		return true
+	})
+	return imb
 }
 
 // Receive implements sim.Node.
@@ -242,29 +318,36 @@ func (g *GGSN) finishCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPReques
 	tid := gtp.MakeTID(m.IMSI, m.NSAPI)
 	negotiated := gtp.Negotiate(m.QoS, g.cfg.MaxKbps)
 	g.mu.Lock()
-	if existing, exists := g.byTID[tid]; exists {
+	if existing := g.recs.Get(g.byTID.Get(uint64(tid))); existing != nil {
+		sameSGSN := g.names.Val(existing.sgsn) == string(sgsn)
+		exAddr, exQoS := existing.address, existing.qos
 		g.mu.Unlock()
 		if dynamic {
 			g.pool.Release(addr)
 		}
-		if existing.sgsn == sgsn {
+		if sameSGSN {
 			// Retransmitted create whose response was lost: re-acknowledge
 			// the context already installed instead of failing it (GSM
 			// 09.60 §7.4.1 treats a repeated request as the same one).
 			env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{
 				Seq: m.Seq, Cause: gtp.CauseAccepted, TID: tid,
-				Address: existing.address.String(), QoS: existing.qos,
+				Address: exAddr.String(), QoS: exQoS,
 			})
 			return
 		}
 		env.Send(g.cfg.ID, sgsn, gtp.CreatePDPResponse{Seq: m.Seq, Cause: gtp.CauseSystemFailure})
 		return
 	}
-	g.byTID[tid] = &ggsnPDP{
-		imsi: m.IMSI, nsapi: m.NSAPI, tid: tid,
-		sgsn: sgsn, address: addr, qos: negotiated, dynamic: dynamic,
-	}
-	g.byAddr[addr] = tid
+	h, r := g.recs.Alloc(int(slab.HashUint64(uint64(tid)) & (ggsnShards - 1)))
+	r.imsi = m.IMSI.Pack()
+	r.nsapi = m.NSAPI
+	r.tid = tid
+	r.sgsn = g.names.ID(string(sgsn))
+	r.address = addr
+	r.qos = negotiated
+	r.dynamic = dynamic
+	g.byTID.Put(uint64(tid), h)
+	g.byAddr.Put(addr, h)
 	queued := g.queued[addr]
 	delete(g.queued, addr)
 	g.mu.Unlock()
@@ -281,15 +364,22 @@ func (g *GGSN) finishCreate(env *sim.Env, sgsn sim.NodeID, m gtp.CreatePDPReques
 
 func (g *GGSN) handleDelete(env *sim.Env, sgsn sim.NodeID, m gtp.DeletePDPRequest) {
 	g.mu.Lock()
-	ctx, ok := g.byTID[m.TID]
+	h := g.byTID.Get(uint64(m.TID))
+	r := g.recs.Get(h)
+	ok := r != nil
+	var release netip.Addr
 	if ok {
-		delete(g.byTID, m.TID)
-		delete(g.byAddr, ctx.address)
-		if ctx.dynamic {
-			g.pool.Release(ctx.address)
+		g.byTID.Delete(uint64(m.TID))
+		g.byAddr.Delete(r.address)
+		if r.dynamic {
+			release = r.address
 		}
+		g.recs.Free(h)
 	}
 	g.mu.Unlock()
+	if release.IsValid() {
+		g.pool.Release(release)
+	}
 
 	cause := gtp.CauseAccepted
 	if !ok {
@@ -307,7 +397,7 @@ func (g *GGSN) handleUplink(env *sim.Env, m gtp.TPDU) {
 		return
 	}
 	g.mu.Lock()
-	_, known := g.byTID[m.TID]
+	known := !g.byTID.Get(uint64(m.TID)).IsZero()
 	if known {
 		g.ulPackets++
 	} else {
@@ -318,7 +408,7 @@ func (g *GGSN) handleUplink(env *sim.Env, m gtp.TPDU) {
 		return
 	}
 	g.mu.Lock()
-	_, local := g.byAddr[pkt.Dst]
+	local := !g.byAddr.Get(pkt.Dst).IsZero()
 	g.mu.Unlock()
 	if local {
 		g.handleDownlink(env, pkt)
@@ -332,16 +422,19 @@ func (g *GGSN) handleUplink(env *sim.Env, m gtp.TPDU) {
 // provisioned, feature enabled) or drops.
 func (g *GGSN) handleDownlink(env *sim.Env, pkt ipnet.Packet) {
 	g.mu.Lock()
-	tid, active := g.byAddr[pkt.Dst]
-	var ctx *ggsnPDP
+	r := g.recs.Get(g.byAddr.Get(pkt.Dst))
+	active := r != nil
+	var tid gtp.TID
+	var sgsn sim.NodeID
 	if active {
-		ctx = g.byTID[tid]
+		tid = r.tid
+		sgsn = sim.NodeID(g.names.Val(r.sgsn))
 		g.dlPackets++
 	}
 	g.mu.Unlock()
 
 	if active {
-		env.Send(g.cfg.ID, ctx.sgsn, gtp.TPDU{TID: tid, Payload: pkt.Marshal()})
+		env.Send(g.cfg.ID, sgsn, gtp.TPDU{TID: tid, Payload: pkt.Marshal()})
 		return
 	}
 
@@ -349,6 +442,14 @@ func (g *GGSN) handleDownlink(env *sim.Env, pkt ipnet.Packet) {
 	imsi, isStatic := g.static[pkt.Dst]
 	canNotify := g.cfg.NetworkInitiatedActivation && isStatic && g.cfg.HLR != ""
 	if canNotify {
+		if len(g.queued[pkt.Dst]) >= maxQueuedPerAddr {
+			// Queue full: shed the newest packet rather than grow without
+			// bound while the subscriber is paged.
+			g.queueDrops++
+			g.dropped++
+			g.mu.Unlock()
+			return
+		}
 		g.queued[pkt.Dst] = append(g.queued[pkt.Dst], pkt)
 	} else {
 		g.dropped++

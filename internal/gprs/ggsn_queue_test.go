@@ -1,0 +1,72 @@
+package gprs
+
+import (
+	"testing"
+
+	"vgprs/internal/ipnet"
+	"vgprs/internal/sim"
+)
+
+// silentNode absorbs everything — an HLR that never answers, so a pending
+// network-initiated activation stays pending until its retries exhaust.
+type silentNode struct{ id sim.NodeID }
+
+func (s *silentNode) ID() sim.NodeID { return s.id }
+func (s *silentNode) Receive(*sim.Env, sim.NodeID, string, sim.Message) {
+}
+
+// TestDownlinkQueueBounded pins the activation-queue cap: a downlink burst
+// toward a provisioned static address with no active context must park at
+// most maxQueuedPerAddr packets, count the overflow in QueueDrops, and
+// release the whole queue (backing array included — the map entry is
+// deleted) when the Gc lookup fails.
+func TestDownlinkQueueBounded(t *testing.T) {
+	env := sim.NewEnv(1)
+	ggsn := NewGGSN(GGSNConfig{
+		ID: "GGSN-1", HLR: "HLR", NetworkInitiatedActivation: true,
+	})
+	hlr := &silentNode{id: "HLR"}
+	gi := &silentNode{id: "GI"}
+	env.AddNode(ggsn)
+	env.AddNode(hlr)
+	env.AddNode(gi)
+	env.Connect("GI", "GGSN-1", "Gi", 0)
+	env.Connect("GGSN-1", "HLR", "Gc", 0)
+
+	dst := ipnet.MustAddr("10.9.9.9")
+	ggsn.ProvisionStatic(dst, testIMSI)
+
+	const burst = maxQueuedPerAddr + 8
+	for i := 0; i < burst; i++ {
+		env.Send("GI", "GGSN-1", ipnet.Packet{
+			Src: ipnet.MustAddr("192.168.1.10"), Dst: dst, Payload: []byte{byte(i)},
+		})
+	}
+	// Drain only the burst deliveries, not the dialogue retry timers: the
+	// queue should sit exactly at the cap while the HLR lookup is pending.
+	for env.Step() && ggsn.OutstandingDialogues() == 0 {
+	}
+	for i := 0; i < burst; i++ {
+		env.Step()
+	}
+	if got := ggsn.QueuedPackets(); got != maxQueuedPerAddr {
+		t.Fatalf("queued during lookup = %d, want cap %d", got, maxQueuedPerAddr)
+	}
+	if got := ggsn.QueueDrops(); got != burst-maxQueuedPerAddr {
+		t.Fatalf("queue drops = %d, want %d", got, burst-maxQueuedPerAddr)
+	}
+
+	// Let the dialogue retries exhaust; the failed activation must drop
+	// and forget the queue entirely.
+	env.Run()
+	if got := ggsn.QueuedPackets(); got != 0 {
+		t.Fatalf("queued after Gc failure = %d, want 0", got)
+	}
+	_, _, dropped := ggsn.Stats()
+	if dropped != burst {
+		t.Fatalf("dropped = %d, want the whole burst %d", dropped, burst)
+	}
+	if got := ggsn.SlabImbalance(); got != 0 {
+		t.Fatalf("slab imbalance = %d, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package gprs
 
 import (
+	"net/netip"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"vgprs/internal/gtp"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 	"vgprs/internal/ss7"
 )
 
@@ -39,59 +41,77 @@ type SGSNConfig struct {
 	EchoMisses int
 }
 
-// mmCtx is the SGSN's per-subscriber mobility context.
-type mmCtx struct {
-	imsi  gsmid.IMSI
+// sgsnShards is the slab fan-out; subscribers spread by IMSI hash.
+const sgsnShards = 8
+
+// mmRec is the SGSN's slab-resident per-subscriber mobility context:
+// fixed size, no heap pointers. The Gb peer and MS correlation handles are
+// interned symbols (their cardinality is the topology size); PDP contexts
+// hang off pdpHead as an intrusive list through a second slab.
+type mmRec struct {
+	imsi  gsmid.PackedDigits
 	ptmsi gsmid.PTMSI
+	// foreignTLLI is the (random/foreign) TLLI the last attach arrived
+	// on. The context is indexed under it as well as the local TLLI, and
+	// every teardown path must unindex both — forgetting the foreign one
+	// leaked an index entry per attach in the old map-based code.
+	foreignTLLI gsmid.TLLI
 	// ms and peer record where downlink traffic goes: the Gb peer node
 	// (BSC or VMSC) and the MS correlation handle it needs.
-	ms   sim.NodeID
-	peer sim.NodeID
-	cell gsmid.CGI
-	// pdp is created lazily on the first activation: every attach allocates
-	// an mmCtx, but attach-only subscribers never need the map.
-	pdp map[uint8]*sgsnPDP
-
-	// Attach-transaction state. The HLR dialogue threads the mmCtx itself
-	// through InvokeArg, so the attach procedure allocates no closures; the
-	// fields below carry what the completion callback needs.
-	sgsn       *SGSN
-	attachEnv  *sim.Env
-	attachTLLI gsmid.TLLI
+	ms   uint32 // symbol in SGSN.names
+	peer uint32 // symbol in SGSN.names
+	cell uint32 // symbol in SGSN.cells
+	// pdpHead/npdp anchor the subscriber's PDP contexts in SGSN.pdps.
+	pdpHead slab.Handle
+	npdp    uint8
 	// attachPending dedupes in-flight attaches: a retransmitted
 	// AttachRequest must not spawn a second HLR dialogue.
 	attachPending bool
 }
 
-// sgsnPDP is the SGSN's per-context state. Each context remembers the Gb
-// path it was activated over: the same subscriber can hold voice contexts
-// through the VMSC and data contexts through the radio PCU simultaneously
-// (the paper's Fig 2(b) shows both paths side by side), and downlink
-// traffic must follow each context's own path.
-type sgsnPDP struct {
-	nsapi   uint8
-	tid     gtp.TID
-	address string
-	qos     gtp.QoSProfile
-	peer    sim.NodeID
-	ms      sim.NodeID
+// pdpRec is the SGSN's slab-resident per-PDP-context state. Each context
+// remembers the Gb path it was activated over: the same subscriber can
+// hold voice contexts through the VMSC and data contexts through the radio
+// PCU simultaneously (the paper's Fig 2(b) shows both paths side by side),
+// and downlink traffic must follow each context's own path.
+type pdpRec struct {
+	nsapi uint8
+	tid   gtp.TID
+	addr  netip.Addr // zero when the GGSN assigned no address
+	qos   gtp.QoSProfile
+	peer  uint32 // symbol in SGSN.names
+	ms    uint32 // symbol in SGSN.names
+	next  slab.Handle
+}
+
+// addrString renders the PDP address in the SM wire form ("" when unset).
+func (p *pdpRec) addrString() string {
+	if !p.addr.IsValid() {
+		return ""
+	}
+	return p.addr.String()
 }
 
 // SGSN is the serving GPRS support node: it terminates the Gb interface,
 // manages attach and PDP-context state, and tunnels user traffic to the
-// GGSN over GTP (Gn).
+// GGSN over GTP (Gn). Subscriber state lives in slab shards addressed by
+// open-addressing indexes (TLLI, IMSI, TID → handle) so an attached-but-
+// idle subscriber costs a bounded number of bytes.
 type SGSN struct {
 	cfg SGSNConfig
 	dm  *ss7.DialogueManager
 
-	mu       sync.Mutex
-	byTLLI   map[gsmid.TLLI]*mmCtx
-	byIMSI   map[gsmid.IMSI]*mmCtx
-	byTID    map[gtp.TID]*mmCtx
-	nextPT   uint32
-	nextSeq  uint16
-	pending  map[uint16]gtpTxn
-	contexts int
+	mu      sync.Mutex
+	mms     *slab.Sharded[mmRec]
+	pdps    *slab.Sharded[pdpRec]
+	byTLLI  *slab.Index[uint32]
+	byIMSI  *slab.Index[gsmid.PackedDigits]
+	byTID   *slab.Index[uint64]
+	names   slab.Syms[string]    // Gb peer and MS correlation node names
+	cells   slab.Syms[gsmid.CGI] // serving cells
+	nextPT  uint32
+	nextSeq uint16
+	pending map[uint16]gtpTxn
 
 	ulPackets, dlPackets uint64
 
@@ -102,6 +122,10 @@ type SGSN struct {
 	gtpTimerFree   []*gtpTimer
 	gtpRetransmits uint64
 
+	// Attach-dialogue records, recycled the same way (the HLR callback
+	// runs exactly once per dialogue).
+	attachFree []*attachTxn
+
 	// GTP path supervision state (see SGSNConfig.EchoInterval).
 	supervising  bool
 	pathDown     bool
@@ -111,7 +135,10 @@ type SGSN struct {
 
 // gtpTxn records one outstanding GTP request toward the GGSN. Pending
 // transactions are value-typed and dispatched by kind in resolve, so issuing
-// a create or delete request allocates nothing beyond the map slot.
+// a create or delete request allocates nothing beyond the map slot. The
+// subscriber rides along as a slab handle: if it detaches while the
+// transaction is in flight the handle goes stale and Get returns nil, which
+// replaces the old pointer-identity guard.
 type gtpTxn struct {
 	kind  uint8 // txnActivate, txnDeactivate or txnCleanup
 	nsapi uint8
@@ -119,7 +146,7 @@ type gtpTxn struct {
 	ms    sim.NodeID
 	tlli  gsmid.TLLI
 	tid   gtp.TID
-	ctx   *mmCtx
+	mm    slab.Handle
 
 	// Retransmission state: the request PDU is re-sent with doubled RTO
 	// each time its timer fires while the transaction is still pending.
@@ -149,9 +176,9 @@ type gtpTimer struct {
 
 func (s *SGSN) getGTPTimer(seq uint16) *gtpTimer {
 	if len(s.gtpTimerFree) == 0 {
-		slab := make([]gtpTimer, 32)
-		for i := range slab {
-			s.gtpTimerFree = append(s.gtpTimerFree, &slab[i])
+		recs := make([]gtpTimer, 32)
+		for i := range recs {
+			s.gtpTimerFree = append(s.gtpTimerFree, &recs[i])
 		}
 	}
 	n := len(s.gtpTimerFree)
@@ -164,6 +191,35 @@ func (s *SGSN) getGTPTimer(seq uint16) *gtpTimer {
 func (s *SGSN) putGTPTimer(g *gtpTimer) {
 	*g = gtpTimer{}
 	s.gtpTimerFree = append(s.gtpTimerFree, g)
+}
+
+// attachTxn carries one in-flight HLR attach dialogue: the subscriber as a
+// stale-safe handle plus the reply path captured at request time.
+type attachTxn struct {
+	s    *SGSN
+	env  *sim.Env
+	mm   slab.Handle
+	tlli gsmid.TLLI
+	peer sim.NodeID
+	ms   sim.NodeID
+}
+
+func (s *SGSN) getAttachTxn() *attachTxn {
+	if len(s.attachFree) == 0 {
+		recs := make([]attachTxn, 16)
+		for i := range recs {
+			s.attachFree = append(s.attachFree, &recs[i])
+		}
+	}
+	n := len(s.attachFree)
+	t := s.attachFree[n-1]
+	s.attachFree = s.attachFree[:n-1]
+	return t
+}
+
+func (s *SGSN) putAttachTxn(t *attachTxn) {
+	*t = attachTxn{}
+	s.attachFree = append(s.attachFree, t)
 }
 
 // armGTP registers the pending transaction, transmits its request toward
@@ -229,9 +285,11 @@ func NewSGSN(cfg SGSNConfig) *SGSN {
 	return &SGSN{
 		cfg:     cfg,
 		dm:      ss7.NewDialogueManager(),
-		byTLLI:  make(map[gsmid.TLLI]*mmCtx),
-		byIMSI:  make(map[gsmid.IMSI]*mmCtx),
-		byTID:   make(map[gtp.TID]*mmCtx),
+		mms:     slab.NewSharded[mmRec](sgsnShards),
+		pdps:    slab.NewSharded[pdpRec](sgsnShards),
+		byTLLI:  slab.NewIndex[uint32](slab.HashUint32),
+		byIMSI:  slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
+		byTID:   slab.NewIndex[uint64](slab.HashUint64),
 		pending: make(map[uint16]gtpTxn),
 	}
 }
@@ -243,7 +301,7 @@ func (s *SGSN) ID() sim.NodeID { return s.cfg.ID }
 func (s *SGSN) Attached() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.byIMSI)
+	return s.mms.Len()
 }
 
 // ActiveContexts returns the number of active PDP contexts — the SGSN-side
@@ -251,7 +309,7 @@ func (s *SGSN) Attached() int {
 func (s *SGSN) ActiveContexts() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.contexts
+	return s.pdps.Len()
 }
 
 // Forwarded returns (uplink, downlink) user-plane packet counts.
@@ -279,6 +337,162 @@ func (s *SGSN) Retransmits() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dm.Retransmits() + s.gtpRetransmits
+}
+
+// SlabImbalance audits the slab storage: every index entry must resolve to
+// a live record that agrees with the key, per-shard occupancy must balance
+// (cap == live + free), and the PDP slab population must match the sum of
+// per-subscriber context lists and the TID index. Non-zero means a context
+// leaked or was lost; the soak/leak gates assert zero.
+func (s *SGSN) SlabImbalance() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	imb := 0
+	perShard := make([]int, sgsnShards)
+	pdpListed := 0
+	tlliExpected := 0
+	s.byIMSI.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		r := s.mms.Get(h)
+		if r == nil || r.imsi != k {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		// Each subscriber owns its local TLLI entry plus, when roaming in
+		// on a foreign TLLI, exactly one alias — a re-attach that forgets
+		// to unindex the old alias shows up as excess byTLLI population.
+		tlliExpected++
+		if r.foreignTLLI != 0 {
+			tlliExpected++
+		}
+		// The context list must be exactly npdp live records.
+		n := 0
+		for ph := r.pdpHead; !ph.IsZero(); {
+			p := s.pdps.Get(ph)
+			if p == nil {
+				imb++
+				break
+			}
+			n++
+			ph = p.next
+		}
+		if n != int(r.npdp) {
+			imb++
+		}
+		pdpListed += n
+		return true
+	})
+	for _, a := range s.mms.Audit() {
+		imb += a.Imbalance() + abs(perShard[a.Shard]-a.Live)
+	}
+	for _, a := range s.pdps.Audit() {
+		imb += a.Imbalance()
+	}
+	imb += abs(pdpListed - s.pdps.Len())
+	imb += abs(s.byTID.Len() - s.pdps.Len())
+	imb += abs(tlliExpected - s.byTLLI.Len())
+	s.byTLLI.Range(func(_ uint32, h slab.Handle) bool {
+		if s.mms.Get(h) == nil {
+			imb++
+		}
+		return true
+	})
+	s.byTID.Range(func(_ uint64, h slab.Handle) bool {
+		if s.mms.Get(h) == nil {
+			imb++
+		}
+		return true
+	})
+	return imb
+}
+
+func abs(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// lookupTLLI resolves a TLLI to the subscriber's record. Callers hold s.mu.
+func (s *SGSN) lookupTLLI(tlli gsmid.TLLI) (slab.Handle, *mmRec) {
+	h := s.byTLLI.Get(uint32(tlli))
+	return h, s.mms.Get(h)
+}
+
+// findPDP walks the subscriber's context list for an NSAPI. Callers hold
+// s.mu.
+func (s *SGSN) findPDP(r *mmRec, nsapi uint8) *pdpRec {
+	for h := r.pdpHead; !h.IsZero(); {
+		p := s.pdps.Get(h)
+		if p == nil {
+			return nil
+		}
+		if p.nsapi == nsapi {
+			return p
+		}
+		h = p.next
+	}
+	return nil
+}
+
+// addPDP links a new context record onto the subscriber. Callers hold s.mu.
+func (s *SGSN) addPDP(mm slab.Handle, r *mmRec) (slab.Handle, *pdpRec) {
+	h, p := s.pdps.Alloc(mm.Shard())
+	p.next = r.pdpHead
+	r.pdpHead = h
+	r.npdp++
+	return h, p
+}
+
+// removePDP unlinks and frees the context with the given NSAPI, returning
+// its TID. Callers hold s.mu.
+func (s *SGSN) removePDP(r *mmRec, nsapi uint8) (gtp.TID, bool) {
+	prev := &r.pdpHead
+	for h := *prev; !h.IsZero(); h = *prev {
+		p := s.pdps.Get(h)
+		if p == nil {
+			return 0, false
+		}
+		if p.nsapi == nsapi {
+			tid := p.tid
+			*prev = p.next
+			s.byTID.Delete(uint64(tid))
+			s.pdps.Free(h)
+			r.npdp--
+			return tid, true
+		}
+		prev = &p.next
+	}
+	return 0, false
+}
+
+// removeAllPDPs tears down every context of a subscriber, appending the
+// TIDs to tids. Callers hold s.mu.
+func (s *SGSN) removeAllPDPs(r *mmRec, tids []gtp.TID) []gtp.TID {
+	for h := r.pdpHead; !h.IsZero(); {
+		p := s.pdps.Get(h)
+		if p == nil {
+			break
+		}
+		next := p.next
+		tids = append(tids, p.tid)
+		s.byTID.Delete(uint64(p.tid))
+		s.pdps.Free(h)
+		h = next
+	}
+	r.pdpHead = 0
+	r.npdp = 0
+	return tids
+}
+
+// unindexTLLIs removes every TLLI alias of a subscriber — the local TLLI
+// derived from its P-TMSI and the foreign TLLI its last attach arrived on.
+// Callers hold s.mu.
+func (s *SGSN) unindexTLLIs(r *mmRec) {
+	s.byTLLI.Delete(uint32(gsmid.LocalTLLI(r.ptmsi)))
+	if r.foreignTLLI != 0 {
+		s.byTLLI.Delete(uint32(r.foreignTLLI))
+	}
 }
 
 // Receive implements sim.Node.
@@ -310,17 +524,13 @@ func (s *SGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 // context and every PDP context go, including the GGSN-side tunnels.
 func (s *SGSN) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.CancelLocation) {
 	s.mu.Lock()
-	ctx, ok := s.byIMSI[m.IMSI]
+	h := s.byIMSI.Get(m.IMSI.Pack())
 	var tids []gtp.TID
-	if ok {
-		for _, pdp := range ctx.pdp {
-			delete(s.byTID, pdp.tid)
-			tids = append(tids, pdp.tid)
-			s.contexts--
-		}
-		ctx.pdp = nil
-		delete(s.byIMSI, m.IMSI)
-		delete(s.byTLLI, gsmid.LocalTLLI(ctx.ptmsi))
+	if r := s.mms.Get(h); r != nil {
+		tids = s.removeAllPDPs(r, tids)
+		s.byIMSI.Delete(r.imsi)
+		s.unindexTLLIs(r)
+		s.mms.Free(h)
 	}
 	s.mu.Unlock()
 	for _, tid := range tids {
@@ -401,35 +611,43 @@ func (s *SGSN) handleUL(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata) {
 }
 
 func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m AttachRequest) {
+	packed := m.IMSI.Pack()
 	s.mu.Lock()
-	ctx, exists := s.byIMSI[m.IMSI]
-	if !exists {
+	h := s.byIMSI.Get(packed)
+	r := s.mms.Get(h)
+	if r == nil {
 		s.nextPT++
-		ctx = &mmCtx{
-			imsi:  m.IMSI,
-			ptmsi: gsmid.PTMSI(s.nextPT),
-		}
-		s.byIMSI[m.IMSI] = ctx
+		h, r = s.mms.Alloc(int(packed.Hash() & (sgsnShards - 1)))
+		r.imsi = packed
+		r.ptmsi = gsmid.PTMSI(s.nextPT)
+		s.byIMSI.Put(packed, h)
 	}
 	// A retransmitted AttachRequest while the HLR dialogue is in flight
 	// must not spawn a second one; the pending dialogue will answer.
-	if ctx.attachPending {
+	if r.attachPending {
 		s.mu.Unlock()
 		return
 	}
-	ctx.ms = ul.MS
-	ctx.peer = peer
-	ctx.cell = ul.Cell
-	ctx.sgsn = s
-	ctx.attachEnv = env
-	ctx.attachTLLI = ul.TLLI
+	r.ms = s.names.ID(string(ul.MS))
+	r.peer = s.names.ID(string(peer))
+	r.cell = s.cells.ID(ul.Cell)
 	// Index under both the TLLI the request came with and the local TLLI
-	// the client derives from its new P-TMSI.
-	s.byTLLI[ul.TLLI] = ctx
-	s.byTLLI[gsmid.LocalTLLI(ctx.ptmsi)] = ctx
-	ptmsi := ctx.ptmsi
+	// the client derives from its new P-TMSI. A re-attach can arrive on a
+	// different foreign TLLI — unindex the previous one or it dangles.
+	local := gsmid.LocalTLLI(r.ptmsi)
+	if r.foreignTLLI != 0 && r.foreignTLLI != ul.TLLI {
+		s.byTLLI.Delete(uint32(r.foreignTLLI))
+	}
+	if ul.TLLI != local {
+		r.foreignTLLI = ul.TLLI
+	} else {
+		r.foreignTLLI = 0
+	}
+	s.byTLLI.Put(uint32(ul.TLLI), h)
+	s.byTLLI.Put(uint32(local), h)
+	ptmsi := r.ptmsi
 	if s.cfg.HLR != "" {
-		ctx.attachPending = true
+		r.attachPending = true
 	}
 	s.mu.Unlock()
 
@@ -437,46 +655,56 @@ func (s *SGSN) handleAttach(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m A
 		s.reply(env, peer, ul.MS, ul.TLLI, AttachAccept{PTMSI: ptmsi})
 		return
 	}
-	invoke := s.dm.InvokeRetryArg(attachHLRDone, ctx)
+	t := s.getAttachTxn()
+	*t = attachTxn{s: s, env: env, mm: h, tlli: ul.TLLI, peer: peer, ms: ul.MS}
+	invoke := s.dm.InvokeRetryArg(attachHLRDone, t)
 	s.dm.Transmit(env, invoke, s.cfg.ID, s.cfg.HLR, sigmap.UpdateGPRSLocation{
 		Invoke: invoke, IMSI: m.IMSI, SGSN: string(s.cfg.ID),
 	}, s.cfg.SigRTO, s.cfg.SigRetries)
 }
 
 // attachHLRDone completes GPRS attach when the HLR answers (or the dialogue
-// times out). The mmCtx doubles as the transaction record.
+// times out). The subscriber rides through the dialogue as a slab handle:
+// if it was cancelled meanwhile the handle is stale and there is nobody to
+// answer.
 func attachHLRDone(arg any, resp sim.Message, ok bool) {
-	ctx := arg.(*mmCtx)
-	s := ctx.sgsn
-	env := ctx.attachEnv
+	t := arg.(*attachTxn)
+	s, env, mm, tlli, peer, ms := t.s, t.env, t.mm, t.tlli, t.peer, t.ms
+	s.putAttachTxn(t)
 	s.mu.Lock()
-	ctx.attachPending = false
+	r := s.mms.Get(mm)
+	var ptmsi gsmid.PTMSI
+	if r != nil {
+		r.attachPending = false
+		ptmsi = r.ptmsi
+	}
 	s.mu.Unlock()
-	ack, isAck := resp.(sigmap.UpdateGPRSLocationAck)
-	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
-		s.reply(env, ctx.peer, ctx.ms, ctx.attachTLLI, AttachReject{Cause: SMCauseUnknownSubscriber})
+	if r == nil {
 		return
 	}
-	s.reply(env, ctx.peer, ctx.ms, ctx.attachTLLI, AttachAccept{PTMSI: ctx.ptmsi})
+	ack, isAck := resp.(sigmap.UpdateGPRSLocationAck)
+	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
+		s.reply(env, peer, ms, tlli, AttachReject{Cause: SMCauseUnknownSubscriber})
+		return
+	}
+	s.reply(env, peer, ms, tlli, AttachAccept{PTMSI: ptmsi})
 }
 
 func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
 	s.mu.Lock()
-	ctx, ok := s.byTLLI[ul.TLLI]
+	h, r := s.lookupTLLI(ul.TLLI)
 	var tids []gtp.TID
-	if ok {
-		for _, pdp := range ctx.pdp {
-			delete(s.byTID, pdp.tid)
-			tids = append(tids, pdp.tid)
-			s.contexts--
-		}
-		ctx.pdp = nil
-		delete(s.byIMSI, ctx.imsi)
-		delete(s.byTLLI, ul.TLLI)
-		delete(s.byTLLI, gsmid.LocalTLLI(ctx.ptmsi))
+	var peer sim.NodeID
+	if r != nil {
+		tids = s.removeAllPDPs(r, tids)
+		peer = sim.NodeID(s.names.Val(r.peer))
+		s.byIMSI.Delete(r.imsi)
+		s.unindexTLLIs(r)
+		s.byTLLI.Delete(uint32(ul.TLLI)) // covers a detach on an unusual alias
+		s.mms.Free(h)
 	}
 	s.mu.Unlock()
-	if !ok {
+	if r == nil {
 		return
 	}
 	// Tear the tunnels down at the GGSN too, or a later re-attach would
@@ -484,17 +712,26 @@ func (s *SGSN) handleDetach(env *sim.Env, ul gb.ULUnitdata) {
 	for _, tid := range tids {
 		s.cleanupTunnel(env, tid)
 	}
-	s.reply(env, ctx.peer, ul.MS, ul.TLLI, DetachAccept{})
+	s.reply(env, peer, ul.MS, ul.TLLI, DetachAccept{})
 }
 
 func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m ActivatePDPRequest) {
 	s.mu.Lock()
-	ctx, ok := s.byTLLI[ul.TLLI]
+	h, r := s.lookupTLLI(ul.TLLI)
+	ok := r != nil
 	var full, inFlight bool
-	var dup *sgsnPDP
+	var dupAddr string
+	var dupQoS gtp.QoSProfile
+	var dup bool
+	var imsi gsmid.IMSI
 	if ok {
-		dup = ctx.pdp[m.NSAPI]
-		full = s.cfg.MaxContexts > 0 && s.contexts >= s.cfg.MaxContexts
+		imsi = r.imsi.IMSI()
+		if p := s.findPDP(r, m.NSAPI); p != nil {
+			dup = true
+			dupAddr = p.addrString()
+			dupQoS = p.qos
+		}
+		full = s.cfg.MaxContexts > 0 && s.pdps.Len() >= s.cfg.MaxContexts
 		// A retransmitted ActivatePDPRequest while the GTP create is in
 		// flight must not issue a second CreatePDPRequest.
 		for _, t := range s.pending {
@@ -517,12 +754,12 @@ func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m
 		// instead of letting the create request vanish into the tunnel.
 		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNetworkFailure})
 		return
-	case dup != nil:
+	case dup:
 		// The NSAPI is already active: this is a retransmission whose
 		// Accept was lost. Re-ack with the existing binding — rejecting
 		// here would turn one dropped downlink frame into a permanent
 		// activation failure.
-		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPAccept{NSAPI: m.NSAPI, Address: dup.address, QoS: dup.qos})
+		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPAccept{NSAPI: m.NSAPI, Address: dupAddr, QoS: dupQoS})
 		return
 	case full:
 		s.reply(env, peer, ul.MS, ul.TLLI, ActivatePDPReject{NSAPI: m.NSAPI, Cause: SMCauseNoResources})
@@ -536,9 +773,9 @@ func (s *SGSN) handleActivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m
 
 	s.armGTP(env, seq, gtpTxn{
 		kind: txnActivate, nsapi: m.NSAPI,
-		peer: peer, ms: ul.MS, tlli: ul.TLLI, ctx: ctx,
+		peer: peer, ms: ul.MS, tlli: ul.TLLI, mm: h,
 	}, gtp.CreatePDPRequest{
-		Seq: seq, IMSI: ctx.imsi, NSAPI: m.NSAPI, QoS: m.QoS,
+		Seq: seq, IMSI: imsi, NSAPI: m.NSAPI, QoS: m.QoS,
 		SGSN: string(s.cfg.ID), RequestedAddress: m.RequestedAddress,
 	})
 }
@@ -550,42 +787,52 @@ func (s *SGSN) finishActivate(env *sim.Env, t gtpTxn, resp sim.Message) {
 		return
 	}
 	s.mu.Lock()
-	if s.byIMSI[t.ctx.imsi] != t.ctx {
+	r := s.mms.Get(t.mm)
+	if r == nil {
 		// The subscriber detached (or the HLR cancelled it) while the
-		// create was in flight: installing the context now would leak it
-		// permanently — nothing ever detaches a context the MM maps no
-		// longer reference. Reclaim the freshly built GGSN-side tunnel
-		// instead and stay silent; there is no subscriber to answer.
+		// create was in flight: the handle is stale, and installing the
+		// context now would leak it permanently — nothing ever detaches a
+		// context the MM index no longer references. Reclaim the freshly
+		// built GGSN-side tunnel instead and stay silent; there is no
+		// subscriber to answer.
 		s.mu.Unlock()
 		s.cleanupTunnel(env, cr.TID)
 		return
 	}
-	if t.ctx.pdp == nil {
-		t.ctx.pdp = make(map[uint8]*sgsnPDP)
+	_, p := s.addPDP(t.mm, r)
+	p.nsapi = t.nsapi
+	p.tid = cr.TID
+	if cr.Address != "" {
+		if a, err := netip.ParseAddr(cr.Address); err == nil {
+			p.addr = a
+		}
 	}
-	t.ctx.pdp[t.nsapi] = &sgsnPDP{
-		nsapi: t.nsapi, tid: cr.TID, address: cr.Address, qos: cr.QoS,
-		peer: t.peer, ms: t.ms,
-	}
-	s.byTID[cr.TID] = t.ctx
-	s.contexts++
+	p.qos = cr.QoS
+	p.peer = s.names.ID(string(t.peer))
+	p.ms = s.names.ID(string(t.ms))
+	s.byTID.Put(uint64(cr.TID), t.mm)
 	s.mu.Unlock()
 	s.reply(env, t.peer, t.ms, t.tlli, ActivatePDPAccept{NSAPI: t.nsapi, Address: cr.Address, QoS: cr.QoS})
 }
 
 func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m DeactivatePDPRequest) {
 	s.mu.Lock()
-	ctx, ok := s.byTLLI[ul.TLLI]
-	var pdp *sgsnPDP
+	h, r := s.lookupTLLI(ul.TLLI)
+	ok := r != nil
+	var pdp *pdpRec
 	var inFlight bool
 	if ok {
-		pdp = ctx.pdp[m.NSAPI]
+		pdp = s.findPDP(r, m.NSAPI)
 		for _, t := range s.pending {
 			if t.kind == txnDeactivate && t.tlli == ul.TLLI && t.nsapi == m.NSAPI {
 				inFlight = true
 				break
 			}
 		}
+	}
+	var tid gtp.TID
+	if pdp != nil {
+		tid = pdp.tid
 	}
 	s.mu.Unlock()
 	if !ok || inFlight {
@@ -605,21 +852,18 @@ func (s *SGSN) handleDeactivate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata,
 
 	s.armGTP(env, seq, gtpTxn{
 		kind: txnDeactivate, nsapi: m.NSAPI,
-		peer: peer, ms: ul.MS, tlli: ul.TLLI, tid: pdp.tid, ctx: ctx,
-	}, gtp.DeletePDPRequest{Seq: seq, TID: pdp.tid})
+		peer: peer, ms: ul.MS, tlli: ul.TLLI, tid: tid, mm: h,
+	}, gtp.DeletePDPRequest{Seq: seq, TID: tid})
 }
 
 func (s *SGSN) finishDeactivate(env *sim.Env, t gtpTxn) {
 	s.mu.Lock()
 	// A detach or HLR cancel that raced the in-flight delete has already
-	// released this context and decremented the counter; decrementing
-	// again would drift s.contexts negative and miscount forever after.
-	if s.byIMSI[t.ctx.imsi] == t.ctx {
-		if _, held := t.ctx.pdp[t.nsapi]; held {
-			delete(t.ctx.pdp, t.nsapi)
-			delete(s.byTID, t.tid)
-			s.contexts--
-		}
+	// released this context (the handle went stale with it); removePDP on
+	// a live record is naturally idempotent because the NSAPI entry is
+	// already gone.
+	if r := s.mms.Get(t.mm); r != nil {
+		s.removePDP(r, t.nsapi)
 	}
 	s.mu.Unlock()
 	s.reply(env, t.peer, t.ms, t.tlli, DeactivatePDPAccept{NSAPI: t.nsapi})
@@ -627,33 +871,36 @@ func (s *SGSN) finishDeactivate(env *sim.Env, t gtpTxn) {
 
 func (s *SGSN) handleUplinkData(env *sim.Env, ul gb.ULUnitdata, nsapi uint8, payload []byte) {
 	s.mu.Lock()
-	ctx, ok := s.byTLLI[ul.TLLI]
-	var pdp *sgsnPDP
-	if ok {
-		pdp = ctx.pdp[nsapi]
+	_, r := s.lookupTLLI(ul.TLLI)
+	var pdp *pdpRec
+	if r != nil {
+		pdp = s.findPDP(r, nsapi)
 	}
+	var tid gtp.TID
 	if pdp != nil {
 		s.ulPackets++
+		tid = pdp.tid
 	}
 	s.mu.Unlock()
 	if pdp == nil {
 		return
 	}
-	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.TPDU{TID: pdp.tid, Payload: payload})
+	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.TPDU{TID: tid, Payload: payload})
 }
 
 func (s *SGSN) handleDownlinkTPDU(env *sim.Env, m gtp.TPDU) {
 	s.mu.Lock()
-	ctx, ok := s.byTID[m.TID]
+	r := s.mms.Get(s.byTID.Get(uint64(m.TID)))
+	ok := r != nil
 	var tlli gsmid.TLLI
 	peer, ms := sim.NodeID(""), sim.NodeID("")
 	if ok {
-		tlli = gsmid.LocalTLLI(ctx.ptmsi)
+		tlli = gsmid.LocalTLLI(r.ptmsi)
 		s.dlPackets++
 		// Downlink follows the path the context was activated over.
-		peer, ms = ctx.peer, ctx.ms
-		if pdp := ctx.pdp[m.TID.NSAPI()]; pdp != nil && pdp.peer != "" {
-			peer, ms = pdp.peer, pdp.ms
+		peer, ms = sim.NodeID(s.names.Val(r.peer)), sim.NodeID(s.names.Val(r.ms))
+		if pdp := s.findPDP(r, m.TID.NSAPI()); pdp != nil && pdp.peer != 0 {
+			peer, ms = sim.NodeID(s.names.Val(pdp.peer)), sim.NodeID(s.names.Val(pdp.ms))
 		}
 	}
 	s.mu.Unlock()
@@ -672,16 +919,24 @@ func (s *SGSN) handleDownlinkTPDU(env *sim.Env, m gtp.TPDU) {
 // re-activated.
 func (s *SGSN) handleRAUpdate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m RAUpdateRequest) {
 	s.mu.Lock()
-	ctx, ok := s.byTLLI[ul.TLLI]
+	_, r := s.lookupTLLI(ul.TLLI)
+	ok := r != nil
 	if ok {
-		ctx.peer = peer
-		ctx.ms = ul.MS
-		ctx.cell = ul.Cell
+		peerSym := s.names.ID(string(peer))
+		msSym := s.names.ID(string(ul.MS))
+		r.peer = peerSym
+		r.ms = msSym
+		r.cell = s.cells.ID(ul.Cell)
 		// Contexts activated over the moving path follow the MS.
-		for _, pdp := range ctx.pdp {
-			if pdp.ms == ul.MS {
-				pdp.peer = peer
+		for h := r.pdpHead; !h.IsZero(); {
+			p := s.pdps.Get(h)
+			if p == nil {
+				break
 			}
+			if p.ms == msSym {
+				p.peer = peerSym
+			}
+			h = p.next
 		}
 	}
 	s.mu.Unlock()
@@ -694,10 +949,13 @@ func (s *SGSN) handleRAUpdate(env *sim.Env, peer sim.NodeID, ul gb.ULUnitdata, m
 // (TR 23.923 MT-call path).
 func (s *SGSN) handlePDUNotify(env *sim.Env, from sim.NodeID, m gtp.PDUNotifyRequest) {
 	s.mu.Lock()
-	ctx, ok := s.byIMSI[m.IMSI]
+	r := s.mms.Get(s.byIMSI.Get(m.IMSI.Pack()))
+	ok := r != nil
 	var tlli gsmid.TLLI
+	var peer, ms sim.NodeID
 	if ok {
-		tlli = gsmid.LocalTLLI(ctx.ptmsi)
+		tlli = gsmid.LocalTLLI(r.ptmsi)
+		peer, ms = sim.NodeID(s.names.Val(r.peer)), sim.NodeID(s.names.Val(r.ms))
 	}
 	s.mu.Unlock()
 
@@ -709,7 +967,7 @@ func (s *SGSN) handlePDUNotify(env *sim.Env, from sim.NodeID, m gtp.PDUNotifyReq
 	if ok {
 		// Unsolicited requests use the subscriber's most recent attach
 		// path (the only one the SGSN can assume is listening).
-		s.reply(env, ctx.peer, ctx.ms, tlli, RequestPDPActivation{Address: m.Address})
+		s.reply(env, peer, ms, tlli, RequestPDPActivation{Address: m.Address})
 	}
 }
 

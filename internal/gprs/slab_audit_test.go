@@ -1,0 +1,98 @@
+package gprs
+
+import (
+	"testing"
+
+	"vgprs/internal/gb"
+	"vgprs/internal/gsmid"
+	"vgprs/internal/sim"
+)
+
+// gbSink is a bare Gb peer: it absorbs DLUnitdata replies and remembers the
+// last accept's P-TMSI.
+type gbSink struct {
+	id    sim.NodeID
+	ptmsi gsmid.PTMSI
+}
+
+func (s *gbSink) ID() sim.NodeID { return s.id }
+
+func (s *gbSink) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Message) {
+	dl, ok := msg.(gb.DLUnitdata)
+	if !ok {
+		return
+	}
+	pdu, err := ParsePDU(dl.PDU)
+	if err != nil {
+		return
+	}
+	if acc, ok := pdu.SM.(AttachAccept); ok {
+		s.ptmsi = acc.PTMSI
+	}
+}
+
+// TestReattachForeignTLLIDoesNotLeakIndex pins the foreign-TLLI index leak:
+// a subscriber that re-attaches on a new foreign TLLI (fresh arrival from
+// another routing area) must not leave its previous alias in the TLLI
+// index. Before the fix every such re-attach grew the index by one entry
+// that nothing would ever delete; the slab audit now counts exactly one
+// alias per roaming subscriber.
+func TestReattachForeignTLLIDoesNotLeakIndex(t *testing.T) {
+	env := sim.NewEnv(1)
+	sgsn := NewSGSN(SGSNConfig{ID: "SGSN-1", GGSN: "GGSN-1"}) // no HLR: attach accepts locally
+	peer := &gbSink{id: "PEER"}
+	env.AddNode(sgsn)
+	env.AddNode(peer)
+	env.Connect("PEER", "SGSN-1", "Gb", 0)
+
+	attachOn := func(tlli uint32) {
+		pdu, err := WrapSM(AttachRequest{IMSI: testIMSI})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Send("PEER", "SGSN-1", gb.ULUnitdata{
+			TLLI: gsmid.TLLI(tlli), MS: "PEER", PDU: pdu,
+		})
+		env.Run()
+	}
+
+	for round, tlli := range []uint32{1, 2, 3} {
+		attachOn(tlli)
+		if got := sgsn.Attached(); got != 1 {
+			t.Fatalf("round %d: attached = %d, want 1", round, got)
+		}
+		if got := sgsn.SlabImbalance(); got != 0 {
+			t.Fatalf("round %d: slab imbalance = %d after re-attach on TLLI %d (stale alias leaked)",
+				round, got, tlli)
+		}
+	}
+
+	// The audit must actually see planted garbage, or the zeros above
+	// prove nothing: inject a dangling alias and expect a violation.
+	sgsn.mu.Lock()
+	h := sgsn.byTLLI.Get(3)
+	sgsn.byTLLI.Put(99, h)
+	sgsn.mu.Unlock()
+	if got := sgsn.SlabImbalance(); got == 0 {
+		t.Fatal("audit missed a planted stale TLLI alias")
+	}
+	sgsn.mu.Lock()
+	sgsn.byTLLI.Delete(99)
+	sgsn.mu.Unlock()
+
+	// Detach must return the record and both TLLI entries.
+	pdu, err := WrapSM(DetachRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Send("PEER", "SGSN-1", gb.ULUnitdata{
+		TLLI: gsmid.LocalTLLI(peer.ptmsi), MS: "PEER", PDU: pdu,
+	})
+	env.Run()
+	if got := sgsn.Attached(); got != 0 {
+		t.Fatalf("attached after detach = %d, want 0", got)
+	}
+	if got := sgsn.SlabImbalance(); got != 0 {
+		t.Fatalf("slab imbalance after detach = %d, want 0", got)
+	}
+}

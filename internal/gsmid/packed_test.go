@@ -1,0 +1,61 @@
+package gsmid
+
+import "testing"
+
+func TestPackedDigitsRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"1",
+		"46692",
+		"4669210000000001", // 16 digits: invalid, must pack to zero
+		"466921000000001",  // 15 digits, max length
+		"886912345678",
+		"000000",
+		"999999999999999",
+	}
+	for _, s := range cases {
+		p := PackDigits(s)
+		if len(s) > 15 {
+			if !p.IsZero() {
+				t.Errorf("PackDigits(%q) should be zero for >15 digits", s)
+			}
+			continue
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round-trip %q -> %q", s, got)
+		}
+		if p.Len() != len(s) {
+			t.Errorf("Len(%q) = %d, want %d", s, p.Len(), len(s))
+		}
+		if p.IsZero() != (s == "") {
+			t.Errorf("IsZero(%q) = %v", s, p.IsZero())
+		}
+	}
+}
+
+func TestPackedDigitsRejectsNonDigits(t *testing.T) {
+	if !PackDigits("12a45").IsZero() {
+		t.Fatal("non-digit input must pack to zero")
+	}
+}
+
+func TestPackedDigitsDistinct(t *testing.T) {
+	// Leading zeros and lengths must stay distinguishable.
+	a := PackDigits("0001")
+	b := PackDigits("001")
+	c := PackDigits("1")
+	if a == b || b == c || a == c {
+		t.Fatalf("packed forms collide: %x %x %x", a, b, c)
+	}
+}
+
+func TestPackIMSIAndMSISDN(t *testing.T) {
+	im := MustIMSI("466921000000001")
+	if im.Pack().IMSI() != im {
+		t.Fatal("IMSI pack round-trip failed")
+	}
+	ms := MustMSISDN("886912345678")
+	if ms.Pack().MSISDN() != ms {
+		t.Fatal("MSISDN pack round-trip failed")
+	}
+}

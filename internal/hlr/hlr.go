@@ -13,6 +13,7 @@ import (
 	"vgprs/internal/gsmid"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 	"vgprs/internal/ss7"
 )
 
@@ -44,6 +45,32 @@ type Record struct {
 	SGSN string
 }
 
+// hlrShards is the slab fan-out; subscribers spread by IMSI hash.
+const hlrShards = 8
+
+// hlrRec is the slab-resident subscriber record: fixed size, pointer-free.
+// Identities are BCD-packed; serving-element names and the static PDP
+// address are interned symbols (their cardinality is bounded by topology
+// size and provisioned statics, not subscriber count).
+type hlrRec struct {
+	imsi       gsmid.PackedDigits
+	msisdn     gsmid.PackedDigits
+	profMSISDN gsmid.PackedDigits
+	ki         [16]byte
+	flags      uint8
+	voipQoS    uint8
+	static     uint32 // symbol in HLR.strs
+	vlr        uint32 // symbol in HLR.strs
+	msc        uint32 // symbol in HLR.strs
+	sgsn       uint32 // symbol in HLR.strs
+}
+
+// hlrRec flag bits.
+const (
+	hlrIntlAllowed = 1 << iota
+	hlrBarred
+)
+
 // Config parameterises an HLR node.
 type Config struct {
 	// ID is the node identifier, e.g. "HLR-TW".
@@ -62,8 +89,10 @@ type HLR struct {
 	dm  *ss7.DialogueManager
 
 	mu       sync.Mutex
-	byIMSI   map[gsmid.IMSI]*Record
-	byMSISDN map[gsmid.MSISDN]gsmid.IMSI
+	recs     *slab.Sharded[hlrRec]
+	byIMSI   *slab.Index[gsmid.PackedDigits]
+	byMSISDN *slab.Index[gsmid.PackedDigits]
+	strs     slab.Syms[string] // node names + static PDP addresses
 }
 
 var _ sim.Node = (*HLR)(nil)
@@ -79,8 +108,9 @@ func New(cfg Config) *HLR {
 	return &HLR{
 		cfg:      cfg,
 		dm:       ss7.NewDialogueManager(),
-		byIMSI:   make(map[gsmid.IMSI]*Record),
-		byMSISDN: make(map[gsmid.MSISDN]gsmid.IMSI),
+		recs:     slab.NewSharded[hlrRec](hlrShards),
+		byIMSI:   slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
+		byMSISDN: slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
 	}
 }
 
@@ -93,19 +123,67 @@ func (h *HLR) Retransmits() uint64 { return h.dm.Retransmits() }
 // OutstandingDialogues returns un-answered MAP invokes this HLR has open.
 func (h *HLR) OutstandingDialogues() int { return h.dm.Outstanding() }
 
+// Subscribers returns the number of provisioned records.
+func (h *HLR) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.recs.Len()
+}
+
+// lookupRec resolves an IMSI to its slab record. Callers hold h.mu.
+func (h *HLR) lookupRec(imsi gsmid.IMSI) *hlrRec {
+	return h.recs.Get(h.byIMSI.Get(imsi.Pack()))
+}
+
+// export copies a slab record out into the public Record view.
+func (h *HLR) export(r *hlrRec) Record {
+	return Record{
+		Subscriber: Subscriber{
+			IMSI:   r.imsi.IMSI(),
+			MSISDN: r.msisdn.MSISDN(),
+			Ki:     r.ki,
+			Profile: sigmap.SubscriberProfile{
+				MSISDN:               r.profMSISDN.MSISDN(),
+				InternationalAllowed: r.flags&hlrIntlAllowed != 0,
+				VoIPQoS:              r.voipQoS,
+				Barred:               r.flags&hlrBarred != 0,
+			},
+			StaticPDPAddress: h.strs.Val(r.static),
+		},
+		VLR:  h.strs.Val(r.vlr),
+		MSC:  h.strs.Val(r.msc),
+		SGSN: h.strs.Val(r.sgsn),
+	}
+}
+
 // Provision adds a subscriber. It returns an error on duplicate IMSI or
 // MSISDN.
 func (h *HLR) Provision(s Subscriber) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if _, ok := h.byIMSI[s.IMSI]; ok {
+	imsi, msisdn := s.IMSI.Pack(), s.MSISDN.Pack()
+	if !h.byIMSI.Get(imsi).IsZero() {
 		return fmt.Errorf("hlr: duplicate IMSI %s", s.IMSI)
 	}
-	if _, ok := h.byMSISDN[s.MSISDN]; ok {
+	if !h.byMSISDN.Get(msisdn).IsZero() {
 		return fmt.Errorf("hlr: duplicate MSISDN %s", s.MSISDN)
 	}
-	h.byIMSI[s.IMSI] = &Record{Subscriber: s}
-	h.byMSISDN[s.MSISDN] = s.IMSI
+	shard := int(imsi.Hash() & (hlrShards - 1))
+	hd, r := h.recs.Alloc(shard)
+	r.imsi = imsi
+	r.msisdn = msisdn
+	r.ki = s.Ki
+	r.profMSISDN = s.Profile.MSISDN.Pack()
+	r.voipQoS = s.Profile.VoIPQoS
+	if s.Profile.InternationalAllowed {
+		r.flags |= hlrIntlAllowed
+	}
+	if s.Profile.Barred {
+		r.flags |= hlrBarred
+	}
+	r.static = h.strs.ID(s.StaticPDPAddress)
+	h.byIMSI.Put(imsi, hd)
+	h.byMSISDN.Put(msisdn, hd)
 	return nil
 }
 
@@ -113,22 +191,58 @@ func (h *HLR) Provision(s Subscriber) error {
 func (h *HLR) Lookup(imsi gsmid.IMSI) (Record, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	rec, ok := h.byIMSI[imsi]
-	if !ok {
+	r := h.lookupRec(imsi)
+	if r == nil {
 		return Record{}, false
 	}
-	return *rec, true
+	return h.export(r), true
 }
 
 // LookupByMSISDN returns a copy of the record for the MSISDN.
 func (h *HLR) LookupByMSISDN(msisdn gsmid.MSISDN) (Record, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	imsi, ok := h.byMSISDN[msisdn]
-	if !ok {
+	r := h.recs.Get(h.byMSISDN.Get(msisdn.Pack()))
+	if r == nil {
 		return Record{}, false
 	}
-	return *h.byIMSI[imsi], true
+	return h.export(r), true
+}
+
+// SlabImbalance audits the slab storage: both identity indexes must hold
+// exactly one entry per live record and per-shard occupancy must balance.
+// Non-zero means records were lost or leaked.
+func (h *HLR) SlabImbalance() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	imb := 0
+	perShard := make([]int, hlrShards)
+	h.byIMSI.Range(func(k gsmid.PackedDigits, hd slab.Handle) bool {
+		r := h.recs.Get(hd)
+		if r == nil || r.imsi != k {
+			imb++
+			return true
+		}
+		perShard[hd.Shard()]++
+		return true
+	})
+	for _, a := range h.recs.Audit() {
+		imb += a.Imbalance() + abs(perShard[a.Shard]-a.Live)
+	}
+	h.byMSISDN.Range(func(k gsmid.PackedDigits, hd slab.Handle) bool {
+		if r := h.recs.Get(hd); r == nil || r.msisdn != k {
+			imb++
+		}
+		return true
+	})
+	return imb
+}
+
+func abs(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 // Receive implements sim.Node: the MAP server side of the HLR.
@@ -160,14 +274,20 @@ func (h *HLR) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Messa
 // VLR, then confirm.
 func (h *HLR) handleUpdateLocation(env *sim.Env, from sim.NodeID, m sigmap.UpdateLocation) {
 	h.mu.Lock()
-	rec, ok := h.byIMSI[m.IMSI]
+	rec := h.lookupRec(m.IMSI)
+	ok := rec != nil
 	var oldVLR string
 	var profile sigmap.SubscriberProfile
 	if ok {
-		oldVLR = rec.VLR
-		rec.VLR = m.VLR
-		rec.MSC = m.MSC
-		profile = rec.Profile
+		oldVLR = h.strs.Val(rec.vlr)
+		rec.vlr = h.strs.ID(m.VLR)
+		rec.msc = h.strs.ID(m.MSC)
+		profile = sigmap.SubscriberProfile{
+			MSISDN:               rec.profMSISDN.MSISDN(),
+			InternationalAllowed: rec.flags&hlrIntlAllowed != 0,
+			VoIPQoS:              rec.voipQoS,
+			Barred:               rec.flags&hlrBarred != 0,
+		}
 	}
 	h.mu.Unlock()
 
@@ -199,10 +319,11 @@ func (h *HLR) handleUpdateLocation(env *sim.Env, from sim.NodeID, m sigmap.Updat
 
 func (h *HLR) handleSendAuthInfo(env *sim.Env, from sim.NodeID, m sigmap.SendAuthenticationInfo) {
 	h.mu.Lock()
-	rec, ok := h.byIMSI[m.IMSI]
+	rec := h.lookupRec(m.IMSI)
+	ok := rec != nil
 	var ki [16]byte
 	if ok {
-		ki = rec.Ki
+		ki = rec.ki
 	}
 	h.mu.Unlock()
 
@@ -235,10 +356,13 @@ func (h *HLR) handleSendAuthInfo(env *sim.Env, from sim.NodeID, m sigmap.SendAut
 // an MSRN and returns it.
 func (h *HLR) handleSendRoutingInfo(env *sim.Env, from sim.NodeID, m sigmap.SendRoutingInformation) {
 	h.mu.Lock()
-	imsi, ok := h.byMSISDN[m.MSISDN]
+	rec := h.recs.Get(h.byMSISDN.Get(m.MSISDN.Pack()))
+	ok := rec != nil
+	var imsi gsmid.IMSI
 	var vlr string
 	if ok {
-		vlr = h.byIMSI[imsi].VLR
+		imsi = rec.imsi.IMSI()
+		vlr = h.strs.Val(rec.vlr)
 	}
 	h.mu.Unlock()
 
@@ -276,24 +400,25 @@ func (h *HLR) handleSendRoutingInfo(env *sim.Env, from sim.NodeID, m sigmap.Send
 // point.
 func (h *HLR) handleSendIMSI(env *sim.Env, from sim.NodeID, m sigmap.SendIMSI) {
 	h.mu.Lock()
-	imsi, ok := h.byMSISDN[m.MSISDN]
+	rec := h.recs.Get(h.byMSISDN.Get(m.MSISDN.Pack()))
 	h.mu.Unlock()
 	ack := sigmap.SendIMSIAck{Invoke: m.Invoke}
-	if !ok {
+	if rec == nil {
 		ack.Cause = sigmap.CauseUnknownSubscriber
 	} else {
-		ack.IMSI = imsi
+		ack.IMSI = rec.imsi.IMSI()
 	}
 	env.Send(h.cfg.ID, from, ack)
 }
 
 func (h *HLR) handleUpdateGPRSLocation(env *sim.Env, from sim.NodeID, m sigmap.UpdateGPRSLocation) {
 	h.mu.Lock()
-	rec, ok := h.byIMSI[m.IMSI]
+	rec := h.lookupRec(m.IMSI)
+	ok := rec != nil
 	var oldSGSN string
 	if ok {
-		oldSGSN = rec.SGSN
-		rec.SGSN = m.SGSN
+		oldSGSN = h.strs.Val(rec.sgsn)
+		rec.sgsn = h.strs.ID(m.SGSN)
 	}
 	h.mu.Unlock()
 
@@ -314,11 +439,12 @@ func (h *HLR) handleUpdateGPRSLocation(env *sim.Env, from sim.NodeID, m sigmap.U
 
 func (h *HLR) handleSendRoutingInfoForGPRS(env *sim.Env, from sim.NodeID, m sigmap.SendRoutingInfoForGPRS) {
 	h.mu.Lock()
-	rec, ok := h.byIMSI[m.IMSI]
+	rec := h.lookupRec(m.IMSI)
+	ok := rec != nil
 	var sgsn, static string
 	if ok {
-		sgsn = rec.SGSN
-		static = rec.StaticPDPAddress
+		sgsn = h.strs.Val(rec.sgsn)
+		static = h.strs.Val(rec.static)
 	}
 	h.mu.Unlock()
 

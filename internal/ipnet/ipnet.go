@@ -147,19 +147,32 @@ func (p Packet) Reply(payload []byte) Packet {
 	}
 }
 
-// Pool allocates dynamic IP addresses from a /24-style range — the GGSN's
-// dynamic PDP address allocation (paper step 1.3 assumes dynamic
-// allocation).
+// Pool allocates dynamic IP addresses from a contiguous range starting at a
+// base address — the GGSN's dynamic PDP address allocation (paper step 1.3
+// assumes dynamic allocation). Addresses are represented internally as
+// 32-bit offsets from the base with a bitset membership check, so a
+// million-address pool costs one bit per address instead of a map entry:
+// the pool is sized to the subscriber population in the scale experiments.
 type Pool struct {
-	prefix netip.Addr
-	next   uint8
-	free   []netip.Addr
-	inUse  map[netip.Addr]bool
+	base uint32   // numeric value of the base address (offset 0, never issued)
+	cap  uint32   // number of allocatable addresses (offsets 1..cap)
+	next uint32   // high-water mark of sequentially issued offsets
+	free []uint32 // LIFO stack of released offsets
+	used []uint64 // bitset over offsets; bit set = currently allocated
+	n    int
 }
 
 // NewPool returns a pool allocating prefix.1 through prefix.254, where
 // prefix is a dotted base like "10.1.2.0".
 func NewPool(prefix string) (*Pool, error) {
+	return NewPoolSize(prefix, 0)
+}
+
+// NewPoolSize returns a pool of n addresses counting up from the base
+// (carrying across octets, so a base of "10.0.0.0" with n=1000 spans
+// 10.0.0.1 .. 10.0.3.232). Zero or negative n means the classic 254-host
+// /24.
+func NewPoolSize(prefix string, n int) (*Pool, error) {
 	addr, err := netip.ParseAddr(prefix)
 	if err != nil {
 		return nil, fmt.Errorf("ipnet: bad pool prefix: %w", err)
@@ -167,43 +180,66 @@ func NewPool(prefix string) (*Pool, error) {
 	if !addr.Is4() {
 		return nil, fmt.Errorf("ipnet: pool prefix %s is not IPv4", prefix)
 	}
-	return &Pool{prefix: addr, inUse: make(map[netip.Addr]bool)}, nil
+	if n <= 0 {
+		n = 254
+	}
+	a4 := addr.As4()
+	base := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+	if uint64(base)+uint64(n) > 0xFFFFFFFF {
+		return nil, fmt.Errorf("ipnet: pool %s+%d overflows the IPv4 space", prefix, n)
+	}
+	return &Pool{
+		base: base,
+		cap:  uint32(n),
+		used: make([]uint64, (n+64)/64+1),
+	}, nil
 }
 
 // ErrPoolExhausted is returned when no addresses remain.
 var ErrPoolExhausted = errors.New("ipnet: address pool exhausted")
 
-// Allocate returns a free address.
+func (p *Pool) addrAt(off uint32) netip.Addr {
+	v := p.base + off
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// Allocate returns a free address, preferring the most recently released.
 func (p *Pool) Allocate() (netip.Addr, error) {
+	var off uint32
 	if n := len(p.free); n > 0 {
-		addr := p.free[n-1]
+		off = p.free[n-1]
 		p.free = p.free[:n-1]
-		p.inUse[addr] = true
-		return addr, nil
+	} else {
+		if p.next >= p.cap {
+			return netip.Addr{}, ErrPoolExhausted
+		}
+		p.next++
+		off = p.next
 	}
-	if p.next >= 254 {
-		return netip.Addr{}, ErrPoolExhausted
-	}
-	p.next++
-	a4 := p.prefix.As4()
-	a4[3] = p.next
-	addr := netip.AddrFrom4(a4)
-	p.inUse[addr] = true
-	return addr, nil
+	p.used[off/64] |= 1 << (off % 64)
+	p.n++
+	return p.addrAt(off), nil
 }
 
 // Release returns an address to the pool. Releasing an address not allocated
 // from this pool is a no-op.
 func (p *Pool) Release(addr netip.Addr) {
-	if !p.inUse[addr] {
+	if !addr.Is4() {
 		return
 	}
-	delete(p.inUse, addr)
-	p.free = append(p.free, addr)
+	a4 := addr.As4()
+	v := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+	off := v - p.base
+	if v < p.base || off == 0 || off > p.cap || p.used[off/64]&(1<<(off%64)) == 0 {
+		return
+	}
+	p.used[off/64] &^= 1 << (off % 64)
+	p.n--
+	p.free = append(p.free, off)
 }
 
 // InUse returns the number of allocated addresses.
-func (p *Pool) InUse() int { return len(p.inUse) }
+func (p *Pool) InUse() int { return p.n }
 
 // MustAddr parses an address, panicking on error; for fixture topologies.
 func MustAddr(s string) netip.Addr {

@@ -1,0 +1,47 @@
+package slab
+
+// Syms interns low-cardinality values — node names, location/routeing
+// areas, cell identities — as dense uint32 symbols so a million subscriber
+// records can reference them without a million string headers. The zero
+// value of K maps to symbol 0 in both directions, so an unset field costs
+// nothing and round-trips cleanly.
+//
+// Symbols are never released: the population of distinct node names and
+// areas in a topology is fixed at build time, so the table is bounded by
+// topology size, not subscriber count.
+type Syms[K comparable] struct {
+	ids  map[K]uint32
+	vals []K
+}
+
+// ID returns the symbol for v, interning it on first sight. The zero
+// value of K always maps to 0.
+func (s *Syms[K]) ID(v K) uint32 {
+	var zero K
+	if v == zero {
+		return 0
+	}
+	if id, ok := s.ids[v]; ok {
+		return id
+	}
+	if s.ids == nil {
+		s.ids = make(map[K]uint32)
+	}
+	s.vals = append(s.vals, v)
+	id := uint32(len(s.vals)) // 1-based
+	s.ids[v] = id
+	return id
+}
+
+// Val returns the value behind a symbol; symbol 0 (and any out-of-range
+// symbol) returns the zero value.
+func (s *Syms[K]) Val(id uint32) K {
+	var zero K
+	if id == 0 || int(id) > len(s.vals) {
+		return zero
+	}
+	return s.vals[id-1]
+}
+
+// Len returns the number of interned (non-zero) values.
+func (s *Syms[K]) Len() int { return len(s.vals) }

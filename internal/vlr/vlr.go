@@ -15,10 +15,14 @@ import (
 	"vgprs/internal/hlr"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 	"vgprs/internal/ss7"
 )
 
 // MMContext is the mobility-management state the VLR keeps per visiting MS.
+// It is the public copy-out view; internally the VLR stores subscribers as
+// fixed-size slab records (mmRec) so a million attached-but-idle visitors
+// cost a bounded number of bytes each.
 type MMContext struct {
 	IMSI     gsmid.IMSI
 	TMSI     gsmid.TMSI
@@ -29,6 +33,36 @@ type MMContext struct {
 	// Triplets is the cache of unused authentication vectors.
 	Triplets []sigmap.AuthTriplet
 }
+
+// vlrShards is the slab fan-out; subscribers spread by identity hash.
+const vlrShards = 8
+
+// maxCachedTriplets bounds the per-subscriber auth-vector cache. The VLR
+// fetches 3 vectors per SendAuthenticationInfo, consumes one, and caches
+// the rest; without a bound, repeated re-registrations grow the cache
+// forever (the old []AuthTriplet append had exactly that leak).
+const maxCachedTriplets = 2
+
+// mmRec is the slab-resident MM context: fixed size, no heap pointers.
+// Identities are BCD-packed, the serving MSC and LAI are interned symbols.
+type mmRec struct {
+	imsi       gsmid.PackedDigits
+	profMSISDN gsmid.PackedDigits
+	tmsi       gsmid.TMSI
+	lai        uint32 // symbol in VLR.lais
+	msc        uint32 // symbol in VLR.names
+	flags      uint8
+	voipQoS    uint8
+	ntrip      uint8
+	trips      [maxCachedTriplets]sigmap.AuthTriplet
+}
+
+// mmRec flag bits.
+const (
+	mmCiphered = 1 << iota
+	mmIntlAllowed
+	mmBarred
+)
 
 // Config parameterises a VLR node.
 type Config struct {
@@ -65,8 +99,11 @@ type VLR struct {
 	dm  *ss7.DialogueManager
 
 	mu       sync.Mutex
-	byIMSI   map[gsmid.IMSI]*MMContext
-	byTMSI   map[gsmid.TMSI]gsmid.IMSI
+	recs     *slab.Sharded[mmRec]
+	byIMSI   *slab.Index[gsmid.PackedDigits]
+	byTMSI   *slab.Index[uint32]
+	names    slab.Syms[string]    // MSC node names
+	lais     slab.Syms[gsmid.LAI] // location areas
 	msrn     map[gsmid.MSISDN]gsmid.IMSI
 	nextTMSI uint32
 	nextMSRN uint32
@@ -104,11 +141,57 @@ func New(cfg Config) *VLR {
 	return &VLR{
 		cfg:        cfg,
 		dm:         ss7.NewDialogueManager(),
-		byIMSI:     make(map[gsmid.IMSI]*MMContext),
-		byTMSI:     make(map[gsmid.TMSI]gsmid.IMSI),
+		recs:       slab.NewSharded[mmRec](vlrShards),
+		byIMSI:     slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
+		byTMSI:     slab.NewIndex[uint32](slab.HashUint32),
 		msrn:       make(map[gsmid.MSISDN]gsmid.IMSI),
 		pendingULA: make(map[ulaKey]struct{}),
 	}
+}
+
+// shardOf routes a subscriber to its slab shard by identity hash.
+func shardOf(p gsmid.PackedDigits) int {
+	return int(p.Hash() & (vlrShards - 1))
+}
+
+// lookupRec resolves an IMSI to its slab record. Callers hold v.mu.
+func (v *VLR) lookupRec(imsi gsmid.IMSI) (slab.Handle, *mmRec) {
+	h := v.byIMSI.Get(imsi.Pack())
+	return h, v.recs.Get(h)
+}
+
+// getOrCreateRec returns the record for an IMSI, allocating a fresh slab
+// slot when the subscriber is new. Callers hold v.mu.
+func (v *VLR) getOrCreateRec(imsi gsmid.IMSI) *mmRec {
+	packed := imsi.Pack()
+	if r := v.recs.Get(v.byIMSI.Get(packed)); r != nil {
+		return r
+	}
+	h, r := v.recs.Alloc(shardOf(packed))
+	r.imsi = packed
+	v.byIMSI.Put(packed, h)
+	return r
+}
+
+// export copies a slab record out into the public MMContext view.
+func (v *VLR) export(r *mmRec) MMContext {
+	ctx := MMContext{
+		IMSI: r.imsi.IMSI(),
+		TMSI: r.tmsi,
+		LAI:  v.lais.Val(r.lai),
+		MSC:  v.names.Val(r.msc),
+		Profile: sigmap.SubscriberProfile{
+			MSISDN:               r.profMSISDN.MSISDN(),
+			InternationalAllowed: r.flags&mmIntlAllowed != 0,
+			VoIPQoS:              r.voipQoS,
+			Barred:               r.flags&mmBarred != 0,
+		},
+		Ciphered: r.flags&mmCiphered != 0,
+	}
+	if r.ntrip > 0 {
+		ctx.Triplets = append([]sigmap.AuthTriplet(nil), r.trips[:r.ntrip]...)
+	}
+	return ctx
 }
 
 // Retransmits returns the number of MAP request PDUs this VLR has re-sent.
@@ -128,18 +211,18 @@ func (v *VLR) ID() sim.NodeID { return v.cfg.ID }
 func (v *VLR) Lookup(imsi gsmid.IMSI) (MMContext, bool) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	ctx, ok := v.byIMSI[imsi]
-	if !ok {
+	_, r := v.lookupRec(imsi)
+	if r == nil {
 		return MMContext{}, false
 	}
-	return *ctx, true
+	return v.export(r), true
 }
 
 // Registered returns the number of MM contexts currently held.
 func (v *VLR) Registered() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	return len(v.byIMSI)
+	return v.recs.Len()
 }
 
 // OutstandingMSRNs returns the number of roaming numbers awaiting use.
@@ -147,6 +230,44 @@ func (v *VLR) OutstandingMSRNs() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return len(v.msrn)
+}
+
+// SlabImbalance audits the slab storage: per-shard occupancy must balance
+// (cap == live + free) and every index entry must resolve to a live record
+// that agrees with the key. Non-zero means a context leaked out of — or
+// was lost by — the slab; the soak/leak gates assert zero the same way
+// they assert empty residuals.
+func (v *VLR) SlabImbalance() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	imb := 0
+	perShard := make([]int, vlrShards)
+	v.byIMSI.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		r := v.recs.Get(h)
+		if r == nil || r.imsi != k {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		return true
+	})
+	for _, a := range v.recs.Audit() {
+		imb += a.Imbalance() + abs(perShard[a.Shard]-a.Live)
+	}
+	v.byTMSI.Range(func(k uint32, h slab.Handle) bool {
+		if r := v.recs.Get(h); r == nil || uint32(r.tmsi) != k {
+			imb++
+		}
+		return true
+	})
+	return imb
+}
+
+func abs(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 // Receive implements sim.Node.
@@ -198,8 +319,11 @@ func (v *VLR) resolveIdentity(id gsmid.MobileIdentity) (gsmid.IMSI, bool) {
 	case gsmid.IdentityTMSI:
 		v.mu.Lock()
 		defer v.mu.Unlock()
-		imsi, ok := v.byTMSI[id.TMSI]
-		return imsi, ok
+		r := v.recs.Get(v.byTMSI.Get(uint32(id.TMSI)))
+		if r == nil {
+			return "", false
+		}
+		return r.imsi.IMSI(), true
 	default:
 		return "", false
 	}
@@ -276,10 +400,17 @@ func ulaAuthInfoDone(arg any, resp sim.Message, ok bool) {
 	v.dm.Transmit(t.env, authInvoke, v.cfg.ID, t.msc, sigmap.Authenticate{
 		Invoke: authInvoke, Identity: t.m.Identity, RAND: t.challenge.RAND,
 	}, v.cfg.SigRTO, v.cfg.SigRetries)
-	// Remaining triplets are cached for later transactions.
+	// Remaining triplets are cached for later transactions, capped at the
+	// record's fixed-size cache (overflow vectors are simply refetched).
 	v.mu.Lock()
-	if ctx := v.byIMSI[t.imsi]; ctx != nil {
-		ctx.Triplets = append(ctx.Triplets, ack.Triplets[1:]...)
+	if _, r := v.lookupRec(t.imsi); r != nil {
+		for _, trip := range ack.Triplets[1:] {
+			if int(r.ntrip) >= maxCachedTriplets {
+				break
+			}
+			r.trips[r.ntrip] = trip
+			r.ntrip++
+		}
 	}
 	v.mu.Unlock()
 }
@@ -334,10 +465,7 @@ func ulaHLRDone(arg any, resp sim.Message, ok bool) {
 		t.reject(cause)
 		return
 	}
-	tmsi := v.createContext(t.imsi, t.m.LAI, t.m.MSC, t.ciphered)
-	v.mu.Lock()
-	msisdn := v.byIMSI[t.imsi].Profile.MSISDN
-	v.mu.Unlock()
+	tmsi, msisdn := v.createContext(t.imsi, t.m.LAI, t.m.MSC, t.ciphered)
 	t.finish()
 	t.env.Send(v.cfg.ID, t.msc, sigmap.UpdateLocationAreaAck{
 		Invoke: t.m.Invoke, Cause: sigmap.CauseNone, IMSI: t.imsi, TMSI: tmsi,
@@ -345,36 +473,42 @@ func ulaHLRDone(arg any, resp sim.Message, ok bool) {
 	})
 }
 
-// createContext installs (or refreshes) the MM context and allocates a TMSI.
-func (v *VLR) createContext(imsi gsmid.IMSI, lai gsmid.LAI, msc string, ciphered bool) gsmid.TMSI {
+// createContext installs (or refreshes) the MM context and allocates a
+// TMSI, returning it with the profile MSISDN for the ack.
+func (v *VLR) createContext(imsi gsmid.IMSI, lai gsmid.LAI, msc string, ciphered bool) (gsmid.TMSI, gsmid.MSISDN) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	ctx, ok := v.byIMSI[imsi]
-	if !ok {
-		ctx = &MMContext{IMSI: imsi}
-		v.byIMSI[imsi] = ctx
-	} else if ctx.TMSI != 0 {
-		delete(v.byTMSI, ctx.TMSI)
+	r := v.getOrCreateRec(imsi)
+	if r.tmsi != 0 {
+		v.byTMSI.Delete(uint32(r.tmsi))
 	}
 	v.nextTMSI++
-	ctx.TMSI = gsmid.TMSI(v.nextTMSI)
-	ctx.LAI = lai
-	ctx.MSC = msc
-	ctx.Ciphered = ciphered
-	v.byTMSI[ctx.TMSI] = imsi
-	return ctx.TMSI
+	r.tmsi = gsmid.TMSI(v.nextTMSI)
+	r.lai = v.lais.ID(lai)
+	r.msc = v.names.ID(msc)
+	if ciphered {
+		r.flags |= mmCiphered
+	} else {
+		r.flags &^= mmCiphered
+	}
+	v.byTMSI.Put(uint32(r.tmsi), v.byIMSI.Get(r.imsi))
+	return r.tmsi, r.profMSISDN.MSISDN()
 }
 
 func (v *VLR) handleInsertSubscriberData(env *sim.Env, from sim.NodeID, m sigmap.InsertSubscriberData) {
 	v.mu.Lock()
-	ctx, ok := v.byIMSI[m.IMSI]
-	if !ok {
-		// Profile may arrive before the UpdateLocationAck installs the
-		// context: create a provisional one.
-		ctx = &MMContext{IMSI: m.IMSI}
-		v.byIMSI[m.IMSI] = ctx
+	// Profile may arrive before the UpdateLocationAck installs the
+	// context: getOrCreateRec creates a provisional one.
+	r := v.getOrCreateRec(m.IMSI)
+	r.profMSISDN = m.Profile.MSISDN.Pack()
+	r.voipQoS = m.Profile.VoIPQoS
+	r.flags &^= mmIntlAllowed | mmBarred
+	if m.Profile.InternationalAllowed {
+		r.flags |= mmIntlAllowed
 	}
-	ctx.Profile = m.Profile
+	if m.Profile.Barred {
+		r.flags |= mmBarred
+	}
 	v.mu.Unlock()
 	env.Send(v.cfg.ID, from, sigmap.InsertSubscriberDataAck{Invoke: m.Invoke})
 }
@@ -382,10 +516,13 @@ func (v *VLR) handleInsertSubscriberData(env *sim.Env, from sim.NodeID, m sigmap
 func (v *VLR) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.CancelLocation) {
 	v.mu.Lock()
 	var servingMSC string
-	if ctx, ok := v.byIMSI[m.IMSI]; ok {
-		servingMSC = ctx.MSC
-		delete(v.byTMSI, ctx.TMSI)
-		delete(v.byIMSI, m.IMSI)
+	if h, r := v.lookupRec(m.IMSI); r != nil {
+		servingMSC = v.names.Val(r.msc)
+		if r.tmsi != 0 {
+			v.byTMSI.Delete(uint32(r.tmsi))
+		}
+		v.byIMSI.Delete(r.imsi)
+		v.recs.Free(h)
 	}
 	v.mu.Unlock()
 	// The subscriber left this service area: the (V)MSC holding state for
@@ -411,21 +548,24 @@ func (v *VLR) handleOutgoingCall(env *sim.Env, from sim.NodeID, m sigmap.SendInf
 		return
 	}
 	v.mu.Lock()
-	ctx, ok := v.byIMSI[imsi]
-	var profile sigmap.SubscriberProfile
-	if ok {
-		profile = ctx.Profile
+	_, r := v.lookupRec(imsi)
+	var msisdn gsmid.MSISDN
+	var barred, intl bool
+	if r != nil {
+		msisdn = r.profMSISDN.MSISDN()
+		barred = r.flags&mmBarred != 0
+		intl = r.flags&mmIntlAllowed != 0
 	}
 	v.mu.Unlock()
 	switch {
-	case !ok:
+	case r == nil:
 		reply(sigmap.CauseUnknownSubscriber, "", "")
-	case profile.Barred:
-		reply(sigmap.CauseNotAllowed, imsi, profile.MSISDN)
-	case v.isInternational(m.Called) && !profile.InternationalAllowed:
-		reply(sigmap.CauseNotAllowed, imsi, profile.MSISDN)
+	case barred:
+		reply(sigmap.CauseNotAllowed, imsi, msisdn)
+	case v.isInternational(m.Called) && !intl:
+		reply(sigmap.CauseNotAllowed, imsi, msisdn)
 	default:
-		reply(sigmap.CauseNone, imsi, profile.MSISDN)
+		reply(sigmap.CauseNone, imsi, msisdn)
 	}
 }
 
@@ -437,7 +577,8 @@ func (v *VLR) isInternational(called gsmid.MSISDN) bool {
 // interrogation path, Figs 6-7).
 func (v *VLR) handleProvideRoamingNumber(env *sim.Env, from sim.NodeID, m sigmap.ProvideRoamingNumber) {
 	v.mu.Lock()
-	_, ok := v.byIMSI[m.IMSI]
+	_, r := v.lookupRec(m.IMSI)
+	ok := r != nil
 	var msrn gsmid.MSISDN
 	if ok {
 		v.nextMSRN++
@@ -471,8 +612,8 @@ func (v *VLR) handleIncomingCall(env *sim.Env, from sim.NodeID, m sigmap.SendInf
 	var msisdn gsmid.MSISDN
 	if ok {
 		delete(v.msrn, m.MSRN) // single use
-		if ctx := v.byIMSI[imsi]; ctx != nil {
-			msisdn = ctx.Profile.MSISDN
+		if _, r := v.lookupRec(imsi); r != nil {
+			msisdn = r.profMSISDN.MSISDN()
 		}
 	}
 	v.mu.Unlock()
