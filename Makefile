@@ -6,9 +6,9 @@ GO ?= go
 
 # Packages with a wire-format FuzzDecode target and a committed seed corpus
 # under testdata/fuzz/.
-FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/ ./internal/isup/ ./internal/rtp/
+FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/ ./internal/isup/ ./internal/rtp/ ./internal/gsm/
 
-.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-scale bench-json fuzz-smoke fuzz soak soak-short
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-scale bench-media bench-json fuzz-smoke fuzz soak soak-short
 
 all: check
 
@@ -74,6 +74,12 @@ bench-engine:
 # written to BENCH_scenarios.json in the working dir.
 bench-scenarios:
 	$(GO) run ./cmd/vgprs-bench -only scenarios -json
+
+# Media-plane sweep (concurrent calls x per-link loss rate, per-call
+# E-model MOS distributions), written to BENCH_media.json in the working
+# dir.
+bench-media:
+	$(GO) run ./cmd/vgprs-bench -only media -json
 
 # Slab-backed core scale point (bytes/subscriber, attach and call-setup
 # throughput at full residency), written to BENCH_scale.json in the working

@@ -1,0 +1,83 @@
+package vgprs_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/netsim"
+)
+
+// talkingPair builds a 2-MS talk-enabled network with one MS-to-MS call
+// established and a second of steady-state frames already exchanged, so
+// measurements start with every per-call buffer warm.
+func talkingPair(tb testing.TB, seed int64) *netsim.VGPRSNet {
+	tb.Helper()
+	n := netsim.BuildVGPRS(netsim.VGPRSOptions{
+		Seed: seed, NumMS: 2, Talk: true, NoTrace: true,
+	})
+	if err := n.RegisterAll(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := n.MSs[0].Dial(n.Env, n.Subscribers[1].MSISDN); err != nil {
+		tb.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 2*time.Second)
+	for _, ms := range n.MSs {
+		if ms.State() != gsm.MSInCall {
+			tb.Fatalf("call not up: %v/%v", n.MSs[0].State(), n.MSs[1].State())
+		}
+	}
+	n.Env.RunUntil(n.Env.Now() + time.Second)
+	return n
+}
+
+// TestFrameForwardAllocBudget is the per-frame allocation budget for the
+// steady-state talk path. Each end-to-end frame costs exactly two heap
+// allocations — boxing the uplink TCHFrame at the MS and the downlink
+// TCHFrame at the VMSC, both value messages on the radio leg — while the
+// VMSC -> SGSN -> GGSN -> SGSN -> VMSC relay legs reuse per-call pointer
+// messages and buffers and allocate nothing. The budget of 2.5 per frame
+// leaves headroom for the engine's amortised timer-heap growth without
+// letting a third per-frame box (or any relay-leg allocation) sneak in.
+func TestFrameForwardAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs steady-state measurement")
+	}
+	n := talkingPair(t, 1)
+	const window = 10 * time.Second
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	rxBefore := n.MSs[0].FramesReceived() + n.MSs[1].FramesReceived()
+	n.Env.RunUntil(n.Env.Now() + window)
+	runtime.ReadMemStats(&after)
+
+	frames := n.MSs[0].FramesReceived() + n.MSs[1].FramesReceived() - rxBefore
+	if want := 2 * uint64(window/(20*time.Millisecond)) * 95 / 100; frames < want {
+		t.Fatalf("talk path stalled: %d frames in %v, want >= %d", frames, window, want)
+	}
+	allocs := after.Mallocs - before.Mallocs
+	perFrame := float64(allocs) / float64(frames)
+	t.Logf("%d allocs over %d frames: %.3f allocs/frame", allocs, frames, perFrame)
+	if perFrame > 2.5 {
+		t.Fatalf("talk path allocated %.3f objects/frame, budget 2.5", perFrame)
+	}
+}
+
+// BenchmarkTalkPathFrame measures the real CPU and allocation cost of one
+// 20 ms frame interval on an established call: two end-to-end frames (one
+// per direction) through the full Um -> VMSC -> GTP hairpin and back.
+func BenchmarkTalkPathFrame(b *testing.B) {
+	n := talkingPair(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Env.RunUntil(n.Env.Now() + 20*time.Millisecond)
+	}
+	b.StopTimer()
+	frames := n.MSs[0].FramesReceived() + n.MSs[1].FramesReceived()
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+}

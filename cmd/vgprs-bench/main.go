@@ -176,6 +176,13 @@ func run(args []string) int {
 			}
 			return experiments.ScenarioTable(points), points, nil
 		}},
+		{"media", func() (fmt.Stringer, any, error) {
+			points, err := experiments.RunMediaSweep(*seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return experiments.MediaTable(points), points, nil
+		}},
 		{"scale", func() (fmt.Stringer, any, error) {
 			sizes, err := parseSizes(*scaleSubs)
 			if err != nil {

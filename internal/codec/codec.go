@@ -38,6 +38,18 @@ func NewFrame(now time.Duration, seq uint32) []byte {
 	return p
 }
 
+// FrameInto writes an FR frame into dst, which must be at least FrameBytes
+// long. It is the allocation-free form of NewFrame for steady-state talk
+// paths that reuse a per-call buffer every frame interval.
+func FrameInto(dst []byte, now time.Duration, seq uint32) {
+	_ = dst[:FrameBytes]
+	binary.BigEndian.PutUint64(dst, uint64(now))
+	binary.BigEndian.PutUint32(dst[8:], seq)
+	for i := 12; i < FrameBytes; i++ {
+		dst[i] = 0
+	}
+}
+
 // FrameTimestamp extracts the generation time embedded by NewFrame.
 func FrameTimestamp(frame []byte) (time.Duration, bool) {
 	if len(frame) < 8 {
@@ -62,6 +74,13 @@ func Transcode(frame []byte) []byte {
 	out := make([]byte, len(frame))
 	copy(out, frame)
 	return out
+}
+
+// TranscodeInto is the allocation-free form of Transcode: it copies the
+// frame into dst (which must be large enough) and returns the frame length,
+// letting the VMSC relay legs reuse one buffer per call per direction.
+func TranscodeInto(dst, frame []byte) int {
+	return copy(dst[:len(frame)], frame)
 }
 
 // TranscodeCost is the per-frame processing delay the VMSC's vocoder adds

@@ -55,8 +55,9 @@ const maxQueuedPerAddr = 32
 
 // ggsnRec is the GGSN's slab-resident per-context record — the paper's
 // step 1.3 lists its fields: "IMSI, IP address, QoS profile negotiated,
-// SGSN address, and so on". Fixed size, pointer-free: the IMSI is
-// BCD-packed and the SGSN an interned symbol.
+// SGSN address, and so on". Fixed size: the IMSI is BCD-packed and the
+// SGSN an interned symbol; the only pointer is the lazily-allocated media
+// relay state on realtime contexts, cleared when the context is freed.
 type ggsnRec struct {
 	imsi    gsmid.PackedDigits
 	nsapi   uint8
@@ -65,6 +66,14 @@ type ggsnRec struct {
 	sgsn    uint32 // symbol in GGSN.names
 	address netip.Addr
 	qos     gtp.QoSProfile
+	media   *ggsnMedia
+}
+
+// ggsnMedia holds a realtime context's reusable downlink GTP message: the
+// voice hairpin overwrites it once per frame interval, and the SGSN
+// consumes the previous one within the Gn latency.
+type ggsnMedia struct {
+	tpdu gtp.TPDU
 }
 
 // GGSN is the gateway GPRS support node: the anchor between GTP tunnels and
@@ -243,6 +252,10 @@ func (g *GGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 		g.handleDelete(env, from, m)
 	case gtp.TPDU:
 		g.handleUplink(env, m)
+	case *gtp.TPDU:
+		// Voice fast path: the SGSN reuses a pointer message per realtime
+		// context to avoid the interface-boxing allocation per frame.
+		g.handleUplink(env, *m)
 	case gtp.EchoRequest:
 		env.Send(g.cfg.ID, from, gtp.EchoResponse{Seq: m.Seq})
 	case gtp.PDUNotifyResponse:
@@ -374,6 +387,7 @@ func (g *GGSN) handleDelete(env *sim.Env, sgsn sim.NodeID, m gtp.DeletePDPReques
 		if r.dynamic {
 			release = r.address
 		}
+		r.media = nil
 		g.recs.Free(h)
 	}
 	g.mu.Unlock()
@@ -397,7 +411,8 @@ func (g *GGSN) handleUplink(env *sim.Env, m gtp.TPDU) {
 		return
 	}
 	g.mu.Lock()
-	known := !g.byTID.Get(uint64(m.TID)).IsZero()
+	src := g.recs.Get(g.byTID.Get(uint64(m.TID)))
+	known := src != nil
 	if known {
 		g.ulPackets++
 	} else {
@@ -408,8 +423,34 @@ func (g *GGSN) handleUplink(env *sim.Env, m gtp.TPDU) {
 		return
 	}
 	g.mu.Lock()
-	local := !g.byAddr.Get(pkt.Dst).IsZero()
+	dst := g.recs.Get(g.byAddr.Get(pkt.Dst))
+	local := dst != nil
+	var med *ggsnMedia
+	var tid gtp.TID
+	var sgsn sim.NodeID
+	if local && src.qos.Realtime &&
+		(pkt.DstPort == ipnet.PortRTP || pkt.SrcPort == ipnet.PortRTP) {
+		// Voice-to-voice hairpin: forward the uplink T-PDU bytes as-is
+		// (they already are the canonically encoded inner packet) through
+		// the destination context's reusable downlink message. The
+		// destination is whichever context owns the peer's registered
+		// media address — its signalling context when the endpoint splits
+		// signalling and voice across two PDPs — so only the source side
+		// (always the voice context) gates on the realtime profile; the
+		// RTP port check is what keeps non-media packets off the reusable
+		// message.
+		if dst.media == nil {
+			dst.media = &ggsnMedia{}
+		}
+		med, tid, sgsn = dst.media, dst.tid, sim.NodeID(g.names.Val(dst.sgsn))
+		g.dlPackets++
+	}
 	g.mu.Unlock()
+	if med != nil {
+		med.tpdu = gtp.TPDU{TID: tid, Payload: m.Payload}
+		env.Send(g.cfg.ID, sgsn, &med.tpdu)
+		return
+	}
 	if local {
 		g.handleDownlink(env, pkt)
 		return

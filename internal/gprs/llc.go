@@ -35,6 +35,14 @@ func WrapData(nsapi uint8, pkt ipnet.Packet) []byte {
 	return pkt.AppendTo(out)
 }
 
+// AppendData frames an IP packet as an SNDCP LLC PDU into dst, the
+// allocation-free form of WrapData for talk paths that reuse one LLC buffer
+// per bearer.
+func AppendData(dst []byte, nsapi uint8, pkt ipnet.Packet) []byte {
+	dst = append(dst, sapiData, nsapi)
+	return pkt.AppendTo(dst)
+}
+
 // PDU is a parsed LLC PDU: exactly one of SM or Packet is meaningful.
 type PDU struct {
 	// SM holds the signalling message when the PDU is on the GMM SAPI.

@@ -8,6 +8,7 @@ import (
 	"vgprs/internal/gb"
 	"vgprs/internal/gsmid"
 	"vgprs/internal/gtp"
+	"vgprs/internal/ipnet"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
 	"vgprs/internal/slab"
@@ -82,6 +83,36 @@ type pdpRec struct {
 	peer  uint32 // symbol in SGSN.names
 	ms    uint32 // symbol in SGSN.names
 	next  slab.Handle
+	// media is the lazily-allocated reusable relay state for realtime
+	// (voice) contexts — it makes the per-frame Gb↔Gn relay
+	// allocation-free. Nil for signalling/data contexts; cleared when the
+	// context is freed so the slab slot retains nothing.
+	media *pdpMedia
+}
+
+// pdpMedia holds one voice context's reusable relay messages and downlink
+// LLC buffer. Each is overwritten once per frame interval; the receiving
+// node consumes the previous contents within the link latency (1–2 ms plus
+// any chaos jitter), far inside the 20 ms frame beat.
+type pdpMedia struct {
+	tpdu  gtp.TPDU
+	dl    gb.DLUnitdata
+	dlBuf []byte
+}
+
+// isRTP reports whether an encoded inner packet is RTP media (by port).
+// The reusable-message fast path must carry only the periodic media
+// stream: signalling sharing a realtime context (as TR 23.923 stacks do)
+// must stay on the value path, or a signalling packet and a voice frame
+// sent in the same instant would alias one reused message and the earlier
+// of the two would be lost in flight. The parse is allocation-free (the
+// payload view aliases the input).
+func isRTP(encoded []byte) bool {
+	pkt, err := ipnet.Unmarshal(encoded)
+	if err != nil {
+		return false
+	}
+	return pkt.DstPort == ipnet.PortRTP || pkt.SrcPort == ipnet.PortRTP
 }
 
 // addrString renders the PDP address in the SM wire form ("" when unset).
@@ -457,6 +488,7 @@ func (s *SGSN) removePDP(r *mmRec, nsapi uint8) (gtp.TID, bool) {
 			tid := p.tid
 			*prev = p.next
 			s.byTID.Delete(uint64(tid))
+			p.media = nil
 			s.pdps.Free(h)
 			r.npdp--
 			return tid, true
@@ -477,6 +509,7 @@ func (s *SGSN) removeAllPDPs(r *mmRec, tids []gtp.TID) []gtp.TID {
 		next := p.next
 		tids = append(tids, p.tid)
 		s.byTID.Delete(uint64(p.tid))
+		p.media = nil
 		s.pdps.Free(h)
 		h = next
 	}
@@ -500,12 +533,18 @@ func (s *SGSN) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 	switch m := msg.(type) {
 	case gb.ULUnitdata:
 		s.handleUL(env, from, m)
+	case *gb.ULUnitdata:
+		// Voice fast path: senders reuse a pointer message to avoid the
+		// interface-boxing allocation per frame.
+		s.handleUL(env, from, *m)
 	case gtp.CreatePDPResponse:
 		s.resolve(env, m.Seq, m)
 	case gtp.DeletePDPResponse:
 		s.resolve(env, m.Seq, m)
 	case gtp.TPDU:
 		s.handleDownlinkTPDU(env, m)
+	case *gtp.TPDU:
+		s.handleDownlinkTPDU(env, *m)
 	case gtp.PDUNotifyRequest:
 		s.handlePDUNotify(env, from, m)
 	case gtp.EchoRequest:
@@ -877,12 +916,26 @@ func (s *SGSN) handleUplinkData(env *sim.Env, ul gb.ULUnitdata, nsapi uint8, pay
 		pdp = s.findPDP(r, nsapi)
 	}
 	var tid gtp.TID
+	var med *pdpMedia
 	if pdp != nil {
 		s.ulPackets++
 		tid = pdp.tid
+		if pdp.qos.Realtime && isRTP(payload) {
+			if pdp.media == nil {
+				pdp.media = &pdpMedia{}
+			}
+			med = pdp.media
+		}
 	}
 	s.mu.Unlock()
 	if pdp == nil {
+		return
+	}
+	if med != nil {
+		// Realtime context: reuse the context's GTP message (the GGSN
+		// consumes the previous one within the Gn latency).
+		med.tpdu = gtp.TPDU{TID: tid, Payload: payload}
+		env.Send(s.cfg.ID, s.cfg.GGSN, &med.tpdu)
 		return
 	}
 	env.Send(s.cfg.ID, s.cfg.GGSN, gtp.TPDU{TID: tid, Payload: payload})
@@ -893,18 +946,41 @@ func (s *SGSN) handleDownlinkTPDU(env *sim.Env, m gtp.TPDU) {
 	r := s.mms.Get(s.byTID.Get(uint64(m.TID)))
 	ok := r != nil
 	var tlli gsmid.TLLI
+	var med *pdpMedia
 	peer, ms := sim.NodeID(""), sim.NodeID("")
 	if ok {
 		tlli = gsmid.LocalTLLI(r.ptmsi)
 		s.dlPackets++
 		// Downlink follows the path the context was activated over.
 		peer, ms = sim.NodeID(s.names.Val(r.peer)), sim.NodeID(s.names.Val(r.ms))
-		if pdp := s.findPDP(r, m.TID.NSAPI()); pdp != nil && pdp.peer != 0 {
+		pdp := s.findPDP(r, m.TID.NSAPI())
+		if pdp != nil && pdp.peer != 0 {
 			peer, ms = sim.NodeID(s.names.Val(pdp.peer)), sim.NodeID(s.names.Val(pdp.ms))
+		}
+		// Downlink media rides whatever context owns the destination
+		// address — the voice context, or the signalling context when an
+		// endpoint registers its media address there — so the fast path
+		// gates on the RTP port alone, not the QoS profile.
+		if pdp != nil && isRTP(m.Payload) {
+			if pdp.media == nil {
+				pdp.media = &pdpMedia{}
+			}
+			med = pdp.media
 		}
 	}
 	s.mu.Unlock()
 	if !ok {
+		return
+	}
+	if med != nil {
+		// Realtime context: frame the LLC PDU into the context's reusable
+		// buffer and send the reusable Gb message by pointer. The Gb peer
+		// (VMSC or PCU) copies the frame at arrival, within the link
+		// latency.
+		med.dlBuf = append(med.dlBuf[:0], sapiData, m.TID.NSAPI())
+		med.dlBuf = append(med.dlBuf, m.Payload...)
+		med.dl = gb.DLUnitdata{TLLI: tlli, MS: ms, PDU: med.dlBuf}
+		env.Send(s.cfg.ID, peer, &med.dl)
 		return
 	}
 	pdu := make([]byte, 0, 2+len(m.Payload))

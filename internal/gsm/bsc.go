@@ -144,10 +144,18 @@ func (b *BSC) fromMSC(env *sim.Env, msg sim.Message) {
 	env.Send(b.cfg.ID, bts, relayLeg(env, msg, LegAbis))
 }
 
-// fromSGSN handles downlink Gb traffic (PCU function).
+// fromSGSN handles downlink Gb traffic (PCU function). Realtime contexts
+// arrive as reusable pointer messages (the SGSN's voice fast path); their
+// PDU bytes stay valid through the Abis/Um relay because the MS consumes
+// them at arrival, well inside one frame interval.
 func (b *BSC) fromSGSN(env *sim.Env, msg sim.Message) {
-	dl, ok := msg.(gb.DLUnitdata)
-	if !ok {
+	var dl gb.DLUnitdata
+	switch m := msg.(type) {
+	case gb.DLUnitdata:
+		dl = m
+	case *gb.DLUnitdata:
+		dl = *m
+	default:
 		return
 	}
 	bts, known := b.servingBy[dl.MS]

@@ -138,6 +138,81 @@ type MS struct {
 	talking bool
 	// speech is the DTX talk-spurt gate (nil when DTX is off).
 	speech *codec.Source
+	// frameBuf is the reusable uplink frame buffer; the BTS/BSC/VMSC chain
+	// consumes each frame within one FrameInterval, so overwriting it every
+	// tick is safe and keeps the steady-state talk path allocation-free.
+	frameBuf []byte
+
+	media mediaStats
+}
+
+// mediaStats accumulates listener-side QoS for the downlink speech the MS
+// hears: the three E-model axes (one-way delay, interarrival jitter, loss).
+// Frames embed their generation time and sequence number (codec.NewFrame)
+// and the transcoding hops are byte-preserving, so both survive the
+// Um→core→Um hairpin intact.
+type mediaStats struct {
+	frames   uint64
+	firstSeq uint32
+	lastSeq  uint32
+	haveSeq  bool
+	sumDelay time.Duration
+	maxDelay time.Duration
+	// jitter is the RFC 3550 smoothed estimator J += (|D|-J)/16 over the
+	// transit-time differences of consecutive frames, in nanoseconds.
+	jitter    float64
+	lastDelay time.Duration
+	haveDelay bool
+}
+
+func (s *mediaStats) observe(now, gen time.Duration, seq uint32) {
+	s.frames++
+	if !s.haveSeq {
+		s.firstSeq, s.lastSeq, s.haveSeq = seq, seq, true
+	} else {
+		if seq < s.firstSeq {
+			s.firstSeq = seq
+		}
+		if seq > s.lastSeq {
+			s.lastSeq = seq
+		}
+	}
+	delay := now - gen
+	s.sumDelay += delay
+	if delay > s.maxDelay {
+		s.maxDelay = delay
+	}
+	if s.haveDelay {
+		d := float64(delay - s.lastDelay)
+		if d < 0 {
+			d = -d
+		}
+		s.jitter += (d - s.jitter) / 16
+	}
+	s.lastDelay, s.haveDelay = delay, true
+}
+
+// MediaReport is a snapshot of the listener-side QoS accumulated since the
+// last ResetMedia, in the units metrics.EModel scores: delay and jitter as
+// durations, loss as expected-vs-heard frame counts over the received
+// sequence span.
+type MediaReport struct {
+	// Frames is the number of downlink speech frames heard.
+	Frames uint64
+	// Expected is the frame count the received sequence span implies;
+	// Expected-Frames is the end-to-end loss within the span.
+	Expected  uint64
+	MeanDelay time.Duration
+	MaxDelay  time.Duration
+	Jitter    time.Duration
+}
+
+// Lost returns the frames missing from the received sequence span.
+func (r MediaReport) Lost() uint64 {
+	if r.Expected <= r.Frames {
+		return 0
+	}
+	return r.Expected - r.Frames
 }
 
 // maxRetries bounds random-access backoff attempts during registration.
@@ -195,6 +270,28 @@ func (m *MS) FramesSent() uint64 { return m.txFrames }
 
 // CallRef returns the active call reference (0 when idle).
 func (m *MS) CallRef() uint32 { return m.callRef }
+
+// MediaReport snapshots the listener-side QoS stats accumulated since power
+// on or the last ResetMedia. Read it before releasing the call: the stats
+// survive release, but a later call keeps accumulating into them.
+func (m *MS) MediaReport() MediaReport {
+	r := MediaReport{
+		Frames:   m.media.frames,
+		MaxDelay: m.media.maxDelay,
+		Jitter:   time.Duration(m.media.jitter),
+	}
+	if m.media.haveSeq {
+		r.Expected = uint64(m.media.lastSeq-m.media.firstSeq) + 1
+	}
+	if m.media.frames > 0 {
+		r.MeanDelay = m.media.sumDelay / time.Duration(m.media.frames)
+	}
+	return r
+}
+
+// ResetMedia clears the listener-side QoS stats, starting a fresh
+// measurement window (e.g. between talk waves).
+func (m *MS) ResetMedia() { m.media = mediaStats{} }
 
 // PowerOn starts the registration procedure (paper Fig 4 step 1.1): the MS
 // requests a channel and performs a location update.
@@ -392,6 +489,11 @@ func (m *MS) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Messag
 	case TCHFrame:
 		if t.Downlink {
 			m.rxFrames++
+			if gen, ok := codec.FrameTimestamp(t.Payload); ok {
+				if seq, ok := codec.FrameSeq(t.Payload); ok {
+					m.media.observe(env.Now(), gen, seq)
+				}
+			}
 			if m.cfg.Hooks.OnFrame != nil {
 				m.cfg.Hooks.OnFrame(t)
 			}
@@ -530,9 +632,17 @@ func (m *MS) startTalking(env *sim.Env) {
 		if m.speech == nil || m.speech.Next() {
 			m.seq++
 			m.txFrames++
+			// The frame buffer is reused every interval: everything
+			// downstream (BTS/BSC relay, VMSC transcode-at-arrival) copies
+			// or finishes with the payload well inside one FrameInterval,
+			// and nothing may retain it (OnFrame consumers included).
+			if m.frameBuf == nil {
+				m.frameBuf = make([]byte, codec.FrameBytes)
+			}
+			codec.FrameInto(m.frameBuf, env.Now(), m.seq)
 			env.Send(m.cfg.ID, m.cfg.BTS, TCHFrame{
 				Leg: LegUm, MS: m.cfg.ID, CallRef: ref, Seq: m.seq,
-				Payload: SpeechPayload(env.Now(), m.seq),
+				Payload: m.frameBuf,
 			})
 		}
 		env.After(m.cfg.FrameInterval, tick)

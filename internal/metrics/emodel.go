@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// This file implements the ITU-T G.107 E-model reduced to the terms the
+// simulation can measure: one-way delay impairment (Id) and packet-loss
+// impairment (Ie-eff), mapped to a conversational MOS. The full E-model
+// subtracts equipment and ambient-noise terms from a basic signal-to-noise
+// ratio Ro; with default send/receive loudness ratings those collapse to a
+// constant, which is where the familiar R0 = 93.2 ceiling comes from.
+
+// EModelParams parameterises the scorer. The zero value is NOT ready to
+// use; call DefaultEModel (or fill every field) instead.
+type EModelParams struct {
+	// R0 is the basic transmission rating with default G.107 inputs.
+	R0 float64
+	// Ie is the codec's intrinsic equipment impairment at zero loss.
+	// The paper's vocoder-to-vocoder talk path never tandem-transcodes,
+	// so the default treats the codec as transparent (Ie = 0).
+	Ie float64
+	// Bpl is the codec's packet-loss robustness factor (G.113 Appendix I);
+	// higher values degrade more gracefully under random loss.
+	Bpl float64
+	// JitterFactor converts measured jitter into effective delay: a
+	// receiver's adaptive playout buffer must absorb roughly this many
+	// standard deviations of inter-arrival variation.
+	JitterFactor float64
+}
+
+// DefaultEModel returns the parameter set used by the media experiments:
+// R0 = 93.2, transparent vocoder (Ie = 0), Bpl = 10, and a playout buffer
+// sized at twice the measured jitter.
+func DefaultEModel() EModelParams {
+	return EModelParams{R0: 93.2, Ie: 0, Bpl: 10, JitterFactor: 2}
+}
+
+// CallScore is the E-model verdict for one call leg.
+type CallScore struct {
+	// R is the transmission rating factor, clamped to [0, 100].
+	R float64 `json:"r"`
+	// MOS is the mean opinion score on the 1..5 ACR scale.
+	MOS float64 `json:"mos"`
+	// LossPct is the frame loss ratio in percent (the Ppl input).
+	LossPct float64 `json:"loss_pct"`
+	// EffectiveDelay is the one-way delay the Id term was computed from
+	// (mean delay plus the jitter buffer allowance).
+	EffectiveDelay time.Duration `json:"effective_delay"`
+}
+
+// Score rates one call leg from its measured mouth-to-ear statistics:
+// mean one-way delay, inter-arrival jitter (RFC 3550 estimate), the number
+// of frames the sequence numbers said to expect, and the number actually
+// played out. A leg that received nothing scores MOS 1.0.
+func (p EModelParams) Score(meanDelay, jitter time.Duration, expected, received uint64) CallScore {
+	if received == 0 || expected == 0 {
+		return CallScore{R: 0, MOS: 1, LossPct: 100}
+	}
+	if received > expected {
+		// Duplicated frames can push the count past the sequence span.
+		received = expected
+	}
+	ppl := 100 * float64(expected-received) / float64(expected)
+
+	// Effective delay folds the playout buffer the receiver would need.
+	d := meanDelay + time.Duration(p.JitterFactor*float64(jitter))
+	ms := float64(d) / float64(time.Millisecond)
+
+	// Id: the G.107 delay impairment (simplified linear + knee form).
+	// Below ~177.3 ms only the small linear term applies; beyond the
+	// knee, interactivity degrades steeply.
+	id := 0.024 * ms
+	if ms > 177.3 {
+		id += 0.11 * (ms - 177.3)
+	}
+
+	// Ie-eff: codec impairment inflated by random packet loss.
+	ieEff := p.Ie + (95-p.Ie)*ppl/(ppl+p.Bpl)
+
+	r := p.R0 - id - ieEff
+	if r < 0 {
+		r = 0
+	} else if r > 100 {
+		r = 100
+	}
+	return CallScore{R: r, MOS: mosFromR(r), LossPct: ppl, EffectiveDelay: d}
+}
+
+// mosFromR is the standard G.107 Annex B mapping from the rating factor to
+// a mean opinion score.
+func mosFromR(r float64) float64 {
+	if r <= 0 {
+		return 1
+	}
+	if r >= 100 {
+		return 4.5
+	}
+	mos := 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+	return math.Min(5, math.Max(1, mos))
+}
+
+// FloatSummary is the distribution summary for dimensionless samples (MOS,
+// R-factor) — the float counterpart of Series.Summary, with the same
+// nearest-rank percentile convention.
+type FloatSummary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// SummarizeFloats computes a FloatSummary over the samples. The input is
+// not modified. An empty input yields the zero summary.
+func SummarizeFloats(samples []float64) FloatSummary {
+	if len(samples) == 0 {
+		return FloatSummary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return FloatSummary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		P50:   rank(50),
+		P95:   rank(95),
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+	}
+}

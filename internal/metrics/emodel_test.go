@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEModelLosslessShortDelay(t *testing.T) {
+	p := DefaultEModel()
+	s := p.Score(20*time.Millisecond, 2*time.Millisecond, 500, 500)
+	if s.LossPct != 0 {
+		t.Fatalf("loss = %v, want 0", s.LossPct)
+	}
+	if s.MOS < 4.3 {
+		t.Fatalf("lossless short-delay MOS = %.2f, want >= 4.3", s.MOS)
+	}
+	if s.EffectiveDelay != 24*time.Millisecond {
+		t.Fatalf("effective delay = %v, want 24ms", s.EffectiveDelay)
+	}
+}
+
+func TestEModelMonotoneInLoss(t *testing.T) {
+	p := DefaultEModel()
+	prev := math.Inf(1)
+	for _, received := range []uint64{1000, 950, 900, 800, 500} {
+		s := p.Score(30*time.Millisecond, time.Millisecond, 1000, received)
+		if s.MOS >= prev {
+			t.Fatalf("MOS not monotone: %.3f at received=%d (prev %.3f)", s.MOS, received, prev)
+		}
+		prev = s.MOS
+	}
+	// 5% random loss on a transparent codec with Bpl=10 lands near the
+	// "many users dissatisfied" band.
+	s := p.Score(30*time.Millisecond, time.Millisecond, 1000, 950)
+	if s.MOS > 3.5 || s.MOS < 2.5 {
+		t.Fatalf("5%% loss MOS = %.2f, want in [2.5, 3.5]", s.MOS)
+	}
+}
+
+func TestEModelDelayKnee(t *testing.T) {
+	p := DefaultEModel()
+	short := p.Score(100*time.Millisecond, 0, 100, 100)
+	long := p.Score(300*time.Millisecond, 0, 100, 100)
+	if long.MOS >= short.MOS {
+		t.Fatalf("delay knee missing: MOS(300ms)=%.2f >= MOS(100ms)=%.2f", long.MOS, short.MOS)
+	}
+	// Past the 177.3 ms knee the steep term must apply: the drop from
+	// 100ms to 300ms exceeds what the linear term alone would give.
+	linearOnly := 0.024 * 200 * 0.035 // dMOS if only the linear Id term acted
+	if short.MOS-long.MOS < linearOnly*2 {
+		t.Fatalf("knee too shallow: dMOS = %.3f", short.MOS-long.MOS)
+	}
+}
+
+func TestEModelDeadLeg(t *testing.T) {
+	s := DefaultEModel().Score(0, 0, 500, 0)
+	if s.MOS != 1 || s.LossPct != 100 {
+		t.Fatalf("dead leg: MOS=%v loss=%v, want 1 and 100", s.MOS, s.LossPct)
+	}
+}
+
+func TestSummarizeFloats(t *testing.T) {
+	s := SummarizeFloats([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 || s.Mean != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.P95 != 5 {
+		t.Fatalf("p95 = %v, want 5 (nearest rank)", s.P95)
+	}
+	if got := SummarizeFloats(nil); got != (FloatSummary{}) {
+		t.Fatalf("empty summary = %+v", got)
+	}
+}

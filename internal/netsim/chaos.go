@@ -26,6 +26,13 @@ type LinkFault struct {
 	// Dup duplicates each delivered message independently with this
 	// probability.
 	Dup float64
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter) to
+	// each delivery — the delay-variation axis of the media chaos matrix.
+	// Keep media-leg jitter well under the 20 ms vocoder frame interval
+	// (see MediaChaosPlan): the zero-alloc talk path reuses per-call
+	// buffers on the assumption that each hop's retention stays inside
+	// one frame beat.
+	Jitter time.Duration
 	// Down fails the link outright for the window.
 	Down bool
 	// From is when the fault engages (offset from Apply; zero = now).
@@ -62,12 +69,12 @@ func (p FaultPlan) Apply(env *sim.Env) error {
 		}
 		engage := func(*sim.Env) {
 			for _, l := range [2]*sim.Link{ab, ba} {
-				l.Loss, l.Dup, l.Down = f.Loss, f.Dup, f.Down
+				l.Loss, l.Dup, l.Jitter, l.Down = f.Loss, f.Dup, f.Jitter, f.Down
 			}
 		}
 		heal := func(*sim.Env) {
 			for _, l := range [2]*sim.Link{ab, ba} {
-				l.Loss, l.Dup, l.Down = 0, 0, false
+				l.Loss, l.Dup, l.Jitter, l.Down = 0, 0, 0, false
 			}
 		}
 		if f.From <= 0 {
@@ -108,6 +115,40 @@ func UniformLossPlan(rate float64) FaultPlan {
 	plan := make(FaultPlan, 0, len(links))
 	for _, l := range links {
 		plan = append(plan, LinkFault{A: l[0], B: l[1], Loss: rate})
+	}
+	return plan
+}
+
+// MediaLinks lists the core legs the voice hairpin rides: Gb (VMSC↔SGSN)
+// and Gn (SGSN↔GGSN). Both stay on shard 0 under the default BuildVGPRS
+// partition, so media fault plans shard transparently. The radio legs are
+// excluded for the same reason as in CoreSignallingLinks.
+func MediaLinks() [][2]sim.NodeID {
+	return [][2]sim.NodeID{
+		{"VMSC-1", "SGSN-1"},
+		{"SGSN-1", "GGSN-1"},
+	}
+}
+
+// MaxMediaJitter caps per-link delay jitter on the media legs. The
+// zero-alloc talk path pipelines reusable buffers with a 20 ms beat; the
+// longest buffer-retention chain (three media-leg hops) must stay inside
+// one beat, so per-link jitter is held to a fifth of the frame interval.
+const MaxMediaJitter = 4 * time.Millisecond
+
+// MediaChaosPlan scripts loss and delay jitter on both media legs for the
+// window [from, until) measured from Apply (zero until = rest of the run).
+// Jitter above MaxMediaJitter is clamped.
+func MediaChaosPlan(loss float64, jitter time.Duration, from, until time.Duration) FaultPlan {
+	if jitter > MaxMediaJitter {
+		jitter = MaxMediaJitter
+	}
+	links := MediaLinks()
+	plan := make(FaultPlan, 0, len(links))
+	for _, l := range links {
+		plan = append(plan, LinkFault{
+			A: l[0], B: l[1], Loss: loss, Jitter: jitter, From: from, Until: until,
+		})
 	}
 	return plan
 }

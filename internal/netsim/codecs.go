@@ -74,6 +74,17 @@ func WireSize(msg sim.Message) (n int, family string, ok bool) {
 	case gb.ULUnitdata, gb.DLUnitdata:
 		b, err = gb.Append(scratch, msg)
 		family = "Gb"
+	// The media fast path sends reusable pointer messages; they encode
+	// exactly like their value forms.
+	case *gtp.TPDU:
+		b, err = gtp.Append(scratch, *m)
+		family = "GTP"
+	case *gb.ULUnitdata:
+		b, err = gb.Append(scratch, *m)
+		family = "Gb"
+	case *gb.DLUnitdata:
+		b, err = gb.Append(scratch, *m)
+		family = "Gb"
 	case ipnet.Packet:
 		return m.EncodedLen(), "IP", true
 	case h323.RRQ, h323.RCF, h323.RRJ, h323.URQ, h323.UCF,

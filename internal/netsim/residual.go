@@ -63,6 +63,7 @@ func (n *VGPRSNet) Residual() Residual {
 	r.add("VMSC-1", "pending transactions", n.VMSC.PendingTransactions())
 	r.add("VMSC-1", "active calls", n.VMSC.ActiveCalls())
 	r.add("VMSC-1", "handoff trunk calls", n.VMSC.HandoffCalls())
+	r.add("VMSC-1", "in-flight media frames", n.VMSC.InflightFrames())
 	r.add("VLR-1", "pending location updates", n.VLR.PendingUpdates())
 	r.add("VLR-1", "open dialogues", n.VLR.OutstandingDialogues())
 	r.add("VLR-1", "outstanding MSRNs", n.VLR.OutstandingMSRNs())
@@ -95,6 +96,7 @@ func (n *TwoVMSCNet) Residual() Residual {
 	r.add("VMSC-2", "pending transactions", n.VMSC2.PendingTransactions())
 	r.add("VMSC-2", "active calls", n.VMSC2.ActiveCalls())
 	r.add("VMSC-2", "handoff trunk calls", n.VMSC2.HandoffCalls())
+	r.add("VMSC-2", "in-flight media frames", n.VMSC2.InflightFrames())
 	r.add("VLR-2", "pending location updates", n.VLR2.PendingUpdates())
 	r.add("VLR-2", "open dialogues", n.VLR2.OutstandingDialogues())
 	r.add("VLR-2", "outstanding MSRNs", n.VLR2.OutstandingMSRNs())

@@ -147,6 +147,14 @@ func roundTripMessage(t *testing.T, msg sim.Message) (string, bool) {
 		}
 		got, err := gb.Unmarshal(b)
 		return requireEqual("Gb", got, err)
+	// The media fast path traces reusable pointer messages; round-trip
+	// their (current) contents through the value codecs.
+	case *gtp.TPDU:
+		return roundTripMessage(t, *m)
+	case *gb.ULUnitdata:
+		return roundTripMessage(t, *m)
+	case *gb.DLUnitdata:
+		return roundTripMessage(t, *m)
 	case ipnet.Packet:
 		got, err := ipnet.Unmarshal(m.Marshal())
 		if err != nil {

@@ -90,6 +90,23 @@ func Unmarshal(b []byte) (Packet, error) {
 	return p, nil
 }
 
+// UnmarshalView decodes like Unmarshal but the returned packet's Payload
+// aliases b instead of copying it. For receive paths that consume the
+// payload before b is reused (the per-frame media pipeline).
+func UnmarshalView(b []byte) (Packet, error) {
+	if len(b) < 12 {
+		return Unmarshal(b)
+	}
+	p, err := Unmarshal(b[:12:12])
+	if err != nil {
+		return Packet{}, err
+	}
+	if len(b) > 12 {
+		p.Payload = b[12:]
+	}
+	return p, nil
+}
+
 // Receiver tracks receive-side stream statistics.
 type Receiver struct {
 	started   bool

@@ -27,6 +27,10 @@ func (v *VMSC) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.Mess
 	switch t := msg.(type) {
 	case gb.DLUnitdata:
 		v.handleDL(env, t)
+	case *gb.DLUnitdata:
+		// The SGSN's voice fast path sends its reusable downlink message
+		// by pointer to avoid the interface-boxing allocation.
+		v.handleDL(env, *t)
 	case gsm.Setup:
 		v.handleMOSetup(env, from, t)
 	case gsm.PagingResponse:
@@ -639,6 +643,36 @@ func (v *VMSC) forget(call *vCall) {
 // information is translated into GPRS packets through vocoder and packet
 // control unit") ---
 
+// callMedia is the per-call reusable media-plane state. The talk path is a
+// pipeline with a 20 ms beat: each stage owns one buffer that it overwrites
+// once per frame interval, and every downstream consumer either copies the
+// bytes at arrival or finishes with them well inside the interval — so no
+// per-frame allocation and no free step are needed. upBuf/dnFrame hold the
+// transcoded frame while the vocoder delay elapses; rtpBuf holds the
+// marshalled RTP packet whose bytes the SGSN/GGSN relay legs alias until
+// the far SGSN copies them (~4 ms + chaos jitter later). upJob/dnJob are
+// the pre-bound timer records that make the vocoder delay closure-free.
+type callMedia struct {
+	upBuf   [codec.FrameBytes]byte
+	upLen   int
+	rtpBuf  []byte
+	dnFrame [codec.FrameBytes]byte
+	dnLen   int
+	upJob   frameJob
+	dnJob   frameJob
+	// rx is the RFC 3550 receiver accounting for the RTP stream the far
+	// party sends to this call's endpoint: sequence-gap loss on the core
+	// legs, reordering, and interarrival jitter.
+	rx rtp.Receiver
+}
+
+// frameJob is the AfterArg record for one direction of a call's vocoder
+// stage; the call's env carries the timer back into the simulation.
+type frameJob struct {
+	v    *VMSC
+	call *vCall
+}
+
 func (v *VMSC) uplinkVoice(env *sim.Env, t gsm.TCHFrame) {
 	entry, ok := v.byMS[t.MS]
 	if !ok || entry.call == nil {
@@ -652,19 +686,39 @@ func (v *VMSC) uplinkVoice(env *sim.Env, t gsm.TCHFrame) {
 		return
 	}
 	v.stats.FramesUplink++
-	payload := codec.Transcode(t.Payload)
+	// Transcode at arrival: the radio-leg payload may be the MS's reused
+	// frame buffer, so the copy cannot wait out the vocoder delay.
+	call.med.upLen = codec.TranscodeInto(call.med.upBuf[:], t.Payload)
+	if call.med.upJob.call == nil {
+		call.med.upJob = frameJob{v: v, call: call}
+	}
 	// The vocoder charges its processing delay before the packet leaves.
-	env.After(v.transcodeCost(), func() {
-		call.rtpSeq++
-		p := rtp.Packet{
-			PayloadType: rtp.PayloadTypeGSM,
-			Seq:         call.rtpSeq,
-			Timestamp:   rtp.TimestampAt(env.Now()),
-			SSRC:        uint32(call.ref),
-			Payload:     payload,
-		}
-		entry.endpoint.SendRTP(env, call.remoteMed, p.Marshal())
-	})
+	v.frameJobs++
+	env.AfterArg(v.transcodeCost(), uplinkFire, &call.med.upJob)
+}
+
+// uplinkFire sends the transcoded uplink frame as RTP once the vocoder
+// delay has elapsed. Only one job per direction is ever in flight (the
+// vocoder delay is far shorter than the frame interval), so reusing the
+// call's buffers here is safe.
+func uplinkFire(arg any) {
+	j := arg.(*frameJob)
+	j.v.frameJobs--
+	call := j.call
+	if call.released || call.state != callActive || !call.remoteMed.Valid() {
+		return
+	}
+	env := call.env
+	call.rtpSeq++
+	p := rtp.Packet{
+		PayloadType: rtp.PayloadTypeGSM,
+		Seq:         call.rtpSeq,
+		Timestamp:   rtp.TimestampAt(env.Now()),
+		SSRC:        uint32(call.ref),
+		Payload:     call.med.upBuf[:call.med.upLen],
+	}
+	call.med.rtpBuf = p.AppendTo(call.med.rtpBuf[:0])
+	call.entry.endpoint.SendRTP(env, call.remoteMed, call.med.rtpBuf)
 }
 
 func (v *VMSC) downlinkVoice(env *sim.Env, entry *msEntry, payload []byte) {
@@ -672,26 +726,45 @@ func (v *VMSC) downlinkVoice(env *sim.Env, entry *msEntry, payload []byte) {
 	if call == nil {
 		return
 	}
-	p, err := rtp.Unmarshal(payload)
+	p, err := rtp.UnmarshalView(payload)
 	if err != nil {
 		return
 	}
 	v.stats.FramesDownlink++
-	frame := codec.Transcode(p.Payload)
-	env.After(v.transcodeCost(), func() {
-		call.seqDown++
-		if call.hoActive {
-			// Post-handover: the radio leg is behind the E trunk.
-			call.hoSeq++
-			env.Send(v.cfg.ID, call.hoPeer, isup.TrunkFrame{
-				CIC: call.hoCIC, CallRef: call.hoRef, Seq: call.hoSeq, Payload: frame,
-			})
-			return
-		}
-		env.Send(v.cfg.ID, entry.bsc, gsm.TCHFrame{
-			Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
-			Seq: call.seqDown, Downlink: true, Payload: frame,
+	call.med.rx.Receive(p, env.Now(), 0, false)
+	// Copy at arrival: the RTP payload aliases the relay pipeline's
+	// reusable buffers, which the next frame overwrites.
+	call.med.dnLen = codec.TranscodeInto(call.med.dnFrame[:], p.Payload)
+	if call.med.dnJob.call == nil {
+		call.med.dnJob = frameJob{v: v, call: call}
+	}
+	v.frameJobs++
+	env.AfterArg(v.transcodeCost(), downlinkFire, &call.med.dnJob)
+}
+
+// downlinkFire forwards the transcoded downlink frame onto the radio leg
+// (or the post-handover E trunk) once the vocoder delay has elapsed.
+func downlinkFire(arg any) {
+	j := arg.(*frameJob)
+	j.v.frameJobs--
+	call := j.call
+	if call.released {
+		return
+	}
+	env := call.env
+	call.seqDown++
+	if call.hoActive {
+		// Post-handover: the radio leg is behind the E trunk.
+		call.hoSeq++
+		env.Send(j.v.cfg.ID, call.hoPeer, isup.TrunkFrame{
+			CIC: call.hoCIC, CallRef: call.hoRef, Seq: call.hoSeq,
+			Payload: call.med.dnFrame[:call.med.dnLen],
 		})
+		return
+	}
+	env.Send(j.v.cfg.ID, call.entry.bsc, gsm.TCHFrame{
+		Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+		Seq: call.seqDown, Downlink: true, Payload: call.med.dnFrame[:call.med.dnLen],
 	})
 }
 

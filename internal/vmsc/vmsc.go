@@ -20,6 +20,7 @@ import (
 	"net/netip"
 	"time"
 
+	"vgprs/internal/gb"
 	"vgprs/internal/gprs"
 	"vgprs/internal/gsmid"
 	"vgprs/internal/gtp"
@@ -144,6 +145,11 @@ type VMSC struct {
 	nextHOChan uint16
 	active     int
 
+	// frameJobs counts scheduled-but-not-yet-fired vocoder jobs (the
+	// transcode-delay timers on the talk path); the residual leak audit
+	// checks it drains to zero after release.
+	frameJobs int
+
 	stats Stats
 }
 
@@ -191,6 +197,16 @@ type msEntry struct {
 	regAnnounce bool
 
 	call *vCall
+
+	// Voice fast path (allocation-free relay): the LLC framing buffer and
+	// Gb message reused for every uplink RTP packet this MS sends. The
+	// SGSN/GGSN relay legs alias these bytes (zero-copy) until the far
+	// SGSN's downlink step copies them into its own buffer at arrival —
+	// total retention is the Gb+Gn+Gn latency (a few ms plus any chaos
+	// jitter), well inside one 20 ms frame interval, so overwriting the
+	// buffer every frame is safe. See chaos.MediaChaosPlan's jitter cap.
+	llcBuf []byte
+	ulMsg  *gb.ULUnitdata
 }
 
 // SendLLC implements gprs.Host: uplink LLC PDUs go straight onto the Gb
@@ -229,6 +245,21 @@ func reactivateSigDone(arg any, addr netip.Addr, ok bool) {
 func (e *msEntry) SendIPPacket(env *sim.Env, pkt ipnet.Packet) {
 	nsapi := NSAPISignalling
 	if e.voiceUp && (pkt.DstPort == ipnet.PortRTP || pkt.SrcPort == ipnet.PortRTP) {
+		// RTP rides the voice context on an allocation-free relay: frame
+		// the SNDCP PDU into the per-MS reusable buffer and put the
+		// reusable Gb message straight on the wire (pointer messages are
+		// not boxed by the interface conversion).
+		if _, active := e.client.Context(NSAPIVoice); active {
+			if e.ulMsg == nil {
+				e.ulMsg = &gb.ULUnitdata{}
+			}
+			e.llcBuf = gprs.AppendData(e.llcBuf[:0], NSAPIVoice, pkt)
+			*e.ulMsg = gb.ULUnitdata{
+				TLLI: e.client.TLLI(), MS: e.ms, Cell: e.v.cfg.Cell, PDU: e.llcBuf,
+			}
+			env.Send(e.v.cfg.ID, e.v.cfg.SGSN, e.ulMsg)
+			return
+		}
 		nsapi = NSAPIVoice
 	}
 	_ = e.client.SendIP(env, nsapi, pkt)
@@ -282,6 +313,12 @@ type vCall struct {
 
 	rtpSeq  uint16
 	seqDown uint32
+	// med is the per-call reusable media-plane state: transcode buffers,
+	// the RTP marshal buffer, the pre-bound vocoder-job records, and the
+	// RFC 3550 receiver stats for the RTP leg. All of it is scratch that
+	// is overwritten every frame interval; nothing downstream retains it
+	// longer than the pipeline latency (see callMedia).
+	med callMedia
 
 	// Inter-system handover leg (Fig 9), once active.
 	hoActive bool
@@ -366,6 +403,38 @@ func (v *VMSC) Entry(imsi gsmid.IMSI) (addr netip.Addr, registered bool, ok bool
 
 // ActiveCalls returns the number of calls in progress.
 func (v *VMSC) ActiveCalls() int { return v.active }
+
+// InflightFrames returns vocoder jobs scheduled but not yet fired. Zero
+// once the media plane has drained; the residual audit asserts this.
+func (v *VMSC) InflightFrames() int { return v.frameJobs }
+
+// MediaStats is the RTP-leg receiver accounting for one call, measured at
+// the VMSC where the far party's RTP stream terminates. Loss here
+// attributes drops to the core (Gb/Gn) legs specifically, as opposed to
+// the listener-side end-to-end loss the MS reports.
+type MediaStats struct {
+	RTPReceived  uint64
+	RTPExpected  uint64
+	RTPReordered uint64
+	// RTPJitter is the RFC 3550 interarrival jitter estimate.
+	RTPJitter time.Duration
+}
+
+// CallMedia reports the RTP receiver stats for an MS's active call. Read
+// it before release: the stats live on the call and die with it.
+func (v *VMSC) CallMedia(ms sim.NodeID) (MediaStats, bool) {
+	e, ok := v.byMS[ms]
+	if !ok || e.call == nil {
+		return MediaStats{}, false
+	}
+	rx := &e.call.med.rx
+	return MediaStats{
+		RTPReceived:  rx.Received(),
+		RTPExpected:  rx.ExpectedFrom(),
+		RTPReordered: rx.Reordered(),
+		RTPJitter:    rx.Jitter(),
+	}, true
+}
 
 // PendingRAS returns RAS transactions still awaiting a gatekeeper answer.
 func (v *VMSC) PendingRAS() int { return len(v.pendingRAS) }
