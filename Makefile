@@ -6,9 +6,9 @@ GO ?= go
 
 # Packages with a wire-format FuzzDecode target and a committed seed corpus
 # under testdata/fuzz/.
-FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/ ./internal/isup/ ./internal/rtp/ ./internal/gsm/
+FUZZ_PKGS = ./internal/sigmap/ ./internal/gtp/ ./internal/q931/ ./internal/gb/ ./internal/isup/ ./internal/rtp/ ./internal/gsm/ ./internal/h323/
 
-.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-scale bench-media bench-json fuzz-smoke fuzz soak soak-short
+.PHONY: all build vet test race check bench bench-sim bench-codec bench-registration bench-engine bench-scenarios bench-scale bench-scale-full bench-media bench-json fuzz-smoke fuzz soak soak-short
 
 all: check
 
@@ -87,7 +87,16 @@ bench-media:
 # 1M (make bench-scale SCALE_SUBS=100000,500000,1000000).
 SCALE_SUBS ?= 100000
 bench-scale:
-	$(GO) run ./cmd/vgprs-bench -only scale -scale-subs $(SCALE_SUBS) -json
+	$(GO) run ./cmd/vgprs-bench -only scale -scale-subs $(SCALE_SUBS) -scale-full-subs none -json
+
+# Full-stack scale point: the same populations attached through the complete
+# Fig 2(b) topology (VMSC, VLR, HLR, SGSN, GGSN, gatekeeper, directory) with
+# end-to-end call setup at full residency. CI runs the 100k point; the
+# committed artifact also carries 500k and 1M (make bench-scale-full
+# SCALE_FULL_SUBS=100000,500000,1000000).
+SCALE_FULL_SUBS ?= 100000
+bench-scale-full:
+	$(GO) run ./cmd/vgprs-bench -only scale -scale-subs none -scale-full-subs $(SCALE_FULL_SUBS) -json
 
 # Machine-readable experiment results (BENCH_<id>.json in the working dir).
 bench-json:

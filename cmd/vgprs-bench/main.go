@@ -39,7 +39,9 @@ func run(args []string) int {
 	jsonOut := fs.Bool("json", false, "also write per-experiment results to BENCH_<id>.json")
 	outDir := fs.String("out", ".", "directory for -json output files")
 	scaleSubs := fs.String("scale-subs", "100000",
-		"comma-separated population sizes for the scale experiment")
+		"comma-separated population sizes for the core scale sweep (none to skip)")
+	scaleFullSubs := fs.String("scale-full-subs", "100000",
+		"comma-separated population sizes for the full-stack scale sweep (none to skip)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -184,15 +186,26 @@ func run(args []string) int {
 			return experiments.MediaTable(points), points, nil
 		}},
 		{"scale", func() (fmt.Stringer, any, error) {
-			sizes, err := parseSizes(*scaleSubs)
+			coreSizes, err := parseSizes(*scaleSubs)
 			if err != nil {
 				return nil, nil, err
 			}
-			points, err := experiments.RunScaleSweep(*seed, sizes)
+			fullSizes, err := parseSizes(*scaleFullSubs)
 			if err != nil {
 				return nil, nil, err
 			}
-			return experiments.ScaleTable(points), points, nil
+			var r scaleBenchResult
+			if len(coreSizes) > 0 {
+				if r.Core, err = experiments.RunScaleSweep(*seed, coreSizes); err != nil {
+					return nil, nil, err
+				}
+			}
+			if len(fullSizes) > 0 {
+				if r.FullStack, err = experiments.RunScaleFullSweep(*seed, fullSizes); err != nil {
+					return nil, nil, err
+				}
+			}
+			return r, r, nil
 		}},
 	}
 
@@ -282,13 +295,39 @@ func runRegistrationBench(seed int64) RegistrationBenchResult {
 	return out
 }
 
-// parseSizes parses the -scale-subs population list.
+// scaleBenchResult is the combined payload of the scale experiment: the
+// core-topology sweep and the full Fig 2(b) stack sweep, either of which can
+// be skipped with "none" so bench-scale and bench-scale-full stay
+// independently schedulable.
+type scaleBenchResult struct {
+	Core      []experiments.ScalePoint     `json:"core,omitempty"`
+	FullStack []experiments.ScaleFullPoint `json:"full_stack,omitempty"`
+}
+
+// String renders whichever sweeps ran as their report tables.
+func (r scaleBenchResult) String() string {
+	var parts []string
+	if len(r.Core) > 0 {
+		parts = append(parts, experiments.ScaleTable(r.Core).String())
+	}
+	if len(r.FullStack) > 0 {
+		parts = append(parts, experiments.ScaleFullTable(r.FullStack).String())
+	}
+	return strings.Join(parts, "\n\n")
+}
+
+// parseSizes parses a population-size list; "none" (or empty) selects no
+// sizes, skipping that sweep.
 func parseSizes(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "none") {
+		return nil, nil
+	}
 	var sizes []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad -scale-subs entry %q", part)
+			return nil, fmt.Errorf("bad population-size entry %q", part)
 		}
 		sizes = append(sizes, n)
 	}

@@ -42,6 +42,57 @@ func TestBytesPerSubscriberBudget(t *testing.T) {
 	}
 }
 
+// TestFullStackBytesPerSubscriberBudget is the memory gate for the full
+// Fig 2(b) stack: the same population attached through a real VMSC (MS
+// table, hosted GPRS clients, H.323 endpoints), VLR, HLR, SGSN, GGSN,
+// gatekeeper, and directory at once. The budget carries ~1.5x headroom over
+// the measured 2,900 B/sub at 100k; the run itself asserts completeness
+// (every subscriber registered at the VMSC and the gatekeeper), end-to-end
+// call setup at full residency, and full recycling after cancel-all.
+func TestFullStackBytesPerSubscriberBudget(t *testing.T) {
+	subs, budget := 100_000, 4_500.0
+	if testing.Short() || raceEnabled {
+		// Slab chunks dominate the full-stack cost, so race instrumentation
+		// barely moves it (measured ~5,230 B/sub plain and race at 10k).
+		subs, budget = 10_000, 9_000.0
+	}
+	p, err := RunScaleFull(7, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("subs=%d bytes/sub=%.0f attach/s=%.0f call-setup/s=%.0f",
+		p.Subs, p.BytesPerSub, p.AttachPerSec, p.CallSetupPerSec)
+	if p.Rejects != 0 {
+		t.Errorf("rejects = %d, want 0", p.Rejects)
+	}
+	if p.BytesPerSub > budget {
+		t.Errorf("bytes/subscriber = %.0f, budget %.0f", p.BytesPerSub, budget)
+	}
+	if p.DetachLeftover != 0 {
+		t.Errorf("records still live after cancel-all: %d", p.DetachLeftover)
+	}
+	if p.SlabImbalance != 0 {
+		t.Errorf("slab imbalance after cancel-all: %d", p.SlabImbalance)
+	}
+}
+
+// TestScaleFullSmall is the fast canary for the full-stack harness: a
+// population small enough for every test run, with RunScaleFull's own
+// completeness checks (registration, call setup, recycling) doing the
+// asserting.
+func TestScaleFullSmall(t *testing.T) {
+	p, err := RunScaleFull(3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RegisteredVMSC != 500 || p.GKRegistered != 500 || p.ActivePDP != 500 {
+		t.Fatalf("population incomplete: %+v", p)
+	}
+	if p.DetachLeftover != 0 || p.SlabImbalance != 0 {
+		t.Fatalf("leak after cancel-all: leftover=%d imbalance=%d", p.DetachLeftover, p.SlabImbalance)
+	}
+}
+
 // TestScaleSmall exercises the whole scale harness at a size cheap enough
 // for every test run, including the error paths RunScale itself checks
 // (population completeness) — a fast canary in front of the big gate.

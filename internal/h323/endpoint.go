@@ -7,30 +7,62 @@ import (
 	"vgprs/internal/ipnet"
 	"vgprs/internal/q931"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 )
 
 // Directory maps IP addresses to node IDs for trace annotation: when an
 // endpoint notes a logical arrow ("RAS RRQ", "Q.931 Setup") it resolves the
 // peer's node name so recorded traces read like the paper's figures. It has
 // no protocol role.
+//
+// With one bound address per attached subscriber, the directory is itself a
+// per-subscriber surface, so it uses the same open-addressing index as the
+// subscriber stores: node names are interned once (the set of distinct
+// names is bounded by topology size) and each binding costs one index cell
+// holding the interned symbol, not a map entry with a string header.
 type Directory struct {
-	mu sync.Mutex
-	m  map[netip.Addr]sim.NodeID
+	mu    sync.Mutex
+	idx   *slab.Index[netip.Addr]
+	nodes slab.Syms[sim.NodeID]
 }
+
+func hashAddr(a netip.Addr) uint64 { return slab.HashBytes16(a.As16()) }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{m: make(map[netip.Addr]sim.NodeID)}
+	return &Directory{idx: slab.NewIndex[netip.Addr](hashAddr)}
 }
 
 // Bind associates an address with a node for tracing.
 func (d *Directory) Bind(addr netip.Addr, node sim.NodeID) {
+	if d == nil || node == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// The 1-based symbol doubles as the stored handle; it is never zero
+	// for a non-empty name, which is all Index.Put requires.
+	d.idx.Put(addr, slab.Handle(d.nodes.ID(node)))
+}
+
+// Unbind drops an address binding (subscriber purge).
+func (d *Directory) Unbind(addr netip.Addr) {
 	if d == nil {
 		return
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.m[addr] = node
+	d.idx.Delete(addr)
+}
+
+// Bound returns the number of live address bindings.
+func (d *Directory) Bound() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.idx.Len()
 }
 
 // Resolve returns the node for an address, or a synthetic name.
@@ -40,8 +72,8 @@ func (d *Directory) Resolve(addr netip.Addr) sim.NodeID {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if node, ok := d.m[addr]; ok {
-		return node
+	if h := d.idx.Get(addr); !h.IsZero() {
+		return d.nodes.Val(uint32(h))
 	}
 	return sim.NodeID(addr.String())
 }

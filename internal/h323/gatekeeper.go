@@ -11,6 +11,7 @@ import (
 	"vgprs/internal/ipnet"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 	"vgprs/internal/ss7"
 )
 
@@ -56,9 +57,9 @@ type GatekeeperConfig struct {
 	RegistrationTTL time.Duration
 }
 
-// Registration is one row of the address-translation table (paper step 1.5:
-// "the GK creates an entry for the MS in the address translation table,
-// which stores the (IP address, MSISDN) pair").
+// Registration is the public copy-out of one address-translation row
+// (paper step 1.5: "the GK creates an entry for the MS in the address
+// translation table, which stores the (IP address, MSISDN) pair").
 type Registration struct {
 	Alias      gsmid.MSISDN
 	SignalAddr netip.Addr
@@ -69,16 +70,38 @@ type Registration struct {
 	ExpiresAt time.Duration
 }
 
+// gkReg is the resident form of a registration: pointer-free (the alias is
+// BCD-packed, the endpoint ID a counter rendered only on copy-out) so a
+// million rows sit in chunked slabs with nothing for the GC to trace.
+type gkReg struct {
+	alias      gsmid.PackedDigits
+	signalAddr netip.Addr
+	signalPort uint16
+	epID       uint32
+	expiresAt  time.Duration
+}
+
+func (r *gkReg) public() Registration {
+	return Registration{
+		Alias: r.alias.MSISDN(), SignalAddr: r.signalAddr, SignalPort: r.signalPort,
+		EndpointID: fmt.Sprintf("ep-%d", r.epID), ExpiresAt: r.expiresAt,
+	}
+}
+
 // gkCallKey identifies a charging record: the call reference alone is not
 // unique (references are scoped to the originating endpoint), so the
 // caller's alias disambiguates.
 type gkCallKey struct {
-	caller gsmid.MSISDN
+	caller gsmid.PackedDigits
 	ref    uint16
 }
 
-// CallRecord is the per-call accounting row the gatekeeper keeps for
-// charging (paper step 3.3).
+func hashCallKey(k gkCallKey) uint64 {
+	return slab.HashUint64(k.caller.Hash() ^ uint64(k.ref))
+}
+
+// CallRecord is the public copy-out of the per-call accounting row the
+// gatekeeper keeps for charging (paper step 3.3).
 type CallRecord struct {
 	Caller     gsmid.MSISDN
 	Called     gsmid.MSISDN
@@ -88,21 +111,48 @@ type CallRecord struct {
 	Ended      bool
 }
 
+// gkCall is the resident (pointer-free) charging row.
+type gkCall struct {
+	caller     gsmid.PackedDigits
+	called     gsmid.PackedDigits
+	ref        uint16
+	admittedAt time.Duration
+	endedAt    time.Duration
+	ended      bool
+}
+
+// gkIMSI is one memorized (alias, IMSI) pair — TR 23.923 mode only.
+type gkIMSI struct {
+	alias gsmid.PackedDigits
+	imsi  gsmid.PackedDigits
+}
+
+const gkShards = 8
+
 // Gatekeeper is a standard H.323 gatekeeper: registration, address
 // translation, call admission, location queries, and disengage accounting.
 // Deliberately: it has no GSM MAP interface and never sees an IMSI — the
 // architectural property the paper's §6 contrasts with TR 23.923 and that
 // test C4 audits.
+//
+// All three per-subscriber tables (registrations, charging records, and the
+// TR-mode IMSI cache) live in sharded value slabs reached through
+// open-addressing indexes keyed by BCD-packed aliases, the same treatment
+// the core's VLR/HLR/SGSN stores use: GSM-scale populations cost the GC
+// nothing and iteration order is deterministic.
 type Gatekeeper struct {
 	cfg GatekeeperConfig
 	ep  *Endpoint
 	dm  *ss7.DialogueManager
 
 	mu      sync.Mutex
-	table   map[gsmid.MSISDN]*Registration
-	calls   map[gkCallKey]*CallRecord
-	imsis   map[gsmid.MSISDN]gsmid.IMSI // TR 23.923 mode only
-	nextEP  int
+	regs    *slab.Sharded[gkReg]
+	byAlias *slab.Index[gsmid.PackedDigits]
+	calls   *slab.Sharded[gkCall]
+	byCall  *slab.Index[gkCallKey]
+	imsiTab *slab.Sharded[gkIMSI] // TR 23.923 mode only
+	byIMSI  *slab.Index[gsmid.PackedDigits]
+	nextEP  uint32
 	admits  uint64
 	rejects uint64
 }
@@ -115,11 +165,14 @@ func NewGatekeeper(cfg GatekeeperConfig) *Gatekeeper {
 		cfg.MAPTimeout = 5 * time.Second
 	}
 	gk := &Gatekeeper{
-		cfg:   cfg,
-		dm:    ss7.NewDialogueManager(),
-		table: make(map[gsmid.MSISDN]*Registration),
-		calls: make(map[gkCallKey]*CallRecord),
-		imsis: make(map[gsmid.MSISDN]gsmid.IMSI),
+		cfg:     cfg,
+		dm:      ss7.NewDialogueManager(),
+		regs:    slab.NewSharded[gkReg](gkShards),
+		byAlias: slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
+		calls:   slab.NewSharded[gkCall](gkShards),
+		byCall:  slab.NewIndex[gkCallKey](hashCallKey),
+		imsiTab: slab.NewSharded[gkIMSI](gkShards),
+		byIMSI:  slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
 	}
 	gk.ep = &Endpoint{
 		Node: cfg.ID,
@@ -135,32 +188,68 @@ func NewGatekeeper(cfg GatekeeperConfig) *Gatekeeper {
 // ID implements sim.Node.
 func (g *Gatekeeper) ID() sim.NodeID { return g.cfg.ID }
 
+// reg resolves an alias to its resident row (callers hold g.mu).
+func (g *Gatekeeper) reg(key gsmid.PackedDigits) *gkReg {
+	return g.regs.Get(g.byAlias.Get(key))
+}
+
+// dropReg removes a registration row and its index entry (callers hold
+// g.mu).
+func (g *Gatekeeper) dropReg(key gsmid.PackedDigits) {
+	if h := g.byAlias.Get(key); !h.IsZero() {
+		g.byAlias.Delete(key)
+		g.regs.Free(h)
+	}
+}
+
 // Lookup returns the registration for an alias.
 func (g *Gatekeeper) Lookup(alias gsmid.MSISDN) (Registration, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	reg, ok := g.table[alias]
-	if !ok {
+	r := g.reg(alias.Pack())
+	if r == nil {
 		return Registration{}, false
 	}
-	return *reg, true
+	return r.public(), true
+}
+
+// RegHandle returns the slab handle behind an alias's registration (zero if
+// none) — a test hook for generational-invalidation checks.
+func (g *Gatekeeper) RegHandle(alias gsmid.MSISDN) slab.Handle {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.byAlias.Get(alias.Pack())
+}
+
+// RegAlive reports whether a previously obtained handle still resolves.
+func (g *Gatekeeper) RegAlive(h slab.Handle) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.regs.Get(h) != nil
 }
 
 // Registered returns the number of table entries.
 func (g *Gatekeeper) Registered() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.table)
+	return g.byAlias.Len()
 }
 
 // CallRecords returns a copy of the charging records (paper step 3.3).
 func (g *Gatekeeper) CallRecords() []CallRecord {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]CallRecord, 0, len(g.calls))
-	for _, c := range g.calls {
-		out = append(out, *c)
-	}
+	out := make([]CallRecord, 0, g.byCall.Len())
+	g.byCall.Range(func(_ gkCallKey, h slab.Handle) bool {
+		if c := g.calls.Get(h); c != nil {
+			out = append(out, CallRecord{
+				Caller: c.caller.MSISDN(), Called: c.called.MSISDN(),
+				CallRef: c.ref, AdmittedAt: c.admittedAt,
+				EndedAt: c.endedAt, Ended: c.ended,
+			})
+		}
+		return true
+	})
 	return out
 }
 
@@ -177,7 +266,68 @@ func (g *Gatekeeper) Admissions() (admitted, rejected uint64) {
 func (g *Gatekeeper) KnownIMSIs() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.imsis)
+	return g.byIMSI.Len()
+}
+
+// SlabImbalance cross-checks every index against its slab: each index entry
+// must resolve to a live row carrying the same key, each slab shard's live
+// count must match what the indexes reference, and allocated capacity must
+// be fully accounted as live or free. Zero means no leaked rows, no stale
+// handles, and no books that disagree — the soak gate's invariant.
+func (g *Gatekeeper) SlabImbalance() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	imb := 0
+
+	perShard := make(map[int]int)
+	g.byAlias.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		r := g.regs.Get(h)
+		if r == nil || r.alias != k {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		return true
+	})
+	for _, a := range g.regs.Audit() {
+		imb += a.Imbalance() + absInt(perShard[a.Shard]-a.Live)
+	}
+
+	clear(perShard)
+	g.byCall.Range(func(k gkCallKey, h slab.Handle) bool {
+		c := g.calls.Get(h)
+		if c == nil || c.caller != k.caller || c.ref != k.ref {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		return true
+	})
+	for _, a := range g.calls.Audit() {
+		imb += a.Imbalance() + absInt(perShard[a.Shard]-a.Live)
+	}
+
+	clear(perShard)
+	g.byIMSI.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		r := g.imsiTab.Get(h)
+		if r == nil || r.alias != k {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		return true
+	})
+	for _, a := range g.imsiTab.Audit() {
+		imb += a.Imbalance() + absInt(perShard[a.Shard]-a.Live)
+	}
+	return imb
+}
+
+func absInt(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 // Receive implements sim.Node.
@@ -202,10 +352,11 @@ func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg si
 		}
 		g.handleRRQ(env, pkt.Src, m)
 	case URQ:
+		key := m.Alias.Pack()
 		g.mu.Lock()
-		if reg, exists := g.table[m.Alias]; exists &&
-			(!m.SignalAddr.IsValid() || reg.SignalAddr == m.SignalAddr) {
-			delete(g.table, m.Alias)
+		if reg := g.reg(key); reg != nil &&
+			(!m.SignalAddr.IsValid() || reg.signalAddr == m.SignalAddr) {
+			g.dropReg(key)
 		}
 		g.mu.Unlock()
 		g.ep.SendRAS(env, pkt.Src, UCF{Seq: m.Seq})
@@ -213,41 +364,50 @@ func (g *Gatekeeper) Receive(env *sim.Env, from sim.NodeID, iface string, msg si
 		g.handleARQ(env, pkt.Src, m)
 	case DRQ:
 		g.mu.Lock()
-		if rec, exists := g.calls[gkCallKey{m.Alias, m.CallRef}]; exists && !rec.Ended {
+		if rec := g.calls.Get(g.byCall.Get(gkCallKey{m.Alias.Pack(), m.CallRef})); rec != nil && !rec.ended {
 			// The caller disengaging: direct hit.
-			rec.Ended = true
-			rec.EndedAt = env.Now()
+			rec.ended = true
+			rec.endedAt = env.Now()
 		} else if m.Peer != "" {
 			// The called side disengaging, naming the caller. The key is
 			// exact; if the caller already disengaged there is nothing
 			// further to close.
-			if rec, exists := g.calls[gkCallKey{m.Peer, m.CallRef}]; exists && !rec.Ended {
-				rec.Ended = true
-				rec.EndedAt = env.Now()
+			if rec := g.calls.Get(g.byCall.Get(gkCallKey{m.Peer.Pack(), m.CallRef})); rec != nil && !rec.ended {
+				rec.ended = true
+				rec.endedAt = env.Now()
 			}
 		} else {
 			// A gateway or legacy endpoint without a peer alias: find the
-			// open record for this reference.
-			for _, rec := range g.calls {
-				if rec.CallRef == m.CallRef && !rec.Ended &&
-					(m.Alias == "" || rec.Called == m.Alias) {
-					rec.Ended = true
-					rec.EndedAt = env.Now()
-					break
+			// open record for this reference. Index iteration order is
+			// deterministic, so so is the record chosen.
+			alias := m.Alias.Pack()
+			g.byCall.Range(func(k gkCallKey, h slab.Handle) bool {
+				rec := g.calls.Get(h)
+				if rec != nil && rec.ref == m.CallRef && !rec.ended &&
+					(m.Alias == "" || rec.called == alias) {
+					rec.ended = true
+					rec.endedAt = env.Now()
+					return false
 				}
-			}
+				return true
+			})
 		}
 		g.mu.Unlock()
 		g.ep.SendRAS(env, pkt.Src, DCF{Seq: m.Seq})
 	case LRQ:
 		g.mu.Lock()
-		reg, exists := g.lookupLive(m.Alias, env.Now())
+		reg, exists := g.lookupLive(m.Alias.Pack(), env.Now())
+		var addr netip.Addr
+		var port uint16
+		if exists {
+			addr, port = reg.signalAddr, reg.signalPort
+		}
 		g.mu.Unlock()
 		if !exists {
 			g.ep.SendRAS(env, pkt.Src, LRJ{Seq: m.Seq, Reason: RejectCalledPartyNotRegistered})
 			return
 		}
-		g.ep.SendRAS(env, pkt.Src, LCF{Seq: m.Seq, SignalAddr: reg.SignalAddr, SignalPort: reg.SignalPort})
+		g.ep.SendRAS(env, pkt.Src, LCF{Seq: m.Seq, SignalAddr: addr, SignalPort: port})
 	}
 }
 
@@ -274,8 +434,15 @@ func (g *Gatekeeper) resolveIMSIThen(env *sim.Env, src netip.Addr, m RRQ) {
 			g.ep.SendRAS(env, src, RRJ{Seq: m.Seq, Reason: RejectGenericData})
 			return
 		}
+		key := m.Alias.Pack()
 		g.mu.Lock()
-		g.imsis[m.Alias] = ack.IMSI
+		if row := g.imsiTab.Get(g.byIMSI.Get(key)); row != nil {
+			row.imsi = ack.IMSI.Pack()
+		} else {
+			h, row := g.imsiTab.Alloc(int(key.Hash() & (gkShards - 1)))
+			row.alias, row.imsi = key, ack.IMSI.Pack()
+			g.byIMSI.Put(key, h)
+		}
 		g.mu.Unlock()
 		g.handleRRQ(env, src, m)
 	})
@@ -283,42 +450,45 @@ func (g *Gatekeeper) resolveIMSIThen(env *sim.Env, src netip.Addr, m RRQ) {
 }
 
 func (g *Gatekeeper) handleRRQ(env *sim.Env, src netip.Addr, m RRQ) {
+	key := m.Alias.Pack()
 	g.mu.Lock()
-	existing, dup := g.table[m.Alias]
-	if dup && g.expired(existing, env.Now()) {
-		delete(g.table, m.Alias)
-		existing, dup = nil, false
+	existing := g.reg(key)
+	if existing != nil && g.expired(existing, env.Now()) {
+		g.dropReg(key)
+		existing = nil
 	}
 	// A keepalive refresh presumes the gatekeeper still holds the row;
 	// if it lapsed (or never existed), demand a full registration.
-	if m.KeepAlive && (!dup || existing.SignalAddr != m.SignalAddr) {
+	if m.KeepAlive && (existing == nil || existing.signalAddr != m.SignalAddr) {
 		g.mu.Unlock()
 		g.ep.SendRAS(env, src, RRJ{Seq: m.Seq, Reason: RejectFullRegistrationRequired})
 		return
 	}
 	// Re-registration from the same transport address refreshes the row;
 	// a different address claiming a registered alias is rejected.
-	if dup && existing.SignalAddr != m.SignalAddr {
+	if existing != nil && existing.signalAddr != m.SignalAddr {
 		g.mu.Unlock()
 		g.ep.SendRAS(env, src, RRJ{Seq: m.Seq, Reason: RejectDuplicateAlias})
 		return
 	}
 	granted := g.grantTTL(m.TTLSeconds)
-	var epID string
-	if dup {
-		existing.SignalPort = m.SignalPort
-		existing.ExpiresAt = expiryAt(env.Now(), granted)
-		epID = existing.EndpointID
+	var epNum uint32
+	if existing != nil {
+		existing.signalPort = m.SignalPort
+		existing.expiresAt = expiryAt(env.Now(), granted)
+		epNum = existing.epID
 	} else {
 		g.nextEP++
-		epID = fmt.Sprintf("ep-%d", g.nextEP)
-		g.table[m.Alias] = &Registration{
-			Alias: m.Alias, SignalAddr: m.SignalAddr, SignalPort: m.SignalPort,
-			EndpointID: epID, ExpiresAt: expiryAt(env.Now(), granted),
-		}
+		epNum = g.nextEP
+		h, row := g.regs.Alloc(int(key.Hash() & (gkShards - 1)))
+		row.alias, row.signalAddr, row.signalPort = key, m.SignalAddr, m.SignalPort
+		row.epID, row.expiresAt = epNum, expiryAt(env.Now(), granted)
+		g.byAlias.Put(key, h)
 	}
 	g.mu.Unlock()
-	g.ep.SendRAS(env, src, RCF{Seq: m.Seq, EndpointID: epID, TTLSeconds: granted})
+	g.ep.SendRAS(env, src, RCF{
+		Seq: m.Seq, EndpointID: fmt.Sprintf("ep-%d", epNum), TTLSeconds: granted,
+	})
 }
 
 // grantTTL computes the lifetime an RCF grants, in seconds: the
@@ -346,20 +516,20 @@ func expiryAt(now time.Duration, ttlSeconds uint16) time.Duration {
 }
 
 // expired reports whether the row has lapsed at the given virtual time.
-func (g *Gatekeeper) expired(r *Registration, now time.Duration) bool {
-	return r.ExpiresAt != 0 && now >= r.ExpiresAt
+func (g *Gatekeeper) expired(r *gkReg, now time.Duration) bool {
+	return r.expiresAt != 0 && now >= r.expiresAt
 }
 
 // lookupLive returns the registration for alias unless it has expired, in
 // which case the row is dropped (lazy expiry — the gatekeeper never has to
 // keep the event queue alive with a sweep timer).
-func (g *Gatekeeper) lookupLive(alias gsmid.MSISDN, now time.Duration) (*Registration, bool) {
-	r, ok := g.table[alias]
-	if !ok {
+func (g *Gatekeeper) lookupLive(key gsmid.PackedDigits, now time.Duration) (*gkReg, bool) {
+	r := g.reg(key)
+	if r == nil {
 		return nil, false
 	}
 	if g.expired(r, now) {
-		delete(g.table, alias)
+		g.dropReg(key)
 		return nil, false
 	}
 	return r, true
@@ -371,14 +541,17 @@ func (g *Gatekeeper) lookupLive(alias gsmid.MSISDN, now time.Duration) (*Registr
 func (g *Gatekeeper) SweepExpired(now time.Duration) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	n := 0
-	for alias, r := range g.table {
-		if g.expired(r, now) {
-			delete(g.table, alias)
-			n++
+	var lapsed []gsmid.PackedDigits
+	g.byAlias.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		if r := g.regs.Get(h); r != nil && g.expired(r, now) {
+			lapsed = append(lapsed, k)
 		}
+		return true
+	})
+	for _, k := range lapsed {
+		g.dropReg(k)
 	}
-	return n
+	return len(lapsed)
 }
 
 func (g *Gatekeeper) handleARQ(env *sim.Env, src netip.Addr, m ARQ) {
@@ -388,32 +561,20 @@ func (g *Gatekeeper) handleARQ(env *sim.Env, src netip.Addr, m ARQ) {
 	if m.Answer {
 		// Admission for an incoming call: the callee asks permission to
 		// accept; no translation needed.
-		if _, ok := g.lookupLive(m.CallerAlias, env.Now()); ok {
+		if _, ok := g.lookupLive(m.CallerAlias.Pack(), env.Now()); ok {
 			g.admits++
 			response = ACF{Seq: m.Seq}
 		} else {
 			g.rejects++
 			response = ARJ{Seq: m.Seq, Reason: RejectCallerNotRegistered}
 		}
-	} else if dest, ok := g.lookupLive(m.CalledAlias, env.Now()); ok {
+	} else if dest, ok := g.lookupLive(m.CalledAlias.Pack(), env.Now()); ok {
 		g.admits++
-		key := gkCallKey{m.CallerAlias, m.CallRef}
-		if _, exists := g.calls[key]; !exists {
-			g.calls[key] = &CallRecord{
-				Caller: m.CallerAlias, Called: m.CalledAlias,
-				CallRef: m.CallRef, AdmittedAt: env.Now(),
-			}
-		}
-		response = ACF{Seq: m.Seq, SignalAddr: dest.SignalAddr, SignalPort: dest.SignalPort}
+		g.openCall(m, env.Now())
+		response = ACF{Seq: m.Seq, SignalAddr: dest.signalAddr, SignalPort: dest.signalPort}
 	} else if g.routesToPSTN(m.CalledAlias) {
 		g.admits++
-		key := gkCallKey{m.CallerAlias, m.CallRef}
-		if _, exists := g.calls[key]; !exists {
-			g.calls[key] = &CallRecord{
-				Caller: m.CallerAlias, Called: m.CalledAlias,
-				CallRef: m.CallRef, AdmittedAt: env.Now(),
-			}
-		}
+		g.openCall(m, env.Now())
 		response = ACF{Seq: m.Seq, SignalAddr: g.cfg.PSTNGateway, SignalPort: ipnet.PortQ931}
 	} else {
 		g.rejects++
@@ -422,6 +583,19 @@ func (g *Gatekeeper) handleARQ(env *sim.Env, src netip.Addr, m ARQ) {
 	g.mu.Unlock()
 
 	g.ep.SendRAS(env, src, response)
+}
+
+// openCall creates the charging record for an admitted call if this is the
+// first admission of the (caller, reference) pair (callers hold g.mu).
+func (g *Gatekeeper) openCall(m ARQ, now time.Duration) {
+	key := gkCallKey{m.CallerAlias.Pack(), m.CallRef}
+	if !g.byCall.Get(key).IsZero() {
+		return
+	}
+	h, rec := g.calls.Alloc(int(hashCallKey(key) & (gkShards - 1)))
+	rec.caller, rec.called = key.caller, m.CalledAlias.Pack()
+	rec.ref, rec.admittedAt = m.CallRef, now
+	g.byCall.Put(key, h)
 }
 
 // routesToPSTN reports whether an unregistered called alias should be

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"vgprs/internal/codec"
+	"vgprs/internal/gsmid"
 	"vgprs/internal/ipnet"
 	"vgprs/internal/isup"
 	"vgprs/internal/q931"
@@ -42,7 +43,11 @@ type gwCall struct {
 	exchange  sim.NodeID
 	remoteSig netip.Addr
 	remoteMed q931.MediaAddr
-	answered  bool
+	// called/calling carry the call's aliases so the RAS completion
+	// functions need no closure over the originating IAM.
+	called   gsmid.MSISDN
+	calling  gsmid.MSISDN
+	answered bool
 	// trunks is set on outbound (H.323->PSTN) calls, where the gateway
 	// seized the circuit and must release it.
 	trunks  *isup.TrunkGroup
@@ -61,7 +66,8 @@ type Gateway struct {
 
 	nextSeq    uint32
 	nextRef    uint16
-	pendingRAS map[uint32]func(env *sim.Env, msg sim.Message)
+	pendingRAS map[uint32]*gwRASPending
+	rasFree    []*gwRASPending
 	byISUP     map[uint32]*gwCall
 	// byQ931 keys calls by (peer signalling address, wire reference):
 	// Q.931 references are scoped per signalling connection, so two
@@ -77,7 +83,7 @@ var _ sim.Node = (*Gateway)(nil)
 func NewGateway(cfg GatewayConfig) *Gateway {
 	g := &Gateway{
 		cfg:        cfg,
-		pendingRAS: make(map[uint32]func(*sim.Env, sim.Message)),
+		pendingRAS: make(map[uint32]*gwRASPending),
 		byISUP:     make(map[uint32]*gwCall),
 		byQ931:     make(map[gwQKey]*gwCall),
 	}
@@ -128,34 +134,80 @@ func (g *Gateway) Receive(env *sim.Env, from sim.NodeID, iface string, msg sim.M
 	}
 }
 
+// gwRASPending is one outstanding RAS transaction: a package-level
+// completion function plus the call it concerns. Records are recycled
+// through rasFree in batches (the ss7.DialogueManager treatment), so the
+// tromboning-elimination probe path allocates no closures.
+type gwRASPending struct {
+	g    *Gateway
+	seq  uint32
+	fn   func(env *sim.Env, p *gwRASPending, msg sim.Message)
+	call *gwCall
+}
+
+func (g *Gateway) getRAS() *gwRASPending {
+	if len(g.rasFree) == 0 {
+		batch := make([]gwRASPending, 32)
+		for i := range batch {
+			g.rasFree = append(g.rasFree, &batch[i])
+		}
+	}
+	n := len(g.rasFree)
+	p := g.rasFree[n-1]
+	g.rasFree = g.rasFree[:n-1]
+	return p
+}
+
+func (g *Gateway) putRAS(p *gwRASPending) {
+	*p = gwRASPending{}
+	g.rasFree = append(g.rasFree, p)
+}
+
+// ras registers fn as the completion for seq, bound to call, and sends the
+// request to the gatekeeper.
+func (g *Gateway) ras(env *sim.Env, seq uint32, msg sim.Message,
+	fn func(*sim.Env, *gwRASPending, sim.Message), call *gwCall) {
+	p := g.getRAS()
+	p.g, p.seq, p.fn, p.call = g, seq, fn, call
+	g.pendingRAS[seq] = p
+	g.ep.SendRAS(env, g.cfg.Gatekeeper, msg)
+}
+
 // handleIAM is Fig 8 steps (1)-(2): the local exchange routes the call in;
 // the gateway checks the gatekeeper for the called party.
 func (g *Gateway) handleIAM(env *sim.Env, exchange sim.NodeID, m isup.IAM) {
-	call := &gwCall{ref: m.CallRef, cic: m.CIC, exchange: exchange}
+	call := &gwCall{
+		ref: m.CallRef, cic: m.CIC, exchange: exchange,
+		called: m.Called, calling: m.Calling,
+	}
 	g.byISUP[m.CallRef] = call
 
 	g.nextSeq++
 	seq := g.nextSeq
-	g.pendingRAS[seq] = func(env *sim.Env, msg sim.Message) {
-		switch lm := msg.(type) {
-		case LCF:
-			g.placeVoIPCall(env, call, m, lm)
-		case LRJ:
-			// Fig 8 miss arm: "the GK will instruct y to connect to the
-			// international telephone network as a normal PSTN call."
-			g.voipRefused++
-			delete(g.byISUP, call.ref)
-			env.Send(g.cfg.ID, exchange, isup.REL{
-				CIC: m.CIC, CallRef: m.CallRef, Cause: isup.CauseUnallocatedNumber,
-			})
-		}
+	g.ras(env, seq, LRQ{Seq: seq, Alias: m.Called}, gwLocateDone, call)
+}
+
+// gwLocateDone consumes the gatekeeper's answer to the Fig 8 step (2)
+// address-translation probe.
+func gwLocateDone(env *sim.Env, p *gwRASPending, msg sim.Message) {
+	g, call := p.g, p.call
+	switch lm := msg.(type) {
+	case LCF:
+		g.placeVoIPCall(env, call, lm)
+	case LRJ:
+		// Fig 8 miss arm: "the GK will instruct y to connect to the
+		// international telephone network as a normal PSTN call."
+		g.voipRefused++
+		delete(g.byISUP, call.ref)
+		env.Send(g.cfg.ID, call.exchange, isup.REL{
+			CIC: call.cic, CallRef: call.ref, Cause: isup.CauseUnallocatedNumber,
+		})
 	}
-	g.ep.SendRAS(env, g.cfg.Gatekeeper, LRQ{Seq: seq, Alias: m.Called})
 }
 
 // placeVoIPCall is Fig 8 step (3): admission plus Q.931 setup toward the
 // registered endpoint (the VMSC hosting the roamer).
-func (g *Gateway) placeVoIPCall(env *sim.Env, call *gwCall, iam isup.IAM, lcf LCF) {
+func (g *Gateway) placeVoIPCall(env *sim.Env, call *gwCall, lcf LCF) {
 	g.nextRef++
 	call.q931Ref = g.nextRef
 	call.remoteSig = lcf.SignalAddr
@@ -163,25 +215,29 @@ func (g *Gateway) placeVoIPCall(env *sim.Env, call *gwCall, iam isup.IAM, lcf LC
 
 	g.nextSeq++
 	seq := g.nextSeq
-	g.pendingRAS[seq] = func(env *sim.Env, msg sim.Message) {
-		switch msg.(type) {
-		case ACF:
-			g.ep.SendQ931(env, call.remoteSig, q931.Setup{
-				CallRef: call.q931Ref, Called: iam.Called, Calling: iam.Calling,
-				Media: q931.MediaAddr{Addr: g.cfg.Addr, Port: ipnet.PortRTP},
-			})
-		case ARJ:
-			g.voipRefused++
-			delete(g.byISUP, call.ref)
-			delete(g.byQ931, gwQKey{call.remoteSig, call.q931Ref})
-			env.Send(g.cfg.ID, call.exchange, isup.REL{
-				CIC: call.cic, CallRef: call.ref, Cause: isup.CauseUnallocatedNumber,
-			})
-		}
+	g.ras(env, seq, ARQ{
+		Seq: seq, CallerAlias: call.calling, CalledAlias: call.called, CallRef: call.q931Ref,
+	}, gwAdmitDone, call)
+}
+
+// gwAdmitDone completes the inbound call's admission: setup toward the
+// registered endpoint, or release back to the exchange.
+func gwAdmitDone(env *sim.Env, p *gwRASPending, msg sim.Message) {
+	g, call := p.g, p.call
+	switch msg.(type) {
+	case ACF:
+		g.ep.SendQ931(env, call.remoteSig, q931.Setup{
+			CallRef: call.q931Ref, Called: call.called, Calling: call.calling,
+			Media: q931.MediaAddr{Addr: g.cfg.Addr, Port: ipnet.PortRTP},
+		})
+	case ARJ:
+		g.voipRefused++
+		delete(g.byISUP, call.ref)
+		delete(g.byQ931, gwQKey{call.remoteSig, call.q931Ref})
+		env.Send(g.cfg.ID, call.exchange, isup.REL{
+			CIC: call.cic, CallRef: call.ref, Cause: isup.CauseUnallocatedNumber,
+		})
 	}
-	g.ep.SendRAS(env, g.cfg.Gatekeeper, ARQ{
-		Seq: seq, CallerAlias: iam.Calling, CalledAlias: iam.Called, CallRef: call.q931Ref,
-	})
 }
 
 func (g *Gateway) handleIP(env *sim.Env, pkt ipnet.Packet) {
@@ -215,9 +271,12 @@ func (g *Gateway) handleRAS(env *sim.Env, msg sim.Message) {
 	default:
 		return
 	}
-	if done, ok := g.pendingRAS[seq]; ok {
+	if p, ok := g.pendingRAS[seq]; ok {
 		delete(g.pendingRAS, seq)
-		done(env, msg)
+		fn := p.fn
+		p.fn = nil
+		fn(env, p, msg)
+		g.putRAS(p)
 	}
 }
 

@@ -139,7 +139,8 @@ type Terminal struct {
 	endpointID  string
 	nextSeq     uint32
 	nextRef     uint16
-	pendingRAS  map[uint32]termRASPending
+	pendingRAS  map[uint32]*termRASPending
+	rasFree     []*termRASPending
 	calls       map[uint16]*termCall
 	retransmits uint64
 
@@ -156,7 +157,7 @@ func NewTerminal(cfg TerminalConfig) *Terminal {
 	}
 	t := &Terminal{
 		cfg:        cfg,
-		pendingRAS: make(map[uint32]termRASPending),
+		pendingRAS: make(map[uint32]*termRASPending),
 		calls:      make(map[uint16]*termCall),
 		Media:      rtp.NewReceiver(),
 	}
@@ -221,42 +222,71 @@ func (t *Terminal) ActiveCalls() int {
 	return n
 }
 
-// termRASPending is one outstanding RAS transaction. With SigRTO enabled,
-// msg is retained for retransmission; on budget exhaustion the completion
-// fires with a nil message.
+// termRASPending is one outstanding RAS transaction: a package-level
+// completion function plus the transaction's subject (the call, if any).
+// Records are recycled through rasFree in batches, ss7.DialogueManager
+// style, and double as their own RTO-timer arguments, so the registration
+// and admission hot paths allocate no closures and no per-transaction
+// timer records. With SigRTO enabled, msg is retained for retransmission;
+// on budget exhaustion the completion fires with a nil message.
 type termRASPending struct {
-	fn  func(env *sim.Env, msg sim.Message)
-	env *sim.Env
-	msg sim.Message
+	t       *Terminal
+	seq     uint32
+	fn      func(env *sim.Env, p *termRASPending, msg sim.Message)
+	call    *termCall
+	calling gsmid.MSISDN // incoming-admission's caller, for the hooks
+	env     *sim.Env
+	msg     sim.Message
 
 	rto     time.Duration
 	retries int
+	// hasTimer/resolved implement the DialogueManager recycling protocol:
+	// a transaction resolved before its RTO timer fires stays allocated
+	// (the event queue still references it) and is recycled by the timer.
+	hasTimer bool
+	resolved bool
 }
 
-// termRASTimer carries the (terminal, seq) pair a RAS RTO timer needs.
-type termRASTimer struct {
-	t   *Terminal
-	seq uint32
+func (t *Terminal) getRAS() *termRASPending {
+	if len(t.rasFree) == 0 {
+		batch := make([]termRASPending, 32)
+		for i := range batch {
+			t.rasFree = append(t.rasFree, &batch[i])
+		}
+	}
+	n := len(t.rasFree)
+	p := t.rasFree[n-1]
+	t.rasFree = t.rasFree[:n-1]
+	return p
+}
+
+func (t *Terminal) putRAS(p *termRASPending) {
+	*p = termRASPending{}
+	t.rasFree = append(t.rasFree, p)
 }
 
 func termRASExpire(arg any) {
-	r := arg.(*termRASTimer)
-	t := r.t
-	p, ok := t.pendingRAS[r.seq]
-	if !ok {
+	p := arg.(*termRASPending)
+	t := p.t
+	p.hasTimer = false
+	if p.resolved {
+		t.putRAS(p)
 		return
 	}
 	if p.retries > 0 {
 		p.retries--
 		p.rto = sim.NextRTO(p.rto, t.cfg.SigRTO)
-		t.pendingRAS[r.seq] = p
 		t.retransmits++
 		t.ep.SendRAS(p.env, t.cfg.Gatekeeper, p.msg)
-		p.env.AfterArg(p.rto, termRASExpire, r)
+		p.hasTimer = true
+		p.env.AfterArg(p.rto, termRASExpire, p)
 		return
 	}
-	delete(t.pendingRAS, r.seq)
-	p.fn(p.env, nil)
+	delete(t.pendingRAS, p.seq)
+	fn, env := p.fn, p.env
+	p.fn, p.msg, p.resolved = nil, nil, true
+	fn(env, p, nil)
+	t.putRAS(p)
 }
 
 // sigRetries resolves the configured retransmission budget (zero = 3,
@@ -279,18 +309,26 @@ func (t *Terminal) Retransmits() uint64 { return t.retransmits }
 // PendingRAS returns RAS transactions still awaiting a gatekeeper answer.
 func (t *Terminal) PendingRAS() int { return len(t.pendingRAS) }
 
-func (t *Terminal) ras(env *sim.Env, msg sim.Message, done func(*sim.Env, sim.Message)) {
-	if done != nil {
+// ras sends a RAS request; with a completion it registers a pending
+// transaction for the answer, bound to call if the transaction concerns
+// one. The record is returned so callers can attach extra subject fields.
+func (t *Terminal) ras(env *sim.Env, msg sim.Message,
+	fn func(*sim.Env, *termRASPending, sim.Message), call *termCall) *termRASPending {
+	var p *termRASPending
+	if fn != nil {
 		seq := rasSeq(msg)
-		p := termRASPending{fn: done, env: env}
+		p = t.getRAS()
+		p.t, p.seq, p.fn, p.call, p.env = t, seq, fn, call, env
 		if t.cfg.SigRTO > 0 {
 			p.msg = msg
 			p.rto, p.retries = t.cfg.SigRTO, t.sigRetries()
-			env.AfterArg(p.rto, termRASExpire, &termRASTimer{t: t, seq: seq})
+			p.hasTimer = true
+			env.AfterArg(p.rto, termRASExpire, p)
 		}
 		t.pendingRAS[seq] = p
 	}
 	t.ep.SendRAS(env, t.cfg.Gatekeeper, msg)
+	return p
 }
 
 func rasSeq(msg sim.Message) uint32 {
@@ -316,25 +354,28 @@ func (t *Terminal) Register(env *sim.Env) {
 	t.ras(env, RRQ{
 		Seq: t.nextSeq, Alias: t.cfg.Alias,
 		SignalAddr: t.cfg.Addr, SignalPort: ipnet.PortQ931,
-	}, func(env *sim.Env, msg sim.Message) {
-		switch m := msg.(type) {
-		case RCF:
-			t.registered = true
-			t.endpointID = m.EndpointID
-			if t.cfg.Hooks.OnRegistered != nil {
-				t.cfg.Hooks.OnRegistered()
-			}
-		case RRJ:
-			if t.cfg.Hooks.OnRegisterFailed != nil {
-				t.cfg.Hooks.OnRegisterFailed(m.Reason)
-			}
-		case nil:
-			// Retransmission budget exhausted without any answer.
-			if t.cfg.Hooks.OnRegisterFailed != nil {
-				t.cfg.Hooks.OnRegisterFailed(RejectTimeout)
-			}
+	}, termRegisterDone, nil)
+}
+
+func termRegisterDone(env *sim.Env, p *termRASPending, msg sim.Message) {
+	t := p.t
+	switch m := msg.(type) {
+	case RCF:
+		t.registered = true
+		t.endpointID = m.EndpointID
+		if t.cfg.Hooks.OnRegistered != nil {
+			t.cfg.Hooks.OnRegistered()
 		}
-	})
+	case RRJ:
+		if t.cfg.Hooks.OnRegisterFailed != nil {
+			t.cfg.Hooks.OnRegisterFailed(m.Reason)
+		}
+	case nil:
+		// Retransmission budget exhausted without any answer.
+		if t.cfg.Hooks.OnRegisterFailed != nil {
+			t.cfg.Hooks.OnRegisterFailed(RejectTimeout)
+		}
+	}
 }
 
 // StartKeepAlive begins periodic lightweight registration refreshes (H.225
@@ -356,16 +397,18 @@ func (t *Terminal) StartKeepAlive(env *sim.Env, interval time.Duration) {
 				Seq: t.nextSeq, Alias: t.cfg.Alias,
 				SignalAddr: t.cfg.Addr, SignalPort: ipnet.PortQ931,
 				KeepAlive: true,
-			}, func(env *sim.Env, msg sim.Message) {
-				if rrj, isRRJ := msg.(RRJ); isRRJ &&
-					rrj.Reason == RejectFullRegistrationRequired {
-					t.Register(env)
-				}
-			})
+			}, termKeepAliveDone, nil)
 		}
 		env.After(interval, tick)
 	}
 	tick()
+}
+
+func termKeepAliveDone(env *sim.Env, p *termRASPending, msg sim.Message) {
+	if rrj, isRRJ := msg.(RRJ); isRRJ &&
+		rrj.Reason == RejectFullRegistrationRequired {
+		p.t.Register(env)
+	}
 }
 
 // Call originates a call to the given alias (the calling-party role of
@@ -382,29 +425,34 @@ func (t *Terminal) Call(env *sim.Env, called gsmid.MSISDN) (uint16, error) {
 	t.nextSeq++
 	t.ras(env, ARQ{
 		Seq: t.nextSeq, CallerAlias: t.cfg.Alias, CalledAlias: called, CallRef: ref,
-	}, func(env *sim.Env, msg sim.Message) {
-		switch m := msg.(type) {
-		case ACF:
-			call.remoteSig = m.SignalAddr
-			call.state = CallSetupSent
-			t.armQ931(env, call, q931.Setup{
-				CallRef: ref, Called: called, Calling: t.cfg.Alias,
-				Media: q931.MediaAddr{Addr: t.cfg.Addr, Port: ipnet.PortRTP},
-			})
-		case ARJ:
-			call.state = CallCleared
-			if t.cfg.Hooks.OnRejected != nil {
-				t.cfg.Hooks.OnRejected(ref, m.Reason)
-			}
-		case nil:
-			// Admission never answered: fail the call attempt cleanly.
-			call.state = CallCleared
-			if t.cfg.Hooks.OnRejected != nil {
-				t.cfg.Hooks.OnRejected(ref, RejectTimeout)
-			}
-		}
-	})
+	}, termCallAdmitDone, call)
 	return ref, nil
+}
+
+// termCallAdmitDone continues an outgoing call once the gatekeeper admits
+// it (or rejects/times out).
+func termCallAdmitDone(env *sim.Env, p *termRASPending, msg sim.Message) {
+	t, call := p.t, p.call
+	switch m := msg.(type) {
+	case ACF:
+		call.remoteSig = m.SignalAddr
+		call.state = CallSetupSent
+		t.armQ931(env, call, q931.Setup{
+			CallRef: call.wireRef, Called: call.remote, Calling: t.cfg.Alias,
+			Media: q931.MediaAddr{Addr: t.cfg.Addr, Port: ipnet.PortRTP},
+		})
+	case ARJ:
+		call.state = CallCleared
+		if t.cfg.Hooks.OnRejected != nil {
+			t.cfg.Hooks.OnRejected(call.ref, m.Reason)
+		}
+	case nil:
+		// Admission never answered: fail the call attempt cleanly.
+		call.state = CallCleared
+		if t.cfg.Hooks.OnRejected != nil {
+			t.cfg.Hooks.OnRejected(call.ref, RejectTimeout)
+		}
+	}
 }
 
 // Answer accepts a ringing incoming call.
@@ -440,7 +488,7 @@ func (t *Terminal) finishCall(env *sim.Env, call *termCall) {
 	call.sending = false
 	call.q931Msg = nil // stop any retransmission cycle
 	t.nextSeq++
-	t.ras(env, DRQ{Seq: t.nextSeq, Alias: t.cfg.Alias, CallRef: call.wireRef, Peer: call.remote}, nil)
+	t.ras(env, DRQ{Seq: t.nextSeq, Alias: t.cfg.Alias, CallRef: call.wireRef, Peer: call.remote}, nil, nil)
 	if t.cfg.Hooks.OnReleased != nil {
 		t.cfg.Hooks.OnReleased(call.ref)
 	}
@@ -484,10 +532,19 @@ func (t *Terminal) handleRAS(env *sim.Env, msg sim.Message) {
 	default:
 		return
 	}
-	if p, ok := t.pendingRAS[seq]; ok {
-		delete(t.pendingRAS, seq)
-		p.fn(env, msg)
+	p, ok := t.pendingRAS[seq]
+	if !ok {
+		return
 	}
+	delete(t.pendingRAS, seq)
+	fn := p.fn
+	p.fn, p.msg, p.resolved = nil, nil, true
+	fn(env, p, msg)
+	if !p.hasTimer {
+		t.putRAS(p)
+	}
+	// Otherwise the armed RTO timer still references the record; it is
+	// recycled when that timer fires and observes resolved.
 }
 
 // --- Q.931 retransmission (T303 for Setup, T313 for Connect) ---
@@ -616,34 +673,42 @@ func (t *Terminal) handleIncomingSetup(env *sim.Env, pkt ipnet.Packet, m q931.Se
 
 	// Step 2.5: admission for the incoming call.
 	t.nextSeq++
-	t.ras(env, ARQ{
+	if p := t.ras(env, ARQ{
 		Seq: t.nextSeq, CallerAlias: t.cfg.Alias, CalledAlias: m.Calling,
 		CallRef: m.CallRef, Answer: true,
-	}, func(env *sim.Env, msg sim.Message) {
-		switch msg.(type) {
-		case ACF:
-			call.state = CallRinging
-			t.ep.SendQ931(env, call.remoteSig, q931.Alerting{CallRef: call.wireRef})
-			if t.cfg.Hooks.OnIncoming != nil {
-				t.cfg.Hooks.OnIncoming(call.ref, m.Calling)
-			}
-			if t.cfg.AutoAnswer {
-				env.After(t.cfg.AnswerDelay, func() { t.Answer(env, call.ref) })
-			}
-		case ARJ:
-			// Step 2.5's failure arm: release the call.
-			t.ep.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
-				CallRef: call.wireRef, Cause: q931.CauseResourcesUnavail,
-			})
-			call.state = CallCleared
-		case nil:
-			// Admission never answered: release toward the caller.
-			t.ep.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
-				CallRef: call.wireRef, Cause: q931.CauseRecoveryOnTimerExpiry,
-			})
-			call.state = CallCleared
+	}, termIncomingAdmitDone, call); p != nil {
+		p.calling = m.Calling
+	}
+}
+
+// termIncomingAdmitDone alerts the local user once the gatekeeper admits an
+// incoming call; rejection or timeout releases the caller.
+func termIncomingAdmitDone(env *sim.Env, p *termRASPending, msg sim.Message) {
+	t, call := p.t, p.call
+	switch msg.(type) {
+	case ACF:
+		call.state = CallRinging
+		t.ep.SendQ931(env, call.remoteSig, q931.Alerting{CallRef: call.wireRef})
+		if t.cfg.Hooks.OnIncoming != nil {
+			t.cfg.Hooks.OnIncoming(call.ref, p.calling)
 		}
-	})
+		if t.cfg.AutoAnswer {
+			ref := call.ref
+			env.After(t.cfg.AnswerDelay, func() { t.Answer(env, ref) })
+		}
+	case ARJ:
+		// Step 2.5's failure arm: release the call.
+		t.ep.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+			CallRef: call.wireRef, Cause: q931.CauseResourcesUnavail,
+		})
+		call.state = CallCleared
+	case nil:
+		// Admission never answered: release toward the caller.
+		t.ep.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+			CallRef: call.wireRef, Cause: q931.CauseRecoveryOnTimerExpiry,
+		})
+		call.state = CallCleared
+	}
 }
 
 func (t *Terminal) startMedia(env *sim.Env, call *termCall) {

@@ -78,10 +78,12 @@ func (n *VGPRSNet) Residual() Residual {
 	// every shard, and every index entry must resolve to a record that
 	// agrees with its key. A non-zero imbalance is a storage-layer leak
 	// even when all procedure-level counters are clean.
+	r.add("VMSC-1", "slab imbalance", n.VMSC.SlabImbalance())
 	r.add("VLR-1", "slab imbalance", n.VLR.SlabImbalance())
 	r.add("HLR", "slab imbalance", n.HLR.SlabImbalance())
 	r.add("SGSN-1", "slab imbalance", n.SGSN.SlabImbalance())
 	r.add("GGSN-1", "slab imbalance", n.GGSN.SlabImbalance())
+	r.add("GK", "slab imbalance", n.GK.SlabImbalance())
 	for i, term := range n.Terminals {
 		id := fmt.Sprintf("TERM-%d", i+1)
 		r.add(id, "pending RAS", term.PendingRAS())
@@ -103,6 +105,7 @@ func (n *TwoVMSCNet) Residual() Residual {
 	r.add("SGSN-2", "pending GTP transactions", n.SGSN2.PendingTransactions())
 	r.add("SGSN-2", "open dialogues", n.SGSN2.OutstandingDialogues())
 	r.add("BSC-2", "channels in use", n.BSC2.ChannelsInUse())
+	r.add("VMSC-2", "slab imbalance", n.VMSC2.SlabImbalance())
 	r.add("VLR-2", "slab imbalance", n.VLR2.SlabImbalance())
 	r.add("SGSN-2", "slab imbalance", n.SGSN2.SlabImbalance())
 	return r

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"vgprs/internal/gsm"
+	"vgprs/internal/sigmap"
+)
+
+// TestStaleHandlesAfterPurge locks in the generational-handle contract of
+// the slab-backed subscriber stores: once a subscriber is purged
+// (CancelLocation after the MS left), every handle minted for the old VMSC
+// row and the old gatekeeper registration resolves to nil, and a
+// re-registering IMSI gets a fresh row — never the old entry's call state
+// resurrected. The power-off happens mid-call so the old row has live call
+// state to lose.
+func TestStaleHandlesAfterPurge(t *testing.T) {
+	n := BuildVGPRS(VGPRSOptions{Seed: 11})
+	if err := n.RegisterAll(); err != nil {
+		t.Fatal(err)
+	}
+	ms := n.MSs[0]
+	sub := n.Subscribers[0]
+
+	h1 := n.VMSC.EntryHandle(sub.IMSI)
+	if h1.IsZero() || !n.VMSC.EntryAlive(h1) {
+		t.Fatalf("no live VMSC handle after registration: %v", h1)
+	}
+	r1 := n.GK.RegHandle(sub.MSISDN)
+	if r1.IsZero() || !n.GK.RegAlive(r1) {
+		t.Fatalf("no live gatekeeper handle after registration: %v", r1)
+	}
+
+	// Put the subscriber mid-call so the old row holds call state.
+	if err := ms.Dial(n.Env, TerminalAlias(0)); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 10*time.Second)
+	if ms.State() != gsm.MSInCall {
+		t.Fatalf("call did not establish: %v", ms.State())
+	}
+	if n.VMSC.ActiveCalls() != 1 {
+		t.Fatalf("active calls = %d, want 1", n.VMSC.ActiveCalls())
+	}
+
+	// Abrupt power loss mid-call, then the HLR-side purge relayed by the
+	// VLR: the VMSC unwinds the gatekeeper alias and the GPRS contexts and
+	// frees the slab row.
+	if err := ms.PowerOff(n.Env); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 10*time.Second)
+	n.Env.Send("HLR", "VLR-1", sigmap.CancelLocation{Invoke: 99, IMSI: sub.IMSI})
+	n.Env.RunUntil(n.Env.Now() + 10*time.Second)
+
+	// Generational invalidation: both old handles are dead and the indexes
+	// no longer know the subscriber.
+	if n.VMSC.EntryAlive(h1) {
+		t.Fatal("stale VMSC handle still resolves after purge")
+	}
+	if got := n.VMSC.EntryHandle(sub.IMSI); !got.IsZero() {
+		t.Fatalf("IMSI index still populated after purge: %v", got)
+	}
+	if n.GK.RegAlive(r1) {
+		t.Fatal("stale gatekeeper handle still resolves after purge")
+	}
+
+	// Re-registration mints fresh rows under new generations.
+	ms.PowerOn(n.Env)
+	n.Env.RunUntil(n.Env.Now() + 20*time.Second)
+	if ms.State() != gsm.MSIdle {
+		t.Fatalf("re-registration failed: %v", ms.State())
+	}
+	h2 := n.VMSC.EntryHandle(sub.IMSI)
+	if h2.IsZero() || h2 == h1 {
+		t.Fatalf("VMSC handle not re-minted: old %v new %v", h1, h2)
+	}
+	if n.VMSC.EntryAlive(h1) {
+		t.Fatal("re-registration resurrected the old VMSC handle")
+	}
+	r2 := n.GK.RegHandle(sub.MSISDN)
+	if r2.IsZero() || r2 == r1 {
+		t.Fatalf("gatekeeper handle not re-minted: old %v new %v", r1, r2)
+	}
+	if n.GK.RegAlive(r1) {
+		t.Fatal("re-registration resurrected the old gatekeeper handle")
+	}
+
+	// No call state came back with the IMSI.
+	if n.VMSC.ActiveCalls() != 0 {
+		t.Fatalf("re-registered subscriber inherited %d calls", n.VMSC.ActiveCalls())
+	}
+	if res := n.Residual(); res.Total() != 0 {
+		t.Fatalf("residual after re-registration:\n%s", res.String())
+	}
+
+	// The fresh row carries a working call path end to end.
+	if err := ms.Dial(n.Env, TerminalAlias(0)); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 10*time.Second)
+	if ms.State() != gsm.MSInCall {
+		t.Fatalf("fresh call failed: %v", ms.State())
+	}
+	if err := ms.Hangup(n.Env); err != nil {
+		t.Fatal(err)
+	}
+	n.Env.RunUntil(n.Env.Now() + 10*time.Second)
+	if res := n.Residual(); res.Total() != 0 {
+		t.Fatalf("residual after fresh call:\n%s", res.String())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"vgprs/internal/rtp"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 )
 
 // Receive implements sim.Node: the VMSC's five faces (A interface, MAP,
@@ -127,117 +128,119 @@ func (v *VMSC) handleRAS(env *sim.Env, msg sim.Message) {
 	default:
 		return
 	}
-	if p, ok := v.pendingRAS[seq]; ok {
-		delete(v.pendingRAS, seq)
-		p.fn(env, p.arg, msg)
-	}
-}
-
-// rasPending is one outstanding RAS transaction: a package-level completion
-// function plus its argument (no closure per transaction). env is kept for
-// the timeout path, which has no live env of its own. entry and msg drive
-// retransmission: the request is re-sent with a doubled RTO until the
-// budget runs out, then the completion fires with a nil message.
-type rasPending struct {
-	fn    func(env *sim.Env, arg any, msg sim.Message)
-	arg   any
-	env   *sim.Env
-	entry *msEntry
-	msg   sim.Message
-
-	rto         time.Duration
-	retriesLeft int
-}
-
-// rasTimer carries the (VMSC, seq) pair a RAS timeout needs. Records are
-// slab-allocated and recycled when their timer fires, so arming a RAS
-// timeout costs 1/32 of an allocation at steady state.
-type rasTimer struct {
-	v   *VMSC
-	seq uint32
-}
-
-func (v *VMSC) getRASTimer(seq uint32) *rasTimer {
-	if len(v.rasTimerFree) == 0 {
-		slab := make([]rasTimer, 32)
-		for i := range slab {
-			v.rasTimerFree = append(v.rasTimerFree, &slab[i])
-		}
-	}
-	n := len(v.rasTimerFree)
-	t := v.rasTimerFree[n-1]
-	v.rasTimerFree = v.rasTimerFree[:n-1]
-	t.v, t.seq = v, seq
-	return t
-}
-
-// rasExpire runs an unanswered RAS transaction's RTO timer. While budget
-// remains, the retained request is retransmitted with a doubled RTO,
-// re-arming the SAME slab record (the exactly-one-outstanding-timer
-// invariant keeps the free list balanced). On exhaustion the completion
-// fires with a nil message — callers treat that as failure, so a dead
-// gatekeeper (or severed tunnel) fails procedures instead of wedging them.
-func rasExpire(arg any) {
-	t := arg.(*rasTimer)
-	v, seq := t.v, t.seq
-	p, pending := v.pendingRAS[seq]
-	if pending && p.retriesLeft > 0 && p.msg != nil && p.entry != nil {
-		p.retriesLeft--
-		p.rto = sim.NextRTO(p.rto, v.cfg.SigRTO)
-		v.pendingRAS[seq] = p
-		v.rasRetransmits++
-		p.entry.endpoint.SendRAS(p.env, v.cfg.Gatekeeper, p.msg)
-		p.env.AfterArg(p.rto, rasExpire, t)
-		return
-	}
-	t.v, t.seq = nil, 0
-	v.rasTimerFree = append(v.rasTimerFree, t)
-	if !pending {
+	p, ok := v.pendingRAS[seq]
+	if !ok {
 		return
 	}
 	delete(v.pendingRAS, seq)
-	p.fn(p.env, p.arg, nil)
-}
-
-// rasArg registers fn(env, arg, msg) as the completion for the RAS
-// transaction with sequence seq. The caller sends the request itself (the
-// message carries seq); entry and msg let the RTO timer retransmit it. An
-// unanswered transaction is retried per the SigRTO/SigRetries schedule and
-// then fails with a nil message.
-func (v *VMSC) rasArg(env *sim.Env, seq uint32, entry *msEntry, msg sim.Message,
-	fn func(env *sim.Env, arg any, msg sim.Message), arg any) {
-	v.pendingRAS[seq] = rasPending{
-		fn: fn, arg: arg, env: env, entry: entry, msg: msg,
-		rto: v.cfg.SigRTO, retriesLeft: v.cfg.H323Retries,
+	fn := p.fn
+	p.fn, p.msg, p.resolved = nil, nil, true
+	fn(env, p, msg)
+	if !p.hasTimer {
+		v.putRAS(p)
 	}
-	env.AfterArg(v.cfg.SigRTO, rasExpire, v.getRASTimer(seq))
+	// Otherwise the armed RTO timer still references the record; it is
+	// recycled when that timer fires and observes resolved.
 }
 
-// rasCallPlain adapts a plain func(env, msg) callback stored in arg.
-func rasCallPlain(env *sim.Env, arg any, msg sim.Message) {
-	arg.(func(*sim.Env, sim.Message))(env, msg)
+// rasPending is one outstanding RAS transaction: a package-level completion
+// function plus the transaction's subject — the MS-table row by generational
+// handle and, for admissions, the call. Records are batch-allocated and
+// recycled through rasFree (the ss7.DialogueManager treatment), and the
+// record itself is the RTO timer's argument, so arming a transaction costs
+// 1/32 of an allocation at steady state and boxes nothing.
+//
+// env is kept for the timeout path, which has no live env of its own. msg
+// drives retransmission: the request is re-sent with a doubled RTO until
+// the budget runs out, then the completion fires with a nil message.
+type rasPending struct {
+	v      *VMSC
+	seq    uint32
+	fn     func(env *sim.Env, p *rasPending, msg sim.Message)
+	entryH slab.Handle
+	call   *vCall
+	env    *sim.Env
+	msg    sim.Message
+
+	rto         time.Duration
+	retriesLeft int
+	// hasTimer/resolved implement the DialogueManager recycling protocol:
+	// a transaction resolved before its RTO timer fires stays allocated
+	// (the event queue still references it) and is recycled by the timer.
+	hasTimer bool
+	resolved bool
 }
 
-// ras sends a RAS request through the MS's signalling context and registers
-// done for the answer; a nil answer means timeout. Cold paths use this
-// closure-flavoured form; the registration hot path goes through rasArg
-// directly.
-func (v *VMSC) ras(env *sim.Env, entry *msEntry, msg sim.Message, done func(*sim.Env, sim.Message)) {
-	if done != nil {
-		var seq uint32
-		switch m := msg.(type) {
-		case h323.RRQ:
-			seq = m.Seq
-		case h323.ARQ:
-			seq = m.Seq
-		case h323.DRQ:
-			seq = m.Seq
-		case h323.URQ:
-			seq = m.Seq
+// getRAS pops a recycled transaction record, replenishing the free list a
+// batch at a time.
+func (v *VMSC) getRAS() *rasPending {
+	if len(v.rasFree) == 0 {
+		batch := make([]rasPending, 32)
+		for i := range batch {
+			v.rasFree = append(v.rasFree, &batch[i])
 		}
-		v.rasArg(env, seq, entry, msg, rasCallPlain, done)
 	}
+	n := len(v.rasFree)
+	p := v.rasFree[n-1]
+	v.rasFree = v.rasFree[:n-1]
+	return p
+}
+
+// putRAS zeroes a record (releasing its message and call references) and
+// returns it to the free list.
+func (v *VMSC) putRAS(p *rasPending) {
+	*p = rasPending{}
+	v.rasFree = append(v.rasFree, p)
+}
+
+// rasTransmit registers fn as the completion for the RAS transaction with
+// sequence seq, arms its RTO timer, and sends the request through the MS's
+// signalling context. call, if non-nil, is the admission's call; fn reads
+// the subject back off the record (p.entryH, p.call). An unanswered
+// transaction is retried per the SigRTO/H323Retries schedule and then fails
+// with a nil message.
+func (v *VMSC) rasTransmit(env *sim.Env, entry *msEntry, seq uint32, msg sim.Message,
+	fn func(env *sim.Env, p *rasPending, msg sim.Message), call *vCall) {
+	p := v.getRAS()
+	p.v, p.seq, p.fn, p.entryH, p.call = v, seq, fn, entry.self, call
+	p.env, p.msg = env, msg
+	p.rto, p.retriesLeft = v.cfg.SigRTO, v.cfg.H323Retries
+	p.hasTimer, p.resolved = true, false
+	v.pendingRAS[seq] = p
+	env.AfterArg(v.cfg.SigRTO, rasExpire, p)
 	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, msg)
+}
+
+// rasExpire runs an unanswered RAS transaction's RTO timer. While budget
+// remains (and the subscriber row is still live), the retained request is
+// retransmitted with a doubled RTO, re-arming the SAME record. On
+// exhaustion the completion fires with a nil message — callers treat that
+// as failure, so a dead gatekeeper (or severed tunnel) fails procedures
+// instead of wedging them.
+func rasExpire(arg any) {
+	p := arg.(*rasPending)
+	v := p.v
+	p.hasTimer = false
+	if p.resolved {
+		v.putRAS(p)
+		return
+	}
+	if p.retriesLeft > 0 {
+		if entry := v.ents.Get(p.entryH); entry != nil {
+			p.retriesLeft--
+			p.rto = sim.NextRTO(p.rto, v.cfg.SigRTO)
+			v.rasRetransmits++
+			entry.endpoint.SendRAS(p.env, v.cfg.Gatekeeper, p.msg)
+			p.hasTimer = true
+			p.env.AfterArg(p.rto, rasExpire, p)
+			return
+		}
+	}
+	delete(v.pendingRAS, p.seq)
+	fn, env := p.fn, p.env
+	p.fn, p.msg, p.resolved = nil, nil, true
+	fn(env, p, nil)
+	v.putRAS(p)
 }
 
 // --- Q.931 retransmission (T303 for Setup, T313 for Connect) ---
@@ -253,7 +256,11 @@ type q931Retry struct {
 // retransmission cycle: re-sent with doubling RTO until an answer stops the
 // cycle (stopQ931) or the budget runs out, which tears the call down.
 func (v *VMSC) armQ931(env *sim.Env, call *vCall, msg sim.Message) {
-	call.entry.endpoint.SendQ931(env, call.remoteSig, msg)
+	entry := call.ent()
+	if entry == nil {
+		return
+	}
+	entry.endpoint.SendQ931(env, call.remoteSig, msg)
 	call.q931Gen++
 	call.q931Msg = msg
 	call.q931RTO, call.q931Retries = v.cfg.SigRTO, v.cfg.H323Retries
@@ -270,14 +277,17 @@ func q931Expire(arg any) {
 		return
 	}
 	if call.q931Retries > 0 {
-		call.q931Retries--
-		call.q931RTO = sim.NextRTO(call.q931RTO, r.v.cfg.SigRTO)
-		r.v.q931Retransmits++
-		call.entry.endpoint.SendQ931(call.env, call.remoteSig, call.q931Msg)
-		call.env.AfterArg(call.q931RTO, q931Expire, r)
-		return
+		if entry := call.ent(); entry != nil {
+			call.q931Retries--
+			call.q931RTO = sim.NextRTO(call.q931RTO, r.v.cfg.SigRTO)
+			r.v.q931Retransmits++
+			entry.endpoint.SendQ931(call.env, call.remoteSig, call.q931Msg)
+			call.env.AfterArg(call.q931RTO, q931Expire, r)
+			return
+		}
 	}
-	// Budget exhausted: clear the call everywhere rather than hang.
+	// Budget exhausted (or subscriber purged): clear the call everywhere
+	// rather than hang.
 	call.q931Msg = nil
 	r.v.clearCall(call.env, call, true)
 }
@@ -285,14 +295,14 @@ func q931Expire(arg any) {
 // --- Mobile-originated calls (Fig 5, steps 2.1-2.9) ---
 
 func (v *VMSC) handleMOSetup(env *sim.Env, bsc sim.NodeID, t gsm.Setup) {
-	entry, known := v.byMS[t.MS]
-	if !known || !entry.registered || entry.call != nil {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || !entry.registered || entry.call != nil {
 		env.Send(v.cfg.ID, bsc, gsm.Release{Leg: gsm.LegA, MS: t.MS, CallRef: t.CallRef})
 		return
 	}
 	v.nextRAS++ // Q.931 references share the VMSC-wide sequence space
 	call := &vCall{
-		entry: entry, env: env, ref: uint16(v.nextRAS), radioRef: t.CallRef,
+		v: v, entryH: entry.self, env: env, ref: uint16(v.nextRAS), radioRef: t.CallRef,
 		state: callRouting, mobileOriginated: true, remote: t.Called,
 	}
 	entry.call = call
@@ -312,14 +322,19 @@ func (v *VMSC) handleMOSetup(env *sim.Env, bsc sim.NodeID, t gsm.Setup) {
 // retried dialogue finally fails).
 func moSIFOCDone(arg any, resp sim.Message, ok bool) {
 	call := arg.(*vCall)
-	v, env := call.entry.v, call.env
+	v, env := call.v, call.env
+	entry := call.ent()
+	if entry == nil {
+		v.forget(call)
+		return
+	}
 	ack, isAck := resp.(sigmap.SendInfoForOutgoingCallAck)
 	if !ok || !isAck || ack.Cause != sigmap.CauseNone {
 		v.clearCall(env, call, true)
 		return
 	}
-	v.setMSISDN(call.entry, ack.MSISDN)
-	v.ensureSignallingPDP(env, call.entry, func(ok bool) {
+	v.setMSISDN(entry, ack.MSISDN)
+	v.ensureSignallingPDP(env, entry, func(ok bool) {
 		if !ok {
 			v.clearCall(env, call, true)
 			return
@@ -331,24 +346,42 @@ func moSIFOCDone(arg any, resp sim.Message, ok bool) {
 // admitMOCall runs step 2.3: the ARQ/ACF exchange that yields the
 // destination's call signalling channel transport address.
 func (v *VMSC) admitMOCall(env *sim.Env, call *vCall, called gsmid.MSISDN) {
-	entry := call.entry
+	entry := call.ent()
+	if entry == nil {
+		v.forget(call)
+		return
+	}
 	v.nextRAS++
-	v.ras(env, entry, h323.ARQ{
-		Seq: v.nextRAS, CallerAlias: entry.msisdn, CalledAlias: called, CallRef: call.ref,
-	}, func(env *sim.Env, msg sim.Message) {
-		m, admitted := msg.(h323.ACF)
-		if !admitted { // ARJ or timeout
-			v.clearCall(env, call, true)
-			return
-		}
-		call.remoteSig = m.SignalAddr
-		call.state = callDelivering
-		// Step 2.4: Q.931 Setup through the GGSN to the terminal,
-		// retransmitted (T303) until the far end acknowledges.
-		v.armQ931(env, call, q931.Setup{
-			CallRef: call.ref, Called: called, Calling: entry.msisdn,
-			Media: q931.MediaAddr{Addr: entry.addr, Port: ipnet.PortRTP},
-		})
+	seq := v.nextRAS
+	v.rasTransmit(env, entry, seq, h323.ARQ{
+		Seq: seq, CallerAlias: entry.msisdn, CalledAlias: called, CallRef: call.ref,
+	}, rasMOAdmitDone, call)
+}
+
+// rasMOAdmitDone continues an MO call once the gatekeeper admits it (ACF
+// carrying the destination's signalling address) or rejects/times out.
+func rasMOAdmitDone(env *sim.Env, p *rasPending, msg sim.Message) {
+	v, call := p.v, p.call
+	if call == nil || call.released {
+		return
+	}
+	m, admitted := msg.(h323.ACF)
+	if !admitted { // ARJ or timeout
+		v.clearCall(env, call, true)
+		return
+	}
+	entry := call.ent()
+	if entry == nil {
+		v.forget(call)
+		return
+	}
+	call.remoteSig = m.SignalAddr
+	call.state = callDelivering
+	// Step 2.4: Q.931 Setup through the GGSN to the terminal,
+	// retransmitted (T303) until the far end acknowledges.
+	v.armQ931(env, call, q931.Setup{
+		CallRef: call.ref, Called: call.remote, Calling: entry.msisdn,
+		Media: q931.MediaAddr{Addr: entry.addr, Port: ipnet.PortRTP},
 	})
 }
 
@@ -370,8 +403,8 @@ func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg si
 			call.mobileOriginated && call.state == callDelivering {
 			v.stopQ931(call)
 			call.state = callAlerting
-			env.Send(v.cfg.ID, call.entry.bsc, gsm.Alerting{
-				Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+			env.Send(v.cfg.ID, entry.bsc, gsm.Alerting{
+				Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
 			})
 		}
 	case q931.Connect:
@@ -387,8 +420,8 @@ func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg si
 			call.answered = true
 			v.stopQ931(call)
 			call.remoteMed = m.Media
-			env.Send(v.cfg.ID, call.entry.bsc, gsm.Connect{
-				Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+			env.Send(v.cfg.ID, entry.bsc, gsm.Connect{
+				Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
 			})
 			v.activateVoicePDP(env, call)
 		}
@@ -402,7 +435,7 @@ func (v *VMSC) handleQ931(env *sim.Env, entry *msEntry, pkt ipnet.Packet, msg si
 		if call := entry.call; call != nil && call.ref == m.CallRef {
 			v.disengage(env, call)
 			v.releaseRadio(env, call)
-			v.teardownVoicePDP(env, call.entry)
+			v.teardownVoicePDP(env, entry)
 			v.forget(call)
 		}
 	}
@@ -426,7 +459,7 @@ func (v *VMSC) handleMTSetup(env *sim.Env, entry *msEntry, pkt ipnet.Packet, m q
 		return
 	}
 	call := &vCall{
-		entry: entry, env: env, ref: m.CallRef, radioRef: uint32(m.CallRef),
+		v: v, entryH: entry.self, env: env, ref: m.CallRef, radioRef: uint32(m.CallRef),
 		state: callPaging, remote: m.Calling, remoteSig: pkt.Src, remoteMed: m.Media,
 	}
 	entry.call = call
@@ -437,40 +470,63 @@ func (v *VMSC) handleMTSetup(env *sim.Env, entry *msEntry, pkt ipnet.Packet, m q
 
 	// Step 4.3: ARQ/ACF with the gatekeeper.
 	v.nextRAS++
-	v.ras(env, entry, h323.ARQ{
-		Seq: v.nextRAS, CallerAlias: entry.msisdn, CalledAlias: m.Calling,
+	seq := v.nextRAS
+	v.rasTransmit(env, entry, seq, h323.ARQ{
+		Seq: seq, CallerAlias: entry.msisdn, CalledAlias: m.Calling,
 		CallRef: m.CallRef, Answer: true,
-	}, func(env *sim.Env, msg sim.Message) {
-		if _, admitted := msg.(h323.ACF); !admitted { // ARJ or timeout
-			entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
-				CallRef: call.ref, Cause: q931.CauseResourcesUnavail,
-			})
-			v.forget(call)
-			return
-		}
-		// Step 4.4: page the MS.
-		env.Send(v.cfg.ID, entry.bsc, gsm.Paging{
-			Leg: gsm.LegA, MS: entry.ms, Identity: gsmid.ByTMSI(entry.tmsi),
+	}, rasMTAdmitDone, call)
+}
+
+// rasMTAdmitDone pages the MS once the gatekeeper admits the terminating
+// call; rejection (or timeout) releases the caller.
+func rasMTAdmitDone(env *sim.Env, p *rasPending, msg sim.Message) {
+	v, call := p.v, p.call
+	if call == nil || call.released {
+		return
+	}
+	entry := call.ent()
+	if entry == nil {
+		v.forget(call)
+		return
+	}
+	if _, admitted := msg.(h323.ACF); !admitted { // ARJ or timeout
+		entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+			CallRef: call.ref, Cause: q931.CauseResourcesUnavail,
 		})
-		env.After(v.cfg.PagingTimeout, func() {
-			if call.state == callPaging && !call.released {
-				entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
-					CallRef: call.ref, Cause: q931.CauseNoAnswer,
-				})
-				v.disengage(env, call)
-				v.forget(call)
-			}
-		})
+		v.forget(call)
+		return
+	}
+	// Step 4.4: page the MS. The timeout references the call directly
+	// (paging state holds the subscriber only through call.entryH).
+	env.Send(v.cfg.ID, entry.bsc, gsm.Paging{
+		Leg: gsm.LegA, MS: entry.ms, Identity: gsmid.ByTMSI(entry.tmsi),
 	})
+	env.AfterArg(v.cfg.PagingTimeout, pagingExpire, call)
+}
+
+// pagingExpire releases an MT call whose page went unanswered.
+func pagingExpire(arg any) {
+	call := arg.(*vCall)
+	if call.released || call.state != callPaging {
+		return
+	}
+	v := call.v
+	if entry := call.ent(); entry != nil {
+		entry.endpoint.SendQ931(call.env, call.remoteSig, q931.ReleaseComplete{
+			CallRef: call.ref, Cause: q931.CauseNoAnswer,
+		})
+	}
+	v.disengage(call.env, call)
+	v.forget(call)
 }
 
 func (v *VMSC) pagingResponse(env *sim.Env, t gsm.PagingResponse) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || entry.call == nil || entry.call.state != callPaging {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || entry.call == nil || entry.call.state != callPaging {
 		// Orphan paging response (the caller gave up, or the page raced
 		// the paging timer): release the channel the MS acquired to
 		// answer, or it would sit allocated forever.
-		if ok {
+		if entry != nil {
 			env.Send(v.cfg.ID, entry.bsc, gsm.Release{Leg: gsm.LegA, MS: t.MS})
 		}
 		return
@@ -484,8 +540,8 @@ func (v *VMSC) pagingResponse(env *sim.Env, t gsm.PagingResponse) {
 }
 
 func (v *VMSC) radioAlerting(env *sim.Env, t gsm.Alerting) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || entry.call == nil || entry.call.mobileOriginated {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || entry.call == nil || entry.call.mobileOriginated {
 		return
 	}
 	call := entry.call
@@ -495,8 +551,8 @@ func (v *VMSC) radioAlerting(env *sim.Env, t gsm.Alerting) {
 }
 
 func (v *VMSC) radioConnect(env *sim.Env, t gsm.Connect) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || entry.call == nil || entry.call.mobileOriginated {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || entry.call == nil || entry.call.mobileOriginated {
 		return
 	}
 	call := entry.call
@@ -513,7 +569,11 @@ func (v *VMSC) radioConnect(env *sim.Env, t gsm.Connect) {
 // activateVoicePDP runs step 2.9/4.8: a second, real-time PDP context for
 // the voice packets. The call is active once it completes.
 func (v *VMSC) activateVoicePDP(env *sim.Env, call *vCall) {
-	entry := call.entry
+	entry := call.ent()
+	if entry == nil {
+		v.forget(call)
+		return
+	}
 	establish := func() {
 		call.state = callActive
 		entry.voiceUp = true
@@ -542,8 +602,8 @@ func (v *VMSC) activateVoicePDP(env *sim.Env, call *vCall) {
 // --- Release (Fig 5, steps 3.1-3.4) ---
 
 func (v *VMSC) radioDisconnect(env *sim.Env, t gsm.Disconnect) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || entry.call == nil {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || entry.call == nil {
 		// Possibly a handed-in MS hanging up on this target system.
 		v.hoTarget.RadioDisconnect(env, t)
 		return
@@ -562,12 +622,18 @@ func (v *VMSC) radioDisconnect(env *sim.Env, t gsm.Disconnect) {
 	v.forget(call)
 }
 
+// disengage sends the DRQ fire-and-forget (charging stop, no answer
+// awaited).
 func (v *VMSC) disengage(env *sim.Env, call *vCall) {
+	entry := call.ent()
+	if entry == nil {
+		return
+	}
 	v.nextRAS++
-	v.ras(env, call.entry, h323.DRQ{
-		Seq: v.nextRAS, Alias: call.entry.msisdn, CallRef: call.ref,
+	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, h323.DRQ{
+		Seq: v.nextRAS, Alias: entry.msisdn, CallRef: call.ref,
 		Peer: call.remote,
-	}, nil)
+	})
 }
 
 func (v *VMSC) releaseRadio(env *sim.Env, call *vCall) {
@@ -582,8 +648,12 @@ func (v *VMSC) releaseRadio(env *sim.Env, call *vCall) {
 		}
 		return
 	}
-	env.Send(v.cfg.ID, call.entry.bsc, gsm.Release{
-		Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+	entry := call.ent()
+	if entry == nil {
+		return
+	}
+	env.Send(v.cfg.ID, entry.bsc, gsm.Release{
+		Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
 	})
 }
 
@@ -610,13 +680,16 @@ func (v *VMSC) clearCall(env *sim.Env, call *vCall, radio bool) {
 	if radio {
 		v.releaseRadio(env, call)
 	}
-	if call.remoteSig.IsValid() {
-		call.entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+	entry := call.ent()
+	if call.remoteSig.IsValid() && entry != nil {
+		entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
 			CallRef: call.ref, Cause: q931.CauseResourcesUnavail,
 		})
 		v.disengage(env, call)
 	}
-	v.teardownVoicePDP(env, call.entry)
+	if entry != nil {
+		v.teardownVoicePDP(env, entry)
+	}
 	v.forget(call)
 }
 
@@ -627,11 +700,12 @@ func (v *VMSC) forget(call *vCall) {
 	call.released = true
 	v.stopQ931(call) // a live retry timer must not resurrect the call
 	v.stats.CallsReleased++
-	if v.cfg.Hooks.OnCallReleased != nil {
-		v.cfg.Hooks.OnCallReleased(call.entry.imsi)
+	entry := call.ent()
+	if v.cfg.Hooks.OnCallReleased != nil && entry != nil {
+		v.cfg.Hooks.OnCallReleased(entry.imsi)
 	}
-	if call.entry.call == call {
-		call.entry.call = nil
+	if entry != nil && entry.call == call {
+		entry.call = nil
 	}
 	if call.hoRef != 0 {
 		delete(v.hoCalls, call.hoRef)
@@ -674,8 +748,8 @@ type frameJob struct {
 }
 
 func (v *VMSC) uplinkVoice(env *sim.Env, t gsm.TCHFrame) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || entry.call == nil {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || entry.call == nil {
 		// Possibly a handed-in MS anchored at another (V)MSC.
 		v.hoTarget.UplinkVoice(env, t)
 		return
@@ -708,6 +782,10 @@ func uplinkFire(arg any) {
 	if call.released || call.state != callActive || !call.remoteMed.Valid() {
 		return
 	}
+	entry := call.ent()
+	if entry == nil {
+		return
+	}
 	env := call.env
 	call.rtpSeq++
 	p := rtp.Packet{
@@ -718,7 +796,7 @@ func uplinkFire(arg any) {
 		Payload:     call.med.upBuf[:call.med.upLen],
 	}
 	call.med.rtpBuf = p.AppendTo(call.med.rtpBuf[:0])
-	call.entry.endpoint.SendRTP(env, call.remoteMed, call.med.rtpBuf)
+	entry.endpoint.SendRTP(env, call.remoteMed, call.med.rtpBuf)
 }
 
 func (v *VMSC) downlinkVoice(env *sim.Env, entry *msEntry, payload []byte) {
@@ -762,8 +840,12 @@ func downlinkFire(arg any) {
 		})
 		return
 	}
-	env.Send(j.v.cfg.ID, call.entry.bsc, gsm.TCHFrame{
-		Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.radioRef,
+	entry := call.ent()
+	if entry == nil {
+		return
+	}
+	env.Send(j.v.cfg.ID, entry.bsc, gsm.TCHFrame{
+		Leg: gsm.LegA, MS: entry.ms, CallRef: call.radioRef,
 		Seq: call.seqDown, Downlink: true, Payload: call.med.dnFrame[:call.med.dnLen],
 	})
 }
@@ -782,6 +864,10 @@ func (v *VMSC) trunkVoice(env *sim.Env, t isup.TrunkFrame) {
 	v.stats.FramesUplink++
 	payload := codec.Transcode(t.Payload)
 	env.After(v.transcodeCost(), func() {
+		entry := call.ent()
+		if entry == nil {
+			return
+		}
 		call.rtpSeq++
 		p := rtp.Packet{
 			PayloadType: rtp.PayloadTypeGSM,
@@ -790,7 +876,7 @@ func (v *VMSC) trunkVoice(env *sim.Env, t isup.TrunkFrame) {
 			SSRC:        uint32(call.ref),
 			Payload:     payload,
 		}
-		call.entry.endpoint.SendRTP(env, call.remoteMed, p.Marshal())
+		entry.endpoint.SendRTP(env, call.remoteMed, p.Marshal())
 	})
 }
 
@@ -807,11 +893,13 @@ func (v *VMSC) trunkREL(env *sim.Env, from sim.NodeID, t isup.REL) {
 	if call.hoTrunks != nil {
 		call.hoTrunks.Release(call.hoCIC)
 	}
-	call.entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
-		CallRef: call.ref, Cause: q931.CauseNormal,
-	})
+	if entry := call.ent(); entry != nil {
+		entry.endpoint.SendQ931(env, call.remoteSig, q931.ReleaseComplete{
+			CallRef: call.ref, Cause: q931.CauseNormal,
+		})
+		v.teardownVoicePDP(env, entry)
+	}
 	v.disengage(env, call)
-	v.teardownVoicePDP(env, call.entry)
 	v.forget(call)
 }
 

@@ -14,8 +14,8 @@ import (
 // circuit-switched trunk to the handover number, and orders the MS across.
 // The VMSC stays the anchor: the H.323 leg toward the terminal is untouched.
 func (v *VMSC) handoverRequired(env *sim.Env, t gsm.HandoverRequired) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || entry.call == nil || entry.call.state != callActive {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || entry.call == nil || entry.call.state != callActive {
 		// Not an anchored call: a handed-in MS asking to move again is
 		// relayed to its anchor (GSM 03.09 subsequent handover).
 		v.hoTarget.SubsequentRequired(env, t)
@@ -68,10 +68,12 @@ func (v *VMSC) buildHandoverTrunk(env *sim.Env, call *vCall, target HandoverTarg
 	env.Send(v.cfg.ID, target.MSC, isup.IAM{
 		CIC: cic, CallRef: call.hoRef, Called: ack.HandoverNumber,
 	})
-	env.Send(v.cfg.ID, call.entry.bsc, gsm.HandoverCommand{
-		Leg: gsm.LegA, MS: call.entry.ms, CallRef: call.hoRef,
-		TargetCell: cell, TargetBTS: target.BTS, Channel: ack.RadioChannel,
-	})
+	if entry := call.ent(); entry != nil {
+		env.Send(v.cfg.ID, entry.bsc, gsm.HandoverCommand{
+			Leg: gsm.LegA, MS: entry.ms, CallRef: call.hoRef,
+			TargetCell: cell, TargetBTS: target.BTS, Channel: ack.RadioChannel,
+		})
+	}
 }
 
 // sendEndSignal completes the handover: the target MSC reports the MS has
@@ -98,7 +100,9 @@ func (v *VMSC) sendEndSignal(env *sim.Env, from sim.NodeID, t sigmap.SendEndSign
 	v.stats.Handovers++
 	env.Send(v.cfg.ID, from, sigmap.SendEndSignalAck{Invoke: t.Invoke, CallRef: t.CallRef})
 	if v.cfg.Hooks.OnHandoverComplete != nil {
-		v.cfg.Hooks.OnHandoverComplete(call.entry.imsi, from)
+		if entry := call.ent(); entry != nil {
+			v.cfg.Hooks.OnHandoverComplete(entry.imsi, from)
+		}
 	}
 }
 
@@ -166,8 +170,12 @@ func (v *VMSC) subsequentHandover(env *sim.Env, from sim.NodeID, t sigmap.Prepar
 			RadioChannel: ack.RadioChannel,
 		})
 	})
+	var imsi gsmid.IMSI
+	if entry := call.ent(); entry != nil {
+		imsi = entry.imsi
+	}
 	env.Send(v.cfg.ID, target.MSC, sigmap.PrepareHandover{
-		Invoke: invoke, IMSI: call.entry.imsi, CallRef: call.hoRef,
+		Invoke: invoke, IMSI: imsi, CallRef: call.hoRef,
 		TargetCell: t.TargetCell,
 	})
 }
@@ -185,10 +193,13 @@ func (v *VMSC) handoverComplete(env *sim.Env, from sim.NodeID, t gsm.HandoverCom
 	call.hoActive = false
 	call.hoRef = 0
 	delete(v.hoCalls, t.CallRef)
-	call.entry.bsc = from
+	entry := call.ent()
+	if entry != nil {
+		entry.bsc = from
+	}
 	v.stats.Handovers++
-	if v.cfg.Hooks.OnHandoverComplete != nil {
-		v.cfg.Hooks.OnHandoverComplete(call.entry.imsi, v.cfg.ID)
+	if v.cfg.Hooks.OnHandoverComplete != nil && entry != nil {
+		v.cfg.Hooks.OnHandoverComplete(entry.imsi, v.cfg.ID)
 	}
 	return true
 }

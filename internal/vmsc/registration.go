@@ -13,6 +13,7 @@ import (
 	"vgprs/internal/msc"
 	"vgprs/internal/sigmap"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 )
 
 // gbUL builds an uplink Gb frame for a virtual MS.
@@ -33,16 +34,17 @@ func (v *VMSC) onVLROutcome(env *sim.Env, reg msc.Registration) {
 		return
 	}
 
-	entry, exists := v.entries[reg.IMSI]
-	if !exists {
-		entry = &msEntry{v: v, imsi: reg.IMSI}
-		v.entries[reg.IMSI] = entry
-	}
+	entry := v.getOrCreateEntry(reg.IMSI)
 	entry.tmsi = reg.TMSI
 	entry.lai = reg.LAI
-	entry.ms = reg.MS
 	entry.bsc = reg.BSC
-	v.byMS[reg.MS] = entry
+	if entry.ms != reg.MS {
+		if entry.ms != "" {
+			v.byMS.Delete(entry.ms)
+		}
+		entry.ms = reg.MS
+		v.byMS.Put(reg.MS, entry.self)
+	}
 	v.setMSISDN(entry, reg.MSISDN)
 
 	if entry.registered {
@@ -133,19 +135,20 @@ func (v *VMSC) registerWithGatekeeper(env *sim.Env, entry *msEntry, announce boo
 	entry.regAnnounce = announce
 	v.nextRAS++
 	seq := v.nextRAS
-	msg := h323.RRQ{
+	v.rasTransmit(env, entry, seq, h323.RRQ{
 		Seq: seq, Alias: entry.msisdn,
 		SignalAddr: entry.addr, SignalPort: ipnet.PortQ931,
-	}
-	v.rasArg(env, seq, entry, msg, regRRQDone, entry)
-	entry.endpoint.SendRAS(env, v.cfg.Gatekeeper, msg)
+	}, regRRQDone, nil)
 }
 
 // regRRQDone completes the registration when the gatekeeper answers (or the
 // RAS transaction times out).
-func regRRQDone(env *sim.Env, arg any, msg sim.Message) {
-	entry := arg.(*msEntry)
-	v := entry.v
+func regRRQDone(env *sim.Env, p *rasPending, msg sim.Message) {
+	v := p.v
+	entry := v.ents.Get(p.entryH)
+	if entry == nil {
+		return // subscriber purged while the RRQ was in flight
+	}
 	if _, confirmed := msg.(h323.RCF); !confirmed { // RRJ or timeout
 		if entry.regAnnounce {
 			v.failRegistration(env, entry, "gatekeeper-registration")
@@ -153,7 +156,9 @@ func regRRQDone(env *sim.Env, arg any, msg sim.Message) {
 		return
 	}
 	entry.registered = true
-	v.byMSISDN[entry.msisdn] = entry
+	if entry.msisdn != "" {
+		v.byMSISDN.Put(entry.msisdn.Pack(), entry.self)
+	}
 	v.stats.Registrations++
 	if v.cfg.DeactivateIdlePDP {
 		// The §6 ablation: drop the signalling context while idle
@@ -213,26 +218,24 @@ func (v *VMSC) setMSISDN(entry *msEntry, msisdn gsmid.MSISDN) {
 	if msisdn == "" || entry.msisdn == msisdn {
 		return
 	}
+	if entry.msisdn != "" {
+		v.byMSISDN.Delete(entry.msisdn.Pack())
+	}
 	entry.msisdn = msisdn
-	v.byMSISDN[msisdn] = entry
+	v.byMSISDN.Put(msisdn.Pack(), entry.self)
 }
 
 // ProvisionMSISDN tells the VMSC a subscriber's MSISDN ahead of
 // registration. The paper's VMSC learns it from subscription data; here the
 // topology builder provides it so the RRQ of step 1.4 can carry the alias.
 func (v *VMSC) ProvisionMSISDN(imsi gsmid.IMSI, msisdn gsmid.MSISDN) {
-	entry, ok := v.entries[imsi]
-	if !ok {
-		entry = &msEntry{v: v, imsi: imsi}
-		v.entries[imsi] = entry
-	}
-	v.setMSISDN(entry, msisdn)
+	v.setMSISDN(v.getOrCreateEntry(imsi), msisdn)
 }
 
 // handleDL feeds downlink Gb traffic into the right virtual client.
 func (v *VMSC) handleDL(env *sim.Env, dl gb.DLUnitdata) {
-	entry, ok := v.byMS[dl.MS]
-	if !ok || entry.client == nil {
+	entry := v.entryByMS(dl.MS)
+	if entry == nil || entry.client == nil {
 		return
 	}
 	_ = entry.client.HandleDownlink(env, dl.PDU)
@@ -242,10 +245,11 @@ func (v *VMSC) handleDL(env *sim.Env, dl gb.DLUnitdata) {
 // removed (URQ), the GPRS contexts are detached, and the MS table entry is
 // marked unregistered — the reverse of the Fig 4 procedure. The detach
 // indication itself is unacknowledged, so failures here only delay garbage
-// collection.
+// collection. The row itself stays resident (a powered-off subscriber is
+// still this VMSC's), ready for the next power-on.
 func (v *VMSC) handleIMSIDetach(env *sim.Env, t gsm.IMSIDetach) {
-	entry, ok := v.byMS[t.MS]
-	if !ok || !entry.registered {
+	entry := v.entryByMS(t.MS)
+	if entry == nil || !entry.registered {
 		return
 	}
 	v.deregister(env, entry)
@@ -254,12 +258,25 @@ func (v *VMSC) handleIMSIDetach(env *sim.Env, t gsm.IMSIDetach) {
 // handleCancelLocation deregisters a subscriber whose location update ran
 // through another switch: the VLR relays the HLR's cancel so the old VMSC
 // releases the gatekeeper alias and GPRS contexts it holds on the MS's
-// behalf (paper §5 — the VMSC cleans up when the MS leaves its area).
+// behalf (paper §5 — the VMSC cleans up when the MS leaves its area). The
+// row is purged outright: once the deregistration chain completes, the slab
+// slot is freed and every handle minted for it goes stale.
 func (v *VMSC) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.CancelLocation) {
-	entry, ok := v.entries[m.IMSI]
-	if ok && entry.registered {
-		v.deregister(env, entry)
+	entry := v.entryByIMSI(m.IMSI)
+	if entry == nil {
+		return
 	}
+	entry.purge = true
+	if entry.registered {
+		v.deregister(env, entry) // frees the row when the chain completes
+		return
+	}
+	if entry.call == nil && (entry.client == nil ||
+		(!entry.client.Attached() && entry.client.PendingTransactions() == 0)) {
+		v.freeEntry(entry)
+	}
+	// Otherwise an in-flight detach chain observes purge and frees the row
+	// on completion.
 }
 
 // deregister tears down a subscriber's vGPRS service: any call in progress,
@@ -267,7 +284,9 @@ func (v *VMSC) handleCancelLocation(env *sim.Env, from sim.NodeID, m sigmap.Canc
 // Fig 4 chain.
 func (v *VMSC) deregister(env *sim.Env, entry *msEntry) {
 	entry.registered = false
-	delete(v.byMSISDN, entry.msisdn)
+	if entry.msisdn != "" {
+		v.byMSISDN.Delete(entry.msisdn.Pack())
+	}
 
 	// Abort any call in progress.
 	if entry.call != nil {
@@ -276,18 +295,8 @@ func (v *VMSC) deregister(env *sim.Env, entry *msEntry) {
 
 	// Unregister the alias at the gatekeeper. The context may already be
 	// torn down in DeactivateIdlePDP mode; re-activate transiently if so.
-	unregister := func() {
-		v.nextRAS++
-		v.ras(env, entry, h323.URQ{Seq: v.nextRAS, Alias: entry.msisdn, SignalAddr: entry.addr},
-			func(env *sim.Env, _ sim.Message) {
-				// Whether UCF or timeout, finish by detaching from GPRS.
-				if entry.client.Attached() {
-					_ = entry.client.Detach(env, func() {})
-				}
-			})
-	}
 	if _, active := entry.client.Context(NSAPISignalling); active {
-		unregister()
+		v.unregisterGK(env, entry)
 		return
 	}
 	v.ensureSignallingPDP(env, entry, func(ok bool) {
@@ -295,8 +304,41 @@ func (v *VMSC) deregister(env *sim.Env, entry *msEntry) {
 			return
 		}
 		v.setupEndpoint(entry)
-		unregister()
+		v.unregisterGK(env, entry)
 	})
+}
+
+// unregisterGK sends the URQ whose completion detaches the GPRS side (and,
+// for purged rows, frees the slab slot).
+func (v *VMSC) unregisterGK(env *sim.Env, entry *msEntry) {
+	v.nextRAS++
+	seq := v.nextRAS
+	v.rasTransmit(env, entry, seq, h323.URQ{
+		Seq: seq, Alias: entry.msisdn, SignalAddr: entry.addr,
+	}, rasURQDone, nil)
+}
+
+// rasURQDone finishes a deregistration: whether the gatekeeper confirmed
+// (UCF) or the transaction timed out, the GPRS attachment is released, and
+// a purged row is freed once the detach completes.
+func rasURQDone(env *sim.Env, p *rasPending, _ sim.Message) {
+	v := p.v
+	entry := v.ents.Get(p.entryH)
+	if entry == nil {
+		return
+	}
+	if entry.client != nil && entry.client.Attached() {
+		h := p.entryH
+		_ = entry.client.Detach(env, func() {
+			if e := v.ents.Get(h); e != nil && e.purge {
+				v.freeEntry(e)
+			}
+		})
+		return
+	}
+	if entry.purge {
+		v.freeEntry(entry)
+	}
 }
 
 // StartKeepAlive begins periodic H.225 keepalive RRQs for every registered
@@ -314,27 +356,38 @@ func (v *VMSC) StartKeepAlive(env *sim.Env, interval time.Duration) {
 	v.keepAlive = true
 	var tick func()
 	tick = func() {
-		for _, entry := range v.entries {
-			entry := entry
-			if !entry.registered || entry.client == nil {
-				continue
+		v.byIMSI.Range(func(_ gsmid.PackedDigits, h slab.Handle) bool {
+			entry := v.ents.Get(h)
+			if entry == nil || !entry.registered || entry.client == nil {
+				return true
 			}
 			if _, active := entry.client.Context(NSAPISignalling); !active {
-				continue
+				return true
 			}
 			v.nextRAS++
-			v.ras(env, entry, h323.RRQ{
-				Seq: v.nextRAS, Alias: entry.msisdn,
+			seq := v.nextRAS
+			v.rasTransmit(env, entry, seq, h323.RRQ{
+				Seq: seq, Alias: entry.msisdn,
 				SignalAddr: entry.addr, SignalPort: ipnet.PortQ931,
 				KeepAlive: true,
-			}, func(env *sim.Env, msg sim.Message) {
-				rrj, isRRJ := msg.(h323.RRJ)
-				if isRRJ && rrj.Reason == h323.RejectFullRegistrationRequired {
-					v.registerWithGatekeeper(env, entry, false)
-				}
-			})
-		}
+			}, rasKeepAliveDone, nil)
+			return true
+		})
 		env.After(interval, tick)
 	}
 	tick()
+}
+
+// rasKeepAliveDone handles the keepalive RRQ's answer: a gatekeeper that
+// lost the row (TTL lapse, restart) demands a full registration, which the
+// VMSC performs silently.
+func rasKeepAliveDone(env *sim.Env, p *rasPending, msg sim.Message) {
+	v := p.v
+	entry := v.ents.Get(p.entryH)
+	if entry == nil {
+		return
+	}
+	if rrj, isRRJ := msg.(h323.RRJ); isRRJ && rrj.Reason == h323.RejectFullRegistrationRequired {
+		v.registerWithGatekeeper(env, entry, false)
+	}
 }

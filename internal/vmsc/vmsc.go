@@ -13,7 +13,11 @@
 //
 // The MS table required by the paper ("the VMSC maintains an MS table...
 // MM and PDP contexts such as TMSI, IMSI, and the QoS profile requested")
-// is the entries map below.
+// is the ents slab below: rows live by value in slab chunks addressed by
+// generational handles, with open-addressing indexes for the IMSI, MSISDN
+// and radio-node lookups — the same storage treatment the HLR/VLR/SGSN/GGSN
+// already use, so a million-subscriber population is flat arrays rather
+// than a million map-of-pointer entries.
 package vmsc
 
 import (
@@ -30,6 +34,7 @@ import (
 	"vgprs/internal/msc"
 	"vgprs/internal/q931"
 	"vgprs/internal/sim"
+	"vgprs/internal/slab"
 	"vgprs/internal/ss7"
 )
 
@@ -38,6 +43,10 @@ const (
 	NSAPISignalling uint8 = 5
 	NSAPIVoice      uint8 = 6
 )
+
+// mscShards is the MS-table slab fan-out. Entries route by IMSI hash; the
+// per-shard audits localise a leak to one shard.
+const mscShards = 8
 
 // HandoverTarget names the legacy MSC (and its BTS, standing in for the
 // radio channel description) serving a neighbour cell.
@@ -123,15 +132,23 @@ type VMSC struct {
 
 	keepAlive bool
 
-	// entries is the paper's MS table.
-	entries  map[gsmid.IMSI]*msEntry
-	byMS     map[sim.NodeID]*msEntry
-	byMSISDN map[gsmid.MSISDN]*msEntry
+	// ents is the paper's MS table: rows by value in slab chunks, indexed
+	// by packed IMSI, serving radio node, and packed MSISDN. Chunks never
+	// move, so an *msEntry stays valid until the row is freed; everything
+	// that outlives a procedure step (calls, RAS transactions, paging
+	// timers) references the row by generational Handle instead, so a
+	// freed subscriber can never be resurrected through a stale pointer.
+	ents     *slab.Sharded[msEntry]
+	byIMSI   *slab.Index[gsmid.PackedDigits]
+	byMS     *slab.Index[sim.NodeID]
+	byMSISDN *slab.Index[gsmid.PackedDigits]
 
-	pendingRAS map[uint32]rasPending
+	// pendingRAS tracks outstanding RAS transactions by sequence number.
+	// Records are batch-allocated and recycled (see rasFree), mirroring
+	// ss7.DialogueManager's pendingInvoke slab.
+	pendingRAS map[uint32]*rasPending
+	rasFree    []*rasPending
 	nextRAS    uint32
-	// rasTimerFree recycles RAS timeout records (see rasExpire).
-	rasTimerFree []*rasTimer
 	// rasRetransmits and q931Retransmits count re-sent signalling
 	// requests (fault-tolerance observability).
 	rasRetransmits  uint64
@@ -170,16 +187,20 @@ type Stats struct {
 // itself is the hub of the per-MS machinery: it hosts the GPRS client
 // (gprs.Host), carries the H.323 endpoint's traffic (h323.Sender), and
 // threads through the registration chain's completion callbacks — so one
-// registering subscriber costs one entry allocation instead of a closure
-// per wired-up callback.
+// registering subscriber costs one slab slot instead of a heap object plus
+// a closure per wired-up callback.
 type msEntry struct {
-	v      *VMSC
-	imsi   gsmid.IMSI
-	msisdn gsmid.MSISDN
-	tmsi   gsmid.TMSI
-	lai    gsmid.LAI
-	ms     sim.NodeID
-	bsc    sim.NodeID
+	v *VMSC
+	// self is the row's own slab handle; index entries and cross-references
+	// (vCall.entryH, rasPending.entryH) carry it instead of the pointer.
+	self    slab.Handle
+	imsi    gsmid.IMSI
+	imsiKey gsmid.PackedDigits
+	msisdn  gsmid.MSISDN
+	tmsi    gsmid.TMSI
+	lai     gsmid.LAI
+	ms      sim.NodeID
+	bsc     sim.NodeID
 
 	client *gprs.Client
 	addr   netip.Addr
@@ -188,6 +209,10 @@ type msEntry struct {
 	endpoint   h323.Endpoint
 	registered bool
 	voiceUp    bool
+	// purge marks a row whose subscriber left the area (CancelLocation):
+	// the slot is freed — handle invalidated, indexes dropped — once the
+	// deregistration chain (URQ, GPRS detach) completes.
+	purge bool
 
 	// regEnv and regAnnounce are registration-transaction state: the env
 	// the in-flight registration runs under, and whether its completion
@@ -278,7 +303,10 @@ const (
 
 // vCall is one call through the VMSC.
 type vCall struct {
-	entry *msEntry
+	v *VMSC
+	// entryH references the owning MS-table row by generational handle;
+	// ent() resolves it and reports nil once the subscriber was purged.
+	entryH slab.Handle
 	// env is the simulation the call runs under, kept for retry timers
 	// and retried-dialogue completions that have no live env of their own.
 	env *sim.Env
@@ -333,6 +361,11 @@ type vCall struct {
 	hoNext *hoLeg
 }
 
+// ent resolves the call's MS-table row. A nil result means the row was
+// freed since the call started (generational-handle invalidation); callers
+// treat it as "subscriber gone" and wind the call down.
+func (c *vCall) ent() *msEntry { return c.v.ents.Get(c.entryH) }
+
 // hoLeg is one circuit leg of the inter-system handover path.
 type hoLeg struct {
 	peer   sim.NodeID
@@ -365,10 +398,11 @@ func New(cfg Config) *VMSC {
 	v := &VMSC{
 		cfg:        cfg,
 		dm:         ss7.NewDialogueManager(),
-		entries:    make(map[gsmid.IMSI]*msEntry),
-		byMS:       make(map[sim.NodeID]*msEntry),
-		byMSISDN:   make(map[gsmid.MSISDN]*msEntry),
-		pendingRAS: make(map[uint32]rasPending),
+		ents:       slab.NewSharded[msEntry](mscShards),
+		byIMSI:     slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
+		byMS:       slab.NewIndex[sim.NodeID](hashNodeID),
+		byMSISDN:   slab.NewIndex[gsmid.PackedDigits](gsmid.PackedDigits.Hash),
+		pendingRAS: make(map[uint32]*rasPending),
 		hoCalls:    make(map[uint32]*vCall),
 	}
 	v.registrar = msc.NewRegistrar(cfg.ID, cfg.VLR, v.onVLROutcome)
@@ -376,6 +410,50 @@ func New(cfg Config) *VMSC {
 	v.registrar.Retries = cfg.SigRetries
 	v.hoTarget = msc.NewHandoverTarget(cfg.ID, "88697")
 	return v
+}
+
+// hashNodeID keys the radio-node index (deterministic, unseeded).
+func hashNodeID(n sim.NodeID) uint64 { return slab.HashString(string(n)) }
+
+// entryByIMSI resolves a subscriber row by IMSI (nil if absent).
+func (v *VMSC) entryByIMSI(imsi gsmid.IMSI) *msEntry {
+	return v.ents.Get(v.byIMSI.Get(imsi.Pack()))
+}
+
+// entryByMS resolves a subscriber row by its radio node (nil if absent).
+func (v *VMSC) entryByMS(ms sim.NodeID) *msEntry {
+	return v.ents.Get(v.byMS.Get(ms))
+}
+
+// getOrCreateEntry returns the row for imsi, allocating a slab slot and
+// indexing it on first sight.
+func (v *VMSC) getOrCreateEntry(imsi gsmid.IMSI) *msEntry {
+	key := imsi.Pack()
+	if e := v.ents.Get(v.byIMSI.Get(key)); e != nil {
+		return e
+	}
+	h, e := v.ents.Alloc(int(key.Hash() & (mscShards - 1)))
+	e.v, e.self, e.imsi, e.imsiKey = v, h, imsi, key
+	v.byIMSI.Put(key, h)
+	return e
+}
+
+// freeEntry releases a subscriber row: every index entry is dropped, the
+// directory binding removed, and the slab slot freed — which bumps the
+// slot's generation, so handles minted for this occupancy (calls, RAS
+// transactions, paging timers, test probes) resolve to nil from now on.
+func (v *VMSC) freeEntry(entry *msEntry) {
+	v.byIMSI.Delete(entry.imsiKey)
+	if entry.msisdn != "" {
+		v.byMSISDN.Delete(entry.msisdn.Pack())
+	}
+	if entry.ms != "" {
+		v.byMS.Delete(entry.ms)
+	}
+	if v.cfg.Dir != nil && entry.addr.IsValid() {
+		v.cfg.Dir.Unbind(entry.addr)
+	}
+	v.ents.Free(entry.self)
 }
 
 // HandoversIn returns how many inter-system handovers this VMSC received as
@@ -390,16 +468,27 @@ func (v *VMSC) ID() sim.NodeID { return v.cfg.ID }
 func (v *VMSC) Stats() Stats { return v.stats }
 
 // MSTable returns the number of MS table entries (MM+PDP contexts held).
-func (v *VMSC) MSTable() int { return len(v.entries) }
+func (v *VMSC) MSTable() int { return v.ents.Len() }
 
 // Entry reports a subscriber's registration state and PDP address.
 func (v *VMSC) Entry(imsi gsmid.IMSI) (addr netip.Addr, registered bool, ok bool) {
-	e, exists := v.entries[imsi]
-	if !exists {
+	e := v.entryByIMSI(imsi)
+	if e == nil {
 		return netip.Addr{}, false, false
 	}
 	return e.addr, e.registered, true
 }
+
+// EntryHandle returns the generational slab handle of a subscriber's MS
+// table row (zero if absent). Test instrumentation for handle-invalidation
+// checks; production cross-references mint their own handles.
+func (v *VMSC) EntryHandle(imsi gsmid.IMSI) slab.Handle {
+	return v.byIMSI.Get(imsi.Pack())
+}
+
+// EntryAlive reports whether a handle still resolves to a live MS table
+// row. A handle minted before the row was freed reports false forever.
+func (v *VMSC) EntryAlive(h slab.Handle) bool { return v.ents.Get(h) != nil }
 
 // ActiveCalls returns the number of calls in progress.
 func (v *VMSC) ActiveCalls() int { return v.active }
@@ -423,8 +512,8 @@ type MediaStats struct {
 // CallMedia reports the RTP receiver stats for an MS's active call. Read
 // it before release: the stats live on the call and die with it.
 func (v *VMSC) CallMedia(ms sim.NodeID) (MediaStats, bool) {
-	e, ok := v.byMS[ms]
-	if !ok || e.call == nil {
+	e := v.entryByMS(ms)
+	if e == nil || e.call == nil {
 		return MediaStats{}, false
 	}
 	rx := &e.call.med.rx
@@ -449,12 +538,55 @@ func (v *VMSC) HandoffCalls() int { return len(v.hoCalls) }
 // quiesced VMSC reports zero; the scenario soak asserts on it.
 func (v *VMSC) PendingTransactions() int {
 	n := v.dm.Outstanding() + v.registrar.Pending() + len(v.pendingRAS)
-	for _, entry := range v.entries {
-		if entry.client != nil {
-			n += entry.client.PendingTransactions()
+	v.byIMSI.Range(func(_ gsmid.PackedDigits, h slab.Handle) bool {
+		if e := v.ents.Get(h); e != nil && e.client != nil {
+			n += e.client.PendingTransactions()
 		}
-	}
+		return true
+	})
 	return n
+}
+
+// SlabImbalance audits the MS-table storage: per-shard occupancy must
+// balance (cap == live + free) and every index entry must resolve to a
+// live row that agrees with the key. Non-zero means a row leaked out of —
+// or was lost by — the slab; the soak/leak gates assert zero alongside the
+// transient residuals.
+func (v *VMSC) SlabImbalance() int {
+	imb := 0
+	perShard := make([]int, mscShards)
+	v.byIMSI.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		e := v.ents.Get(h)
+		if e == nil || e.imsiKey != k {
+			imb++
+			return true
+		}
+		perShard[h.Shard()]++
+		return true
+	})
+	for _, a := range v.ents.Audit() {
+		imb += a.Imbalance() + absInt(perShard[a.Shard]-a.Live)
+	}
+	v.byMS.Range(func(k sim.NodeID, h slab.Handle) bool {
+		if e := v.ents.Get(h); e == nil || e.ms != k {
+			imb++
+		}
+		return true
+	})
+	v.byMSISDN.Range(func(k gsmid.PackedDigits, h slab.Handle) bool {
+		if e := v.ents.Get(h); e == nil || e.msisdn.Pack() != k {
+			imb++
+		}
+		return true
+	})
+	return imb
+}
+
+func absInt(d int) int {
+	if d < 0 {
+		return -d
+	}
+	return d
 }
 
 // staticAddrFor returns the provisioned static PDP address for an IMSI in
@@ -491,11 +623,12 @@ func (v *VMSC) sigDeadline() time.Duration {
 // counted by the per-MS clients).
 func (v *VMSC) Retransmits() uint64 {
 	total := v.dm.Retransmits() + v.rasRetransmits + v.q931Retransmits
-	for _, entry := range v.entries {
-		if entry.client != nil {
-			total += entry.client.Retransmits()
+	v.byIMSI.Range(func(_ gsmid.PackedDigits, h slab.Handle) bool {
+		if e := v.ents.Get(h); e != nil && e.client != nil {
+			total += e.client.Retransmits()
 		}
-	}
+		return true
+	})
 	return total
 }
 
